@@ -1,0 +1,147 @@
+//! Bitonic sort — the classic *oblivious* vector-model sort, built from
+//! `iota`, elementwise bit tricks, `gather`, min/max, and `select`.
+//!
+//! Every compare-exchange stage is three data-parallel steps: compute each
+//! element's partner index (`i ^ j`, an elementwise XOR on the index
+//! vector), `gather` the partner values, and select min or max according to
+//! the element's position and its block's direction. The network is
+//! O(n·lg²n) work but each of the lg²n stages is a constant number of
+//! primitive launches — the textbook trade against the split radix sort's
+//! O(bits) passes, quantified by the `ablation_sorts` bench.
+//!
+//! Inputs are padded to the next power of two with `u32::MAX` sentinels,
+//! which sort to the tail and are discarded.
+
+use rvv_isa::{Sew, VAluOp, VCmp};
+use scanvec::env::{ScanEnv, SvVector};
+use scanvec::primitives::{cmp_flags, copy, elem_vv, elem_vx, gather, iota, select};
+use scanvec::ScanResult;
+
+/// In-place bitonic sort (ascending) of a `u32` device vector.
+/// Returns the dynamic instruction count.
+pub fn bitonic_sort(env: &mut ScanEnv, v: &SvVector) -> ScanResult<u64> {
+    let n = v.len();
+    if n < 2 {
+        return Ok(0);
+    }
+    let p = n.next_power_of_two();
+    let mark = env.heap_mark();
+    let mut retired = 0;
+
+    // Padded working vector: data then MAX sentinels.
+    let work = env.alloc(Sew::E32, p)?;
+    retired += copy(env, v, &env.slice(&work, 0, n)?)?;
+    if p > n {
+        let tail = env.slice(&work, n, p - n)?;
+        retired += elem_vx(env, VAluOp::Or, &tail, u32::MAX as u64)?;
+    }
+
+    let idx = env.alloc(Sew::E32, p)?;
+    let partner_idx = env.alloc(Sew::E32, p)?;
+    let partner = env.alloc(Sew::E32, p)?;
+    let masked = env.alloc(Sew::E32, p)?;
+    let zeros = env.alloc(Sew::E32, p)?; // stays zero
+    let low = env.alloc(Sew::E32, p)?;
+    let asc = env.alloc(Sew::E32, p)?;
+    let want_min = env.alloc(Sew::E32, p)?;
+    let mn = env.alloc(Sew::E32, p)?;
+    let mx = env.alloc(Sew::E32, p)?;
+    retired += iota(env, &idx)?;
+
+    let lg = p.trailing_zeros();
+    for stage in 0..lg {
+        let k = 1u64 << (stage + 1); // block size of this stage
+        for sub in (0..=stage).rev() {
+            let j = 1u64 << sub; // partner distance
+                                 // partner = i ^ j.
+            retired += copy(env, &idx, &partner_idx)?;
+            retired += elem_vx(env, VAluOp::Xor, &partner_idx, j)?;
+            retired += gather(env, &work, &partner_idx, &partner)?;
+            // low  = ((i & j) == 0): this element keeps the "first" slot.
+            retired += copy(env, &idx, &masked)?;
+            retired += elem_vx(env, VAluOp::And, &masked, j)?;
+            retired += cmp_flags(env, VCmp::Eq, &masked, &zeros, &low)?;
+            // asc  = ((i & k) == 0): this block sorts ascending.
+            retired += copy(env, &idx, &masked)?;
+            retired += elem_vx(env, VAluOp::And, &masked, k)?;
+            retired += cmp_flags(env, VCmp::Eq, &masked, &zeros, &asc)?;
+            // want_min = (low == asc).
+            retired += cmp_flags(env, VCmp::Eq, &low, &asc, &want_min)?;
+            retired += elem_vv(env, VAluOp::Minu, &work, &partner, &mn)?;
+            retired += elem_vv(env, VAluOp::Maxu, &work, &partner, &mx)?;
+            retired += select(env, &want_min, &mn, &mx, &work)?;
+        }
+    }
+
+    retired += copy(env, &env.slice(&work, 0, n)?, v)?;
+    env.release_to(mark);
+    Ok(retired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(scanvec::EnvConfig {
+            vlen: 256,
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 32 << 20,
+        })
+    }
+
+    fn check(data: Vec<u32>) {
+        let mut e = env();
+        let v = e.from_u32(&data).unwrap();
+        bitonic_sort(&mut e, &v).unwrap();
+        let mut want = data;
+        want.sort_unstable();
+        assert_eq!(e.to_u32(&v), want);
+    }
+
+    #[test]
+    fn sorts_power_of_two_sizes() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for n in [2usize, 4, 64, 256] {
+            check((0..n).map(|_| rng.random()).collect());
+        }
+    }
+
+    #[test]
+    fn sorts_ragged_sizes_with_padding() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for n in [3usize, 5, 17, 100, 333] {
+            check((0..n).map(|_| rng.random()).collect());
+        }
+    }
+
+    #[test]
+    fn sorts_sentinel_valued_data() {
+        // Data containing u32::MAX must still sort correctly (sentinels are
+        // only in the padding region and get truncated away).
+        check(vec![u32::MAX, 0, u32::MAX, 5, 1]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        check(vec![]);
+        check(vec![7]);
+        check(vec![2, 1]);
+        check(vec![9; 50]);
+        check((0..33u32).rev().collect());
+    }
+
+    #[test]
+    fn agrees_with_radix_sort() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let data: Vec<u32> = (0..200).map(|_| rng.random_range(0..10_000)).collect();
+        let mut e = env();
+        let a = e.from_u32(&data).unwrap();
+        bitonic_sort(&mut e, &a).unwrap();
+        let b = e.from_u32(&data).unwrap();
+        crate::split_radix_sort(&mut e, &b, 32).unwrap();
+        assert_eq!(e.to_u32(&a), e.to_u32(&b));
+    }
+}

@@ -1,0 +1,277 @@
+//! Derived segmented operations, composed purely from core primitives.
+//!
+//! Blelloch's algorithm toolbox uses a handful of segmented idioms beyond
+//! the raw segmented scan; all are expressible as short primitive
+//! compositions (this module is the proof). They power the segmented
+//! quicksort and the sparse matrix-vector product.
+
+use rvv_isa::VAluOp;
+use scanvec::env::{ScanEnv, SvVector};
+use scanvec::primitives::{copy, elem_vv, reverse, seg_scan};
+use scanvec::{ScanOp, ScanResult};
+
+/// Distribute each segment's **first** element to every element of the
+/// segment (`seg-copy` / distribute in Blelloch's terms), writing into
+/// `dst`.
+///
+/// Implemented as `seg_plus_scan(x · head_flags)`: only the head
+/// contributes to each segment's running sum, so the scan carries the head
+/// value across the whole segment.
+pub fn seg_copy_first(
+    env: &mut ScanEnv,
+    x: &SvVector,
+    head_flags: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    let mut retired = elem_vv(env, VAluOp::Mul, x, head_flags, dst)?;
+    retired += seg_scan(env, ScanOp::Plus, dst, head_flags)?;
+    Ok(retired)
+}
+
+/// Segmented **exclusive** plus-scan into `dst`:
+/// `dst[i] = Σ x[j]` over earlier `j` in the same segment.
+///
+/// Composed as `seg_inclusive(x) - x` elementwise — exact for plus over the
+/// wrapping unsigned domain.
+pub fn seg_exclusive_plus(
+    env: &mut ScanEnv,
+    x: &SvVector,
+    head_flags: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    let mut retired = copy(env, x, dst)?;
+    retired += seg_scan(env, ScanOp::Plus, dst, head_flags)?;
+    retired += elem_vv(env, VAluOp::Sub, dst, x, dst)?;
+    Ok(retired)
+}
+
+/// Segmented **exclusive** scan for *any* operator: `dst[i]` combines the
+/// earlier elements of `i`'s segment, starting from the identity at each
+/// head.
+///
+/// Composition: inclusive segmented scan, shift down by one element
+/// (an offset copy), then `select` the identity at segment heads. Unlike
+/// [`seg_exclusive_plus`] this needs no inverse, so it works for
+/// `Max`/`Min`/`And`/`Or` too.
+pub fn seg_exclusive(
+    env: &mut ScanEnv,
+    op: ScanOp,
+    x: &SvVector,
+    head_flags: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    let n = x.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let mark = env.heap_mark();
+    let inc = env.alloc(x.sew(), n)?;
+    let idvec = env.alloc(x.sew(), n)?;
+    let mut retired = 0;
+    retired += copy(env, x, &inc)?;
+    retired += seg_scan(env, op, &inc, head_flags)?;
+    // dst[1..] = inclusive[..n-1]; dst[0] irrelevant (head selected below).
+    retired += copy(env, &env.slice(&inc, 0, n - 1)?, &env.slice(dst, 1, n - 1)?)?;
+    // Identity everywhere heads are set.
+    retired +=
+        scanvec::primitives::elem_vx(env, rvv_isa::VAluOp::Or, &idvec, op.identity(x.sew()))?;
+    retired += scanvec::primitives::select(env, head_flags, &idvec, dst, dst)?;
+    env.release_to(mark);
+    Ok(retired)
+}
+
+/// Per-segment reduction: `⊕` over each segment, packed to one value per
+/// segment in `dst` (which must hold at least `segment_count` elements).
+/// Returns `(segment_count, retired)`.
+pub fn seg_reduce(
+    env: &mut ScanEnv,
+    op: ScanOp,
+    x: &SvVector,
+    head_flags: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<(u64, u64)> {
+    let n = x.len();
+    if n == 0 {
+        return Ok((0, 0));
+    }
+    let mark = env.heap_mark();
+    let sums = env.alloc(x.sew(), n)?;
+    let tails = env.alloc(x.sew(), n)?;
+    let mut retired = 0;
+    retired += copy(env, x, &sums)?;
+    retired += seg_scan(env, op, &sums, head_flags)?;
+    retired += tail_flags(env, head_flags, &tails)?;
+    let (count, r) = scanvec::primitives::pack(env, &sums, &tails, dst)?;
+    retired += r;
+    env.release_to(mark);
+    Ok((count, retired))
+}
+
+/// Tail flags from head flags: `tails[i] = 1` iff `i` is the last element
+/// of its segment (`heads` shifted left by one, with the final element
+/// always a tail).
+pub fn tail_flags(env: &mut ScanEnv, heads: &SvVector, tails: &SvVector) -> ScanResult<u64> {
+    let n = heads.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    // tails[0..n-1] = heads[1..n]  (an offset copy), tails[n-1] = 1.
+    let retired = copy(
+        env,
+        &env.slice(heads, 1, n - 1)?,
+        &env.slice(tails, 0, n - 1)?,
+    )?;
+    env.store_elem(tails, n - 1, 1)?;
+    Ok(retired)
+}
+
+/// Distribute each segment's **total** (`Σ x` over the segment) to every
+/// element of the segment.
+///
+/// Composition: forward segmented inclusive scan puts the total at each
+/// segment's tail; reversing data *and* descriptor turns tails into heads;
+/// a segmented copy-first distributes them; reversing back restores order.
+pub fn seg_total(
+    env: &mut ScanEnv,
+    x: &SvVector,
+    head_flags: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    let n = x.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let mark = env.heap_mark();
+    let tails = env.alloc(x.sew(), n)?;
+    let rsum = env.alloc(x.sew(), n)?;
+    let rheads = env.alloc(x.sew(), n)?;
+    let mut retired = 0;
+    // dst = seg inclusive sums (totals sit at tails).
+    retired += copy(env, x, dst)?;
+    retired += seg_scan(env, ScanOp::Plus, dst, head_flags)?;
+    // Reverse sums and descriptor: reversed tails are heads.
+    retired += tail_flags(env, head_flags, &tails)?;
+    retired += reverse(env, dst, &rsum)?;
+    retired += reverse(env, &tails, &rheads)?;
+    // Distribute the (reversed) head values, then reverse back.
+    retired += seg_copy_first(env, &rsum, &rheads, &rsum)?;
+    retired += reverse(env, &rsum, dst)?;
+    env.release_to(mark);
+    Ok(retired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvv_isa::Sew;
+    use scanvec::Segments;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(scanvec::EnvConfig {
+            vlen: 128,
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 8 << 20,
+        })
+    }
+
+    #[test]
+    fn copy_first_distributes_heads() {
+        let segs = Segments::from_lengths(&[3, 2, 4]).unwrap();
+        let x = [7u32, 1, 2, 9, 4, 5, 5, 5, 5];
+        let mut e = env();
+        let vx = e.from_u32(&x).unwrap();
+        let vf = e.from_u32(segs.head_flags()).unwrap();
+        let d = e.alloc(Sew::E32, x.len()).unwrap();
+        seg_copy_first(&mut e, &vx, &vf, &d).unwrap();
+        assert_eq!(e.to_u32(&d), vec![7, 7, 7, 9, 9, 5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn exclusive_plus_matches_oracle() {
+        let segs = Segments::from_lengths(&[4, 1, 3]).unwrap();
+        let x = [1u32, 2, 3, 4, 10, 5, 6, 7];
+        let mut e = env();
+        let vx = e.from_u32(&x).unwrap();
+        let vf = e.from_u32(segs.head_flags()).unwrap();
+        let d = e.alloc(Sew::E32, x.len()).unwrap();
+        seg_exclusive_plus(&mut e, &vx, &vf, &d).unwrap();
+        let xs: Vec<u64> = x.iter().map(|&v| v as u64).collect();
+        let want: Vec<u32> =
+            scanvec::native::seg_scan_exclusive(ScanOp::Plus, Sew::E32, &xs, segs.head_flags())
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+        assert_eq!(e.to_u32(&d), want);
+    }
+
+    #[test]
+    fn tail_flags_mark_segment_ends() {
+        let segs = Segments::from_lengths(&[2, 3, 1]).unwrap();
+        let mut e = env();
+        let vf = e.from_u32(segs.head_flags()).unwrap();
+        let t = e.alloc(Sew::E32, 6).unwrap();
+        tail_flags(&mut e, &vf, &t).unwrap();
+        assert_eq!(e.to_u32(&t), vec![0, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn seg_exclusive_all_ops_match_oracle() {
+        let segs = Segments::from_lengths(&[3, 1, 5, 2]).unwrap();
+        let x: Vec<u32> = vec![4, 9, 1, 7, 3, 3, 8, 2, 6, 5, 5];
+        let xs: Vec<u64> = x.iter().map(|&v| v as u64).collect();
+        for &op in &ScanOp::ALL {
+            let mut e = env();
+            let vx = e.from_u32(&x).unwrap();
+            let vf = e.from_u32(segs.head_flags()).unwrap();
+            let d = e.alloc(Sew::E32, x.len()).unwrap();
+            seg_exclusive(&mut e, op, &vx, &vf, &d).unwrap();
+            let want: Vec<u32> =
+                scanvec::native::seg_scan_exclusive(op, Sew::E32, &xs, segs.head_flags())
+                    .into_iter()
+                    .map(|v| v as u32)
+                    .collect();
+            assert_eq!(e.to_u32(&d), want, "op={op}");
+        }
+    }
+
+    #[test]
+    fn seg_reduce_packs_per_segment_results() {
+        let segs = Segments::from_lengths(&[3, 2, 4]).unwrap();
+        let x = [1u32, 2, 3, 10, 20, 7, 1, 9, 2];
+        let mut e = env();
+        let vx = e.from_u32(&x).unwrap();
+        let vf = e.from_u32(segs.head_flags()).unwrap();
+        let d = e.alloc(Sew::E32, 3).unwrap();
+        let (count, _) = seg_reduce(&mut e, ScanOp::Plus, &vx, &vf, &d).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(e.to_u32(&d), vec![6, 30, 19]);
+        let (count, _) = seg_reduce(&mut e, ScanOp::Max, &vx, &vf, &d).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(e.to_u32(&d), vec![3, 20, 9]);
+    }
+
+    #[test]
+    fn totals_distributed_everywhere() {
+        let segs = Segments::from_lengths(&[3, 2, 4]).unwrap();
+        let x = [1u32, 2, 3, 10, 20, 1, 1, 1, 1];
+        let mut e = env();
+        let vx = e.from_u32(&x).unwrap();
+        let vf = e.from_u32(segs.head_flags()).unwrap();
+        let d = e.alloc(Sew::E32, x.len()).unwrap();
+        seg_total(&mut e, &vx, &vf, &d).unwrap();
+        assert_eq!(e.to_u32(&d), vec![6, 6, 6, 30, 30, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn single_segment_total_is_reduction() {
+        let x: Vec<u32> = (1..=20).collect();
+        let segs = Segments::from_lengths(&[20]).unwrap();
+        let mut e = env();
+        let vx = e.from_u32(&x).unwrap();
+        let vf = e.from_u32(segs.head_flags()).unwrap();
+        let d = e.alloc(Sew::E32, 20).unwrap();
+        seg_total(&mut e, &vx, &vf, &d).unwrap();
+        assert_eq!(e.to_u32(&d), vec![210u32; 20]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Histogram by sort-and-count — Blelloch's composition recipe: there is
+//! no data-parallel scatter-*add* in the model (indexed stores collide),
+//! so counting is done by **sorting the keys and run-length encoding the
+//! result**: each run is one bucket's population.
+
+use crate::radix_sort::split_radix_sort;
+use crate::rle::rle_encode;
+use scanvec::env::ScanEnv;
+use scanvec::ScanResult;
+
+/// Count occurrences of each value in `data`, which must be bucket ids
+/// below `buckets`. Returns `(counts, retired_instructions)` with
+/// `counts.len() == buckets`.
+pub fn histogram(env: &mut ScanEnv, data: &[u32], buckets: u32) -> ScanResult<(Vec<u32>, u64)> {
+    assert!(buckets > 0, "need at least one bucket");
+    assert!(
+        data.iter().all(|&x| x < buckets),
+        "every sample must be a bucket id below {buckets}"
+    );
+    if data.is_empty() {
+        return Ok((vec![0; buckets as usize], 0));
+    }
+    let mark = env.heap_mark();
+    let v = env.from_u32(data)?;
+    // Sorting only the bits that can be set keeps the pass count minimal.
+    let bits = 32 - (buckets - 1).leading_zeros().min(31);
+    let mut retired = split_radix_sort(env, &v, bits.max(1))?;
+    let (rle, r) = rle_encode(env, &v)?;
+    retired += r;
+    env.release_to(mark);
+    let mut counts = vec![0u32; buckets as usize];
+    for (value, len) in rle.values.iter().zip(&rle.lengths) {
+        counts[*value as usize] = *len;
+    }
+    Ok((counts, retired))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(scanvec::EnvConfig {
+            vlen: 512,
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 32 << 20,
+        })
+    }
+
+    #[test]
+    fn counts_known_distribution() {
+        let data = [0u32, 3, 3, 1, 3, 0, 2, 2];
+        let mut e = env();
+        let (counts, _) = histogram(&mut e, &data, 5).unwrap();
+        assert_eq!(counts, vec![2, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn random_matches_host_count() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let buckets = 37u32;
+        let data: Vec<u32> = (0..2000).map(|_| rng.random_range(0..buckets)).collect();
+        let mut e = env();
+        let (counts, retired) = histogram(&mut e, &data, buckets).unwrap();
+        let mut want = vec![0u32; buckets as usize];
+        for &x in &data {
+            want[x as usize] += 1;
+        }
+        assert_eq!(counts, want);
+        assert!(retired > 0);
+        assert_eq!(
+            counts.iter().map(|&c| c as usize).sum::<usize>(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn single_bucket_and_empty() {
+        let mut e = env();
+        let (counts, _) = histogram(&mut e, &[0, 0, 0], 1).unwrap();
+        assert_eq!(counts, vec![3]);
+        let (counts, retired) = histogram(&mut e, &[], 4).unwrap();
+        assert_eq!(counts, vec![0, 0, 0, 0]);
+        assert_eq!(retired, 0);
+    }
+
+    #[test]
+    fn power_of_two_buckets_use_exact_bit_count() {
+        // 16 buckets -> 4 radix passes; correctness is what matters, the
+        // pass count shows up as a much smaller cost than a 32-bit sort.
+        let data: Vec<u32> = (0..500).map(|i| (i % 16) as u32).collect();
+        let mut e = env();
+        let (counts, cost16) = histogram(&mut e, &data, 16).unwrap();
+        // 500 = 16*31 + 4: the first four buckets get 32, the rest 31.
+        assert!(counts.iter().all(|&c| c == 31 || c == 32));
+        assert_eq!(counts.iter().sum::<u32>(), 500);
+        let mut e2 = env();
+        let v = e2.from_u32(&data).unwrap();
+        let cost32 = split_radix_sort(&mut e2, &v, 32).unwrap();
+        assert!(
+            cost16 < cost32,
+            "bounded-key histogram must beat a full sort"
+        );
+    }
+}

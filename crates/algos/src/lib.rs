@@ -1,0 +1,46 @@
+//! # scanvec-algos — applications of the scan vector model
+//!
+//! Everything here is written against `scanvec`'s primitives with no
+//! knowledge of RVV — demonstrating the paper's thesis that the scan
+//! vector model is a sufficient high-level interface to the vector unit.
+//!
+//! * [`radix_sort`] — the paper's running example (§4.4): split radix
+//!   sort from `get_flags` + `split`. Table 1's subject.
+//! * [`qsort_baseline`] — a complete scalar quicksort in the EDSL,
+//!   standing in for the paper's stdlib `qsort()` (Table 1's baseline).
+//! * [`seg_quicksort`] — Blelloch's flat segmented quicksort, the
+//!   algorithm §5 cites as the motivation for segmented scans.
+//! * [`derived`] — derived segmented operations (distribute-first,
+//!   segmented exclusive scan, per-segment totals) composed from
+//!   primitives.
+//! * [`spmv`] — sparse matrix-vector product via gather + segmented sum.
+//! * [`rle`] — run-length encode/decode as pure scan pipelines.
+//! * [`quickhull`] — convex hull with data-parallel farthest-point splits.
+//! * [`bitonic`] — the oblivious O(n·lg²n) sorting network, for comparison.
+//! * [`histogram`] — counting by sort + run-length encode (no scatter-add
+//!   exists in the model).
+//! * [`line_of_sight`] — visibility along a ray via exclusive max-scan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod derived;
+pub mod histogram;
+pub mod line_of_sight;
+pub mod qsort_baseline;
+pub mod quickhull;
+pub mod radix_sort;
+pub mod rle;
+pub mod seg_quicksort;
+pub mod spmv;
+
+pub use bitonic::bitonic_sort;
+pub use histogram::histogram;
+pub use line_of_sight::{line_of_sight, line_of_sight_reference};
+pub use qsort_baseline::{build_qsort, qsort_baseline};
+pub use quickhull::{convex_hull_reference, quickhull};
+pub use radix_sort::{split_radix_sort, split_radix_sort_pairs};
+pub use rle::{rle_decode, rle_encode, Rle};
+pub use seg_quicksort::seg_quicksort;
+pub use spmv::{random_csr, spmv, CsrMatrix};

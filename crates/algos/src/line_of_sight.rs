@@ -1,0 +1,139 @@
+//! Line-of-sight via max-scan — Blelloch's other canonical scan
+//! application: given terrain altitudes along a ray from an observer, a
+//! point is visible iff no earlier point subtends a larger vertical angle.
+//!
+//! The parallel solution is one exclusive **max-scan** over the angles plus
+//! an elementwise compare. Angles are computed in fixed point
+//! (`(alt - observer) << SHIFT / distance`) and bias-mapped to unsigned so
+//! the unsigned max-scan orders them correctly — the standard
+//! order-preserving `i32 → u32` trick (`x ^ 0x8000_0000`).
+
+use rvv_isa::{VAluOp, VCmp};
+use scanvec::env::ScanEnv;
+use scanvec::primitives::{cmp_flags, copy, elem_vv, elem_vx, iota, scan, ScanKind};
+use scanvec::{ScanOp, ScanResult};
+
+/// Fixed-point fraction bits for the angle ratio.
+const SHIFT: u64 = 16;
+
+/// Compute visibility flags for altitude samples `alt[0..n]` at distances
+/// `1..=n` from an observer of height `observer`. Returns
+/// `(visible_flags, retired_instructions)`.
+///
+/// Altitude differences must fit in 15 bits of magnitude for the fixed
+/// point not to overflow (|alt − observer| < 2¹⁵), which covers any
+/// realistic terrain heightfield.
+pub fn line_of_sight(
+    env: &mut ScanEnv,
+    alt: &[u32],
+    observer: u32,
+) -> ScanResult<(Vec<bool>, u64)> {
+    let n = alt.len();
+    if n == 0 {
+        return Ok((Vec::new(), 0));
+    }
+    let mark = env.heap_mark();
+    let angles = env.from_u32(alt)?;
+    let dist = env.alloc(angles.sew(), n)?;
+    let horizon = env.alloc(angles.sew(), n)?;
+    let vis = env.alloc(angles.sew(), n)?;
+    let mut retired = 0;
+
+    // angle_q = ((alt - observer) << SHIFT) / distance, signed.
+    retired += elem_vx(env, VAluOp::Sub, &angles, observer as u64)?;
+    retired += elem_vx(env, VAluOp::Sll, &angles, SHIFT)?;
+    retired += iota(env, &dist)?;
+    retired += elem_vx(env, VAluOp::Add, &dist, 1)?; // distances 1..=n
+    retired += elem_vv(env, VAluOp::Div, &angles, &dist, &angles)?;
+    // Order-preserving signed→unsigned bias.
+    retired += elem_vx(env, VAluOp::Xor, &angles, 0x8000_0000)?;
+    // horizon[i] = max over earlier angles (exclusive max-scan);
+    // horizon[0] = 0 = biased -2³¹ = "nothing blocks the first point".
+    retired += copy(env, &angles, &horizon)?;
+    retired += scan(env, ScanOp::Max, &horizon, ScanKind::Exclusive)?;
+    // visible iff angle strictly above every earlier one.
+    retired += cmp_flags(env, VCmp::Gtu, &angles, &horizon, &vis)?;
+
+    let flags = env.to_u32(&vis).into_iter().map(|f| f != 0).collect();
+    env.release_to(mark);
+    Ok((flags, retired))
+}
+
+/// Host reference implementation.
+pub fn line_of_sight_reference(alt: &[u32], observer: u32) -> Vec<bool> {
+    let mut out = Vec::with_capacity(alt.len());
+    let mut horizon = i64::MIN;
+    for (i, &a) in alt.iter().enumerate() {
+        let angle = (((a as i64 - observer as i64) << SHIFT) / (i as i64 + 1)) as i32;
+        out.push((angle as i64) > horizon);
+        horizon = horizon.max(angle as i64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(scanvec::EnvConfig {
+            vlen: 256,
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 16 << 20,
+        })
+    }
+
+    #[test]
+    fn ridge_blocks_the_valley() {
+        // Observer at height 10. A tall ridge at distance 3 hides the
+        // lower ground behind it until a taller peak appears.
+        // Angles from the observer: the ridge at index 2 subtends
+        // (40-10)/3; index 5 must beat that, so (90-10)/6 > 30/3.
+        let alt = [12u32, 11, 40, 13, 14, 90, 5];
+        let mut e = env();
+        let (vis, _) = line_of_sight(&mut e, &alt, 10).unwrap();
+        assert_eq!(vis, line_of_sight_reference(&alt, 10));
+        assert!(vis[0]); // first point always visible
+        assert!(vis[2]); // the ridge
+        assert!(!vis[3]); // hidden behind it
+        assert!(vis[5]); // taller peak
+        assert!(!vis[6]);
+    }
+
+    #[test]
+    fn terrain_below_observer() {
+        let alt = [5u32, 4, 3, 2, 1];
+        let mut e = env();
+        let (vis, _) = line_of_sight(&mut e, &alt, 100).unwrap();
+        assert_eq!(vis, line_of_sight_reference(&alt, 100));
+        // Downhill all the way: every point visible.
+        assert!(vis.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn random_terrain_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let n = rng.random_range(1..300);
+            let observer = rng.random_range(0..1000);
+            let alt: Vec<u32> = (0..n).map(|_| rng.random_range(0..2000)).collect();
+            let mut e = env();
+            let (vis, _) = line_of_sight(&mut e, &alt, observer).unwrap();
+            assert_eq!(
+                vis,
+                line_of_sight_reference(&alt, observer),
+                "observer={observer}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut e = env();
+        let (vis, retired) = line_of_sight(&mut e, &[], 10).unwrap();
+        assert!(vis.is_empty());
+        assert_eq!(retired, 0);
+    }
+}

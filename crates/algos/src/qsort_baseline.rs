@@ -1,0 +1,232 @@
+//! Scalar quicksort baseline — the workspace's stand-in for the paper's
+//! `qsort()` from stdlib (Table 1's comparison column).
+//!
+//! A complete iterative quicksort written in the scalar EDSL and executed
+//! on the simulated machine, so its dynamic instruction count is measured
+//! by the same counter as the vectorized sort:
+//!
+//! * Lomuto partition with last-element pivot.
+//! * Explicit stack of `(lo, hi)` ranges in simulated memory, growing down
+//!   from `sp`; the **larger** side is pushed and the smaller side is
+//!   iterated, bounding stack depth to ⌈lg n⌉ entries (the classic
+//!   argument: everything pushed after a range lies inside its smaller
+//!   sibling, so stacked sizes decrease geometrically).
+//! * Ranges of fewer than two elements are never pushed.
+//!
+//! glibc's `qsort` is a merge sort with an insertion-sort fallback and more
+//! per-comparison overhead (indirect comparator calls), which is why the
+//! paper's absolute counts are higher (≈511 instructions/element at N=10⁶
+//! vs ≈100 here); the *shape* — O(n log n) scalar sort vs O(bits·n)
+//! vectorized radix sort — is what Table 1 compares.
+
+use rvv_asm::ProgramBuilder;
+use rvv_isa::{MemWidth, Sew, XReg};
+use rvv_sim::Program;
+use scanvec::env::{ScanEnv, SvVector};
+use scanvec::ScanResult;
+
+fn mem_width(sew: Sew) -> MemWidth {
+    match sew {
+        Sew::E8 => MemWidth::B,
+        Sew::E16 => MemWidth::H,
+        Sew::E32 => MemWidth::W,
+        Sew::E64 => MemWidth::D,
+    }
+}
+
+/// Build the quicksort program for a given element width.
+///
+/// Args: `a0` = n, `a1` = base pointer.
+pub fn build_qsort(sew: Sew) -> ScanResult<Program> {
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let lo = XReg::new(5); // t0
+    let hi = XReg::new(6); // t1
+    let i = XReg::new(7); // t2
+    let j = XReg::new(28); // t3
+    let pivot = XReg::arg(4);
+    let t1 = XReg::arg(5);
+    let t2 = XReg::arg(6);
+    let t3 = XReg::arg(7);
+    let sentinel = XReg::arg(2);
+    let sp = XReg::SP;
+
+    let mut b = ProgramBuilder::new(format!("qsort_e{}", sew.bits()));
+    let done = b.label();
+    let outer = b.label();
+    let pop = b.label();
+    // n < 2: nothing to do.
+    b.li(t1, 2);
+    b.bltu(XReg::arg(0), t1, done);
+    b.mv(sentinel, sp);
+    b.mv(lo, XReg::arg(1));
+    b.addi(t1, XReg::arg(0), -1);
+    b.slli(t1, t1, sew.bytes().trailing_zeros() as i32);
+    b.add(hi, XReg::arg(1), t1);
+
+    b.bind(outer);
+    b.bgeu(lo, hi, pop);
+    // ---- Lomuto partition over [lo, hi], pivot = a[hi] ----
+    b.load(w, false, pivot, hi, 0);
+    b.mv(i, lo);
+    b.mv(j, lo);
+    let ploop = b.label();
+    let noswap = b.label();
+    b.bind(ploop);
+    b.load(w, false, t1, j, 0);
+    b.bgeu(t1, pivot, noswap);
+    // a[j] < pivot: swap a[i], a[j]; i++.
+    b.load(w, false, t2, i, 0);
+    b.store(w, t1, i, 0);
+    b.store(w, t2, j, 0);
+    b.addi(i, i, esz);
+    b.bind(noswap);
+    b.addi(j, j, esz);
+    b.bltu(j, hi, ploop);
+    // Pivot into place: swap a[i], a[hi].
+    b.load(w, false, t1, i, 0);
+    b.store(w, pivot, i, 0);
+    b.store(w, t1, hi, 0);
+    // ---- push larger side, iterate smaller ----
+    b.sub(t1, i, lo); // left bytes
+    b.sub(t2, hi, i); // right bytes
+    let left_smaller = b.label();
+    let no_push_left = b.label();
+    let no_push_right = b.label();
+    b.bltu(t1, t2, left_smaller);
+    // left >= right: push left (if >= 2 elements), iterate right.
+    b.li(t3, 2 * esz as i64);
+    b.bltu(t1, t3, no_push_left);
+    b.addi(sp, sp, -16);
+    b.sd(lo, sp, 0);
+    b.addi(t3, i, -esz);
+    b.sd(t3, sp, 8);
+    b.bind(no_push_left);
+    b.addi(lo, i, esz);
+    b.jump(outer);
+    b.bind(left_smaller);
+    // right > left: push right (if >= 2 elements), iterate left.
+    b.li(t3, 2 * esz as i64);
+    b.bltu(t2, t3, no_push_right);
+    b.addi(sp, sp, -16);
+    b.addi(t3, i, esz);
+    b.sd(t3, sp, 0);
+    b.sd(hi, sp, 8);
+    b.bind(no_push_right);
+    b.addi(hi, i, -esz);
+    b.jump(outer);
+
+    b.bind(pop);
+    b.beq(sp, sentinel, done);
+    b.ld(lo, sp, 0);
+    b.ld(hi, sp, 8);
+    b.addi(sp, sp, 16);
+    b.jump(outer);
+
+    b.bind(done);
+    b.halt();
+    Ok(b.finish()?)
+}
+
+/// Sort a device vector in place with the scalar quicksort; returns the
+/// dynamic instruction count.
+pub fn qsort_baseline(env: &mut ScanEnv, v: &SvVector) -> ScanResult<u64> {
+    let p = env.kernel("qsort_baseline", v.sew(), |_, sew| build_qsort(sew))?;
+    let (r, _) = env.run(&p, &[v.len() as u64, v.addr()])?;
+    Ok(r.retired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rvv_isa::InstrClass;
+
+    #[test]
+    fn sorts_random_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u32> = (0..1500).map(|_| rng.random()).collect();
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        qsort_baseline(&mut e, &v).unwrap();
+        let mut want = data.clone();
+        want.sort_unstable();
+        assert_eq!(e.to_u32(&v), want);
+        // Purely scalar.
+        assert_eq!(e.machine().counters.vector_total(), 0);
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        let mut e = ScanEnv::paper_default();
+        for data in [
+            vec![],
+            vec![5u32],
+            vec![2u32, 1],
+            vec![1u32, 2],
+            vec![3u32; 100],             // all equal
+            (0..200u32).collect(),       // sorted
+            (0..200u32).rev().collect(), // reverse sorted
+        ] {
+            let v = e.from_u32(&data).unwrap();
+            qsort_baseline(&mut e, &v).unwrap();
+            let mut want = data.clone();
+            want.sort_unstable();
+            assert_eq!(e.to_u32(&v), want, "failed on {data:?}");
+        }
+    }
+
+    #[test]
+    fn sorted_input_does_not_blow_the_stack() {
+        // Lomuto + last-element pivot is O(n²) on sorted input, but the
+        // explicit stack must stay within ⌈lg n⌉ entries (only real 2-sided
+        // partitions push). 2000 sorted elements would need a 32 KB stack
+        // if empty sides were pushed.
+        let data: Vec<u32> = (0..2000).collect();
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        qsort_baseline(&mut e, &v).unwrap();
+        assert_eq!(e.to_u32(&v), data);
+    }
+
+    #[test]
+    fn cost_is_n_log_n_ish_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut costs = Vec::new();
+        for n in [1000usize, 10000] {
+            let data: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(&data).unwrap();
+            let c = qsort_baseline(&mut e, &v).unwrap();
+            costs.push(c as f64 / n as f64);
+        }
+        // Per-element cost grows roughly like lg n: the 10x input should
+        // cost more per element, but far less than 10x more.
+        assert!(costs[1] > costs[0]);
+        assert!(costs[1] < costs[0] * 2.0, "{costs:?}");
+    }
+
+    #[test]
+    fn e64_keys_sort() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<u64> = (0..300).map(|_| rng.random()).collect();
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u64(&data).unwrap();
+        qsort_baseline(&mut e, &v).unwrap();
+        let mut want = data.clone();
+        want.sort_unstable();
+        assert_eq!(e.to_elems(&v), want);
+    }
+
+    #[test]
+    fn branch_heavy_profile() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<u32> = (0..500).map(|_| rng.random()).collect();
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        qsort_baseline(&mut e, &v).unwrap();
+        let c = &e.machine().counters;
+        assert!(c.class(InstrClass::ScalarCtrl) > 0);
+        assert!(c.class(InstrClass::ScalarMem) > 0);
+    }
+}

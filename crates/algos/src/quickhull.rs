@@ -1,0 +1,309 @@
+//! Quickhull — convex hull by repeated farthest-point splitting, the other
+//! flagship application in Blelloch's scan-vector-model exposition.
+//!
+//! All per-point work is data-parallel on the device: signed cross
+//! products (e64 two's-complement elementwise arithmetic), the
+//! farthest-point selection (order-preserving bias + unsigned max
+//! reduction), and candidate filtering (`pack`). The recursion over hull
+//! edges runs on the host, reading back only O(1) scalars per edge — the
+//! same division of labour as a GPU quickhull driver. Expected depth is
+//! O(lg h) for h hull points.
+//!
+//! Coordinates must be below 2³¹ so that coordinate differences fit i32
+//! and their products fit i64 — then the device's e64 modular arithmetic
+//! *is* exact signed arithmetic. `quickhull` validates this.
+
+use rvv_isa::{Sew, VAluOp, VCmp};
+use scanvec::env::{ScanEnv, SvVector};
+use scanvec::primitives::{cmp_flags, elem_vv, elem_vx, iota, pack, reduce};
+use scanvec::{ScanOp, ScanResult};
+
+/// Order-preserving i64 → u64 bias.
+const BIAS: u64 = 1 << 63;
+
+/// A 2-D point with unsigned 32-bit coordinates.
+pub type Point = (u32, u32);
+
+struct Hull<'e> {
+    env: &'e mut ScanEnv,
+    retired: u64,
+}
+
+impl Hull<'_> {
+    /// Signed cross product `(b-a) × (p-a)` for every point, as biased-u64
+    /// values in a fresh device vector (positive cross = strictly left of
+    /// the directed line a→b).
+    fn biased_cross(
+        &mut self,
+        px: &SvVector,
+        py: &SvVector,
+        a: Point,
+        b: Point,
+    ) -> ScanResult<SvVector> {
+        let n = px.len();
+        let e = &mut *self.env;
+        let t1 = e.alloc(Sew::E64, n)?;
+        let t2 = e.alloc(Sew::E64, n)?;
+        let cross = e.alloc(Sew::E64, n)?;
+        // t1 = (bx-ax) * (py-ay); t2 = (by-ay) * (px-ax); cross = t1 - t2.
+        let (ax, ay) = (a.0 as u64, a.1 as u64);
+        let (bx, by) = (b.0 as u64, b.1 as u64);
+        let mut r = 0;
+        r += scanvec::primitives::copy(e, py, &t1)?;
+        r += elem_vx(e, VAluOp::Sub, &t1, ay)?;
+        r += elem_vx(e, VAluOp::Mul, &t1, bx.wrapping_sub(ax))?;
+        r += scanvec::primitives::copy(e, px, &t2)?;
+        r += elem_vx(e, VAluOp::Sub, &t2, ax)?;
+        r += elem_vx(e, VAluOp::Mul, &t2, by.wrapping_sub(ay))?;
+        r += elem_vv(e, VAluOp::Sub, &t1, &t2, &cross)?;
+        r += elem_vx(e, VAluOp::Xor, &cross, BIAS)?;
+        self.retired += r;
+        Ok(cross)
+    }
+
+    /// Filter `(px, py)` down to the points strictly left of a→b.
+    /// Returns the compacted coordinate vectors.
+    fn left_of(
+        &mut self,
+        px: &SvVector,
+        py: &SvVector,
+        a: Point,
+        b: Point,
+    ) -> ScanResult<(SvVector, SvVector)> {
+        let n = px.len();
+        let cross = self.biased_cross(px, py, a, b)?;
+        let keep = self.env.alloc(Sew::E64, n)?;
+        let bias0 = self.env.alloc(Sew::E64, n)?;
+        let mut r = elem_vx(self.env, VAluOp::Add, &bias0, BIAS)?; // bias(0) everywhere
+        r += cmp_flags(self.env, VCmp::Gtu, &cross, &bias0, &keep)?;
+        let kx = self.env.alloc(Sew::E64, n)?;
+        let ky = self.env.alloc(Sew::E64, n)?;
+        let (c1, r1) = pack(self.env, px, &keep, &kx)?;
+        let (c2, r2) = pack(self.env, py, &keep, &ky)?;
+        debug_assert_eq!(c1, c2);
+        self.retired += r + r1 + r2;
+        Ok((
+            self.env.slice(&kx, 0, c1 as usize)?,
+            self.env.slice(&ky, 0, c1 as usize)?,
+        ))
+    }
+
+    /// Recursive step: hull vertices strictly left of a→b, in order.
+    /// `px`/`py` hold only points already known to be strictly left of a→b.
+    fn side(
+        &mut self,
+        px: &SvVector,
+        py: &SvVector,
+        a: Point,
+        b: Point,
+        out: &mut Vec<Point>,
+    ) -> ScanResult<()> {
+        let n = px.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mark = self.env.heap_mark();
+        // Farthest point: maximum biased cross. Every candidate is strictly
+        // left, so the maximum is a genuine hull vertex.
+        let cross = self.biased_cross(px, py, a, b)?;
+        let (maxv, rr) = reduce(self.env, ScanOp::Max, &cross)?;
+        let mut r = rr;
+        let maxvec = self.env.alloc(Sew::E64, n)?;
+        r += elem_vx(self.env, VAluOp::Add, &maxvec, maxv)?;
+        let at_max = self.env.alloc(Sew::E64, n)?;
+        r += cmp_flags(self.env, VCmp::Eq, &cross, &maxvec, &at_max)?;
+        let idxs = self.env.alloc(Sew::E64, n)?;
+        r += iota(self.env, &idxs)?;
+        let first = self.env.alloc(Sew::E64, n)?;
+        let (_, rr) = pack(self.env, &idxs, &at_max, &first)?;
+        r += rr;
+        self.retired += r;
+        let far_idx = self.env.load_elem(&first, 0) as usize;
+        let far = (
+            self.env.load_elem(px, far_idx) as u32,
+            self.env.load_elem(py, far_idx) as u32,
+        );
+        // Recurse on the points outside each child chord.
+        let (lx, ly) = self.left_of(px, py, a, far)?;
+        self.side(&lx, &ly, a, far, out)?;
+        out.push(far);
+        let (rx, ry) = self.left_of(px, py, far, b)?;
+        self.side(&rx, &ry, far, b, out)?;
+        self.env.release_to(mark);
+        Ok(())
+    }
+}
+
+/// Convex hull of `points`, returned counter-clockwise starting from the
+/// leftmost-lowest point. Collinear boundary points are excluded (strict
+/// hull). Returns `(hull, retired_instructions)`.
+pub fn quickhull(env: &mut ScanEnv, points: &[Point]) -> ScanResult<(Vec<Point>, u64)> {
+    assert!(
+        points
+            .iter()
+            .all(|&(x, y)| x <= i32::MAX as u32 && y <= i32::MAX as u32),
+        "quickhull coordinates must be below 2^31 (cross products must fit i64)"
+    );
+    if points.len() < 3 {
+        let mut h: Vec<Point> = points.to_vec();
+        h.sort_unstable();
+        h.dedup();
+        return Ok((h, 0));
+    }
+    // Anchor chord: lexicographically smallest and largest points.
+    let a = *points.iter().min().expect("non-empty");
+    let b = *points.iter().max().expect("non-empty");
+    if a == b {
+        return Ok((vec![a], 0));
+    }
+    let xs: Vec<u64> = points.iter().map(|&(x, _)| x as u64).collect();
+    let ys: Vec<u64> = points.iter().map(|&(_, y)| y as u64).collect();
+    let mark = env.heap_mark();
+    let px = env.from_elems(Sew::E64, &xs)?;
+    let py = env.from_elems(Sew::E64, &ys)?;
+    let mut driver = Hull { env, retired: 0 };
+    // Walk the hull clockwise (upper chain a→b, then lower chain b→a)…
+    let mut hull = vec![a];
+    let (ux, uy) = driver.left_of(&px, &py, a, b)?;
+    driver.side(&ux, &uy, a, b, &mut hull)?;
+    hull.push(b);
+    let (lx, ly) = driver.left_of(&px, &py, b, a)?;
+    driver.side(&lx, &ly, b, a, &mut hull)?;
+    // …then flip everything after the anchor to make it counter-clockwise.
+    hull[1..].reverse();
+    let retired = driver.retired;
+    env.release_to(mark);
+    Ok((hull, retired))
+}
+
+/// Host reference: Andrew's monotone chain (strict hull, CCW from the
+/// lexicographic minimum).
+pub fn convex_hull_reference(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_unstable();
+    pts.dedup();
+    if pts.len() < 3 {
+        return pts;
+    }
+    let cross = |o: Point, a: Point, b: Point| -> i128 {
+        (a.0 as i128 - o.0 as i128) * (b.1 as i128 - o.1 as i128)
+            - (a.1 as i128 - o.1 as i128) * (b.0 as i128 - o.0 as i128)
+    };
+    let mut lower: Vec<Point> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(scanvec::EnvConfig {
+            vlen: 256,
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 64 << 20,
+        })
+    }
+
+    fn normalize(mut h: Vec<Point>) -> Vec<Point> {
+        // Rotate so the lexicographic minimum is first (order preserved).
+        if let Some(pos) = h.iter().enumerate().min_by_key(|(_, &p)| p).map(|(i, _)| i) {
+            h.rotate_left(pos);
+        }
+        h
+    }
+
+    fn check(points: &[Point]) {
+        let mut e = env();
+        let (hull, _) = quickhull(&mut e, points).unwrap();
+        let want = convex_hull_reference(points);
+        assert_eq!(normalize(hull), normalize(want), "points: {points:?}");
+    }
+
+    #[test]
+    fn square_with_interior_points() {
+        check(&[(0, 0), (10, 0), (10, 10), (0, 10), (5, 5), (3, 7), (1, 2)]);
+    }
+
+    #[test]
+    fn triangle_and_degenerate() {
+        check(&[(0, 0), (4, 0), (2, 5)]);
+        check(&[(1, 1)]);
+        check(&[(1, 1), (2, 2)]);
+        check(&[(1, 1), (1, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn collinear_points_are_excluded() {
+        // Strict hull: midpoints of edges don't appear.
+        check(&[
+            (0, 0),
+            (2, 0),
+            (4, 0),
+            (4, 4),
+            (2, 4),
+            (0, 4),
+            (0, 2),
+            (4, 2),
+        ]);
+    }
+
+    #[test]
+    fn random_point_clouds_match_reference() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..6 {
+            let n = rng.random_range(3..400);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| (rng.random_range(0..1000), rng.random_range(0..1000)))
+                .collect();
+            check(&pts);
+        }
+    }
+
+    #[test]
+    fn extreme_coordinates() {
+        // Largest supported coordinates: differences fit i32, products i64.
+        let m = i32::MAX as u32;
+        check(&[(0, 0), (m, 0), (m, m), (0, m), (m / 2, m / 2), (1, m - 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2^31")]
+    fn oversized_coordinates_are_rejected() {
+        let mut e = env();
+        let _ = quickhull(&mut e, &[(0, 0), (u32::MAX, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn circle_points() {
+        // All points on a (discretized) circle are hull members.
+        let pts: Vec<Point> = (0..40)
+            .map(|i| {
+                let ang = i as f64 * std::f64::consts::TAU / 40.0;
+                (
+                    (50_000.0 + 30_000.0 * ang.cos()) as u32,
+                    (50_000.0 + 30_000.0 * ang.sin()) as u32,
+                )
+            })
+            .collect();
+        check(&pts);
+    }
+}

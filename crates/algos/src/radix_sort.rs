@@ -1,0 +1,226 @@
+//! Split radix sort (paper §4.4, Listing 9, Figure 2).
+//!
+//! Sorts unsigned integers by iterating from the least significant bit to
+//! the most significant, each pass stably partitioning by the current bit
+//! with the scan-vector-model `split` operation. Built **entirely from
+//! primitives** — `get_flags`, `enumerate`, `p_add`, `select`, `permute` —
+//! with no knowledge of RVV, which is the paper's whole point.
+
+use scanvec::env::{ScanEnv, SvVector};
+use scanvec::primitives::{copy, get_flags, split, split_pairs};
+use scanvec::ScanResult;
+
+/// In-place split radix sort over the low `bits` bits of each element.
+/// Returns the total dynamic instruction count of all launched kernels.
+///
+/// Sorting full `u32` keys means `bits = 32`, exactly as the paper's
+/// Listing 9 iterates `for (i = 0; i < 32; i++)`. When keys are known to be
+/// bounded, fewer passes sort correctly in proportionally fewer
+/// instructions (the `radix_sort` example sweeps this).
+pub fn split_radix_sort(env: &mut ScanEnv, v: &SvVector, bits: u32) -> ScanResult<u64> {
+    assert!(
+        bits <= v.sew().bits(),
+        "cannot sort more bits than the element width"
+    );
+    let n = v.len();
+    let mark = env.heap_mark();
+    let buffer = env.alloc(v.sew(), n)?;
+    let flags = env.alloc(v.sew(), n)?;
+    let mut retired = 0;
+    // `cur` flips between the caller's vector and the buffer each pass,
+    // exactly like the paper's pointer swap.
+    let mut cur = v.clone();
+    let mut other = buffer.clone();
+    for bit in 0..bits {
+        retired += get_flags(env, &cur, bit, &flags)?;
+        retired += split(env, &cur, &flags, &other)?;
+        std::mem::swap(&mut cur, &mut other);
+    }
+    // An even number of passes ends back in `v` (the paper relies on
+    // 32 being even); for odd `bits`, copy the result home.
+    if bits % 2 == 1 {
+        retired += copy(env, &cur, v)?;
+    }
+    env.release_to(mark);
+    Ok(retired)
+}
+
+/// Key-value split radix sort: sorts `keys` in place over the low `bits`
+/// bits and applies the identical permutation to `values` — the classic
+/// payload-carrying sort. Returns the total dynamic instruction count.
+pub fn split_radix_sort_pairs(
+    env: &mut ScanEnv,
+    keys: &SvVector,
+    values: &SvVector,
+    bits: u32,
+) -> ScanResult<u64> {
+    assert!(
+        bits <= keys.sew().bits(),
+        "cannot sort more bits than the element width"
+    );
+    let n = keys.len();
+    let mark = env.heap_mark();
+    let kbuf = env.alloc(keys.sew(), n)?;
+    let vbuf = env.alloc(values.sew(), n)?;
+    let flags = env.alloc(keys.sew(), n)?;
+    let mut retired = 0;
+    let mut ck = keys.clone();
+    let mut cv = values.clone();
+    let mut ok = kbuf.clone();
+    let mut ov = vbuf.clone();
+    for bit in 0..bits {
+        retired += get_flags(env, &ck, bit, &flags)?;
+        retired += split_pairs(env, &ck, &cv, &flags, &ok, &ov)?;
+        std::mem::swap(&mut ck, &mut ok);
+        std::mem::swap(&mut cv, &mut ov);
+    }
+    if bits % 2 == 1 {
+        retired += copy(env, &ck, keys)?;
+        retired += copy(env, &cv, values)?;
+    }
+    env.release_to(mark);
+    Ok(retired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rvv_asm::SpillProfile;
+    use rvv_isa::{Lmul, Sew};
+    use scanvec::env::EnvConfig;
+
+    fn env(vlen: u32, lmul: Lmul) -> ScanEnv {
+        ScanEnv::new(EnvConfig {
+            vlen,
+            lmul,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 32 << 20,
+        })
+    }
+
+    #[test]
+    fn sorts_the_papers_figure_2_example() {
+        // Figure 2: [5,7,3,1,4,2,3,1] sorted over 3 bits -> [1,1,2,3,3,4,5,7].
+        let data = vec![5u32, 7, 3, 1, 4, 2, 3, 1];
+        let mut e = env(128, Lmul::M1);
+        let v = e.from_u32(&data).unwrap();
+        split_radix_sort(&mut e, &v, 3).unwrap();
+        assert_eq!(e.to_u32(&v), vec![1, 1, 2, 3, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn sorts_random_u32_full_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<u32> = (0..777).map(|_| rng.random()).collect();
+        let mut e = env(1024, Lmul::M1);
+        let v = e.from_u32(&data).unwrap();
+        split_radix_sort(&mut e, &v, 32).unwrap();
+        let mut want = data.clone();
+        want.sort_unstable();
+        assert_eq!(e.to_u32(&v), want);
+    }
+
+    #[test]
+    fn sorts_across_vlen_and_lmul() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data: Vec<u32> = (0..300).map(|_| rng.random_range(0..1 << 12)).collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        for vlen in [128, 512] {
+            for lmul in [Lmul::M1, Lmul::M4, Lmul::M8] {
+                let mut e = env(vlen, lmul);
+                let v = e.from_u32(&data).unwrap();
+                split_radix_sort(&mut e, &v, 12).unwrap();
+                assert_eq!(e.to_u32(&v), want, "vlen={vlen} lmul={lmul:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_bit_count_lands_in_place() {
+        let data = vec![6u32, 1, 4, 7, 0, 3, 2, 5];
+        let mut e = env(128, Lmul::M1);
+        let v = e.from_u32(&data).unwrap();
+        split_radix_sort(&mut e, &v, 3).unwrap();
+        assert_eq!(e.to_u32(&v), (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn already_sorted_and_all_equal() {
+        let mut e = env(256, Lmul::M1);
+        let sorted: Vec<u32> = (0..100).collect();
+        let v = e.from_u32(&sorted).unwrap();
+        split_radix_sort(&mut e, &v, 8).unwrap();
+        assert_eq!(e.to_u32(&v), sorted);
+        let equal = vec![42u32; 65];
+        let v = e.from_u32(&equal).unwrap();
+        split_radix_sort(&mut e, &v, 32).unwrap();
+        assert_eq!(e.to_u32(&v), equal);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut e = env(128, Lmul::M1);
+        let v = e.from_u32(&[]).unwrap();
+        split_radix_sort(&mut e, &v, 32).unwrap();
+        let v1 = e.from_u32(&[9]).unwrap();
+        split_radix_sort(&mut e, &v1, 32).unwrap();
+        assert_eq!(e.to_u32(&v1), vec![9]);
+    }
+
+    #[test]
+    fn pairs_sort_carries_values() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let keys: Vec<u32> = (0..333).map(|_| rng.random_range(0..1 << 16)).collect();
+        // Value = original index, so the sort's permutation is visible.
+        let vals: Vec<u32> = (0..333).collect();
+        let mut e = env(512, Lmul::M1);
+        let k = e.from_u32(&keys).unwrap();
+        let v = e.from_u32(&vals).unwrap();
+        split_radix_sort_pairs(&mut e, &k, &v, 16).unwrap();
+        let got_k = e.to_u32(&k);
+        let got_v = e.to_u32(&v);
+        // Keys sorted; every value still points at its original key; the
+        // permutation is stable (equal keys keep index order).
+        let mut want: Vec<(u32, u32)> = keys.iter().copied().zip(vals).collect();
+        want.sort_by_key(|&(k, i)| (k, i));
+        let want_k: Vec<u32> = want.iter().map(|&(k, _)| k).collect();
+        let want_v: Vec<u32> = want.iter().map(|&(_, v)| v).collect();
+        assert_eq!(got_k, want_k);
+        assert_eq!(
+            got_v, want_v,
+            "value payload must follow the stable key order"
+        );
+    }
+
+    #[test]
+    fn pairs_cost_is_less_than_two_key_sorts() {
+        // One index computation serves both permutes.
+        let mut rng = StdRng::seed_from_u64(29);
+        let keys: Vec<u32> = (0..500).map(|_| rng.random()).collect();
+        let vals: Vec<u32> = (0..500).collect();
+        let mut e = env(1024, Lmul::M1);
+        let k = e.from_u32(&keys).unwrap();
+        let v = e.from_u32(&vals).unwrap();
+        let pair_cost = split_radix_sort_pairs(&mut e, &k, &v, 32).unwrap();
+        let k2 = e.from_u32(&keys).unwrap();
+        let single = split_radix_sort(&mut e, &k2, 32).unwrap();
+        assert!(
+            pair_cost < 2 * single,
+            "pairs {pair_cost} vs single {single}"
+        );
+    }
+
+    #[test]
+    fn e8_keys() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let data: Vec<u64> = (0..200).map(|_| rng.random_range(0..256)).collect();
+        let mut e = env(256, Lmul::M1);
+        let v = e.from_elems(Sew::E8, &data).unwrap();
+        split_radix_sort(&mut e, &v, 8).unwrap();
+        let mut want = data.clone();
+        want.sort_unstable();
+        assert_eq!(e.to_elems(&v), want);
+    }
+}

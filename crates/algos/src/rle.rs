@@ -1,0 +1,287 @@
+//! Run-length encoding and decoding — a textbook scan application
+//! (Blelloch §"split-and-segment" exercises): both directions are short
+//! primitive pipelines with no data-dependent host loops.
+//!
+//! **Encode:** run starts are `x[i] != x[i-1]` (an offset compare);
+//! values = `pack(x, starts)`; run *positions* = `pack(iota, starts)`; and
+//! lengths are adjacent-position differences (one elementwise subtract on
+//! the runs-sized arrays).
+//!
+//! **Decode:** head positions = exclusive plus-scan of lengths; scatter the
+//! run values to those positions in a zeroed output; a segmented
+//! plus-scan with head flags scattered the same way distributes each run's
+//! value across its extent (the head value is the only nonzero in each
+//! segment, so the plus-scan is a copy-scan).
+
+use rvv_isa::{VAluOp, VCmp};
+use scanvec::env::{ScanEnv, SvVector};
+use scanvec::primitives::{
+    cmp_flags, copy, elem_vv, iota, p_add, pack, permute, scan, seg_scan, ScanKind,
+};
+use scanvec::{ScanError, ScanOp, ScanResult};
+
+/// A run-length encoded vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rle {
+    /// Value of each run.
+    pub values: Vec<u32>,
+    /// Length of each run (same count as `values`, each ≥ 1).
+    pub lengths: Vec<u32>,
+}
+
+impl Rle {
+    /// Total decoded length.
+    pub fn decoded_len(&self) -> usize {
+        self.lengths.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Host reference encoder.
+    pub fn encode_reference(data: &[u32]) -> Rle {
+        let mut values = Vec::new();
+        let mut lengths = Vec::new();
+        for &x in data {
+            if values.last() == Some(&x) {
+                *lengths.last_mut().expect("non-empty with last value") += 1;
+            } else {
+                values.push(x);
+                lengths.push(1);
+            }
+        }
+        Rle { values, lengths }
+    }
+
+    /// Host reference decoder.
+    pub fn decode_reference(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.decoded_len());
+        for (&v, &l) in self.values.iter().zip(&self.lengths) {
+            out.extend(std::iter::repeat_n(v, l as usize));
+        }
+        out
+    }
+}
+
+/// Encode a device vector. Returns `(rle, retired_instructions)`.
+pub fn rle_encode(env: &mut ScanEnv, v: &SvVector) -> ScanResult<(Rle, u64)> {
+    let n = v.len();
+    if n == 0 {
+        return Ok((
+            Rle {
+                values: vec![],
+                lengths: vec![],
+            },
+            0,
+        ));
+    }
+    let mark = env.heap_mark();
+    let shifted = env.alloc(v.sew(), n)?;
+    let starts = env.alloc(v.sew(), n)?;
+    let idx = env.alloc(v.sew(), n)?;
+    let vals = env.alloc(v.sew(), n)?;
+    let heads = env.alloc(v.sew(), n)?;
+    let mut retired = 0;
+
+    // shifted[i] = x[i-1] (shifted[0] compares unequal by forcing !x[0]).
+    retired += copy(
+        env,
+        &env.slice(v, 0, n - 1)?,
+        &env.slice(&shifted, 1, n - 1)?,
+    )?;
+    env.store_elem(&shifted, 0, !env.load_elem(v, 0))?;
+    retired += cmp_flags(env, VCmp::Ne, v, &shifted, &starts)?;
+
+    // values and head positions of each run.
+    let (runs, r) = pack(env, v, &starts, &vals)?;
+    retired += r;
+    retired += iota(env, &idx)?;
+    let (_, r) = pack(env, &idx, &starts, &heads)?;
+    retired += r;
+
+    // lengths[i] = heads[i+1] - heads[i]; last runs to n.
+    let runs = runs as usize;
+    let lengths = env.alloc(v.sew(), runs)?;
+    if runs > 1 {
+        retired += copy(
+            env,
+            &env.slice(&heads, 1, runs - 1)?,
+            &env.slice(&lengths, 0, runs - 1)?,
+        )?;
+    }
+    env.store_elem(&lengths, runs - 1, n as u64)?;
+    retired += elem_vv(
+        env,
+        VAluOp::Sub,
+        &lengths,
+        &env.slice(&heads, 0, runs)?,
+        &lengths,
+    )?;
+
+    let rle = Rle {
+        values: env.to_u32(&env.slice(&vals, 0, runs)?),
+        lengths: env.to_u32(&lengths),
+    };
+    env.release_to(mark);
+    Ok((rle, retired))
+}
+
+/// Decode into a device vector of exactly `rle.decoded_len()` elements.
+/// Returns retired instructions.
+pub fn rle_decode(env: &mut ScanEnv, rle: &Rle, out: &SvVector) -> ScanResult<u64> {
+    let n = rle.decoded_len();
+    if out.len() != n {
+        return Err(ScanError::LengthMismatch {
+            what: "rle_decode",
+            a: out.len(),
+            b: n,
+        });
+    }
+    if n == 0 {
+        return Ok(0);
+    }
+    if rle.lengths.contains(&0) {
+        return Err(ScanError::BadSegmentDescriptor("zero-length run"));
+    }
+    let runs = rle.values.len();
+    let mark = env.heap_mark();
+    let vals = env.from_u32(&rle.values)?;
+    let positions = env.from_u32(&rle.lengths)?;
+    let ones = env.alloc(out.sew(), runs)?;
+    let heads = env.alloc(out.sew(), n)?; // zero-filled
+    let mut retired = 0;
+
+    // Head positions = exclusive plus-scan of lengths (in place).
+    retired += scan(env, ScanOp::Plus, &positions, ScanKind::Exclusive)?;
+    // Scatter head flags and run values; zeros elsewhere.
+    retired += p_add(env, &ones, 1)?;
+    retired += permute(env, &ones, &positions, &heads)?;
+    // out must start zeroed for the copy-scan trick (only run heads may be
+    // nonzero before the distributing scan).
+    retired += scanvec::primitives::elem_vx(env, VAluOp::And, out, 0)?;
+    retired += permute(env, &vals, &positions, out)?;
+    // Distribute each head value across its run.
+    retired += seg_scan(env, ScanOp::Plus, out, &heads)?;
+    env.release_to(mark);
+    Ok(retired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rvv_isa::Sew;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(scanvec::EnvConfig {
+            vlen: 256,
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 32 << 20,
+        })
+    }
+
+    #[test]
+    fn encode_known_example() {
+        let data = [7u32, 7, 7, 1, 1, 9, 9, 9, 9, 2];
+        let mut e = env();
+        let v = e.from_u32(&data).unwrap();
+        let (rle, _) = rle_encode(&mut e, &v).unwrap();
+        assert_eq!(rle.values, vec![7, 1, 9, 2]);
+        assert_eq!(rle.lengths, vec![3, 2, 4, 1]);
+        assert_eq!(rle, Rle::encode_reference(&data));
+    }
+
+    #[test]
+    fn decode_known_example() {
+        let rle = Rle {
+            values: vec![5, 0, 8],
+            lengths: vec![2, 3, 1],
+        };
+        let mut e = env();
+        let out = e.alloc(Sew::E32, 6).unwrap();
+        rle_decode(&mut e, &rle, &out).unwrap();
+        assert_eq!(e.to_u32(&out), vec![5, 5, 0, 0, 0, 8]);
+    }
+
+    #[test]
+    fn roundtrip_random_runs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let mut data = Vec::new();
+            while data.len() < 500 {
+                let v: u32 = rng.random_range(0..12);
+                let run = rng.random_range(1..9usize);
+                data.extend(std::iter::repeat_n(v, run));
+            }
+            let mut e = env();
+            let v = e.from_u32(&data).unwrap();
+            let (rle, _) = rle_encode(&mut e, &v).unwrap();
+            assert_eq!(rle, Rle::encode_reference(&data));
+            let out = e.alloc(Sew::E32, data.len()).unwrap();
+            rle_decode(&mut e, &rle, &out).unwrap();
+            assert_eq!(e.to_u32(&out), data);
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut e = env();
+        // Empty.
+        let v = e.from_u32(&[]).unwrap();
+        let (rle, r) = rle_encode(&mut e, &v).unwrap();
+        assert!(rle.values.is_empty() && r == 0);
+        // Single element.
+        let v = e.from_u32(&[42]).unwrap();
+        let (rle, _) = rle_encode(&mut e, &v).unwrap();
+        assert_eq!(
+            (rle.values.as_slice(), rle.lengths.as_slice()),
+            (&[42u32][..], &[1u32][..])
+        );
+        // All equal.
+        let v = e.from_u32(&[3; 100]).unwrap();
+        let (rle, _) = rle_encode(&mut e, &v).unwrap();
+        assert_eq!(
+            (rle.values.as_slice(), rle.lengths.as_slice()),
+            (&[3u32][..], &[100u32][..])
+        );
+        // All distinct.
+        let data: Vec<u32> = (0..50).collect();
+        let v = e.from_u32(&data).unwrap();
+        let (rle, _) = rle_encode(&mut e, &v).unwrap();
+        assert_eq!(rle.values, data);
+        assert_eq!(rle.lengths, vec![1; 50]);
+    }
+
+    #[test]
+    fn decode_rejects_bad_shapes() {
+        let mut e = env();
+        let out = e.alloc(Sew::E32, 4).unwrap();
+        let rle = Rle {
+            values: vec![1],
+            lengths: vec![3],
+        };
+        assert!(matches!(
+            rle_decode(&mut e, &rle, &out),
+            Err(ScanError::LengthMismatch { .. })
+        ));
+        let rle = Rle {
+            values: vec![1, 2],
+            lengths: vec![4, 0],
+        };
+        assert!(matches!(
+            rle_decode(&mut e, &rle, &out),
+            Err(ScanError::BadSegmentDescriptor(_))
+        ));
+    }
+
+    #[test]
+    fn first_element_value_is_never_misread() {
+        // The shifted-compare trick forces x[0] to start a run even when
+        // x[0] equals the bitwise-NOT sentinel's neighborhood.
+        for first in [0u32, u32::MAX, 0x8000_0000] {
+            let data = [first, first, 5];
+            let mut e = env();
+            let v = e.from_u32(&data).unwrap();
+            let (rle, _) = rle_encode(&mut e, &v).unwrap();
+            assert_eq!(rle, Rle::encode_reference(&data), "first={first:#x}");
+        }
+    }
+}

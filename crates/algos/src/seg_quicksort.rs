@@ -1,0 +1,207 @@
+//! Segmented quicksort — the algorithm the paper cites as the motivation
+//! for segmented scans (§5: "an algorithm like quick sort needs to split
+//! the whole array into different segments and then sort each segment
+//! recursively").
+//!
+//! This is Blelloch's flat quicksort: **all segments advance together** in
+//! each round, with no host-side recursion over subarrays. One round:
+//!
+//! 1. Distribute each segment's first element as its pivot
+//!    ([`crate::derived::seg_copy_first`]).
+//! 2. Classify every element `<` / `=` / `>` its pivot (elementwise
+//!    compares).
+//! 3. Compute each element's destination with segmented enumerates: the
+//!    `<` block first, then `=`, then `>`, each stable
+//!    ([`crate::derived::seg_exclusive_plus`] + [`crate::derived::seg_total`]).
+//! 4. Permute elements to their destinations; the same permutation carries
+//!    the next round's head flags (block starts become segment heads; every
+//!    `=` element becomes a singleton segment, which both preserves
+//!    stability and makes duplicate-heavy inputs converge).
+//!
+//! The round is O(n) primitive work, and the expected number of rounds is
+//! O(lg n), so this sorts in expected O(n lg n) — entirely in the scan
+//! vector model.
+
+use crate::derived::{seg_copy_first, seg_exclusive_plus, seg_total};
+use rvv_isa::{VAluOp, VCmp};
+use scanvec::env::{ScanEnv, SvVector};
+use scanvec::primitives::{cmp_flags, copy, elem_vv, iota, permute, reduce, select};
+use scanvec::{ScanOp, ScanResult};
+
+/// One quicksort round over every live segment. Returns retired
+/// instructions. `x` and `heads` are updated in place.
+fn round(env: &mut ScanEnv, x: &SvVector, heads: &SvVector) -> ScanResult<u64> {
+    let n = x.len();
+    let sew = x.sew();
+    let mark = env.heap_mark();
+    let pivots = env.alloc(sew, n)?;
+    let lt = env.alloc(sew, n)?;
+    let eq = env.alloc(sew, n)?;
+    let gt = env.alloc(sew, n)?;
+    let lt_exc = env.alloc(sew, n)?;
+    let gt_exc = env.alloc(sew, n)?;
+    let lt_tot = env.alloc(sew, n)?;
+    let eq_tot = env.alloc(sew, n)?;
+    let base = env.alloc(sew, n)?;
+    let pos = env.alloc(sew, n)?;
+    let tmp = env.alloc(sew, n)?;
+    let newx = env.alloc(sew, n)?;
+    let newheads = env.alloc(sew, n)?;
+
+    let mut r = 0;
+    // 1. pivots = first element of each segment.
+    r += seg_copy_first(env, x, heads, &pivots)?;
+    // 2. three-way classification.
+    r += cmp_flags(env, VCmp::Ltu, x, &pivots, &lt)?;
+    r += cmp_flags(env, VCmp::Eq, x, &pivots, &eq)?;
+    r += cmp_flags(env, VCmp::Gtu, x, &pivots, &gt)?;
+    // 3. destination = seg_base
+    //                + lt ? lt_exc
+    //                : eq ? LT + eq_exc          (eq_exc derived below)
+    //                : LT + EQ + gt_exc.
+    r += seg_exclusive_plus(env, &lt, heads, &lt_exc)?;
+    r += seg_exclusive_plus(env, &gt, heads, &gt_exc)?;
+    r += seg_total(env, &lt, heads, &lt_tot)?;
+    r += seg_total(env, &eq, heads, &eq_tot)?;
+    // base = index of segment head, distributed.
+    r += iota(env, &base)?;
+    r += seg_copy_first(env, &base, heads, &base)?;
+    // eq_exc can be derived without another scan: within a segment, the
+    // number of earlier `=` elements is (elements before me) - (earlier <)
+    // - (earlier >), i.e. (i - base) - lt_exc - gt_exc.
+    r += iota(env, &tmp)?;
+    r += elem_vv(env, VAluOp::Sub, &tmp, &base, &tmp)?;
+    r += elem_vv(env, VAluOp::Sub, &tmp, &lt_exc, &tmp)?;
+    r += elem_vv(env, VAluOp::Sub, &tmp, &gt_exc, &tmp)?; // tmp = eq_exc
+                                                          // Assemble the three block offsets.
+    r += elem_vv(env, VAluOp::Add, &tmp, &lt_tot, &tmp)?; // eq block: LT + eq_exc
+    r += elem_vv(env, VAluOp::Add, &gt_exc, &lt_tot, &gt_exc)?;
+    r += elem_vv(env, VAluOp::Add, &gt_exc, &eq_tot, &gt_exc)?; // gt block: LT+EQ+gt_exc
+    r += select(env, &eq, &tmp, &gt_exc, &pos)?; // eq ? eq-dest : gt-dest
+    r += select(env, &lt, &lt_exc, &pos, &pos)?; // lt ? lt-dest : ...
+    r += elem_vv(env, VAluOp::Add, &pos, &base, &pos)?;
+    // 4. scatter data and next-round head flags through the same permute.
+    //    New heads: start of the < block (lt && lt_exc == 0), start of the
+    //    > block (gt && gt_exc == LT+EQ at pos... equivalently gt_exc-block
+    //    first), and every = element (singleton segments).
+    //    first_of_lt = lt && (lt_exc == 0); first_of_gt computed on the
+    //    pre-assembled gt_exc (already offset by LT+EQ): first iff its
+    //    within-block exclusive count was zero, i.e. gt_exc == LT+EQ. It is
+    //    easier to recompute from scratch: a fresh exclusive enumerate of
+    //    gt. To stay frugal we reuse tmp: tmp currently holds LT + eq_exc.
+    let first_lt = env.alloc(sew, n)?;
+    let first_gt = env.alloc(sew, n)?;
+    let zeros = env.alloc(sew, n)?; // alloc() zero-fills
+    r += seg_exclusive_plus(env, &gt, heads, &first_gt)?; // raw gt_exc again
+    r += cmp_flags(env, VCmp::Eq, &first_gt, &zeros, &first_gt)?;
+    r += elem_vv(env, VAluOp::And, &first_gt, &gt, &first_gt)?;
+    r += cmp_flags(env, VCmp::Eq, &lt_exc, &zeros, &first_lt)?;
+    r += elem_vv(env, VAluOp::And, &first_lt, &lt, &first_lt)?;
+    // head-flag source = first_lt | first_gt | eq.
+    r += elem_vv(env, VAluOp::Or, &first_lt, &first_gt, &first_lt)?;
+    r += elem_vv(env, VAluOp::Or, &first_lt, &eq, &first_lt)?;
+    r += permute(env, x, &pos, &newx)?;
+    r += permute(env, &first_lt, &pos, &newheads)?;
+    r += copy(env, &newx, x)?;
+    r += copy(env, &newheads, heads)?;
+    env.release_to(mark);
+    Ok(r)
+}
+
+/// Sort a device vector in place with the flat segmented quicksort.
+/// Returns total retired instructions across all rounds.
+pub fn seg_quicksort(env: &mut ScanEnv, v: &SvVector) -> ScanResult<u64> {
+    let n = v.len();
+    if n < 2 {
+        return Ok(0);
+    }
+    let sew = v.sew();
+    let mark = env.heap_mark();
+    let heads = env.alloc(sew, n)?;
+    env.store_elem(&heads, 0, 1)?; // one segment covering everything
+    let mut retired = 0;
+    // Expected O(lg n) rounds; the hard cap guards against an adversarial
+    // pivot sequence (every round strictly refines segments, and a segment
+    // of length L shrinks its longest child by at least 1, so n rounds is
+    // an absolute upper bound).
+    for _ in 0..n {
+        retired += round(env, v, &heads)?;
+        // Converged when every element is its own segment head.
+        let (min_flag, r) = reduce(env, ScanOp::Min, &heads)?;
+        retired += r;
+        if min_flag == 1 {
+            break;
+        }
+    }
+    env.release_to(mark);
+    Ok(retired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use scanvec::EnvConfig;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(EnvConfig {
+            vlen: 256,
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 64 << 20,
+        })
+    }
+
+    fn check_sorts(data: Vec<u32>) {
+        let mut e = env();
+        let v = e.from_u32(&data).unwrap();
+        seg_quicksort(&mut e, &v).unwrap();
+        let mut want = data;
+        want.sort_unstable();
+        assert_eq!(e.to_u32(&v), want);
+    }
+
+    #[test]
+    fn sorts_small_example() {
+        check_sorts(vec![5, 7, 3, 1, 4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn sorts_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        check_sorts((0..500).map(|_| rng.random()).collect());
+    }
+
+    #[test]
+    fn sorts_duplicate_heavy() {
+        let mut rng = StdRng::seed_from_u64(12);
+        check_sorts((0..400).map(|_| rng.random_range(0..8)).collect());
+    }
+
+    #[test]
+    fn sorts_degenerate() {
+        check_sorts(vec![]);
+        check_sorts(vec![1]);
+        check_sorts(vec![2, 1]);
+        check_sorts(vec![7; 100]);
+        check_sorts((0..128).collect());
+        check_sorts((0..128).rev().collect());
+    }
+
+    #[test]
+    fn rounds_scale_logarithmically() {
+        // Cost per element per round is O(1); random input should take
+        // O(lg n) rounds, so per-element cost at 4x the size grows only
+        // modestly.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut per_elem = Vec::new();
+        for n in [256usize, 1024] {
+            let data: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+            let mut e = env();
+            let v = e.from_u32(&data).unwrap();
+            let c = seg_quicksort(&mut e, &v).unwrap();
+            per_elem.push(c as f64 / n as f64);
+        }
+        assert!(per_elem[1] < per_elem[0] * 3.0, "{per_elem:?}");
+    }
+}

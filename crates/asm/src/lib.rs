@@ -1,0 +1,30 @@
+//! # rvv-asm — assembler EDSL and LMUL-aware register allocation
+//!
+//! The workspace's stand-in for the *compiler* layer of the paper's stack
+//! (the paper writes C with RVV intrinsics and lets GCC/LLVM produce
+//! strip-mined vector loops; we generate the same shape of code
+//! programmatically):
+//!
+//! * [`ProgramBuilder`] — typed assembler with labels, forward references,
+//!   and pseudo-instructions (`li`, `mv`, `beqz`, …). Produces
+//!   [`rvv_sim::Program`]s that also assemble to genuine RISC-V machine
+//!   code.
+//! * [`KernelBuilder`] — vector *value* allocation on top of the builder:
+//!   values are pinned to LMUL-aligned register groups while groups last
+//!   and spilled to a stack frame after that, with reload-per-use /
+//!   store-per-def traffic emitted as real instructions. This is the
+//!   mechanism behind the paper's LMUL=8 register-pressure anomaly
+//!   (Tables 5 and 6); [`SpillProfile`] selects between the calibrated
+//!   LLVM-14-like cost model and an idealized one (ablated in
+//!   `scanvec-bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod kernel;
+mod parse;
+
+pub use builder::{AsmError, Label, ProgramBuilder};
+pub use kernel::{AllocationReport, KernelBuilder, SpillProfile, VValue, ValueKind, FP};
+pub use parse::{parse_program, ParseError};

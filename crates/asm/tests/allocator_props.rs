@@ -1,0 +1,113 @@
+//! Property tests for the LMUL-aware allocator: whatever the declared
+//! value mix, pinned homes must be disjoint, aligned, and outside the
+//! mask-reserved registers; spill accounting must be exact.
+
+use proptest::prelude::*;
+use rvv_asm::{KernelBuilder, SpillProfile, ValueKind};
+use rvv_isa::{Lmul, XReg};
+
+fn lmul() -> impl Strategy<Value = Lmul> {
+    prop_oneof![
+        Just(Lmul::M1),
+        Just(Lmul::M2),
+        Just(Lmul::M4),
+        Just(Lmul::M8)
+    ]
+}
+
+fn kinds(n: usize) -> impl Strategy<Value = Vec<ValueKind>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(ValueKind::Normal),
+            1 => Just(ValueKind::Temp),
+            1 => Just(ValueKind::Remat(XReg::new(15))),
+        ],
+        1..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pinned_homes_are_disjoint_aligned_and_clear_of_masks(
+        l in lmul(),
+        ks in kinds(10),
+        ideal in any::<bool>(),
+    ) {
+        let profile = if ideal { SpillProfile::ideal() } else { SpillProfile::llvm14() };
+        let mut k = KernelBuilder::new("prop", l, 16, profile);
+        let named: Vec<(&str, ValueKind)> = ks.iter().map(|&kind| ("v", kind)).collect();
+        let handles = k.declare_kinds(&named);
+        prop_assert_eq!(handles.len(), ks.len());
+
+        let report = k.report();
+        let normals = ks.iter().filter(|k| matches!(k, ValueKind::Normal)).count();
+        // Only Normals can take stack slots.
+        prop_assert!(report.spilled <= normals);
+        let pressured = ks.len() > KernelBuilder::data_groups(l).len();
+        if !pressured {
+            // No pressure: every value pinned, no frame.
+            prop_assert_eq!(report.pinned, ks.len());
+            prop_assert_eq!(report.frame_bytes, 0);
+            for &h in &handles {
+                prop_assert!(k.home_of(h).is_some());
+            }
+        } else {
+            // Under pressure, pinned + spilled covers exactly the Normals
+            // (temps live in scratch, constants rematerialize).
+            prop_assert_eq!(report.pinned + report.spilled, normals);
+            // Frame: nothing if no Normal actually spilled; otherwise the
+            // conservative profile reserves one slot per declared value,
+            // the ideal one only per real spill.
+            let slot_bytes = l.regs() * 16;
+            let expected = if report.spilled == 0 {
+                0
+            } else if ideal {
+                report.spilled as u32 * slot_bytes
+            } else {
+                ks.len() as u32 * slot_bytes
+            };
+            prop_assert_eq!(report.frame_bytes, expected);
+        }
+
+        // Pinned homes: aligned, disjoint, never touching v0..v3.
+        let mut seen: Vec<(u8, u32)> = Vec::new();
+        for &h in &handles {
+            if let Some(r) = k.home_of(h) {
+                prop_assert!(l.aligned(r.num()), "{r} misaligned for {l}");
+                prop_assert!(r.num() >= 4, "{r} collides with mask registers");
+                let (nlo, nhi) = (r.num() as u32, r.num() as u32 + l.regs());
+                for &(base, regs) in &seen {
+                    let (lo, hi) = (base as u32, base as u32 + regs);
+                    prop_assert!(nhi <= lo || nlo >= hi, "group overlap at {r}");
+                }
+                seen.push((r.num(), l.regs()));
+            }
+        }
+    }
+
+    /// Spill accounting: every spilled-Normal use/def emits exactly one
+    /// whole-register memory op (plus addressing), counted by spill_ops.
+    #[test]
+    fn spill_ops_count_matches_accesses(reads in 0usize..6, writes in 0usize..6) {
+        let mut k = KernelBuilder::new("ops", Lmul::M8, 16, SpillProfile::ideal());
+        // 4 Normals at m8 -> 1 pinned, 3 spilled.
+        let vs = k.declare(&["a", "b", "c", "d"]);
+        let spilled = vs[3];
+        for _ in 0..reads {
+            let _ = k.vin(spilled);
+        }
+        for _ in 0..writes {
+            let r = k.vout(spilled);
+            k.vflush(spilled, r);
+        }
+        prop_assert_eq!(k.spill_ops(), (reads + writes) as u64);
+        // Pinned accesses never count.
+        let pinned = vs[0];
+        let _ = k.vin(pinned);
+        let r = k.vout(pinned);
+        k.vflush(pinned, r);
+        prop_assert_eq!(k.spill_ops(), (reads + writes) as u64);
+    }
+}

@@ -1,0 +1,40 @@
+//! Wall-clock cost of the full applications on the simulator — how long a
+//! table-1-style experiment takes on the host per input element.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scanvec::env::ScanEnv;
+use scanvec_algos::{qsort_baseline, seg_quicksort, split_radix_sort};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithms_n4096");
+    g.sample_size(10);
+    let n = 4096usize;
+    let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("split_radix_sort", |b| {
+        b.iter(|| {
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(black_box(&data)).unwrap();
+            black_box(split_radix_sort(&mut e, &v, 32).unwrap())
+        })
+    });
+    g.bench_function("qsort_baseline", |b| {
+        b.iter(|| {
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(black_box(&data)).unwrap();
+            black_box(qsort_baseline(&mut e, &v).unwrap())
+        })
+    });
+    g.bench_function("seg_quicksort", |b| {
+        b.iter(|| {
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(black_box(&data)).unwrap();
+            black_box(seg_quicksort(&mut e, &v).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

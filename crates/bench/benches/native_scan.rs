@@ -1,0 +1,39 @@
+//! Wall-clock benchmarks of the pure-Rust (`native`) scan implementations —
+//! the host-side complement to the dynamic-instruction experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvv_isa::Sew;
+use scanvec::native;
+use scanvec::ScanOp;
+use std::hint::black_box;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_scan");
+    for n in [1_000usize, 100_000] {
+        let xs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("inclusive_plus", n), &xs, |b, xs| {
+            b.iter(|| native::scan_inclusive(ScanOp::Plus, Sew::E32, black_box(xs)))
+        });
+        g.bench_with_input(BenchmarkId::new("exclusive_plus", n), &xs, |b, xs| {
+            b.iter(|| native::scan_exclusive(ScanOp::Plus, Sew::E32, black_box(xs)))
+        });
+        g.bench_with_input(BenchmarkId::new("inclusive_max", n), &xs, |b, xs| {
+            b.iter(|| native::scan_inclusive(ScanOp::Max, Sew::E32, black_box(xs)))
+        });
+        let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 50 == 0)).collect();
+        g.bench_with_input(
+            BenchmarkId::new("segmented_plus", n),
+            &(xs, flags),
+            |b, (xs, f)| {
+                b.iter(|| {
+                    native::seg_scan_inclusive(ScanOp::Plus, Sew::E32, black_box(xs), black_box(f))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

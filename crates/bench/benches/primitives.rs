@@ -1,0 +1,48 @@
+//! Wall-clock cost of each primitive launch on the simulator at the
+//! paper's headline configuration — a per-primitive profile of the stack
+//! (kernel cache hit + simulated execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvv_isa::Sew;
+use scanvec::env::ScanEnv;
+use scanvec::primitives as p;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives_n10k");
+    g.sample_size(30);
+    let n = 10_000usize;
+    let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(7919)).collect();
+    let bits: Vec<u32> = (0..n as u32).map(|i| i & 1).collect();
+
+    g.bench_function("p_add", |b| {
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        b.iter(|| black_box(p::p_add(&mut e, &v, 3).unwrap()))
+    });
+    g.bench_function("enumerate", |b| {
+        let mut e = ScanEnv::paper_default();
+        let f = e.from_u32(&bits).unwrap();
+        let d = e.alloc(Sew::E32, n).unwrap();
+        b.iter(|| black_box(p::enumerate(&mut e, &f, true, &d).unwrap()))
+    });
+    g.bench_function("permute_reverse", |b| {
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        let idx: Vec<u32> = (0..n as u32).rev().collect();
+        let i = e.from_u32(&idx).unwrap();
+        let d = e.alloc(Sew::E32, n).unwrap();
+        b.iter(|| black_box(p::permute(&mut e, &v, &i, &d).unwrap()))
+    });
+    g.bench_function("split", |b| {
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        let f = e.from_u32(&bits).unwrap();
+        let d = e.alloc(Sew::E32, n).unwrap();
+        b.iter(|| black_box(p::split(&mut e, &v, &f, &d).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Simulator throughput: wall-clock time to retire the scan kernels —
+//! tracks how fast the functional model itself is (instructions/second),
+//! which bounds how large an N the experiment harness can sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scanvec::env::{EnvConfig, ScanEnv};
+use scanvec::primitives::{baseline, plus_scan, seg_plus_scan};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(20);
+    let n = 100_000usize;
+    let data: Vec<u32> = (0..n as u32).collect();
+    let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 50 == 0)).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::new("plus_scan", n), |b| {
+        b.iter(|| {
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(black_box(&data)).unwrap();
+            black_box(plus_scan(&mut e, &v).unwrap())
+        })
+    });
+    g.bench_function(BenchmarkId::new("seg_plus_scan", n), |b| {
+        b.iter(|| {
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(black_box(&data)).unwrap();
+            let f = e.from_u32(black_box(&flags)).unwrap();
+            black_box(seg_plus_scan(&mut e, &v, &f).unwrap())
+        })
+    });
+    g.bench_function(BenchmarkId::new("scalar_baseline_scan", n), |b| {
+        b.iter(|| {
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(black_box(&data)).unwrap();
+            black_box(baseline::plus_scan(&mut e, &v).unwrap())
+        })
+    });
+    // Small-VLEN machines retire more instructions for the same work.
+    g.bench_function(BenchmarkId::new("plus_scan_vlen128", n), |b| {
+        b.iter(|| {
+            let mut e = ScanEnv::new(EnvConfig::with_vlen(128));
+            let v = e.from_u32(black_box(&data)).unwrap();
+            black_box(plus_scan(&mut e, &v).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation: the paper's §4.4 claim that `enumerate` should exploit
+//! `viota`/`vcpop` rather than reusing the generic exclusive scan.
+
+use scanvec_bench::{experiments, print_table, sweep_sizes};
+
+fn main() {
+    let sizes = sweep_sizes();
+    let rows: Vec<Vec<String>> = experiments::ablation_enumerate(&sizes)
+        .iter()
+        .map(|&(n, viota, generic)| {
+            vec![
+                n.to_string(),
+                viota.to_string(),
+                generic.to_string(),
+                format!("{:.3}", generic as f64 / viota as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — enumerate via viota (paper §4.4) vs generic exclusive scan",
+        &["N", "viota", "generic scan", "viota advantage"],
+        &rows,
+    );
+}

@@ -1,0 +1,62 @@
+//! Disassemble every generated kernel at a given configuration — the
+//! artifact reviewers can diff against the paper's listings.
+//!
+//! Usage: `cargo run -p scanvec-bench --bin dump_kernels [--lmul 8] [--vlen 1024]`
+
+use rvv_asm::SpillProfile;
+use rvv_isa::{Lmul, Sew, VAluOp};
+use scanvec::kernels;
+use scanvec::{EnvConfig, ScanKind, ScanOp};
+
+fn arg(name: &str, default: u32) -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == format!("--{name}") {
+            return w[1].parse().unwrap_or(default);
+        }
+    }
+    default
+}
+
+fn main() {
+    let vlen = arg("vlen", 1024);
+    let lmul = match arg("lmul", 1) {
+        1 => Lmul::M1,
+        2 => Lmul::M2,
+        4 => Lmul::M4,
+        8 => Lmul::M8,
+        other => panic!("--lmul must be 1/2/4/8, got {other}"),
+    };
+    let cfg = EnvConfig {
+        vlen,
+        lmul,
+        spill_profile: SpillProfile::llvm14(),
+        mem_bytes: 1 << 20,
+    };
+    println!(
+        "# kernels at VLEN={vlen}, LMUL=m{}, e32, llvm14 spill profile\n",
+        lmul.regs()
+    );
+    let sew = Sew::E32;
+    let programs = vec![
+        kernels::build_elem_vx(&cfg, sew, VAluOp::Add).unwrap(),
+        kernels::build_get_flags(&cfg, sew).unwrap(),
+        kernels::build_select(&cfg, sew).unwrap(),
+        kernels::build_permute(&cfg, sew).unwrap(),
+        kernels::build_enumerate(&cfg, sew).unwrap(),
+        kernels::build_scan(&cfg, sew, ScanOp::Plus, ScanKind::Inclusive).unwrap(),
+        kernels::build_seg_scan(&cfg, sew, ScanOp::Plus).unwrap(),
+        kernels::build_elem_baseline(&cfg, sew, ScanOp::Plus).unwrap(),
+        kernels::build_scan_baseline(&cfg, sew, ScanOp::Plus).unwrap(),
+        kernels::build_seg_scan_baseline(&cfg, sew, ScanOp::Plus).unwrap(),
+    ];
+    for p in programs {
+        println!("{p}");
+        let bytes = p.assemble().expect("kernels assemble");
+        println!(
+            "  ({} instructions, {} bytes of machine code)\n",
+            p.len(),
+            bytes.len()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 5: speedup relative to VLEN=128 for seg_plus_scan and p_add,
+//! against the ideal vlen/128 line — elementwise work scales almost
+//! ideally with vector length; scans do not.
+
+use scanvec_bench::{experiments, fmt_ratio, print_table};
+
+/// Paper's Figure 5 series, derived from its Table 7 counts.
+const PAPER: [(f64, f64); 4] = [(1.0, 1.0), (1.586, 1.997), (2.627, 3.982), (4.477, 7.904)];
+
+fn main() {
+    let n = scanvec_bench::max_n_arg().min(10_000);
+    let rows: Vec<Vec<String>> = experiments::figure5(n)
+        .iter()
+        .enumerate()
+        .map(|(i, &(vlen, seg, padd, ideal))| {
+            vec![
+                vlen.to_string(),
+                fmt_ratio(seg),
+                fmt_ratio(padd),
+                fmt_ratio(ideal),
+                fmt_ratio(PAPER[i].0),
+                fmt_ratio(PAPER[i].1),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 5 — speedup vs vlen=128 (N = {n}, LMUL=1)"),
+        &[
+            "vlen",
+            "seg scan",
+            "p_add",
+            "ideal",
+            "paper seg",
+            "paper p_add",
+        ],
+        &rows,
+    );
+    println!("\nReproduced claim: p_add tracks the ideal vlen/128 line; the segmented");
+    println!("scan falls short (the in-register ladder costs lg(vl) rounds per strip,");
+    println!("so bigger strips do proportionally more work).");
+}

@@ -1,0 +1,25 @@
+//! Supplementary table: the primitives the paper implements but does not
+//! tabulate (§6.2 lists p-add, p-select, permute, enumerate, split as
+//! implemented), each against its sequential baseline.
+
+use scanvec_bench::{experiments, fmt_speedup, print_table};
+
+fn main() {
+    let n = scanvec_bench::max_n_arg().min(100_000);
+    let rows: Vec<Vec<String>> = experiments::primitives_table(n)
+        .iter()
+        .map(|&(name, ours, base)| {
+            vec![
+                name.to_string(),
+                ours.to_string(),
+                base.to_string(),
+                fmt_speedup(base, ours),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Supplementary — primitive costs (N = {n}, VLEN=1024, LMUL=1)"),
+        &["primitive", "vectorized", "baseline", "speedup"],
+        &rows,
+    );
+}

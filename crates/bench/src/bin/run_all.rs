@@ -1,0 +1,109 @@
+//! Run every table, figure, and ablation in sequence — regenerates the
+//! full evaluation (`results/full_run.txt` in the repository was produced
+//! by this). Accepts `--max-n` like the individual binaries.
+
+use scanvec_bench::{experiments, fmt_ratio, fmt_speedup, print_table, sweep_sizes};
+
+fn pairs_table(title: &str, rows: &[experiments::Pair]) {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                p.ours.to_string(),
+                p.baseline.to_string(),
+                fmt_speedup(p.baseline, p.ours),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["N", "scan-vector-model", "baseline", "speedup"],
+        &body,
+    );
+}
+
+fn main() {
+    let sizes = sweep_sizes();
+    pairs_table(
+        "Table 1 — split radix sort vs qsort",
+        &experiments::table1(&sizes),
+    );
+    pairs_table("Table 2 — p_add", &experiments::table2(&sizes));
+    pairs_table("Table 3 — plus_scan", &experiments::table3(&sizes));
+    pairs_table("Table 4 — seg_plus_scan", &experiments::table4(&sizes));
+
+    let t5 = experiments::table5(&sizes);
+    let body: Vec<Vec<String>> = t5
+        .iter()
+        .map(|&(n, c)| {
+            vec![
+                n.to_string(),
+                c[0].to_string(),
+                c[1].to_string(),
+                c[2].to_string(),
+                c[3].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5 — seg_plus_scan across LMUL",
+        &["N", "m1", "m2", "m4", "m8"],
+        &body,
+    );
+
+    let body: Vec<Vec<String>> = experiments::table6(&t5)
+        .iter()
+        .map(|&(n, r)| {
+            vec![
+                n.to_string(),
+                fmt_ratio(r[0]),
+                fmt_ratio(r[1]),
+                fmt_ratio(r[2]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 6 — (speedup/LMUL) ratios",
+        &["N", "m2", "m4", "m8"],
+        &body,
+    );
+
+    let n7 = 10_000.min(scanvec_bench::max_n_arg());
+    let body: Vec<Vec<String>> = experiments::table7(n7)
+        .iter()
+        .map(|&(vlen, seg, padd)| vec![vlen.to_string(), seg.to_string(), padd.to_string()])
+        .collect();
+    print_table(
+        "Table 7 — VLEN sweep",
+        &["vlen", "seg_plus_scan", "p_add"],
+        &body,
+    );
+
+    let body: Vec<Vec<String>> = experiments::figure5(n7)
+        .iter()
+        .map(|&(vlen, seg, padd, ideal)| {
+            vec![
+                vlen.to_string(),
+                fmt_ratio(seg),
+                fmt_ratio(padd),
+                fmt_ratio(ideal),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 5 — speedup vs vlen=128",
+        &["vlen", "seg", "p_add", "ideal"],
+        &body,
+    );
+
+    let body: Vec<Vec<String>> = experiments::scan_lmul_sweep(n7)
+        .iter()
+        .map(|&(l, ours, base)| vec![format!("m{l}"), ours.to_string(), fmt_speedup(base, ours)])
+        .collect();
+    print_table(
+        "Unsegmented scan across LMUL (abstract claim)",
+        &["LMUL", "count", "speedup"],
+        &body,
+    );
+}

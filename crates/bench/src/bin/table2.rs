@@ -1,0 +1,44 @@
+//! Table 2: elementwise `p_add` vs sequential baseline.
+
+use scanvec_bench::{experiments, fmt_speedup, print_table, sweep_sizes, PAPER_SIZES};
+
+/// Paper's Table 2 counts (p_add, baseline).
+const PAPER: [(u64, u64); 5] = [
+    (66, 632),
+    (297, 6002),
+    (2826, 60001),
+    (28134, 600001),
+    (281259, 6000001),
+];
+
+fn main() {
+    let sizes = sweep_sizes();
+    let rows: Vec<Vec<String>> = experiments::table2(&sizes)
+        .iter()
+        .map(|p| {
+            let idx = PAPER_SIZES.iter().position(|&s| s == p.n).unwrap();
+            vec![
+                p.n.to_string(),
+                p.ours.to_string(),
+                p.baseline.to_string(),
+                fmt_speedup(p.baseline, p.ours),
+                PAPER[idx].0.to_string(),
+                PAPER[idx].1.to_string(),
+                fmt_speedup(PAPER[idx].1, PAPER[idx].0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2 — p_add vs sequential baseline (dynamic instructions, VLEN=1024, LMUL=1)",
+        &[
+            "N",
+            "p_add",
+            "baseline",
+            "speedup",
+            "paper p_add",
+            "paper base",
+            "paper speedup",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Table 4: segmented plus-scan vs sequential baseline.
+
+use scanvec_bench::{experiments, fmt_speedup, print_table, sweep_sizes, PAPER_SIZES};
+
+/// Paper's Table 4 counts (seg_plus_scan, baseline).
+const PAPER: [(u64, u64); 5] = [
+    (331, 1124),
+    (2639, 11024),
+    (25693, 110024),
+    (256289, 1100024),
+    (2562539, 11000024),
+];
+
+fn main() {
+    let sizes = sweep_sizes();
+    let rows: Vec<Vec<String>> = experiments::table4(&sizes)
+        .iter()
+        .map(|p| {
+            let idx = PAPER_SIZES.iter().position(|&s| s == p.n).unwrap();
+            vec![
+                p.n.to_string(),
+                p.ours.to_string(),
+                p.baseline.to_string(),
+                fmt_speedup(p.baseline, p.ours),
+                PAPER[idx].0.to_string(),
+                PAPER[idx].1.to_string(),
+                fmt_speedup(PAPER[idx].1, PAPER[idx].0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4 — seg_plus_scan vs sequential baseline (dynamic instructions, VLEN=1024, LMUL=1)",
+        &[
+            "N",
+            "seg_plus_scan",
+            "baseline",
+            "speedup",
+            "paper seg",
+            "paper base",
+            "paper speedup",
+        ],
+        &rows,
+    );
+}

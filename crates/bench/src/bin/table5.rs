@@ -1,0 +1,59 @@
+//! Table 5: segmented plus-scan dynamic instruction count across LMUL.
+//!
+//! This is the register-pressure experiment: at LMUL=8 only three aligned
+//! data register groups exist, the kernel spills, and small inputs pay a
+//! fixed spill-frame cost that large inputs amortize.
+
+use scanvec_bench::{experiments, print_table, sweep_sizes, PAPER_SIZES};
+
+/// Paper's Table 5 (LMUL = 1, 2, 4, 8). The published LMUL=2 column is a
+/// known erratum — it reprints Table 4's *baseline* column (1124, 11024,
+/// …); Table 6's ratios imply the real LMUL=2 counts ≈ LMUL=1 / 1.74.
+const PAPER: [[u64; 4]; 5] = [
+    [331, 1124, 145, 2090],
+    [2639, 11024, 887, 2668],
+    [25693, 110024, 8377, 9284],
+    [256289, 1100024, 82907, 74650],
+    [2562539, 11000024, 828205, 728586],
+];
+
+fn main() {
+    let sizes = sweep_sizes();
+    let rows: Vec<Vec<String>> = experiments::table5(&sizes)
+        .iter()
+        .map(|&(n, c)| {
+            let idx = PAPER_SIZES.iter().position(|&s| s == n).unwrap();
+            vec![
+                n.to_string(),
+                c[0].to_string(),
+                c[1].to_string(),
+                c[2].to_string(),
+                c[3].to_string(),
+                PAPER[idx][0].to_string(),
+                format!("{}*", PAPER[idx][1]),
+                PAPER[idx][2].to_string(),
+                PAPER[idx][3].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5 — seg_plus_scan across LMUL (dynamic instructions, VLEN=1024)",
+        &[
+            "N",
+            "m1",
+            "m2",
+            "m4",
+            "m8",
+            "paper m1",
+            "paper m2*",
+            "paper m4",
+            "paper m8",
+        ],
+        &rows,
+    );
+    println!("\n(*) The paper's LMUL=2 column is an erratum: it reprints Table 4's");
+    println!("baseline column. Table 6's published ratios (~0.87) confirm the real");
+    println!("LMUL=2 counts are ≈ LMUL=1 / 1.74 — which is what we measure.");
+    println!("Reproduced shape: LMUL=8 is slower than LMUL=1 at N ≤ 10^3 (spill-frame");
+    println!("overhead), crosses over by 10^4, and is the fastest setting at N ≥ 10^5.");
+}

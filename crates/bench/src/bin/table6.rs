@@ -1,0 +1,41 @@
+//! Table 6: (speedup over LMUL=1) / LMUL — how much of each register
+//! grouping factor the segmented scan actually realizes.
+
+use scanvec_bench::{experiments, fmt_ratio, print_table, sweep_sizes, PAPER_SIZES};
+
+/// Paper's Table 6 ratios for LMUL = 2, 4, 8.
+const PAPER: [[f64; 3]; 5] = [
+    [0.7290748899, 0.5706896552, 0.01979665072],
+    [0.8551523007, 0.7437993236, 0.1236413043],
+    [0.8695931767, 0.7667721141, 0.3459311719],
+    [0.8720338349, 0.772820751, 0.4291510382],
+    [0.872330539, 0.7735219541, 0.4396425062],
+];
+
+fn main() {
+    let sizes = sweep_sizes();
+    let t5 = experiments::table5(&sizes);
+    let rows: Vec<Vec<String>> = experiments::table6(&t5)
+        .iter()
+        .map(|&(n, r)| {
+            let idx = PAPER_SIZES.iter().position(|&s| s == n).unwrap();
+            vec![
+                n.to_string(),
+                fmt_ratio(r[0]),
+                fmt_ratio(r[1]),
+                fmt_ratio(r[2]),
+                fmt_ratio(PAPER[idx][0]),
+                fmt_ratio(PAPER[idx][1]),
+                fmt_ratio(PAPER[idx][2]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 6 — (speedup over LMUL=1)/LMUL for seg_plus_scan (VLEN=1024)",
+        &["N", "m2", "m4", "m8", "paper m2", "paper m4", "paper m8"],
+        &rows,
+    );
+    println!("\nReproduced shape: the realized fraction of the LMUL factor decreases");
+    println!("as LMUL grows (more register pressure), and collapses at LMUL=8 for");
+    println!("small N where the spill frame dominates.");
+}

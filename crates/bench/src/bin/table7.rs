@@ -1,0 +1,34 @@
+//! Table 7: instruction count over VLEN for seg_plus_scan and p_add at
+//! N = 10^4 — the vector-length-agnostic scalability experiment.
+
+use scanvec_bench::{experiments, print_table};
+
+/// Paper's Table 7 counts at vlen = 128..1024: (seg_plus_scan, p_add).
+const PAPER: [(u64, u64); 4] = [
+    (115_039, 22_534),
+    (72_539, 11_284),
+    (43_789, 5_659),
+    (25_693, 2_851),
+];
+
+fn main() {
+    let n = scanvec_bench::max_n_arg().min(10_000);
+    let rows: Vec<Vec<String>> = experiments::table7(n)
+        .iter()
+        .enumerate()
+        .map(|(i, &(vlen, seg, padd))| {
+            vec![
+                vlen.to_string(),
+                seg.to_string(),
+                padd.to_string(),
+                PAPER[i].0.to_string(),
+                PAPER[i].1.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table 7 — instruction count over VLEN (N = {n}, LMUL=1)"),
+        &["vlen", "seg_plus_scan", "p_add", "paper seg", "paper p_add"],
+        &rows,
+    );
+}

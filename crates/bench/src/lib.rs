@@ -1,0 +1,166 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Each table and figure of the paper's evaluation (§6) has a binary in
+//! `src/bin/` that regenerates it on the simulated machine and prints the
+//! measured rows next to the paper's published numbers. The workloads,
+//! environment construction, and table formatting live here so every
+//! experiment is driven identically.
+//!
+//! Run e.g. `cargo run --release -p scanvec-bench --bin table4`.
+//! Every binary accepts `--max-n <N>` to cap the sweep (the full 10⁶ rows
+//! simulate a few hundred million instructions and take a few seconds
+//! each).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use rand::prelude::*;
+use rvv_asm::SpillProfile;
+use rvv_isa::Lmul;
+use scanvec::{EnvConfig, ScanEnv};
+
+/// The paper's size sweep: 10² … 10⁶.
+pub const PAPER_SIZES: [usize; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Deterministic random `u32` workload (full range, like the paper's
+/// radix-sort inputs).
+pub fn random_u32s(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random()).collect()
+}
+
+/// Deterministic random values bounded below `limit`.
+pub fn random_bounded(n: usize, limit: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..limit)).collect()
+}
+
+/// Head-flag workload for the segmented experiments: heads drawn with
+/// density 1/50 (the paper does not publish its segment distribution; its
+/// baseline counts imply segments long enough that the per-head reset cost
+/// is negligible, which holds here).
+pub fn random_head_flags(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e65);
+    let mut flags = vec![0u32; n];
+    if n == 0 {
+        return flags;
+    }
+    flags[0] = 1;
+    for f in flags.iter_mut().skip(1) {
+        if rng.random_range(0..50u32) == 0 {
+            *f = 1;
+        }
+    }
+    flags
+}
+
+/// Environment at the paper's headline config (VLEN=1024, LMUL=1) with
+/// enough device memory for the 10⁶-element experiments.
+pub fn paper_env() -> ScanEnv {
+    ScanEnv::new(EnvConfig::paper_default())
+}
+
+/// Environment with an explicit VLEN/LMUL (spill profile = calibrated
+/// LLVM-14).
+pub fn env_with(vlen: u32, lmul: Lmul) -> ScanEnv {
+    ScanEnv::new(EnvConfig {
+        vlen,
+        lmul,
+        spill_profile: SpillProfile::llvm14(),
+        mem_bytes: 192 << 20,
+    })
+}
+
+/// Environment with an explicit spill profile (for the ablations).
+pub fn env_with_profile(vlen: u32, lmul: Lmul, profile: SpillProfile) -> ScanEnv {
+    ScanEnv::new(EnvConfig {
+        vlen,
+        lmul,
+        spill_profile: profile,
+        mem_bytes: 192 << 20,
+    })
+}
+
+/// Parse `--max-n <N>` from the command line; defaults to 10⁶ (the full
+/// paper sweep).
+pub fn max_n_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--max-n" {
+            return w[1].parse().expect("--max-n takes an integer");
+        }
+    }
+    1_000_000
+}
+
+/// The paper's sizes, capped by `--max-n`.
+pub fn sweep_sizes() -> Vec<usize> {
+    let cap = max_n_arg();
+    PAPER_SIZES.iter().copied().filter(|&n| n <= cap).collect()
+}
+
+/// Render a table: header row plus aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:>width$} |", c, width = widths[i]));
+        }
+        s
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&headers));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    println!("{sep}");
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a speedup to the paper's style.
+pub fn fmt_speedup(baseline: u64, ours: u64) -> String {
+    format!("{:.3}", baseline as f64 / ours as f64)
+}
+
+/// Format a ratio.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(random_u32s(100, 1), random_u32s(100, 1));
+        assert_ne!(random_u32s(100, 1), random_u32s(100, 2));
+        let f = random_head_flags(1000, 3);
+        assert_eq!(f[0], 1);
+        assert!(f.iter().all(|&x| x <= 1));
+        assert!(f.iter().filter(|&&x| x == 1).count() > 5);
+        assert!(random_head_flags(0, 1).is_empty());
+    }
+
+    #[test]
+    fn bounded_workload_respects_limit() {
+        assert!(random_bounded(500, 64, 9).iter().all(|&x| x < 64));
+    }
+
+    #[test]
+    fn sweep_caps() {
+        // No --max-n in the test harness: full sweep.
+        assert_eq!(sweep_sizes(), PAPER_SIZES.to_vec());
+    }
+}

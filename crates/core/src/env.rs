@@ -1,0 +1,477 @@
+//! The execution environment: a simulated RVV machine plus device-memory
+//! management and a kernel cache.
+//!
+//! [`ScanEnv`] plays the role the C runtime plays in the paper: it owns the
+//! simulated machine, stages input vectors into simulated memory, launches
+//! compiled kernels with a simple calling convention, and reads results
+//! back. Kernels are generated per `(name, SEW)` under the environment's
+//! fixed `(VLEN, LMUL, spill profile)` — exactly like compiling a C file per
+//! target configuration — and cached.
+//!
+//! ## Calling convention
+//!
+//! * `a0..a7` (`x10..x17`) carry kernel arguments (element count, buffer
+//!   addresses, broadcast scalars).
+//! * The kernel's scalar result (if any) returns in `a0`.
+//! * `sp` enters pointing at the top of the stack region; kernels with
+//!   spill frames push/pop below it.
+//! * Kernels end with `ecall`.
+
+use crate::error::{ScanError, ScanResult};
+use rvv_asm::SpillProfile;
+use rvv_isa::{Lmul, Sew, XReg};
+use rvv_sim::{Machine, MachineConfig, Program, RunReport};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Stack reservation at the top of device memory.
+const STACK_BYTES: u64 = 1 << 20;
+/// Low guard: the first page is never allocated, so null-ish pointers trap.
+const HEAP_BASE: u64 = 4096;
+
+/// Environment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvConfig {
+    /// Vector register length in bits (the paper sweeps 128..1024).
+    pub vlen: u32,
+    /// Register-group multiplier kernels are compiled for.
+    pub lmul: Lmul,
+    /// Spill cost model (see [`rvv_asm::SpillProfile`]).
+    pub spill_profile: SpillProfile,
+    /// Device memory size in bytes.
+    pub mem_bytes: usize,
+}
+
+impl EnvConfig {
+    /// The paper's headline configuration: VLEN=1024, LMUL=1.
+    pub fn paper_default() -> EnvConfig {
+        EnvConfig {
+            vlen: 1024,
+            lmul: Lmul::M1,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 192 << 20,
+        }
+    }
+
+    /// Headline config with a different VLEN.
+    pub fn with_vlen(vlen: u32) -> EnvConfig {
+        EnvConfig {
+            vlen,
+            ..EnvConfig::paper_default()
+        }
+    }
+
+    /// Headline config with a different LMUL.
+    pub fn with_lmul(lmul: Lmul) -> EnvConfig {
+        EnvConfig {
+            lmul,
+            ..EnvConfig::paper_default()
+        }
+    }
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig::paper_default()
+    }
+}
+
+/// A device vector: a typed view of a buffer in simulated memory.
+#[derive(Debug, Clone)]
+pub struct SvVector {
+    addr: u64,
+    len: usize,
+    sew: Sew,
+}
+
+impl SvVector {
+    /// Device byte address of element 0.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element width.
+    pub fn sew(&self) -> Sew {
+        self.sew
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len as u64 * self.sew.bytes() as u64
+    }
+}
+
+/// A heap mark for stack-disciplined temporary allocation
+/// (see [`ScanEnv::heap_mark`] / [`ScanEnv::release_to`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapMark(u64);
+
+/// The scan-vector-model execution environment.
+pub struct ScanEnv {
+    machine: Machine,
+    cfg: EnvConfig,
+    heap: u64,
+    heap_limit: u64,
+    kernels: HashMap<(String, Sew), Rc<Program>>,
+}
+
+impl ScanEnv {
+    /// Build an environment.
+    pub fn new(cfg: EnvConfig) -> ScanEnv {
+        let machine = Machine::new(MachineConfig {
+            vlen: cfg.vlen,
+            mem_bytes: cfg.mem_bytes,
+        });
+        let heap_limit = cfg.mem_bytes as u64 - STACK_BYTES;
+        ScanEnv {
+            machine,
+            cfg,
+            heap: HEAP_BASE,
+            heap_limit,
+            kernels: HashMap::new(),
+        }
+    }
+
+    /// Environment with the paper's headline configuration.
+    pub fn paper_default() -> ScanEnv {
+        ScanEnv::new(EnvConfig::paper_default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> EnvConfig {
+        self.cfg
+    }
+
+    /// Borrow the machine (counters, memory inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutably borrow the machine (tests poke state directly).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Total dynamic instructions retired in this environment so far.
+    pub fn retired(&self) -> u64 {
+        self.machine.counters.total()
+    }
+
+    // ---------------------------------------------------------- allocation --
+
+    /// Allocate a zero-initialized device vector of `len` elements.
+    pub fn alloc(&mut self, sew: Sew, len: usize) -> ScanResult<SvVector> {
+        let bytes = len as u64 * sew.bytes() as u64;
+        // 64-byte align every allocation.
+        let addr = (self.heap + 63) & !63;
+        let end = addr
+            .checked_add(bytes)
+            .ok_or(ScanError::OutOfDeviceMemory {
+                requested: bytes,
+                available: 0,
+            })?;
+        if end > self.heap_limit {
+            return Err(ScanError::OutOfDeviceMemory {
+                requested: bytes,
+                available: self.heap_limit.saturating_sub(addr),
+            });
+        }
+        self.heap = end;
+        // Fresh allocations are zeroed (bump region starts zeroed, but the
+        // space may be reused after release_to).
+        self.machine
+            .mem
+            .write_bytes(addr, &vec![0u8; bytes as usize])?;
+        Ok(SvVector { addr, len, sew })
+    }
+
+    /// Allocate with guard regions armed on both sides: any kernel that
+    /// under- or overruns the buffer traps with
+    /// [`rvv_sim::SimError::GuardHit`] instead of corrupting a neighbour.
+    /// Returns the vector and the two guard handles (disarm with
+    /// [`rvv_sim::Memory::remove_guard`] via [`ScanEnv::machine_mut`]).
+    pub fn alloc_guarded(&mut self, sew: Sew, len: usize) -> ScanResult<(SvVector, usize, usize)> {
+        const GUARD: usize = 64;
+        let lo = self.alloc(Sew::E8, GUARD)?;
+        let v = self.alloc(sew, len)?;
+        let hi = self.alloc(Sew::E8, GUARD)?;
+        let g1 = self
+            .machine
+            .mem
+            .add_guard(lo.addr()..lo.addr() + GUARD as u64);
+        let g2 = self
+            .machine
+            .mem
+            .add_guard(hi.addr()..hi.addr() + GUARD as u64);
+        Ok((v, g1, g2))
+    }
+
+    /// Current heap position, for stack-disciplined temporaries.
+    pub fn heap_mark(&self) -> HeapMark {
+        HeapMark(self.heap)
+    }
+
+    /// Release every allocation made after `mark`. Vectors allocated after
+    /// the mark become dangling; dropping them is the caller's contract
+    /// (exactly like a region allocator).
+    pub fn release_to(&mut self, mark: HeapMark) {
+        debug_assert!(mark.0 <= self.heap);
+        self.heap = mark.0;
+    }
+
+    /// Allocate and fill from host `u32` data (e32).
+    pub fn from_u32(&mut self, data: &[u32]) -> ScanResult<SvVector> {
+        let v = self.alloc(Sew::E32, data.len())?;
+        self.machine.mem.write_u32_slice(v.addr, data);
+        Ok(v)
+    }
+
+    /// Allocate and fill from host `u64` data (e64).
+    pub fn from_u64(&mut self, data: &[u64]) -> ScanResult<SvVector> {
+        let v = self.alloc(Sew::E64, data.len())?;
+        self.machine.mem.write_u64_slice(v.addr, data);
+        Ok(v)
+    }
+
+    /// Allocate and fill from width-truncated `u64` element values at any
+    /// SEW.
+    pub fn from_elems(&mut self, sew: Sew, data: &[u64]) -> ScanResult<SvVector> {
+        let v = self.alloc(sew, data.len())?;
+        for (i, &x) in data.iter().enumerate() {
+            self.machine.mem.store(
+                v.addr + i as u64 * sew.bytes() as u64,
+                sew.bytes() as u64,
+                x,
+            )?;
+        }
+        Ok(v)
+    }
+
+    /// Read back as `u32` (must be e32).
+    pub fn to_u32(&self, v: &SvVector) -> Vec<u32> {
+        assert_eq!(v.sew, Sew::E32, "to_u32 requires an e32 vector");
+        self.machine.mem.read_u32_slice(v.addr, v.len)
+    }
+
+    /// Read back element values (zero-extended) at the vector's SEW.
+    pub fn to_elems(&self, v: &SvVector) -> Vec<u64> {
+        (0..v.len)
+            .map(|i| {
+                self.machine
+                    .mem
+                    .load(
+                        v.addr + i as u64 * v.sew.bytes() as u64,
+                        v.sew.bytes() as u64,
+                    )
+                    .expect("vector within bounds by construction")
+            })
+            .collect()
+    }
+
+    /// A typed sub-view of a device vector: elements `[start, start+len)`.
+    pub fn slice(&self, v: &SvVector, start: usize, len: usize) -> ScanResult<SvVector> {
+        if start + len > v.len {
+            return Err(ScanError::LengthMismatch {
+                what: "slice",
+                a: start + len,
+                b: v.len,
+            });
+        }
+        Ok(SvVector {
+            addr: v.addr + (start as u64) * v.sew.bytes() as u64,
+            len,
+            sew: v.sew,
+        })
+    }
+
+    /// Host-side single-element store (staging/glue, not simulated
+    /// execution — costs no instructions).
+    pub fn store_elem(&mut self, v: &SvVector, i: usize, value: u64) -> ScanResult<()> {
+        assert!(i < v.len, "element index out of range");
+        let e = v.sew.bytes() as u64;
+        self.machine.mem.store(v.addr + i as u64 * e, e, value)?;
+        Ok(())
+    }
+
+    /// Host-side single-element load (zero-extended).
+    pub fn load_elem(&self, v: &SvVector, i: usize) -> u64 {
+        assert!(i < v.len, "element index out of range");
+        let e = v.sew.bytes() as u64;
+        self.machine
+            .mem
+            .load(v.addr + i as u64 * e, e)
+            .expect("vector in bounds")
+    }
+
+    /// Overwrite an existing device vector from host data (e32).
+    pub fn write_u32(&mut self, v: &SvVector, data: &[u32]) -> ScanResult<()> {
+        if data.len() != v.len {
+            return Err(ScanError::LengthMismatch {
+                what: "write_u32",
+                a: data.len(),
+                b: v.len,
+            });
+        }
+        self.machine.mem.write_u32_slice(v.addr, data);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- kernels --
+
+    /// Fetch or build a kernel. `name` must uniquely identify the generated
+    /// code together with `sew` (the environment's VLEN/LMUL/profile are
+    /// fixed).
+    pub fn kernel(
+        &mut self,
+        name: &str,
+        sew: Sew,
+        build: impl FnOnce(&EnvConfig, Sew) -> ScanResult<Program>,
+    ) -> ScanResult<Rc<Program>> {
+        if let Some(p) = self.kernels.get(&(name.to_string(), sew)) {
+            return Ok(Rc::clone(p));
+        }
+        let p = Rc::new(build(&self.cfg, sew)?);
+        self.kernels.insert((name.to_string(), sew), Rc::clone(&p));
+        Ok(p)
+    }
+
+    /// Launch a kernel with arguments in `a0..`, returning the run report
+    /// and the kernel's `a0` result.
+    pub fn run(&mut self, program: &Program, args: &[u64]) -> ScanResult<(RunReport, u64)> {
+        assert!(args.len() <= 8, "at most 8 kernel arguments");
+        for (i, &a) in args.iter().enumerate() {
+            self.machine.set_xreg(XReg::arg(i as u8), a);
+        }
+        self.machine
+            .set_xreg(XReg::SP, self.cfg.mem_bytes as u64 - 64);
+        let report = self.machine.run_default(program)?;
+        Ok((report, self.machine.xreg(XReg::arg(0))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut env = ScanEnv::new(EnvConfig {
+            vlen: 128,
+            lmul: Lmul::M1,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 1 << 22,
+        });
+        let v = env.from_u32(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(env.to_u32(&v), vec![1, 2, 3, 4]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.bytes(), 16);
+        let w = env.from_u64(&[u64::MAX, 5]).unwrap();
+        assert_eq!(env.to_elems(&w), vec![u64::MAX, 5]);
+        // Distinct allocations don't overlap.
+        assert!(w.addr() >= v.addr() + v.bytes());
+    }
+
+    #[test]
+    fn alloc_is_zeroed_even_after_release() {
+        let mut env = ScanEnv::new(EnvConfig {
+            vlen: 128,
+            lmul: Lmul::M1,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 1 << 22,
+        });
+        let mark = env.heap_mark();
+        let v = env.from_u32(&[7, 7, 7]).unwrap();
+        let addr = v.addr();
+        env.release_to(mark);
+        let w = env.alloc(Sew::E32, 3).unwrap();
+        assert_eq!(w.addr(), addr, "region reuse");
+        assert_eq!(env.to_u32(&w), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn guarded_alloc_catches_kernel_overrun() {
+        use crate::primitives::p_add;
+        let mut env = ScanEnv::paper_default();
+        let (v, g1, g2) = env.alloc_guarded(Sew::E32, 10).unwrap();
+        // In-bounds use is fine.
+        p_add(&mut env, &v, 1).unwrap();
+        // A kernel told the buffer is much longer than it is crosses the
+        // alignment slack and hits the high guard. (The guard begins at the
+        // next 64-byte boundary, so small overruns land in the slack — the
+        // guard catches buffer-sized mistakes, not off-by-one elements.)
+        let p = env
+            .kernel("elem_vx_Add", Sew::E32, |_, _| unreachable!("cached"))
+            .unwrap();
+        let r = env.run(&p, &[40, v.addr(), 1]);
+        assert!(
+            matches!(
+                r,
+                Err(crate::ScanError::Sim(rvv_sim::SimError::GuardHit { .. }))
+            ),
+            "overrun must trap: {r:?}"
+        );
+        // Disarmed guards stop trapping.
+        env.machine_mut().mem.remove_guard(g1);
+        env.machine_mut().mem.remove_guard(g2);
+        env.run(&p, &[40, v.addr(), 1]).unwrap();
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut env = ScanEnv::new(EnvConfig {
+            vlen: 128,
+            lmul: Lmul::M1,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 1 << 21, // 2 MiB: 1 MiB stack + ~1 MiB heap
+        });
+        let r = env.alloc(Sew::E32, 1 << 20); // 4 MiB request
+        assert!(matches!(r, Err(ScanError::OutOfDeviceMemory { .. })));
+    }
+
+    #[test]
+    fn kernel_cache_reuses_programs() {
+        let mut env = ScanEnv::paper_default();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let b = &mut builds;
+            let _ = env
+                .kernel("nop", Sew::E32, |_, _| {
+                    *b += 1;
+                    Ok(Program::new("nop", vec![rvv_isa::Instr::Ecall]))
+                })
+                .unwrap();
+        }
+        assert_eq!(builds, 1);
+    }
+
+    #[test]
+    fn run_sets_args_and_returns_a0() {
+        let mut env = ScanEnv::paper_default();
+        // Kernel: a0 = a0 + a1; ecall.
+        let p = Program::new(
+            "sum",
+            vec![
+                rvv_isa::Instr::Op {
+                    op: rvv_isa::AluOp::Add,
+                    rd: XReg::arg(0),
+                    rs1: XReg::arg(0),
+                    rs2: XReg::arg(1),
+                },
+                rvv_isa::Instr::Ecall,
+            ],
+        );
+        let (report, a0) = env.run(&p, &[40, 2]).unwrap();
+        assert_eq!(a0, 42);
+        assert_eq!(report.retired, 2);
+    }
+}

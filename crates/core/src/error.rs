@@ -1,0 +1,77 @@
+//! Error type for the scan vector model library.
+
+use rvv_sim::SimError;
+use std::fmt;
+
+/// Errors surfaced by the `scanvec` public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// Two vectors that must have equal length do not.
+    LengthMismatch {
+        /// What was being combined.
+        what: &'static str,
+        /// First length.
+        a: usize,
+        /// Second length.
+        b: usize,
+    },
+    /// Two vectors that must share an element width do not.
+    SewMismatch {
+        /// What was being combined.
+        what: &'static str,
+    },
+    /// The environment's bump allocator is out of device memory.
+    OutOfDeviceMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining.
+        available: u64,
+    },
+    /// A kernel failed to assemble — a library bug, but surfaced as an
+    /// error so property tests can exercise builder limits.
+    Assembly(String),
+    /// The simulator trapped while running a kernel.
+    Sim(SimError),
+    /// A segment descriptor is malformed (see [`crate::segment`]).
+    BadSegmentDescriptor(&'static str),
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::LengthMismatch { what, a, b } => {
+                write!(f, "length mismatch in {what}: {a} vs {b}")
+            }
+            ScanError::SewMismatch { what } => write!(f, "element width mismatch in {what}"),
+            ScanError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device memory exhausted: requested {requested}, available {available}"
+                )
+            }
+            ScanError::Assembly(e) => write!(f, "kernel assembly failed: {e}"),
+            ScanError::Sim(e) => write!(f, "simulator trap: {e}"),
+            ScanError::BadSegmentDescriptor(m) => write!(f, "bad segment descriptor: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+impl From<SimError> for ScanError {
+    fn from(e: SimError) -> Self {
+        ScanError::Sim(e)
+    }
+}
+
+impl From<rvv_asm::AsmError> for ScanError {
+    fn from(e: rvv_asm::AsmError) -> Self {
+        ScanError::Assembly(e.to_string())
+    }
+}
+
+/// Result alias for the `scanvec` API.
+pub type ScanResult<T> = Result<T, ScanError>;

@@ -1,0 +1,327 @@
+//! Sequential scalar baselines — the paper's comparison targets.
+//!
+//! The paper's baselines are "pure C code without RVV intrinsics" compiled
+//! to scalar RISC-V. These generators emit the loops such a compiler
+//! produces: one element per iteration, no vector instructions at all. They
+//! run on the same simulated machine with the same counter, making the
+//! speedup an apples-to-apples dynamic-instruction ratio (Tables 2–4).
+//!
+//! Per-element instruction budgets (e32): `p_add` 6, `scan` 6, `seg_scan`
+//! 9–10 — matching the paper's observed `6N + c` / `11N + c` asymptotics.
+
+use super::{T_CARRY, T_TMP, T_VL};
+use crate::env::EnvConfig;
+use crate::error::ScanResult;
+use crate::ops::ScanOp;
+use rvv_asm::ProgramBuilder;
+use rvv_isa::{AluOp, MemWidth, Sew, XReg};
+use rvv_sim::Program;
+
+fn mem_width(sew: Sew) -> MemWidth {
+    match sew {
+        Sew::E8 => MemWidth::B,
+        Sew::E16 => MemWidth::H,
+        Sew::E32 => MemWidth::W,
+        Sew::E64 => MemWidth::D,
+    }
+}
+
+/// Emit `dst = acc ⊕ src` for a scalar op. Plus and the bitwise ops are one
+/// instruction; unsigned min/max need a compare-and-branch pair (base RV64I
+/// has no min/max, exactly like the compilers the paper baselines against).
+fn scalar_combine(b: &mut ProgramBuilder, op: ScanOp, acc: XReg, src: XReg) {
+    match op {
+        ScanOp::Plus => {
+            b.add(acc, acc, src);
+        }
+        ScanOp::And => {
+            b.op(AluOp::And, acc, acc, src);
+        }
+        ScanOp::Or => {
+            b.op(AluOp::Or, acc, acc, src);
+        }
+        ScanOp::Xor => {
+            b.op(AluOp::Xor, acc, acc, src);
+        }
+        ScanOp::Max => {
+            let keep = b.label();
+            b.bgeu(acc, src, keep);
+            b.mv(acc, src);
+            b.bind(keep);
+        }
+        ScanOp::Min => {
+            let keep = b.label();
+            b.bgeu(src, acc, keep);
+            b.mv(acc, src);
+            b.bind(keep);
+        }
+    }
+}
+
+/// Scalar `a[i] ⊕= x`: the paper's `p_add_baseline`.
+///
+/// Args: `a0` = n, `a1` = ptr, `a2` = scalar.
+pub fn build_elem_baseline(_cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Program> {
+    let mut b = ProgramBuilder::new(format!("elem_baseline_{}", op.name()));
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let done = b.label();
+    b.beqz(XReg::arg(0), done);
+    let head = b.label();
+    b.bind(head);
+    b.load(w, false, T_VL, XReg::arg(1), 0);
+    scalar_combine(&mut b, op, T_VL, XReg::arg(2));
+    b.store(w, T_VL, XReg::arg(1), 0);
+    b.addi(XReg::arg(1), XReg::arg(1), esz);
+    b.addi(XReg::arg(0), XReg::arg(0), -1);
+    b.bnez(XReg::arg(0), head);
+    b.bind(done);
+    b.halt();
+    Ok(b.finish()?)
+}
+
+/// Scalar inclusive scan: the paper's `plus_scan_baseline`.
+///
+/// Args: `a0` = n, `a1` = ptr (in/out).
+pub fn build_scan_baseline(_cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Program> {
+    let mut b = ProgramBuilder::new(format!("scan_baseline_{}", op.name()));
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let done = b.label();
+    b.li(T_CARRY, op.identity(sew) as i64);
+    b.beqz(XReg::arg(0), done);
+    let head = b.label();
+    b.bind(head);
+    b.load(w, false, T_VL, XReg::arg(1), 0);
+    scalar_combine(&mut b, op, T_CARRY, T_VL);
+    b.store(w, T_CARRY, XReg::arg(1), 0);
+    b.addi(XReg::arg(1), XReg::arg(1), esz);
+    b.addi(XReg::arg(0), XReg::arg(0), -1);
+    b.bnez(XReg::arg(0), head);
+    b.bind(done);
+    b.halt();
+    Ok(b.finish()?)
+}
+
+/// Scalar segmented inclusive scan: the paper's `seg_plus_scan_baseline`.
+///
+/// Args: `a0` = n, `a1` = data ptr (in/out), `a2` = head-flags ptr.
+pub fn build_seg_scan_baseline(_cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Program> {
+    let mut b = ProgramBuilder::new(format!("seg_scan_baseline_{}", op.name()));
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let done = b.label();
+    b.li(T_CARRY, op.identity(sew) as i64);
+    b.beqz(XReg::arg(0), done);
+    let head = b.label();
+    b.bind(head);
+    let no_reset = b.label();
+    b.load(w, false, T_TMP, XReg::arg(2), 0);
+    b.beqz(T_TMP, no_reset);
+    b.li(T_CARRY, op.identity(sew) as i64);
+    b.bind(no_reset);
+    b.load(w, false, T_VL, XReg::arg(1), 0);
+    scalar_combine(&mut b, op, T_CARRY, T_VL);
+    b.store(w, T_CARRY, XReg::arg(1), 0);
+    b.addi(XReg::arg(1), XReg::arg(1), esz);
+    b.addi(XReg::arg(2), XReg::arg(2), esz);
+    b.addi(XReg::arg(0), XReg::arg(0), -1);
+    b.bnez(XReg::arg(0), head);
+    b.bind(done);
+    b.halt();
+    Ok(b.finish()?)
+}
+
+/// Scalar `enumerate` baseline.
+///
+/// Args: `a0` = n, `a1` = flags, `a2` = dst, `a3` = set_bit. Count in `a0`.
+pub fn build_enumerate_baseline(_cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut b = ProgramBuilder::new("enumerate_baseline");
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let done = b.label();
+    b.li(T_CARRY, 0);
+    b.beqz(XReg::arg(0), done);
+    let head = b.label();
+    b.bind(head);
+    let no_match = b.label();
+    b.store(w, T_CARRY, XReg::arg(2), 0);
+    b.load(w, false, T_TMP, XReg::arg(1), 0);
+    b.bne(T_TMP, XReg::arg(3), no_match);
+    b.addi(T_CARRY, T_CARRY, 1);
+    b.bind(no_match);
+    b.addi(XReg::arg(1), XReg::arg(1), esz);
+    b.addi(XReg::arg(2), XReg::arg(2), esz);
+    b.addi(XReg::arg(0), XReg::arg(0), -1);
+    b.bnez(XReg::arg(0), head);
+    b.bind(done);
+    b.mv(XReg::arg(0), T_CARRY);
+    b.halt();
+    Ok(b.finish()?)
+}
+
+/// Scalar select baseline: `dst[i] = flags[i] ? a[i] : b[i]`.
+///
+/// Args: `a0` = n, `a1` = flags, `a2` = a, `a3` = b, `a4` = dst.
+pub fn build_select_baseline(_cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut b = ProgramBuilder::new("select_baseline");
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let done = b.label();
+    b.beqz(XReg::arg(0), done);
+    let head = b.label();
+    b.bind(head);
+    let take_b = b.label();
+    let store = b.label();
+    b.load(w, false, T_TMP, XReg::arg(1), 0);
+    b.beqz(T_TMP, take_b);
+    b.load(w, false, T_VL, XReg::arg(2), 0);
+    b.jump(store);
+    b.bind(take_b);
+    b.load(w, false, T_VL, XReg::arg(3), 0);
+    b.bind(store);
+    b.store(w, T_VL, XReg::arg(4), 0);
+    for a in [XReg::arg(1), XReg::arg(2), XReg::arg(3), XReg::arg(4)] {
+        b.addi(a, a, esz);
+    }
+    b.addi(XReg::arg(0), XReg::arg(0), -1);
+    b.bnez(XReg::arg(0), head);
+    b.bind(done);
+    b.halt();
+    Ok(b.finish()?)
+}
+
+/// Scalar permutation baseline: `dst[index[i]] = src[i]`.
+///
+/// Args: `a0` = n, `a1` = src, `a2` = dst, `a3` = index.
+pub fn build_permute_baseline(_cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut b = ProgramBuilder::new("permute_baseline");
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let log2 = sew.bytes().trailing_zeros() as i32;
+    let done = b.label();
+    b.beqz(XReg::arg(0), done);
+    let head = b.label();
+    b.bind(head);
+    b.load(w, false, T_VL, XReg::arg(1), 0);
+    b.load(w, false, T_TMP, XReg::arg(3), 0);
+    b.slli(T_TMP, T_TMP, log2);
+    b.add(T_TMP, T_TMP, XReg::arg(2));
+    b.store(w, T_VL, T_TMP, 0);
+    b.addi(XReg::arg(1), XReg::arg(1), esz);
+    b.addi(XReg::arg(3), XReg::arg(3), esz);
+    b.addi(XReg::arg(0), XReg::arg(0), -1);
+    b.bnez(XReg::arg(0), head);
+    b.bind(done);
+    b.halt();
+    Ok(b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ScanEnv;
+    use crate::native;
+    use rvv_isa::InstrClass;
+
+    #[test]
+    fn baselines_are_purely_scalar() {
+        let cfg = crate::env::EnvConfig::paper_default();
+        for p in [
+            build_elem_baseline(&cfg, Sew::E32, ScanOp::Plus).unwrap(),
+            build_scan_baseline(&cfg, Sew::E32, ScanOp::Plus).unwrap(),
+            build_seg_scan_baseline(&cfg, Sew::E32, ScanOp::Plus).unwrap(),
+            build_enumerate_baseline(&cfg, Sew::E32).unwrap(),
+            build_select_baseline(&cfg, Sew::E32).unwrap(),
+            build_permute_baseline(&cfg, Sew::E32).unwrap(),
+        ] {
+            assert!(
+                p.instrs.iter().all(|i| !i.is_vector()),
+                "{} contains vector instructions",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_scan_matches_oracle_and_costs_6n() {
+        let data: Vec<u32> = (0..500).map(|i| i * 3 + 1).collect();
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        let p = build_scan_baseline(&e.config(), Sew::E32, ScanOp::Plus).unwrap();
+        let (report, _) = e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+        assert_eq!(
+            e.to_u32(&v),
+            native::u32v::scan_inclusive(ScanOp::Plus, &data)
+        );
+        // 6 per element + small constant, like the paper's 6N + 26.
+        assert_eq!(report.retired, 6 * 500 + 3);
+        assert_eq!(e.machine().counters.vector_total(), 0);
+    }
+
+    #[test]
+    fn baseline_elem_costs_6n() {
+        let data = vec![1u32; 1000];
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        let p = build_elem_baseline(&e.config(), Sew::E32, ScanOp::Plus).unwrap();
+        let (report, _) = e.run(&p, &[1000, v.addr(), 5]).unwrap();
+        assert_eq!(report.retired, 6 * 1000 + 2);
+        assert_eq!(e.to_u32(&v), vec![6u32; 1000]);
+    }
+
+    #[test]
+    fn baseline_seg_scan_matches_oracle() {
+        let n = 233;
+        let data: Vec<u32> = (0..n).map(|i| (i % 19) as u32).collect();
+        let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 7 == 0)).collect();
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        let f = e.from_u32(&flags).unwrap();
+        let p = build_seg_scan_baseline(&e.config(), Sew::E32, ScanOp::Plus).unwrap();
+        let (report, _) = e.run(&p, &[n as u64, v.addr(), f.addr()]).unwrap();
+        assert_eq!(
+            e.to_u32(&v),
+            native::u32v::seg_scan_inclusive(ScanOp::Plus, &data, &flags)
+        );
+        // 9 per element + 1 per segment head + constant.
+        let heads = flags.iter().filter(|&&f| f == 1).count() as u64;
+        assert_eq!(report.retired, 9 * n as u64 + heads + 3);
+    }
+
+    #[test]
+    fn baseline_max_scan_uses_branches() {
+        let data: Vec<u32> = vec![3, 9, 1, 12, 5];
+        let mut e = ScanEnv::paper_default();
+        let v = e.from_u32(&data).unwrap();
+        let p = build_scan_baseline(&e.config(), Sew::E32, ScanOp::Max).unwrap();
+        e.run(&p, &[5, v.addr()]).unwrap();
+        assert_eq!(e.to_u32(&v), vec![3, 9, 9, 12, 12]);
+        assert!(e.machine().counters.class(InstrClass::ScalarCtrl) > 6);
+    }
+
+    #[test]
+    fn baseline_enumerate_select_permute() {
+        let mut e = ScanEnv::paper_default();
+        let flags = [1u32, 0, 1, 1, 0];
+        let f = e.from_u32(&flags).unwrap();
+        let d = e.alloc(Sew::E32, 5).unwrap();
+        let p = build_enumerate_baseline(&e.config(), Sew::E32).unwrap();
+        let (_, count) = e.run(&p, &[5, f.addr(), d.addr(), 1]).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(e.to_u32(&d), vec![0, 1, 1, 2, 3]);
+
+        let a = e.from_u32(&[10, 11, 12, 13, 14]).unwrap();
+        let bb = e.from_u32(&[20, 21, 22, 23, 24]).unwrap();
+        let out = e.alloc(Sew::E32, 5).unwrap();
+        let p = build_select_baseline(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[5, f.addr(), a.addr(), bb.addr(), out.addr()])
+            .unwrap();
+        assert_eq!(e.to_u32(&out), vec![10, 21, 12, 13, 24]);
+
+        let idx = e.from_u32(&[4, 3, 2, 1, 0]).unwrap();
+        let p = build_permute_baseline(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[5, a.addr(), out.addr(), idx.addr()]).unwrap();
+        assert_eq!(e.to_u32(&out), vec![14, 13, 12, 11, 10]);
+    }
+}

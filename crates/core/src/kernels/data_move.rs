@@ -1,0 +1,427 @@
+//! Data-movement and comparison kernels rounding out the primitive set:
+//! `copy`, `reverse`, `gather` (indexed load — the inverse of the paper's
+//! `permute`), `iota`, and elementwise compare-to-flags. All are standard
+//! scan-vector-model primitives (Blelloch lists reverse/index among the
+//! basic vector operations) and are used by the algorithm layer
+//! (segmented quicksort, sparse matvec, line-of-sight).
+
+use super::{advance_and_loop, kb, vtype_of, T_CARRY, T_TMP, T_VL};
+use crate::env::EnvConfig;
+use crate::error::ScanResult;
+use rvv_isa::{Instr, Sew, VAluOp, VCmp, VReg, XReg};
+use rvv_sim::Program;
+
+/// `dst[i] = src[i]`.
+///
+/// Args: `a0` = n, `a1` = src, `a2` = dst.
+pub fn build_copy(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "copy", sew);
+    let vs = k.declare(&["v"]);
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rv = k.vout(vs[0]);
+    k.b.vle(sew, rv, XReg::arg(1));
+    k.b.vse(sew, rv, XReg::arg(2));
+    k.vflush(vs[0], rv);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(2)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// `dst[i] = src[n-1-i]` via a negative-stride store.
+///
+/// Args: `a0` = n, `a1` = src, `a2` = dst.
+pub fn build_reverse(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "reverse", sew);
+    let vs = k.declare(&["v"]);
+    let esz = sew.bytes() as i64;
+    let t_stride = XReg::new(16); // a6
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    // dst cursor starts at the last element: dst + (n-1)*esz.
+    k.b.addi(T_TMP, XReg::arg(0), -1);
+    k.b.slli(T_TMP, T_TMP, sew.bytes().trailing_zeros() as i32);
+    k.b.add(XReg::arg(2), XReg::arg(2), T_TMP);
+    k.b.li(t_stride, -esz);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rv = k.vout(vs[0]);
+    k.b.vle(sew, rv, XReg::arg(1));
+    k.b.raw(Instr::VStoreStrided {
+        eew: sew,
+        vs3: rv,
+        rs1: XReg::arg(2),
+        rs2: t_stride,
+        vm: true,
+    });
+    k.vflush(vs[0], rv);
+    // src advances forward, dst cursor retreats.
+    k.b.slli(T_TMP, T_VL, sew.bytes().trailing_zeros() as i32);
+    k.b.add(XReg::arg(1), XReg::arg(1), T_TMP);
+    k.b.sub(XReg::arg(2), XReg::arg(2), T_TMP);
+    k.b.sub(XReg::arg(0), XReg::arg(0), T_VL);
+    k.b.bnez(XReg::arg(0), head);
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// Gather (`dst[i] = table[index[i]]`) via indexed load — the read-side
+/// counterpart of the paper's `permute`.
+///
+/// Args: `a0` = n, `a1` = table base, `a2` = dst, `a3` = index (element
+/// indices; the kernel scales to byte offsets).
+pub fn build_gather(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "gather", sew);
+    let vs = k.declare(&["vi", "vx"]);
+    let log2 = sew.bytes().trailing_zeros() as i8;
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let ri = k.vout(vs[0]);
+    k.b.vle(sew, ri, XReg::arg(3));
+    k.b.vop_vi(VAluOp::Sll, ri, ri, log2, true);
+    k.vflush(vs[0], ri);
+    let rx = k.vout(vs[1]);
+    let ri = k.vin(vs[0]);
+    k.b.raw(Instr::VLoadIndexed {
+        eew: sew,
+        ordered: false,
+        vd: rx,
+        rs1: XReg::arg(1),
+        vs2: ri,
+        vm: true,
+    });
+    k.b.vse(sew, rx, XReg::arg(2));
+    k.vflush(vs[1], rx);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(2), XReg::arg(3)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// `dst[i] = i` (the model's `index` primitive) via `vid.v` plus a running
+/// base.
+///
+/// Args: `a0` = n, `a1` = dst.
+pub fn build_iota(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "iota", sew);
+    let vs = k.declare(&["v"]);
+    k.prologue();
+    let done = k.b.label();
+    k.b.li(T_CARRY, 0);
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rv = k.vout(vs[0]);
+    k.b.vid(rv);
+    k.b.vop_vx(VAluOp::Add, rv, rv, T_CARRY, true);
+    k.b.vse(sew, rv, XReg::arg(1));
+    k.vflush(vs[0], rv);
+    k.b.add(T_CARRY, T_CARRY, T_VL);
+    advance_and_loop(&mut k.b, sew, &[XReg::arg(1)], XReg::arg(0), head);
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// Elementwise compare producing 0/1 flags: `dst[i] = (a[i] ⋈ b[i]) ? 1 : 0`.
+///
+/// Args: `a0` = n, `a1` = a, `a2` = b, `a3` = dst.
+pub fn build_cmp_flags(cfg: &EnvConfig, sew: Sew, cond: VCmp) -> ScanResult<Program> {
+    let mut k = kb(cfg, &format!("cmp_flags_{cond:?}"), sew);
+    let vs = k.declare(&["va", "vb"]);
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let ra = k.vout(vs[0]);
+    k.b.vle(sew, ra, XReg::arg(1));
+    k.vflush(vs[0], ra);
+    let rb = k.vout(vs[1]);
+    k.b.vle(sew, rb, XReg::arg(2));
+    let ra = k.vin(vs[0]);
+    // v0 = a ⋈ b; dst = merge(0, 1, v0). Gtu/Gt have no .vv encoding, so
+    // normalize to Ltu/Lt with swapped operands (a > b ⇔ b < a).
+    let (cond, vs2, vs1) = match cond {
+        VCmp::Gtu => (VCmp::Ltu, rb, ra),
+        VCmp::Gt => (VCmp::Lt, rb, ra),
+        c => (c, ra, rb),
+    };
+    k.b.raw(Instr::VCmpVV {
+        cond,
+        vd: VReg::V0,
+        vs2,
+        vs1,
+        vm: true,
+    });
+    k.b.vmv_vi(ra, 0);
+    k.b.raw(Instr::VMergeVIM {
+        vd: ra,
+        vs2: ra,
+        imm: 1,
+    });
+    k.b.vse(sew, ra, XReg::arg(3));
+    k.vflush(vs[0], ra);
+    k.vflush(vs[1], rb);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(2), XReg::arg(3)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// Deinterleave: `dst[i] = src[2i + phase]` for `phase ∈ {0,1}` —
+/// Blelloch's `even-elts`/`odd-elts`, via a strided load.
+///
+/// Args: `a0` = output count, `a1` = src base (already offset for the
+/// phase by the host wrapper), `a2` = dst.
+pub fn build_deinterleave(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "deinterleave", sew);
+    let vs = k.declare(&["v"]);
+    let t_stride = XReg::new(16); // a6
+    let esz = sew.bytes() as i64;
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    k.b.li(t_stride, 2 * esz);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rv = k.vout(vs[0]);
+    k.b.raw(Instr::VLoadStrided {
+        eew: sew,
+        vd: rv,
+        rs1: XReg::arg(1),
+        rs2: t_stride,
+        vm: true,
+    });
+    k.b.vse(sew, rv, XReg::arg(2));
+    k.vflush(vs[0], rv);
+    // src advances 2·vl elements; dst advances vl.
+    k.b.slli(T_TMP, T_VL, sew.bytes().trailing_zeros() as i32 + 1);
+    k.b.add(XReg::arg(1), XReg::arg(1), T_TMP);
+    k.b.slli(T_TMP, T_VL, sew.bytes().trailing_zeros() as i32);
+    k.b.add(XReg::arg(2), XReg::arg(2), T_TMP);
+    k.b.sub(XReg::arg(0), XReg::arg(0), T_VL);
+    k.b.bnez(XReg::arg(0), head);
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// Interleave one lane: `dst[2i + phase] = src[i]` via a strided store.
+/// Calling it for phase 0 with `a` and phase 1 with `b` interleaves two
+/// vectors (Blelloch's `interleave`).
+///
+/// Args: `a0` = input count, `a1` = src, `a2` = dst base (already offset
+/// for the phase).
+pub fn build_interleave_lane(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "interleave_lane", sew);
+    let vs = k.declare(&["v"]);
+    let t_stride = XReg::new(16); // a6
+    let esz = sew.bytes() as i64;
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    k.b.li(t_stride, 2 * esz);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rv = k.vout(vs[0]);
+    k.b.vle(sew, rv, XReg::arg(1));
+    k.b.raw(Instr::VStoreStrided {
+        eew: sew,
+        vs3: rv,
+        rs1: XReg::arg(2),
+        rs2: t_stride,
+        vm: true,
+    });
+    k.vflush(vs[0], rv);
+    k.b.slli(T_TMP, T_VL, sew.bytes().trailing_zeros() as i32);
+    k.b.add(XReg::arg(1), XReg::arg(1), T_TMP);
+    k.b.slli(T_TMP, T_VL, sew.bytes().trailing_zeros() as i32 + 1);
+    k.b.add(XReg::arg(2), XReg::arg(2), T_TMP);
+    k.b.sub(XReg::arg(0), XReg::arg(0), T_VL);
+    k.b.bnez(XReg::arg(0), head);
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvConfig, ScanEnv};
+    use rvv_asm::SpillProfile;
+    use rvv_isa::Lmul;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(EnvConfig {
+            vlen: 128,
+            lmul: Lmul::M1,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 8 << 20,
+        })
+    }
+
+    #[test]
+    fn copy_and_reverse() {
+        let data: Vec<u32> = (0..37).collect();
+        let mut e = env();
+        let src = e.from_u32(&data).unwrap();
+        let dst = e.alloc(Sew::E32, 37).unwrap();
+        let p = build_copy(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[37, src.addr(), dst.addr()]).unwrap();
+        assert_eq!(e.to_u32(&dst), data);
+        let p = build_reverse(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[37, src.addr(), dst.addr()]).unwrap();
+        let mut rev = data.clone();
+        rev.reverse();
+        assert_eq!(e.to_u32(&dst), rev);
+    }
+
+    #[test]
+    fn reverse_of_reverse_is_identity() {
+        let data: Vec<u32> = (0..101).map(|i| i * 7 % 13).collect();
+        let mut e = env();
+        let a = e.from_u32(&data).unwrap();
+        let b = e.alloc(Sew::E32, data.len()).unwrap();
+        let c = e.alloc(Sew::E32, data.len()).unwrap();
+        let p = build_reverse(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[data.len() as u64, a.addr(), b.addr()]).unwrap();
+        e.run(&p, &[data.len() as u64, b.addr(), c.addr()]).unwrap();
+        assert_eq!(e.to_u32(&c), data);
+    }
+
+    #[test]
+    fn gather_indexes_table() {
+        let table = [10u32, 20, 30, 40, 50];
+        let idx = [4u32, 0, 2, 2, 1, 3];
+        let mut e = env();
+        let t = e.from_u32(&table).unwrap();
+        let i = e.from_u32(&idx).unwrap();
+        let d = e.alloc(Sew::E32, idx.len()).unwrap();
+        let p = build_gather(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[idx.len() as u64, t.addr(), d.addr(), i.addr()])
+            .unwrap();
+        assert_eq!(e.to_u32(&d), vec![50, 10, 30, 30, 20, 40]);
+    }
+
+    #[test]
+    fn iota_spans_strips() {
+        let mut e = env();
+        let d = e.alloc(Sew::E32, 19).unwrap();
+        let p = build_iota(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[19, d.addr()]).unwrap();
+        assert_eq!(e.to_u32(&d), (0..19).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn deinterleave_even_odd() {
+        let data: Vec<u32> = (0..21).collect();
+        let mut e = env();
+        let src = e.from_u32(&data).unwrap();
+        let even = e.alloc(Sew::E32, 11).unwrap();
+        let odd = e.alloc(Sew::E32, 10).unwrap();
+        let p = build_deinterleave(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[11, src.addr(), even.addr()]).unwrap();
+        e.run(&p, &[10, src.addr() + 4, odd.addr()]).unwrap();
+        assert_eq!(e.to_u32(&even), (0..21).step_by(2).collect::<Vec<u32>>());
+        assert_eq!(e.to_u32(&odd), (1..21).step_by(2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn interleave_two_lanes() {
+        let a: Vec<u32> = (0..9).map(|i| i * 10).collect();
+        let b: Vec<u32> = (0..9).map(|i| i * 10 + 1).collect();
+        let mut e = env();
+        let va = e.from_u32(&a).unwrap();
+        let vb = e.from_u32(&b).unwrap();
+        let dst = e.alloc(Sew::E32, 18).unwrap();
+        let p = build_interleave_lane(&e.config(), Sew::E32).unwrap();
+        e.run(&p, &[9, va.addr(), dst.addr()]).unwrap();
+        e.run(&p, &[9, vb.addr(), dst.addr() + 4]).unwrap();
+        let want: Vec<u32> = (0..18).map(|i| (i / 2) * 10 + i % 2).collect();
+        assert_eq!(e.to_u32(&dst), want);
+    }
+
+    #[test]
+    fn interleave_then_deinterleave_roundtrip() {
+        let a: Vec<u32> = (0..50).map(|i| i ^ 0x5a).collect();
+        let b: Vec<u32> = (0..50u32).map(|i| i.wrapping_mul(7)).collect();
+        let mut e = env();
+        let va = e.from_u32(&a).unwrap();
+        let vb = e.from_u32(&b).unwrap();
+        let dst = e.alloc(Sew::E32, 100).unwrap();
+        let il = build_interleave_lane(&e.config(), Sew::E32).unwrap();
+        e.run(&il, &[50, va.addr(), dst.addr()]).unwrap();
+        e.run(&il, &[50, vb.addr(), dst.addr() + 4]).unwrap();
+        let ea = e.alloc(Sew::E32, 50).unwrap();
+        let eb = e.alloc(Sew::E32, 50).unwrap();
+        let de = build_deinterleave(&e.config(), Sew::E32).unwrap();
+        e.run(&de, &[50, dst.addr(), ea.addr()]).unwrap();
+        e.run(&de, &[50, dst.addr() + 4, eb.addr()]).unwrap();
+        assert_eq!(e.to_u32(&ea), a);
+        assert_eq!(e.to_u32(&eb), b);
+    }
+
+    #[test]
+    fn cmp_flags_all_conditions() {
+        let a = [1u32, 5, 3, 3, 0xffff_ffff];
+        let b = [2u32, 4, 3, 1, 0];
+        let mut e = env();
+        let va = e.from_u32(&a).unwrap();
+        let vb = e.from_u32(&b).unwrap();
+        let d = e.alloc(Sew::E32, a.len()).unwrap();
+        for (cond, want) in [
+            (VCmp::Ltu, vec![1u32, 0, 0, 0, 0]),
+            (VCmp::Eq, vec![0, 0, 1, 0, 0]),
+            (VCmp::Ne, vec![1, 1, 0, 1, 1]),
+            (VCmp::Gtu, vec![0, 1, 0, 1, 1]),
+            (VCmp::Leu, vec![1, 0, 1, 0, 0]),
+        ] {
+            let p = build_cmp_flags(&e.config(), Sew::E32, cond).unwrap();
+            e.run(&p, &[a.len() as u64, va.addr(), vb.addr(), d.addr()])
+                .unwrap();
+            assert_eq!(e.to_u32(&d), want, "{cond:?}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Elementwise kernels: the paper's first primitive class (§4.1).
+//!
+//! All follow the Listing 4 pattern: strip-mine with `vsetvli`, load,
+//! operate, store, advance.
+
+use super::{advance_and_loop, kb, vtype_of, T_VL};
+use crate::env::EnvConfig;
+use crate::error::ScanResult;
+use rvv_isa::{Sew, VAluOp, VCmp, VReg, XReg};
+use rvv_sim::Program;
+
+/// `a ⊕= x` (broadcast scalar), in place — the paper's `p-add` shape.
+///
+/// Args: `a0` = n, `a1` = ptr a, `a2` = scalar x.
+pub fn build_elem_vx(cfg: &EnvConfig, sew: Sew, op: VAluOp) -> ScanResult<Program> {
+    let mut k = kb(cfg, &format!("elem_vx_{op:?}"), sew);
+    let vs = k.declare(&["v"]);
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rv = k.vout(vs[0]);
+    k.b.vle(sew, rv, XReg::arg(1));
+    k.b.vop_vx(op, rv, rv, XReg::arg(2), true);
+    k.b.vse(sew, rv, XReg::arg(1));
+    k.vflush(vs[0], rv);
+    advance_and_loop(&mut k.b, sew, &[XReg::arg(1)], XReg::arg(0), head);
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// `dst = a ⊕ b`, elementwise over two device vectors.
+///
+/// Args: `a0` = n, `a1` = a, `a2` = b, `a3` = dst.
+pub fn build_elem_vv(cfg: &EnvConfig, sew: Sew, op: VAluOp) -> ScanResult<Program> {
+    let mut k = kb(cfg, &format!("elem_vv_{op:?}"), sew);
+    let vs = k.declare(&["va", "vb"]);
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let ra = k.vout(vs[0]);
+    k.b.vle(sew, ra, XReg::arg(1));
+    k.vflush(vs[0], ra);
+    let rb = k.vout(vs[1]);
+    k.b.vle(sew, rb, XReg::arg(2));
+    let ra = k.vin(vs[0]);
+    k.b.vop_vv(op, ra, ra, rb, true);
+    k.b.vse(sew, ra, XReg::arg(3));
+    k.vflush(vs[0], ra);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(2), XReg::arg(3)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// `flags[i] = (src[i] >> bit) & 1` — radix sort's `get_flags`.
+///
+/// Args: `a0` = n, `a1` = src, `a2` = dst flags, `a3` = bit.
+pub fn build_get_flags(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "get_flags", sew);
+    let vs = k.declare(&["v"]);
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rv = k.vout(vs[0]);
+    k.b.vle(sew, rv, XReg::arg(1));
+    k.b.vop_vx(VAluOp::Srl, rv, rv, XReg::arg(3), true);
+    k.b.vop_vi(VAluOp::And, rv, rv, 1, true);
+    k.b.vse(sew, rv, XReg::arg(2));
+    k.vflush(vs[0], rv);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(2)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// `dst[i] = flags[i] ? a[i] : b[i]` — the paper's `p-select`.
+///
+/// Loads `b` unmasked, overlays `a` under the flag mask (a masked unit
+/// load), stores. `dst` may alias `a` or `b`.
+///
+/// Args: `a0` = n, `a1` = flags, `a2` = a (taken where flag set), `a3` = b,
+/// `a4` = dst.
+pub fn build_select(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "select", sew);
+    let vs = k.declare(&["vf", "v"]);
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rf = k.vout(vs[0]);
+    k.b.vle(sew, rf, XReg::arg(1));
+    k.b.vcmp_vi(VCmp::Ne, VReg::V0, rf, 0, true);
+    k.vflush(vs[0], rf);
+    let rv = k.vout(vs[1]);
+    k.b.vle(sew, rv, XReg::arg(3));
+    // Masked load: active (flag-set) elements take a[i], others keep b[i].
+    k.b.raw(rvv_isa::Instr::VLoad {
+        eew: sew,
+        vd: rv,
+        rs1: XReg::arg(2),
+        vm: false,
+    });
+    k.b.vse(sew, rv, XReg::arg(4));
+    k.vflush(vs[1], rv);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(2), XReg::arg(3), XReg::arg(4)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// Out-of-place permutation `dst[index[i]] = src[i]` via indexed store
+/// (`vsuxei`, the paper's §4.2).
+///
+/// Args: `a0` = n, `a1` = src, `a2` = dst base, `a3` = index (element
+/// indices, not byte offsets — the kernel scales them).
+pub fn build_permute(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    let mut k = kb(cfg, "permute", sew);
+    let vs = k.declare(&["vi", "vx"]);
+    let log2 = sew.bytes().trailing_zeros() as i8;
+    k.prologue();
+    let done = k.b.label();
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let ri = k.vout(vs[0]);
+    k.b.vle(sew, ri, XReg::arg(3));
+    k.b.vop_vi(VAluOp::Sll, ri, ri, log2, true);
+    k.vflush(vs[0], ri);
+    let rx = k.vout(vs[1]);
+    k.b.vle(sew, rx, XReg::arg(1));
+    let ri = k.vin(vs[0]);
+    k.b.vsuxei(sew, rx, XReg::arg(2), ri);
+    k.vflush(vs[1], rx);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(3)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+/// Stream compaction (`pack`): keep flagged elements, preserving order, via
+/// `vcompress` + a unit store of the packed prefix.
+///
+/// Args: `a0` = n, `a1` = src, `a2` = flags, `a3` = dst.
+/// Returns the packed count in `a0`.
+pub fn build_pack(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
+    use super::{T_CARRY, T_OFF, T_TMP};
+    let mut k = kb(cfg, "pack", sew);
+    let vs = k.declare(&["vf", "vx", "vp"]);
+    let vmask = VReg::new(1);
+    let log2 = sew.bytes().trailing_zeros() as i32;
+    k.prologue();
+    let done = k.b.label();
+    k.b.li(T_CARRY, 0); // packed count
+    k.b.beqz(XReg::arg(0), done);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rf = k.vout(vs[0]);
+    k.b.vle(sew, rf, XReg::arg(2));
+    k.b.vcmp_vi(VCmp::Ne, vmask, rf, 0, true);
+    k.vflush(vs[0], rf);
+    let rx = k.vout(vs[1]);
+    k.b.vle(sew, rx, XReg::arg(1));
+    k.vflush(vs[1], rx);
+    let rp = k.vout(vs[2]);
+    let rx = k.vin(vs[1]);
+    k.b.raw(rvv_isa::Instr::VCompress {
+        vd: rp,
+        vs2: rx,
+        vs1: vmask,
+    });
+    k.vflush(vs[2], rp);
+    // Store only the packed prefix: shrink vl to the popcount for the store.
+    k.b.vcpop(T_TMP, vmask);
+    k.b.vsetvli(XReg::ZERO, T_TMP, vtype_of(cfg, sew));
+    let rp = k.vin(vs[2]);
+    k.b.vse(sew, rp, XReg::arg(3));
+    // dst += popcount * esize; count += popcount.
+    k.b.slli(T_OFF, T_TMP, log2);
+    k.b.add(XReg::arg(3), XReg::arg(3), T_OFF);
+    k.b.add(T_CARRY, T_CARRY, T_TMP);
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(2)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.b.mv(XReg::arg(0), T_CARRY);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}

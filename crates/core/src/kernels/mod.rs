@@ -1,0 +1,76 @@
+//! Kernel generators: the strip-mined RVV programs behind each primitive.
+//!
+//! Every generator mirrors the structure of the paper's C-with-intrinsics
+//! listings — an outer strip-mining loop driven by `vsetvli`, vector body,
+//! pointer advance — and is built per `(VLEN, SEW, LMUL, spill profile)`
+//! through [`rvv_asm::KernelBuilder`], so LMUL register pressure and spill
+//! code arise exactly as they do in the paper's compiler-generated code.
+//!
+//! ## Scalar register conventions (within kernels)
+//!
+//! | register | role |
+//! |---|---|
+//! | `a0..a7` | arguments (element count, pointers, broadcast scalars) |
+//! | `t0` (x5) | current `vl` |
+//! | `t1` (x6) | in-register scan offset |
+//! | `t2` (x7) | carry / running count |
+//! | `t3` (x28) | byte-advance and misc temporary |
+//! | `x8`, `x29..x31` | reserved by the spill machinery |
+
+mod baseline;
+mod data_move;
+mod elementwise;
+mod enumerate;
+mod reduce;
+mod scan;
+mod segscan;
+mod vls;
+
+pub use baseline::*;
+pub use data_move::*;
+pub use elementwise::*;
+pub use enumerate::*;
+pub use reduce::*;
+pub use scan::*;
+pub use segscan::*;
+pub use vls::*;
+
+use crate::env::EnvConfig;
+use rvv_asm::{KernelBuilder, ProgramBuilder};
+use rvv_isa::{Sew, VType, XReg};
+
+/// `vl` register.
+pub(crate) const T_VL: XReg = XReg::new(5);
+/// Inner-loop offset register.
+pub(crate) const T_OFF: XReg = XReg::new(6);
+/// Carry / count register.
+pub(crate) const T_CARRY: XReg = XReg::new(7);
+/// Scratch temporary.
+pub(crate) const T_TMP: XReg = XReg::new(28);
+
+pub(crate) fn vtype_of(cfg: &EnvConfig, sew: Sew) -> VType {
+    VType::new(sew, cfg.lmul)
+}
+
+pub(crate) fn kb(cfg: &EnvConfig, name: &str, sew: Sew) -> KernelBuilder {
+    let _ = sew;
+    KernelBuilder::new(name, cfg.lmul, cfg.vlen / 8, cfg.spill_profile)
+}
+
+/// Emit `ptr += vl * esize` for each pointer register, then `n -= vl` and
+/// loop while `n != 0`.
+pub(crate) fn advance_and_loop(
+    b: &mut ProgramBuilder,
+    sew: Sew,
+    ptrs: &[XReg],
+    n: XReg,
+    loop_head: rvv_asm::Label,
+) {
+    let log2 = sew.bytes().trailing_zeros() as i32;
+    b.slli(T_TMP, T_VL, log2);
+    for &p in ptrs {
+        b.add(p, p, T_TMP);
+    }
+    b.sub(n, n, T_VL);
+    b.bnez(n, loop_head);
+}

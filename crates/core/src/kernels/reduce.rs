@@ -1,0 +1,97 @@
+//! Reduction kernel: `⊕` over a whole device vector via `vred<op>.vs`.
+
+use super::{advance_and_loop, kb, vtype_of, T_TMP, T_VL};
+use crate::env::EnvConfig;
+use crate::error::ScanResult;
+use crate::ops::ScanOp;
+use rvv_isa::{Sew, XReg};
+use rvv_sim::Program;
+
+/// Reduce a device vector; result in `a0` (truncated to SEW).
+///
+/// Args: `a0` = n, `a1` = ptr.
+pub fn build_reduce(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Program> {
+    let mut k = kb(cfg, &format!("reduce_{}", op.name()), sew);
+    let vs = k.declare(&["x", "acc"]);
+    let identity = op.identity(sew) as i64;
+    k.prologue();
+    let done = k.b.label();
+    let empty = k.b.label();
+    // acc[0] = identity, set under vl >= 1.
+    k.b.li(T_TMP, identity);
+    k.b.raw(rvv_isa::Instr::Vsetivli {
+        rd: XReg::ZERO,
+        uimm: 1,
+        vtype: vtype_of(cfg, sew),
+    });
+    {
+        let racc = k.vout(vs[1]);
+        k.b.vmv_sx(racc, T_TMP);
+        k.vflush(vs[1], racc);
+    }
+    k.b.beqz(XReg::arg(0), empty);
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    {
+        let rx = k.vout(vs[0]);
+        k.b.vle(sew, rx, XReg::arg(1));
+        let racc = k.vin(vs[1]);
+        k.b.vred(op.vred(), racc, rx, racc);
+        k.vflush(vs[1], racc);
+        k.vflush(vs[0], rx);
+    }
+    advance_and_loop(&mut k.b, sew, &[XReg::arg(1)], XReg::arg(0), head);
+    k.b.bind(empty);
+    {
+        let racc = k.vin(vs[1]);
+        k.b.vmv_xs(XReg::arg(0), racc);
+    }
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvConfig, ScanEnv};
+    use crate::native;
+    use rvv_asm::SpillProfile;
+    use rvv_isa::Lmul;
+
+    #[test]
+    fn reduce_matches_oracle() {
+        let data: Vec<u32> = (0..157).map(|i| (i * 31 + 7) % 1009).collect();
+        let elems: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+        for &op in &ScanOp::ALL {
+            let mut e = ScanEnv::new(EnvConfig {
+                vlen: 256,
+                lmul: Lmul::M2,
+                spill_profile: SpillProfile::llvm14(),
+                mem_bytes: 8 << 20,
+            });
+            let v = e.from_u32(&data).unwrap();
+            let p = build_reduce(&e.config(), Sew::E32, op).unwrap();
+            let (_, got) = e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+            // vmv.x.s sign-extends; compare at SEW.
+            assert_eq!(
+                Sew::E32.truncate(got),
+                native::reduce(op, Sew::E32, &elems),
+                "op={op}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        for &op in &ScanOp::ALL {
+            let mut e = ScanEnv::paper_default();
+            let v = e.from_u32(&[]).unwrap();
+            let p = build_reduce(&e.config(), Sew::E32, op).unwrap();
+            let (_, got) = e.run(&p, &[0, v.addr()]).unwrap();
+            assert_eq!(Sew::E32.truncate(got), op.identity(Sew::E32), "op={op}");
+        }
+    }
+}

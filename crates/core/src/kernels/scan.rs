@@ -1,0 +1,247 @@
+//! Unsegmented scan kernel (paper §4.3, Listing 6 and Figure 1).
+//!
+//! Structure per strip: load, in-register scan ladder (`⌈lg vl⌉` rounds of
+//! `vslideup` + combine, with the destination pre-filled with the operator's
+//! identity), combine with the running carry, store, update the carry from
+//! the last element. The exclusive variant shifts the strip's result one
+//! element up with `vslide1up`, inserting the incoming carry — so both
+//! variants cost the same per strip.
+
+use super::{advance_and_loop, kb, vtype_of, T_CARRY, T_OFF, T_TMP, T_VL};
+use crate::env::EnvConfig;
+use crate::error::ScanResult;
+use crate::ops::ScanOp;
+use rvv_isa::{Sew, XReg};
+use rvv_sim::Program;
+
+/// Which scan flavour to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanKind {
+    /// `out[i] = x[0] ⊕ … ⊕ x[i]`.
+    Inclusive,
+    /// `out[0] = I⊕`, `out[i] = x[0] ⊕ … ⊕ x[i-1]`.
+    Exclusive,
+}
+
+impl ScanKind {
+    /// Cache-key fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanKind::Inclusive => "inc",
+            ScanKind::Exclusive => "exc",
+        }
+    }
+}
+
+/// In-place scan over a device vector.
+///
+/// Args: `a0` = n, `a1` = ptr (input and output).
+pub fn build_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp, kind: ScanKind) -> ScanResult<Program> {
+    let t_ident = XReg::new(15); // a5: identity constant
+    let mut k = kb(cfg, &format!("scan_{}_{}", op.name(), kind.name()), sew);
+    let vs = k.declare_kinds(&[
+        ("x", rvv_asm::ValueKind::Normal),
+        ("y", rvv_asm::ValueKind::Temp),
+        ("ident", rvv_asm::ValueKind::Remat(t_ident)),
+    ]);
+    let vop = op.valu();
+    let identity = op.identity(sew) as i64;
+    // Scratch scalar for the "next carry" in the exclusive variant.
+    let t_next = XReg::new(16); // a6: unused argument slot
+    k.prologue();
+
+    let done = k.b.label();
+    k.b.li(T_CARRY, identity);
+    k.b.beqz(XReg::arg(0), done);
+
+    // Broadcast the identity once (paper: vsetvlmax + vmv.v.x).
+    k.b.vsetvli(T_TMP, XReg::ZERO, vtype_of(cfg, sew));
+    k.b.li(t_ident, identity);
+    k.init_remat(vs[2]);
+
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    let rx = k.vout(vs[0]);
+    k.b.vle(sew, rx, XReg::arg(1));
+    k.vflush(vs[0], rx);
+
+    // In-register scan ladder: for (off = 1; off < vl; off <<= 1).
+    let inner_done = k.b.label();
+    k.b.li(T_OFF, 1);
+    k.b.bgeu(T_OFF, T_VL, inner_done);
+    let inner = k.b.label();
+    k.b.bind(inner);
+    {
+        let ry = k.vout(vs[1]);
+        k.vfill(ry, vs[2]);
+        let rx = k.vin(vs[0]);
+        k.b.vslideup_vx(ry, rx, T_OFF, true);
+        let ry = k.vin(vs[1]);
+        k.b.vop_vv(vop, rx, rx, ry, true);
+        k.vflush(vs[0], rx);
+    }
+    k.b.slli(T_OFF, T_OFF, 1);
+    k.b.bltu(T_OFF, T_VL, inner);
+    k.b.bind(inner_done);
+
+    // Fold in the carry from previous strips.
+    {
+        let rx = k.vin(vs[0]);
+        k.b.vop_vx(vop, rx, rx, T_CARRY, true);
+        k.vflush(vs[0], rx);
+    }
+
+    match kind {
+        ScanKind::Inclusive => {
+            // Store, then carry = x[vl-1] (still in the register).
+            let rx = k.vin(vs[0]);
+            k.b.vse(sew, rx, XReg::arg(1));
+            k.b.addi(T_TMP, T_VL, -1);
+            let ry = k.vout(vs[1]);
+            k.b.vslidedown_vx(ry, rx, T_TMP, true);
+            k.b.vmv_xs(T_CARRY, ry);
+        }
+        ScanKind::Exclusive => {
+            // next_carry = x[vl-1]; out = slide1up(x, carry); carry = next.
+            let rx = k.vin(vs[0]);
+            k.b.addi(T_TMP, T_VL, -1);
+            let ry = k.vout(vs[1]);
+            k.b.vslidedown_vx(ry, rx, T_TMP, true);
+            k.b.vmv_xs(t_next, ry);
+            let ry = k.vout(vs[1]);
+            let rx = k.vin(vs[0]);
+            k.b.raw(rvv_isa::Instr::VSlide1Up {
+                vd: ry,
+                vs2: rx,
+                rs1: T_CARRY,
+                vm: true,
+            });
+            k.b.vse(sew, ry, XReg::arg(1));
+            k.b.mv(T_CARRY, t_next);
+        }
+    }
+
+    advance_and_loop(&mut k.b, sew, &[XReg::arg(1)], XReg::arg(0), head);
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvConfig, ScanEnv};
+    use crate::native;
+    use rvv_asm::SpillProfile;
+    use rvv_isa::Lmul;
+
+    fn env(vlen: u32, lmul: Lmul) -> ScanEnv {
+        ScanEnv::new(EnvConfig {
+            vlen,
+            lmul,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 16 << 20,
+        })
+    }
+
+    #[test]
+    fn plus_scan_matches_oracle_across_configs() {
+        let data: Vec<u32> = (0..301)
+            .map(|i| (i * 2654435761u64 % 1000) as u32)
+            .collect();
+        for vlen in [128, 256, 1024] {
+            for lmul in [Lmul::F4, Lmul::F2, Lmul::M1, Lmul::M2, Lmul::M8] {
+                let mut e = env(vlen, lmul);
+                let v = e.from_u32(&data).unwrap();
+                let p =
+                    build_scan(&e.config(), Sew::E32, ScanOp::Plus, ScanKind::Inclusive).unwrap();
+                e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+                let want = native::u32v::scan_inclusive(ScanOp::Plus, &data);
+                assert_eq!(e.to_u32(&v), want, "vlen={vlen} lmul={lmul:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_matches_oracle() {
+        let data: Vec<u32> = (1..=100).collect();
+        let mut e = env(256, Lmul::M1);
+        let v = e.from_u32(&data).unwrap();
+        let p = build_scan(&e.config(), Sew::E32, ScanOp::Plus, ScanKind::Exclusive).unwrap();
+        e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+        assert_eq!(
+            e.to_u32(&v),
+            native::u32v::scan_exclusive(ScanOp::Plus, &data)
+        );
+    }
+
+    #[test]
+    fn all_ops_all_kinds() {
+        let data: Vec<u32> = (0..97).map(|i| (i * 37 + 5) % 256).collect();
+        for &op in &ScanOp::ALL {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let mut e = env(256, Lmul::M2);
+                let v = e.from_u32(&data).unwrap();
+                let p = build_scan(&e.config(), Sew::E32, op, kind).unwrap();
+                e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+                let want = match kind {
+                    ScanKind::Inclusive => native::u32v::scan_inclusive(op, &data),
+                    ScanKind::Exclusive => native::u32v::scan_exclusive(op, &data),
+                };
+                assert_eq!(e.to_u32(&v), want, "{op} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        let mut e = env(128, Lmul::M1);
+        let v = e.from_u32(&[]).unwrap();
+        let p = build_scan(&e.config(), Sew::E32, ScanOp::Plus, ScanKind::Inclusive).unwrap();
+        e.run(&p, &[0, v.addr()]).unwrap();
+        let v1 = e.from_u32(&[42]).unwrap();
+        e.run(&p, &[1, v1.addr()]).unwrap();
+        assert_eq!(e.to_u32(&v1), vec![42]);
+    }
+
+    #[test]
+    fn e64_and_e8_scans() {
+        let mut e = env(256, Lmul::M1);
+        let data64: Vec<u64> = vec![u64::MAX - 5, 3, 9, 1, 2, 8];
+        let v = e.from_u64(&data64).unwrap();
+        let p = build_scan(&e.config(), Sew::E64, ScanOp::Plus, ScanKind::Inclusive).unwrap();
+        e.run(&p, &[data64.len() as u64, v.addr()]).unwrap();
+        assert_eq!(
+            e.to_elems(&v),
+            native::scan_inclusive(ScanOp::Plus, Sew::E64, &data64)
+        );
+
+        let data8: Vec<u64> = (0..50).map(|i| i * 7 % 256).collect();
+        let v8 = e.from_elems(Sew::E8, &data8).unwrap();
+        let p8 = build_scan(&e.config(), Sew::E8, ScanOp::Plus, ScanKind::Inclusive).unwrap();
+        e.run(&p8, &[data8.len() as u64, v8.addr()]).unwrap();
+        assert_eq!(
+            e.to_elems(&v8),
+            native::scan_inclusive(ScanOp::Plus, Sew::E8, &data8)
+        );
+    }
+
+    #[test]
+    fn no_spills_at_any_lmul() {
+        // The unsegmented scan uses 3 vector values; even LMUL=8's 3 groups
+        // hold them. This is why the paper's scan shows near-ideal LMUL
+        // scaling (abstract: 2.85x -> 21.93x) while the segmented scan
+        // does not.
+        for lmul in Lmul::ALL {
+            let cfg = EnvConfig {
+                lmul,
+                ..EnvConfig::paper_default()
+            };
+            let mut k = super::super::kb(&cfg, "probe", Sew::E32);
+            k.declare(&["x", "y", "ident"]);
+            assert!(!k.spills(), "scan must not spill at {lmul}");
+        }
+    }
+}

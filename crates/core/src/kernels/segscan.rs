@@ -1,0 +1,278 @@
+//! Segmented scan kernel (paper §5, Listing 10 and Figure 4).
+//!
+//! The strip body follows the paper exactly:
+//!
+//! 1. Load data and head flags; derive the **carry mask** with
+//!    `vmsne` + `vmsbf` (elements before the strip's first segment head —
+//!    the only ones that may absorb the carry from earlier strips).
+//! 2. Force `flags[0] = 1` (`vmv.s.x`) so element 0 never accumulates
+//!    across the strip boundary inside the ladder.
+//! 3. In-register *segmented* scan ladder: each round masks the combine by
+//!    `flags != 1`, then propagates the flags themselves with
+//!    `vslideup` + `vor` (Figure 4's mask derivation — the mask register
+//!    file has no slide instructions, so flags live in a full data vector,
+//!    exactly as the paper notes).
+//! 4. Combine the carry into the masked prefix, store, and pull the next
+//!    carry from the last element.
+//!
+//! Vector values: `x`, `flags`, `y`, `ident`, `one`, `fs` — **six** live
+//! LMUL-wide values. At LMUL=8 only three aligned groups exist, so this
+//! kernel spills; that is the entire Table 5/6 story, and it emerges here
+//! from the allocator rather than from a hand-tuned constant.
+
+use super::{advance_and_loop, kb, vtype_of, T_CARRY, T_OFF, T_TMP, T_VL};
+use crate::env::EnvConfig;
+use crate::error::ScanResult;
+use crate::ops::ScanOp;
+use rvv_isa::{Instr, MaskOp, Sew, VCmp, VReg, XReg};
+use rvv_sim::Program;
+
+/// In-place segmented inclusive scan.
+///
+/// Args: `a0` = n, `a1` = data ptr (in/out), `a2` = head-flags ptr
+/// (same element width as the data).
+pub fn build_seg_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Program> {
+    use rvv_asm::ValueKind;
+    let t_ident = XReg::new(15); // a5: identity constant
+    let t_one = XReg::new(16); // a6: constant 1
+    let mut k = kb(cfg, &format!("seg_scan_{}", op.name()), sew);
+    // `flags` is declared first so it stays pinned under LMUL=8 pressure
+    // (it is touched three times per ladder round, `x` twice). `y`/`fs` are
+    // statement-local temporaries; the identity/one fills rematerialize
+    // from scalars, as a compiler would.
+    let vs = k.declare_kinds(&[
+        ("flags", ValueKind::Normal),
+        ("x", ValueKind::Normal),
+        ("y", ValueKind::Temp),
+        ("fs", ValueKind::Temp),
+        ("ident", ValueKind::Remat(t_ident)),
+        ("one", ValueKind::Remat(t_one)),
+    ]);
+    let (flags, x, y, fs, ident, one) = (vs[0], vs[1], vs[2], vs[3], vs[4], vs[5]);
+    let vop = op.valu();
+    let identity = op.identity(sew) as i64;
+    let head_mask = VReg::new(1); // segment heads of the strip
+    let carry_mask = VReg::new(2); // vmsbf(head_mask)
+
+    k.prologue();
+    let done = k.b.label();
+    k.b.li(T_CARRY, identity);
+    k.b.beqz(XReg::arg(0), done);
+
+    // One-time setup (paper: vsetvlmax + two vmv.v.x broadcasts).
+    k.b.vsetvli(T_TMP, XReg::ZERO, vtype_of(cfg, sew));
+    k.b.li(t_ident, identity);
+    k.b.li(t_one, 1);
+    k.init_remat(ident);
+    k.init_remat(one);
+
+    let head = k.b.label();
+    k.b.bind(head);
+    k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
+    {
+        let rx = k.vout(x);
+        k.b.vle(sew, rx, XReg::arg(1));
+        k.vflush(x, rx);
+    }
+    {
+        let rf = k.vout(flags);
+        k.b.vle(sew, rf, XReg::arg(2));
+        // head_mask = (flags != 0); carry_mask = set-before-first(head_mask).
+        k.b.vcmp_vi(VCmp::Ne, head_mask, rf, 0, true);
+        k.b.vmsbf(carry_mask, head_mask);
+        // flags[0] = 1: the strip's first element starts its own ladder.
+        k.b.vmv_sx(rf, t_one);
+        k.vflush(flags, rf);
+    }
+
+    // In-register segmented scan ladder.
+    let inner_done = k.b.label();
+    k.b.li(T_OFF, 1);
+    k.b.bgeu(T_OFF, T_VL, inner_done);
+    let inner = k.b.label();
+    k.b.bind(inner);
+    {
+        // v0 = (flags != 1): elements allowed to accumulate this round.
+        let rf = k.vin(flags);
+        k.b.vcmp_vi(VCmp::Ne, VReg::V0, rf, 1, true);
+        // y = slideup(ident, x, off); x = op(x, y) under v0.
+        let ry = k.vout(y);
+        k.vfill(ry, ident);
+        let rx = k.vin(x);
+        k.b.vslideup_vx(ry, rx, T_OFF, true);
+        let ry = k.vin(y);
+        k.b.vop_vv(vop, rx, rx, ry, false);
+        k.vflush(x, rx);
+        // fs = slideup(one, flags, off); flags |= fs.
+        let rfs = k.vout(fs);
+        k.vfill(rfs, one);
+        let rf = k.vin(flags);
+        k.b.vslideup_vx(rfs, rf, T_OFF, true);
+        let rfs = k.vin(fs);
+        k.b.vop_vv(rvv_isa::VAluOp::Or, rf, rf, rfs, true);
+        k.vflush(flags, rf);
+    }
+    k.b.slli(T_OFF, T_OFF, 1);
+    k.b.bltu(T_OFF, T_VL, inner);
+    k.b.bind(inner_done);
+
+    // Fold the carry into elements before the first segment head.
+    k.b.raw(Instr::VMaskLogic {
+        op: MaskOp::And,
+        vd: VReg::V0,
+        vs2: carry_mask,
+        vs1: carry_mask,
+    });
+    {
+        let rx = k.vin(x);
+        k.b.vop_vx(vop, rx, rx, T_CARRY, false);
+        k.b.vse(sew, rx, XReg::arg(1));
+        // carry = x[vl-1] (post-carry value still in the register).
+        k.b.addi(T_TMP, T_VL, -1);
+        let ry = k.vout(y);
+        k.b.vslidedown_vx(ry, rx, T_TMP, true);
+        k.b.vmv_xs(T_CARRY, ry);
+    }
+
+    advance_and_loop(
+        &mut k.b,
+        sew,
+        &[XReg::arg(1), XReg::arg(2)],
+        XReg::arg(0),
+        head,
+    );
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvConfig, ScanEnv};
+    use crate::native;
+    use rvv_asm::SpillProfile;
+    use rvv_isa::Lmul;
+
+    fn env(vlen: u32, lmul: Lmul) -> ScanEnv {
+        ScanEnv::new(EnvConfig {
+            vlen,
+            lmul,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 16 << 20,
+        })
+    }
+
+    fn run_seg(e: &mut ScanEnv, op: ScanOp, data: &[u32], flags: &[u32]) -> Vec<u32> {
+        let v = e.from_u32(data).unwrap();
+        let f = e.from_u32(flags).unwrap();
+        let p = build_seg_scan(&e.config(), Sew::E32, op).unwrap();
+        e.run(&p, &[data.len() as u64, v.addr(), f.addr()]).unwrap();
+        e.to_u32(&v)
+    }
+
+    #[test]
+    fn matches_oracle_small() {
+        let data = [5u32, 1, 2, 4, 8, 16, 3, 3];
+        let flags = [1u32, 0, 1, 0, 0, 1, 0, 1];
+        let mut e = env(128, Lmul::M1);
+        let got = run_seg(&mut e, ScanOp::Plus, &data, &flags);
+        assert_eq!(got, vec![5, 6, 2, 6, 14, 16, 19, 3]);
+    }
+
+    #[test]
+    fn segments_crossing_strip_boundaries() {
+        // VLEN=128 e32 m1 -> 4-element strips; make segments straddle them.
+        let n = 37;
+        let data: Vec<u32> = (0..n).map(|i| (i * 13 + 1) as u32).collect();
+        let mut flags = vec![0u32; n];
+        for i in [0usize, 3, 5, 11, 12, 30] {
+            flags[i] = 1;
+        }
+        let mut e = env(128, Lmul::M1);
+        let got = run_seg(&mut e, ScanOp::Plus, &data, &flags);
+        let want: Vec<u32> = native::u32v::seg_scan_inclusive(ScanOp::Plus, &data, &flags);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_oracle_across_configs_and_ops() {
+        let n = 203;
+        let data: Vec<u32> = (0..n).map(|i| ((i * 2654435761u64) % 509) as u32).collect();
+        let flags: Vec<u32> = (0..n)
+            .map(|i| u32::from(i == 0 || (i * 7919) % 11 == 3))
+            .collect();
+        for vlen in [128, 512, 1024] {
+            for lmul in [Lmul::F2, Lmul::M1, Lmul::M2, Lmul::M4, Lmul::M8] {
+                for &op in &[ScanOp::Plus, ScanOp::Max, ScanOp::Min, ScanOp::Xor] {
+                    let mut e = env(vlen, lmul);
+                    let got = run_seg(&mut e, op, &data, &flags);
+                    let want = native::u32v::seg_scan_inclusive(op, &data, &flags);
+                    assert_eq!(got, want, "vlen={vlen} lmul={lmul:?} op={op}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spilling_lmul8_still_correct() {
+        // The LMUL=8 build spills 5 of 6 values; results must not change.
+        let n = 1000;
+        let data: Vec<u32> = (0..n).map(|i| (i % 97) as u32).collect();
+        let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 129 == 0)).collect();
+        let mut e1 = env(1024, Lmul::M1);
+        let mut e8 = env(1024, Lmul::M8);
+        let r1 = run_seg(&mut e1, ScanOp::Plus, &data, &flags);
+        let r8 = run_seg(&mut e8, ScanOp::Plus, &data, &flags);
+        assert_eq!(r1, r8);
+        assert_eq!(
+            r1,
+            native::u32v::seg_scan_inclusive(ScanOp::Plus, &data, &flags)
+        );
+    }
+
+    #[test]
+    fn leading_headless_run_is_a_carry_of_identity() {
+        // flags[0] == 0 is tolerated by the kernel: the first run gets a
+        // carry of the identity (matches the paper's code and the oracle).
+        let data = [7u32, 7, 7, 7];
+        let flags = [0u32, 0, 1, 0];
+        let mut e = env(128, Lmul::M1);
+        let got = run_seg(&mut e, ScanOp::Plus, &data, &flags);
+        assert_eq!(got, vec![7, 14, 7, 14]);
+    }
+
+    #[test]
+    fn every_element_its_own_segment_is_identity_map() {
+        let data: Vec<u32> = (10..30).collect();
+        let flags = vec![1u32; 20];
+        let mut e = env(128, Lmul::M2);
+        let got = run_seg(&mut e, ScanOp::Plus, &data, &flags);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn one_segment_equals_unsegmented() {
+        let n = 77;
+        let data: Vec<u32> = (0..n).map(|i| (i * i) as u32).collect();
+        let mut flags = vec![0u32; n as usize];
+        flags[0] = 1;
+        let mut e = env(256, Lmul::M1);
+        let got = run_seg(&mut e, ScanOp::Plus, &data, &flags);
+        assert_eq!(got, native::u32v::scan_inclusive(ScanOp::Plus, &data));
+    }
+
+    #[test]
+    fn seg_scan_spills_only_at_m8() {
+        for lmul in Lmul::ALL {
+            let cfg = EnvConfig {
+                lmul,
+                ..EnvConfig::paper_default()
+            };
+            let mut k = super::super::kb(&cfg, "probe", Sew::E32);
+            k.declare(&["x", "flags", "y", "ident", "one", "fs"]);
+            assert_eq!(k.spills(), lmul == Lmul::M8, "at {lmul}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Vector-length-specific (VLS) strip-mining — the counterfactual the
+//! paper's §3.1 argues against.
+//!
+//! A VLS SIMD ISA (AVX/Neon-style) processes a fixed number of elements
+//! per vector instruction and needs a **scalar remainder loop** for the
+//! elements the last full vector cannot cover. RVV's `vsetvli` folds the
+//! remainder into the final strip. This kernel emulates the VLS structure
+//! on our machine — one `vsetvli` to pin `vl = VLMAX`, a main loop over
+//! whole vectors, then a scalar loop for `n mod VLMAX` — so the
+//! `ablation_vla_vls` bench can measure exactly what the VLA design saves:
+//! nothing per full strip (VLS even skips the per-strip `vsetvli`), but up
+//! to `6·(VLMAX−1)` scalar instructions in the tail, which dominates for
+//! short vectors.
+
+use super::{kb, vtype_of, T_OFF, T_TMP, T_VL};
+use crate::env::EnvConfig;
+use crate::error::ScanResult;
+use rvv_isa::{MemWidth, Sew, VAluOp, XReg};
+use rvv_sim::Program;
+
+fn mem_width(sew: Sew) -> MemWidth {
+    match sew {
+        Sew::E8 => MemWidth::B,
+        Sew::E16 => MemWidth::H,
+        Sew::E32 => MemWidth::W,
+        Sew::E64 => MemWidth::D,
+    }
+}
+
+/// `a ⊕= x` with VLS-style strip-mining: full-VLMAX vector strips plus a
+/// scalar remainder loop. Same signature as
+/// [`super::build_elem_vx`]: `a0` = n, `a1` = ptr, `a2` = scalar.
+pub fn build_elem_vx_vls(cfg: &EnvConfig, sew: Sew, op: VAluOp) -> ScanResult<Program> {
+    let vlmax = vtype_of(cfg, sew).vlmax(cfg.vlen) as i64;
+    let w = mem_width(sew);
+    let esz = sew.bytes() as i32;
+    let log2 = sew.bytes().trailing_zeros() as i32;
+    let mut k = kb(cfg, &format!("elem_vx_vls_{op:?}"), sew);
+    let vs = k.declare(&["v"]);
+    k.prologue();
+    let remainder = k.b.label();
+    let done = k.b.label();
+    // Configure once for exactly VLMAX elements (the fixed vector width).
+    k.b.li(T_VL, vlmax);
+    k.b.vsetvli(XReg::ZERO, T_VL, vtype_of(cfg, sew));
+    k.b.bltu(XReg::arg(0), T_VL, remainder);
+    let main = k.b.label();
+    k.b.bind(main);
+    let rv = k.vout(vs[0]);
+    k.b.vle(sew, rv, XReg::arg(1));
+    k.b.vop_vx(op, rv, rv, XReg::arg(2), true);
+    k.b.vse(sew, rv, XReg::arg(1));
+    k.vflush(vs[0], rv);
+    k.b.slli(T_TMP, T_VL, log2);
+    k.b.add(XReg::arg(1), XReg::arg(1), T_TMP);
+    k.b.sub(XReg::arg(0), XReg::arg(0), T_VL);
+    k.b.bgeu(XReg::arg(0), T_VL, main);
+    // Scalar remainder loop: the code VLA's last-strip `vsetvli` deletes.
+    k.b.bind(remainder);
+    k.b.beqz(XReg::arg(0), done);
+    let rloop = k.b.label();
+    k.b.bind(rloop);
+    k.b.load(w, false, T_OFF, XReg::arg(1), 0);
+    // Scalar equivalent of the vector op (Add only needs `add`; the
+    // ablation uses p_add, matching the paper's Listing 1/2 example).
+    match op {
+        VAluOp::Add => {
+            k.b.add(T_OFF, T_OFF, XReg::arg(2));
+        }
+        VAluOp::And => {
+            k.b.op(rvv_isa::AluOp::And, T_OFF, T_OFF, XReg::arg(2));
+        }
+        VAluOp::Or => {
+            k.b.op(rvv_isa::AluOp::Or, T_OFF, T_OFF, XReg::arg(2));
+        }
+        VAluOp::Xor => {
+            k.b.op(rvv_isa::AluOp::Xor, T_OFF, T_OFF, XReg::arg(2));
+        }
+        _ => panic!("VLS remainder emulation supports add/and/or/xor"),
+    }
+    k.b.store(w, T_OFF, XReg::arg(1), 0);
+    k.b.addi(XReg::arg(1), XReg::arg(1), esz);
+    k.b.addi(XReg::arg(0), XReg::arg(0), -1);
+    k.b.bnez(XReg::arg(0), rloop);
+    k.b.bind(done);
+    k.epilogue();
+    k.b.halt();
+    Ok(k.b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvConfig, ScanEnv};
+    use crate::primitives;
+
+    fn env() -> ScanEnv {
+        ScanEnv::new(EnvConfig {
+            vlen: 256, // VLMAX = 8 at e32
+            lmul: rvv_isa::Lmul::M1,
+            spill_profile: rvv_asm::SpillProfile::llvm14(),
+            mem_bytes: 8 << 20,
+        })
+    }
+
+    #[test]
+    fn vls_matches_vla_result_for_every_remainder() {
+        for n in 0..=25usize {
+            let data: Vec<u32> = (0..n as u32).map(|i| i * 3).collect();
+            let mut e = env();
+            let v = e.from_u32(&data).unwrap();
+            let p = build_elem_vx_vls(&e.config(), Sew::E32, VAluOp::Add).unwrap();
+            e.run(&p, &[n as u64, v.addr(), 7]).unwrap();
+            let want: Vec<u32> = data.iter().map(|&x| x + 7).collect();
+            assert_eq!(e.to_u32(&v), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn vls_pays_for_the_remainder() {
+        // n = VLMAX + (VLMAX-1): VLA covers the tail with one more strip;
+        // VLS runs VLMAX-1 scalar iterations.
+        let n = 8 + 7;
+        let data: Vec<u32> = (0..n as u32).collect();
+        let mut e = env();
+        let v = e.from_u32(&data).unwrap();
+        let vla = primitives::p_add(&mut e, &v, 1).unwrap();
+        let p = build_elem_vx_vls(&e.config(), Sew::E32, VAluOp::Add).unwrap();
+        let (r, _) = e.run(&p, &[n as u64, v.addr(), 1]).unwrap();
+        assert!(r.retired > vla, "VLS {} must exceed VLA {}", r.retired, vla);
+    }
+
+    #[test]
+    fn vls_wins_nothing_on_exact_multiples() {
+        // With no remainder, VLS even saves the per-strip vsetvli.
+        let n = 64; // 8 full strips
+        let data: Vec<u32> = (0..n as u32).collect();
+        let mut e = env();
+        let v = e.from_u32(&data).unwrap();
+        let vla = primitives::p_add(&mut e, &v, 1).unwrap();
+        let p = build_elem_vx_vls(&e.config(), Sew::E32, VAluOp::Add).unwrap();
+        let (r, _) = e.run(&p, &[n as u64, v.addr(), 1]).unwrap();
+        assert!(r.retired <= vla);
+    }
+}

@@ -1,0 +1,64 @@
+//! # scanvec — the scan vector model for the RISC-V Vector extension
+//!
+//! This crate is the paper's primary contribution rebuilt as a library:
+//! Blelloch's **scan vector model** — elementwise, permutation, and scan
+//! primitive classes plus the derived operations (`enumerate`, `split`,
+//! `pack`) — implemented as strip-mined RVV kernels that execute on the
+//! workspace's functional simulator ([`rvv_sim`]) and are measured in
+//! dynamic instructions, exactly like the paper measures on Spike.
+//!
+//! ## Layers
+//!
+//! * [`env`] — [`env::ScanEnv`] owns the simulated machine, stages device
+//!   vectors, caches kernels per `(VLEN, SEW, LMUL, spill profile)`.
+//! * [`primitives`] — the public operations over device vectors, each
+//!   returning the dynamic instruction count of its launch, plus the
+//!   [`primitives::baseline`] scalar counterparts the paper compares with.
+//! * [`kernels`] — the generators emitting each kernel (public so benches
+//!   and tests can inspect and instrument the generated code).
+//! * [`native`] — pure-Rust oracle implementations defining the semantics;
+//!   property tests assert `simulated == native`.
+//! * [`ops`] — the operator algebra ([`ops::ScanOp`]) with identities.
+//! * [`segment`] — head-flags / lengths / head-pointers segment
+//!   descriptors and conversions (paper §5 discusses all three; head-flags
+//!   is what the kernels consume).
+//! * [`typed`] — [`typed::DeviceVec<T>`], a statically-typed wrapper over
+//!   device vectors for host code.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use scanvec::env::ScanEnv;
+//! use scanvec::primitives::{plus_scan, baseline};
+//!
+//! let mut env = ScanEnv::paper_default(); // VLEN=1024, LMUL=1
+//! let v = env.from_u32(&[3, 1, 7, 0, 4, 1, 6, 3]).unwrap();
+//! let vector_cost = plus_scan(&mut env, &v).unwrap();
+//! assert_eq!(env.to_u32(&v), vec![3, 4, 11, 11, 15, 16, 22, 25]);
+//!
+//! let w = env.from_u32(&[3, 1, 7, 0, 4, 1, 6, 3]).unwrap();
+//! let scalar_cost = baseline::plus_scan(&mut env, &w).unwrap();
+//! assert_eq!(env.to_u32(&w), env.to_u32(&v));
+//! // Dynamic instruction counts are the paper's metric.
+//! assert!(vector_cost > 0 && scalar_cost > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+mod error;
+pub mod kernels;
+pub mod native;
+pub mod ops;
+pub mod paper;
+pub mod primitives;
+pub mod segment;
+pub mod typed;
+
+pub use env::{EnvConfig, ScanEnv, SvVector};
+pub use error::{ScanError, ScanResult};
+pub use ops::ScanOp;
+pub use primitives::ScanKind;
+pub use segment::Segments;
+pub use typed::{DeviceVec, SvElement};

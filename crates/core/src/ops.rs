@@ -1,0 +1,160 @@
+//! The binary operators of the scan vector model.
+//!
+//! Blelloch's model parameterizes its scan instructions by an associative
+//! operator `⊕` with a left identity. The paper implements `+` (plus-scan);
+//! we support the full classic set — every one maps to an RVV instruction
+//! for the element step and has a well-defined identity used as the
+//! `vslideup` fill value.
+
+use rvv_isa::{Sew, VAluOp, VRedOp};
+use std::fmt;
+
+/// An associative scan operator with identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanOp {
+    /// Addition mod 2^SEW (the paper's plus-scan).
+    Plus,
+    /// Unsigned maximum.
+    Max,
+    /// Unsigned minimum.
+    Min,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+}
+
+impl ScanOp {
+    /// Every supported operator.
+    pub const ALL: [ScanOp; 6] = [
+        ScanOp::Plus,
+        ScanOp::Max,
+        ScanOp::Min,
+        ScanOp::And,
+        ScanOp::Or,
+        ScanOp::Xor,
+    ];
+
+    /// The operator's identity at a given element width (e.g. `Min`'s
+    /// identity is the all-ones maximum value).
+    pub const fn identity(self, sew: Sew) -> u64 {
+        match self {
+            ScanOp::Plus | ScanOp::Or | ScanOp::Xor | ScanOp::Max => 0,
+            ScanOp::Min | ScanOp::And => sew.max_value(),
+        }
+    }
+
+    /// Apply the operator to two elements (already truncated to SEW);
+    /// result is truncated to SEW.
+    pub const fn apply(self, sew: Sew, a: u64, b: u64) -> u64 {
+        let r = match self {
+            ScanOp::Plus => a.wrapping_add(b),
+            ScanOp::Max => {
+                if a > b {
+                    a
+                } else {
+                    b
+                }
+            }
+            ScanOp::Min => {
+                if a < b {
+                    a
+                } else {
+                    b
+                }
+            }
+            ScanOp::And => a & b,
+            ScanOp::Or => a | b,
+            ScanOp::Xor => a ^ b,
+        };
+        sew.truncate(r)
+    }
+
+    /// The vector ALU instruction implementing one combine step.
+    pub const fn valu(self) -> VAluOp {
+        match self {
+            ScanOp::Plus => VAluOp::Add,
+            ScanOp::Max => VAluOp::Maxu,
+            ScanOp::Min => VAluOp::Minu,
+            ScanOp::And => VAluOp::And,
+            ScanOp::Or => VAluOp::Or,
+            ScanOp::Xor => VAluOp::Xor,
+        }
+    }
+
+    /// The reduction instruction computing `⊕` over a strip (used by the
+    /// reduction primitive).
+    pub const fn vred(self) -> VRedOp {
+        match self {
+            ScanOp::Plus => VRedOp::Sum,
+            ScanOp::Max => VRedOp::Maxu,
+            ScanOp::Min => VRedOp::Minu,
+            ScanOp::And => VRedOp::And,
+            ScanOp::Or => VRedOp::Or,
+            ScanOp::Xor => VRedOp::Xor,
+        }
+    }
+
+    /// Short name used in kernel cache keys and bench output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ScanOp::Plus => "plus",
+            ScanOp::Max => "max",
+            ScanOp::Min => "min",
+            ScanOp::And => "and",
+            ScanOp::Or => "or",
+            ScanOp::Xor => "xor",
+        }
+    }
+}
+
+impl fmt::Display for ScanOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_identities() {
+        for &op in &ScanOp::ALL {
+            for &sew in &Sew::ALL {
+                let id = op.identity(sew);
+                for x in [0u64, 1, 7, sew.max_value(), sew.max_value() / 2] {
+                    assert_eq!(
+                        op.apply(sew, id, x),
+                        x,
+                        "{op} identity failed at {sew} on {x}"
+                    );
+                    assert_eq!(op.apply(sew, x, id), x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn associativity_spot_checks() {
+        for &op in &ScanOp::ALL {
+            for (a, b, c) in [(1u64, 2, 3), (0xff, 0x100, 0xffff_ffff), (5, 5, 5)] {
+                let s = Sew::E32;
+                let (a, b, c) = (s.truncate(a), s.truncate(b), s.truncate(c));
+                assert_eq!(
+                    op.apply(s, op.apply(s, a, b), c),
+                    op.apply(s, a, op.apply(s, b, c)),
+                    "{op} not associative on ({a},{b},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plus_wraps_at_sew() {
+        assert_eq!(ScanOp::Plus.apply(Sew::E8, 200, 100), 44);
+        assert_eq!(ScanOp::Plus.apply(Sew::E32, u32::MAX as u64, 2), 1);
+    }
+}

@@ -1,0 +1,593 @@
+//! The public primitives of the scan vector model, as host-callable
+//! functions over device vectors.
+//!
+//! Each function checks shapes, fetches (or builds) the cached kernel for
+//! the environment's configuration, launches it, and returns the **dynamic
+//! instruction count** the launch retired — the paper's metric — plus any
+//! scalar result. Data stays in simulated device memory; read it back with
+//! [`ScanEnv::to_u32`]/[`ScanEnv::to_elems`].
+//!
+//! The three primitive classes of Blelloch's model map as:
+//!
+//! * **elementwise** — [`elem_vx`], [`elem_vv`], [`p_add`] and friends,
+//!   [`select`], [`get_flags`];
+//! * **permutation** — [`permute`], [`pack`];
+//! * **scan** — [`scan`], [`seg_scan`], [`reduce`], [`enumerate`].
+//!
+//! [`split`] composes enumerate/add/select/permute exactly as the paper's
+//! Listing 7. The [`baseline`] module mirrors the API with the sequential
+//! scalar implementations the paper compares against.
+
+use crate::env::{ScanEnv, SvVector};
+use crate::error::{ScanError, ScanResult};
+use crate::kernels;
+pub use crate::kernels::ScanKind;
+use crate::ops::ScanOp;
+use rvv_isa::VAluOp;
+
+fn check_same(what: &'static str, a: &SvVector, b: &SvVector) -> ScanResult<()> {
+    if a.len() != b.len() {
+        return Err(ScanError::LengthMismatch {
+            what,
+            a: a.len(),
+            b: b.len(),
+        });
+    }
+    if a.sew() != b.sew() {
+        return Err(ScanError::SewMismatch { what });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------- elementwise --
+
+/// In-place `v[i] ⊕= x` for any vector ALU op (the paper's `p-add` family).
+/// Returns retired instructions.
+pub fn elem_vx(env: &mut ScanEnv, op: VAluOp, v: &SvVector, x: u64) -> ScanResult<u64> {
+    let p = env.kernel(&format!("elem_vx_{op:?}"), v.sew(), |cfg, sew| {
+        kernels::build_elem_vx(cfg, sew, op)
+    })?;
+    let (r, _) = env.run(&p, &[v.len() as u64, v.addr(), x])?;
+    Ok(r.retired)
+}
+
+/// `dst[i] = a[i] ⊕ b[i]`.
+pub fn elem_vv(
+    env: &mut ScanEnv,
+    op: VAluOp,
+    a: &SvVector,
+    b: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    check_same("elem_vv", a, b)?;
+    check_same("elem_vv", a, dst)?;
+    let p = env.kernel(&format!("elem_vv_{op:?}"), a.sew(), |cfg, sew| {
+        kernels::build_elem_vv(cfg, sew, op)
+    })?;
+    let (r, _) = env.run(&p, &[a.len() as u64, a.addr(), b.addr(), dst.addr()])?;
+    Ok(r.retired)
+}
+
+/// The paper's `p-add`: `v[i] += x`.
+pub fn p_add(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::Add, v, x)
+}
+
+/// `v[i] -= x`.
+pub fn p_sub(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::Sub, v, x)
+}
+
+/// `v[i] *= x`.
+pub fn p_mul(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::Mul, v, x)
+}
+
+/// `v[i] &= x`.
+pub fn p_and(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::And, v, x)
+}
+
+/// `v[i] |= x`.
+pub fn p_or(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::Or, v, x)
+}
+
+/// `v[i] ^= x`.
+pub fn p_xor(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::Xor, v, x)
+}
+
+/// `v[i] = max(v[i], x)` (unsigned).
+pub fn p_max(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::Maxu, v, x)
+}
+
+/// `v[i] = min(v[i], x)` (unsigned).
+pub fn p_min(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+    elem_vx(env, VAluOp::Minu, v, x)
+}
+
+/// `flags[i] = (src[i] >> bit) & 1`.
+pub fn get_flags(env: &mut ScanEnv, src: &SvVector, bit: u32, flags: &SvVector) -> ScanResult<u64> {
+    check_same("get_flags", src, flags)?;
+    let p = env.kernel("get_flags", src.sew(), kernels::build_get_flags)?;
+    let (r, _) = env.run(
+        &p,
+        &[src.len() as u64, src.addr(), flags.addr(), bit as u64],
+    )?;
+    Ok(r.retired)
+}
+
+/// `dst[i] = flags[i] != 0 ? a[i] : b[i]` — the paper's `p-select`.
+/// `dst` may alias `a` or `b`.
+pub fn select(
+    env: &mut ScanEnv,
+    flags: &SvVector,
+    a: &SvVector,
+    b: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    check_same("select", flags, a)?;
+    check_same("select", flags, b)?;
+    check_same("select", flags, dst)?;
+    let p = env.kernel("select", a.sew(), kernels::build_select)?;
+    let (r, _) = env.run(
+        &p,
+        &[a.len() as u64, flags.addr(), a.addr(), b.addr(), dst.addr()],
+    )?;
+    Ok(r.retired)
+}
+
+// ----------------------------------------------------------- permutation --
+
+/// Out-of-place permutation / scatter `dst[index[i]] = src[i]`
+/// (paper §4.2). `dst` must not alias `src` (the scan vector model's
+/// permute is out-of-place by definition). `dst` may be a different length
+/// than `src` (a scatter); every index must be in range for `dst` — the
+/// caller's contract, like the paper's C signature.
+pub fn permute(
+    env: &mut ScanEnv,
+    src: &SvVector,
+    index: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    check_same("permute", src, index)?;
+    if src.sew() != dst.sew() {
+        return Err(ScanError::SewMismatch { what: "permute" });
+    }
+    let p = env.kernel("permute", src.sew(), kernels::build_permute)?;
+    let (r, _) = env.run(
+        &p,
+        &[src.len() as u64, src.addr(), dst.addr(), index.addr()],
+    )?;
+    Ok(r.retired)
+}
+
+/// Stream compaction: copy flagged elements of `src` to the front of `dst`,
+/// preserving order. Returns `(kept_count, retired)`.
+///
+/// `dst` may be shorter than `src`, but must have room for every flagged
+/// element — the kernel writes exactly `kept_count` elements.
+pub fn pack(
+    env: &mut ScanEnv,
+    src: &SvVector,
+    flags: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<(u64, u64)> {
+    check_same("pack", src, flags)?;
+    if src.sew() != dst.sew() {
+        return Err(ScanError::SewMismatch { what: "pack" });
+    }
+    let p = env.kernel("pack", src.sew(), kernels::build_pack)?;
+    let (r, count) = env.run(
+        &p,
+        &[src.len() as u64, src.addr(), flags.addr(), dst.addr()],
+    )?;
+    Ok((count, r.retired))
+}
+
+// ------------------------------------------------------------------ scan --
+
+/// In-place scan with operator `op`. Returns retired instructions.
+pub fn scan(env: &mut ScanEnv, op: ScanOp, v: &SvVector, kind: ScanKind) -> ScanResult<u64> {
+    let p = env.kernel(
+        &format!("scan_{}_{}", op.name(), kind.name()),
+        v.sew(),
+        |cfg, sew| kernels::build_scan(cfg, sew, op, kind),
+    )?;
+    let (r, _) = env.run(&p, &[v.len() as u64, v.addr()])?;
+    Ok(r.retired)
+}
+
+/// The paper's unsegmented `plus_scan` (inclusive, in place).
+pub fn plus_scan(env: &mut ScanEnv, v: &SvVector) -> ScanResult<u64> {
+    scan(env, ScanOp::Plus, v, ScanKind::Inclusive)
+}
+
+/// In-place segmented inclusive scan with head-flags (paper §5).
+pub fn seg_scan(env: &mut ScanEnv, op: ScanOp, v: &SvVector, flags: &SvVector) -> ScanResult<u64> {
+    check_same("seg_scan", v, flags)?;
+    let p = env.kernel(&format!("seg_scan_{}", op.name()), v.sew(), |cfg, sew| {
+        kernels::build_seg_scan(cfg, sew, op)
+    })?;
+    let (r, _) = env.run(&p, &[v.len() as u64, v.addr(), flags.addr()])?;
+    Ok(r.retired)
+}
+
+/// The paper's `seg_plus_scan`.
+pub fn seg_plus_scan(env: &mut ScanEnv, v: &SvVector, flags: &SvVector) -> ScanResult<u64> {
+    seg_scan(env, ScanOp::Plus, v, flags)
+}
+
+/// Reduction `⊕` over `v`. Returns `(value, retired)`.
+pub fn reduce(env: &mut ScanEnv, op: ScanOp, v: &SvVector) -> ScanResult<(u64, u64)> {
+    let p = env.kernel(&format!("reduce_{}", op.name()), v.sew(), |cfg, sew| {
+        kernels::build_reduce(cfg, sew, op)
+    })?;
+    let (r, val) = env.run(&p, &[v.len() as u64, v.addr()])?;
+    Ok((v.sew().truncate(val), r.retired))
+}
+
+/// The paper's `enumerate` (Listing 8): `dst[i]` counts earlier positions
+/// whose flag equals `set_bit`. Returns `(total_count, retired)`.
+pub fn enumerate(
+    env: &mut ScanEnv,
+    flags: &SvVector,
+    set_bit: bool,
+    dst: &SvVector,
+) -> ScanResult<(u64, u64)> {
+    check_same("enumerate", flags, dst)?;
+    let p = env.kernel("enumerate", flags.sew(), kernels::build_enumerate)?;
+    let (r, count) = env.run(
+        &p,
+        &[flags.len() as u64, flags.addr(), dst.addr(), set_bit as u64],
+    )?;
+    Ok((count, r.retired))
+}
+
+/// Ablation variant of [`enumerate`] that uses a generic exclusive scan
+/// instead of `viota` (paper §4.4 argues `viota` is the right
+/// specialization; `scanvec-bench`'s `ablation_enumerate` quantifies it).
+pub fn enumerate_via_scan(
+    env: &mut ScanEnv,
+    flags: &SvVector,
+    set_bit: bool,
+    dst: &SvVector,
+) -> ScanResult<(u64, u64)> {
+    check_same("enumerate", flags, dst)?;
+    let p = env.kernel(
+        "enumerate_via_scan",
+        flags.sew(),
+        kernels::build_enumerate_via_scan,
+    )?;
+    let (r, count) = env.run(
+        &p,
+        &[flags.len() as u64, flags.addr(), dst.addr(), set_bit as u64],
+    )?;
+    Ok((count, r.retired))
+}
+
+// ------------------------------------------------------------ data moves --
+
+/// `dst[i] = src[i]`.
+pub fn copy(env: &mut ScanEnv, src: &SvVector, dst: &SvVector) -> ScanResult<u64> {
+    check_same("copy", src, dst)?;
+    let p = env.kernel("copy", src.sew(), kernels::build_copy)?;
+    let (r, _) = env.run(&p, &[src.len() as u64, src.addr(), dst.addr()])?;
+    Ok(r.retired)
+}
+
+/// `dst[i] = src[n-1-i]` (Blelloch's `reverse`).
+pub fn reverse(env: &mut ScanEnv, src: &SvVector, dst: &SvVector) -> ScanResult<u64> {
+    check_same("reverse", src, dst)?;
+    let p = env.kernel("reverse", src.sew(), kernels::build_reverse)?;
+    let (r, _) = env.run(&p, &[src.len() as u64, src.addr(), dst.addr()])?;
+    Ok(r.retired)
+}
+
+/// Gather: `dst[i] = table[index[i]]` — the inverse permutation direction.
+/// `index` and `dst` must have the table's element width; indices must be
+/// in range (out-of-range indices trap on the simulated machine).
+pub fn gather(
+    env: &mut ScanEnv,
+    table: &SvVector,
+    index: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    check_same("gather", index, dst)?;
+    if table.sew() != dst.sew() {
+        return Err(ScanError::SewMismatch { what: "gather" });
+    }
+    let p = env.kernel("gather", table.sew(), kernels::build_gather)?;
+    let (r, _) = env.run(
+        &p,
+        &[index.len() as u64, table.addr(), dst.addr(), index.addr()],
+    )?;
+    Ok(r.retired)
+}
+
+/// `dst[i] = i` (the model's `index`/`iota` primitive).
+pub fn iota(env: &mut ScanEnv, dst: &SvVector) -> ScanResult<u64> {
+    let p = env.kernel("iota", dst.sew(), kernels::build_iota)?;
+    let (r, _) = env.run(&p, &[dst.len() as u64, dst.addr()])?;
+    Ok(r.retired)
+}
+
+/// Elementwise compare to 0/1 flags: `dst[i] = (a[i] ⋈ b[i]) ? 1 : 0`.
+pub fn cmp_flags(
+    env: &mut ScanEnv,
+    cond: rvv_isa::VCmp,
+    a: &SvVector,
+    b: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    check_same("cmp_flags", a, b)?;
+    check_same("cmp_flags", a, dst)?;
+    let p = env.kernel(&format!("cmp_flags_{cond:?}"), a.sew(), |cfg, sew| {
+        kernels::build_cmp_flags(cfg, sew, cond)
+    })?;
+    let (r, _) = env.run(&p, &[a.len() as u64, a.addr(), b.addr(), dst.addr()])?;
+    Ok(r.retired)
+}
+
+/// Deinterleave: `even[i] = v[2i]`, `odd[i] = v[2i+1]` (Blelloch's
+/// `even-elts`/`odd-elts`). `even.len()` must be `⌈n/2⌉` and `odd.len()`
+/// `⌊n/2⌋`.
+pub fn deinterleave(
+    env: &mut ScanEnv,
+    v: &SvVector,
+    even: &SvVector,
+    odd: &SvVector,
+) -> ScanResult<u64> {
+    let n = v.len();
+    if even.sew() != v.sew() || odd.sew() != v.sew() {
+        return Err(ScanError::SewMismatch {
+            what: "deinterleave",
+        });
+    }
+    if even.len() != n.div_ceil(2) || odd.len() != n / 2 {
+        return Err(ScanError::LengthMismatch {
+            what: "deinterleave",
+            a: even.len() + odd.len(),
+            b: n,
+        });
+    }
+    let p = env.kernel("deinterleave", v.sew(), kernels::build_deinterleave)?;
+    let esz = v.sew().bytes() as u64;
+    let (r1, _) = env.run(&p, &[even.len() as u64, v.addr(), even.addr()])?;
+    let (r2, _) = env.run(&p, &[odd.len() as u64, v.addr() + esz, odd.addr()])?;
+    Ok(r1.retired + r2.retired)
+}
+
+/// Interleave: `dst[2i] = a[i]`, `dst[2i+1] = b[i]` (Blelloch's
+/// `interleave`). `a` and `b` must have equal length; `dst` twice that.
+pub fn interleave(
+    env: &mut ScanEnv,
+    a: &SvVector,
+    b: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    check_same("interleave", a, b)?;
+    if dst.sew() != a.sew() {
+        return Err(ScanError::SewMismatch { what: "interleave" });
+    }
+    if dst.len() != 2 * a.len() {
+        return Err(ScanError::LengthMismatch {
+            what: "interleave",
+            a: dst.len(),
+            b: 2 * a.len(),
+        });
+    }
+    let p = env.kernel("interleave_lane", a.sew(), kernels::build_interleave_lane)?;
+    let esz = a.sew().bytes() as u64;
+    let (r1, _) = env.run(&p, &[a.len() as u64, a.addr(), dst.addr()])?;
+    let (r2, _) = env.run(&p, &[b.len() as u64, b.addr(), dst.addr() + esz])?;
+    Ok(r1.retired + r2.retired)
+}
+
+/// VLS-style `v[i] ⊕= x` — fixed vector width plus scalar remainder loop.
+/// Exists only for the `ablation_vla_vls` experiment (paper §3.1); use
+/// [`elem_vx`] for real work.
+pub fn elem_vx_vls(env: &mut ScanEnv, op: VAluOp, v: &SvVector, x: u64) -> ScanResult<u64> {
+    let p = env.kernel(&format!("elem_vx_vls_{op:?}"), v.sew(), |cfg, sew| {
+        kernels::build_elem_vx_vls(cfg, sew, op)
+    })?;
+    let (r, _) = env.run(&p, &[v.len() as u64, v.addr(), x])?;
+    Ok(r.retired)
+}
+
+// ----------------------------------------------------------------- split --
+
+/// The index computation at the heart of Blelloch's `split` (paper
+/// Listing 7): `index[i]` is where element `i` lands in a stable partition
+/// by `flags` (flag-0 elements first, flag-1 after). Composed from
+/// `enumerate` ×2, `p_add`, and `select`, exactly like the paper.
+pub fn split_index(env: &mut ScanEnv, flags: &SvVector, index: &SvVector) -> ScanResult<u64> {
+    check_same("split_index", flags, index)?;
+    let n = flags.len();
+    let mark = env.heap_mark();
+    let i_down = env.alloc(flags.sew(), n)?;
+    let mut retired = 0;
+    let (count0, r) = enumerate(env, flags, false, index)?;
+    retired += r;
+    let (_, r) = enumerate(env, flags, true, &i_down)?;
+    retired += r;
+    retired += p_add(env, &i_down, count0)?;
+    // index[i] = flags[i] ? i_down[i] : index[i]
+    retired += select(env, flags, &i_down, index, index)?;
+    env.release_to(mark);
+    Ok(retired)
+}
+
+/// Blelloch's `split` (paper Listing 7): stable partition of `src` by
+/// `flags` into `dst` — flag-0 elements first, flag-1 elements after, both
+/// in original order ([`split_index`] + [`permute`]). Returns retired
+/// instructions summed over the component launches.
+pub fn split(
+    env: &mut ScanEnv,
+    src: &SvVector,
+    flags: &SvVector,
+    dst: &SvVector,
+) -> ScanResult<u64> {
+    check_same("split", src, flags)?;
+    check_same("split", src, dst)?;
+    let mark = env.heap_mark();
+    let index = env.alloc(src.sew(), src.len())?;
+    let mut retired = split_index(env, flags, &index)?;
+    retired += permute(env, src, &index, dst)?;
+    env.release_to(mark);
+    Ok(retired)
+}
+
+/// `split` applied to a (key, value) pair: one index computation, two
+/// permutes — the building block of the key-value radix sort.
+pub fn split_pairs(
+    env: &mut ScanEnv,
+    keys: &SvVector,
+    vals: &SvVector,
+    flags: &SvVector,
+    dst_keys: &SvVector,
+    dst_vals: &SvVector,
+) -> ScanResult<u64> {
+    check_same("split_pairs", keys, flags)?;
+    check_same("split_pairs", keys, dst_keys)?;
+    check_same("split_pairs", vals, dst_vals)?;
+    if keys.len() != vals.len() {
+        return Err(ScanError::LengthMismatch {
+            what: "split_pairs",
+            a: keys.len(),
+            b: vals.len(),
+        });
+    }
+    let mark = env.heap_mark();
+    let index = env.alloc(keys.sew(), keys.len())?;
+    let mut retired = split_index(env, flags, &index)?;
+    retired += permute(env, keys, &index, dst_keys)?;
+    // The value permute reuses the same index vector; widths may differ
+    // between keys and values only if the index still fits, so we require
+    // matching widths for simplicity (checked above via dst_vals).
+    retired += permute(env, vals, &index, dst_vals)?;
+    env.release_to(mark);
+    Ok(retired)
+}
+
+// -------------------------------------------------------------- baseline --
+
+/// Sequential scalar baselines, mirroring the primitive API (Tables 2–4's
+/// comparison column). All run on the same machine and counter.
+pub mod baseline {
+    use super::*;
+
+    /// Scalar `v[i] ⊕= x`.
+    pub fn elem_vx(env: &mut ScanEnv, op: ScanOp, v: &SvVector, x: u64) -> ScanResult<u64> {
+        let p = env.kernel(
+            &format!("elem_baseline_{}", op.name()),
+            v.sew(),
+            |cfg, sew| kernels::build_elem_baseline(cfg, sew, op),
+        )?;
+        let (r, _) = env.run(&p, &[v.len() as u64, v.addr(), x])?;
+        Ok(r.retired)
+    }
+
+    /// Scalar `p_add` baseline.
+    pub fn p_add(env: &mut ScanEnv, v: &SvVector, x: u64) -> ScanResult<u64> {
+        elem_vx(env, ScanOp::Plus, v, x)
+    }
+
+    /// Scalar inclusive scan baseline.
+    pub fn scan(env: &mut ScanEnv, op: ScanOp, v: &SvVector) -> ScanResult<u64> {
+        let p = env.kernel(
+            &format!("scan_baseline_{}", op.name()),
+            v.sew(),
+            |cfg, sew| kernels::build_scan_baseline(cfg, sew, op),
+        )?;
+        let (r, _) = env.run(&p, &[v.len() as u64, v.addr()])?;
+        Ok(r.retired)
+    }
+
+    /// Scalar `plus_scan` baseline.
+    pub fn plus_scan(env: &mut ScanEnv, v: &SvVector) -> ScanResult<u64> {
+        scan(env, ScanOp::Plus, v)
+    }
+
+    /// Scalar segmented scan baseline.
+    pub fn seg_scan(
+        env: &mut ScanEnv,
+        op: ScanOp,
+        v: &SvVector,
+        flags: &SvVector,
+    ) -> ScanResult<u64> {
+        super::check_same("seg_scan_baseline", v, flags)?;
+        let p = env.kernel(
+            &format!("seg_scan_baseline_{}", op.name()),
+            v.sew(),
+            |cfg, sew| kernels::build_seg_scan_baseline(cfg, sew, op),
+        )?;
+        let (r, _) = env.run(&p, &[v.len() as u64, v.addr(), flags.addr()])?;
+        Ok(r.retired)
+    }
+
+    /// Scalar `seg_plus_scan` baseline.
+    pub fn seg_plus_scan(env: &mut ScanEnv, v: &SvVector, flags: &SvVector) -> ScanResult<u64> {
+        seg_scan(env, ScanOp::Plus, v, flags)
+    }
+
+    /// Scalar `enumerate` baseline. Returns `(count, retired)`.
+    pub fn enumerate(
+        env: &mut ScanEnv,
+        flags: &SvVector,
+        set_bit: bool,
+        dst: &SvVector,
+    ) -> ScanResult<(u64, u64)> {
+        super::check_same("enumerate_baseline", flags, dst)?;
+        let p = env.kernel(
+            "enumerate_baseline",
+            flags.sew(),
+            kernels::build_enumerate_baseline,
+        )?;
+        let (r, count) = env.run(
+            &p,
+            &[flags.len() as u64, flags.addr(), dst.addr(), set_bit as u64],
+        )?;
+        Ok((count, r.retired))
+    }
+
+    /// Scalar select baseline.
+    pub fn select(
+        env: &mut ScanEnv,
+        flags: &SvVector,
+        a: &SvVector,
+        b: &SvVector,
+        dst: &SvVector,
+    ) -> ScanResult<u64> {
+        super::check_same("select_baseline", flags, a)?;
+        super::check_same("select_baseline", flags, b)?;
+        let p = env.kernel("select_baseline", a.sew(), kernels::build_select_baseline)?;
+        let (r, _) = env.run(
+            &p,
+            &[a.len() as u64, flags.addr(), a.addr(), b.addr(), dst.addr()],
+        )?;
+        Ok(r.retired)
+    }
+
+    /// Scalar permute baseline.
+    pub fn permute(
+        env: &mut ScanEnv,
+        src: &SvVector,
+        index: &SvVector,
+        dst: &SvVector,
+    ) -> ScanResult<u64> {
+        super::check_same("permute_baseline", src, index)?;
+        let p = env.kernel(
+            "permute_baseline",
+            src.sew(),
+            kernels::build_permute_baseline,
+        )?;
+        let (r, _) = env.run(
+            &p,
+            &[src.len() as u64, src.addr(), dst.addr(), index.addr()],
+        )?;
+        Ok(r.retired)
+    }
+}

@@ -1,0 +1,210 @@
+//! Segment descriptors for segmented operations.
+//!
+//! Blelloch (and the paper's §5) name three equivalent representations of a
+//! segmentation of an `n`-element vector:
+//!
+//! * **head-flags** — `n` words, 1 at each segment start (the paper's
+//!   choice, because it maps directly onto RVV mask instructions);
+//! * **lengths** — one length per segment, summing to `n`;
+//! * **head-pointers** — the start index of each segment, strictly
+//!   increasing, starting at 0.
+//!
+//! [`Segments`] stores the canonical head-flags form and converts to/from
+//! the other two (with validation), so algorithms can accept whichever shape
+//! their input data arrives in.
+//!
+//! A note on the first element: a well-formed segmentation of a non-empty
+//! vector begins a segment at index 0, i.e. `head_flags[0] == 1`. The
+//! *kernels* tolerate `head_flags[0] == 0` (the leading run is treated as a
+//! continuation of a zero-length "segment 0", matching the paper's code,
+//! whose first strip adds a carry of the operator identity); the
+//! *descriptor* type enforces the canonical form.
+
+use crate::error::{ScanError, ScanResult};
+
+/// A validated segmentation of an `n`-element vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segments {
+    flags: Vec<u32>,
+}
+
+impl Segments {
+    /// Build from head-flags. Requires every flag to be 0/1, and
+    /// `flags[0] == 1` when non-empty.
+    pub fn from_head_flags(flags: Vec<u32>) -> ScanResult<Segments> {
+        if flags.iter().any(|&f| f > 1) {
+            return Err(ScanError::BadSegmentDescriptor("head flags must be 0 or 1"));
+        }
+        if let Some(&first) = flags.first() {
+            if first != 1 {
+                return Err(ScanError::BadSegmentDescriptor(
+                    "a segmentation must start a segment at index 0",
+                ));
+            }
+        }
+        Ok(Segments { flags })
+    }
+
+    /// Build from per-segment lengths. Zero-length segments are rejected
+    /// (they have no representation in head-flags).
+    pub fn from_lengths(lengths: &[u32]) -> ScanResult<Segments> {
+        if lengths.contains(&0) {
+            return Err(ScanError::BadSegmentDescriptor(
+                "zero-length segments are not representable as head flags",
+            ));
+        }
+        let n: u64 = lengths.iter().map(|&l| l as u64).sum();
+        let mut flags = vec![0u32; n as usize];
+        let mut at = 0usize;
+        for &l in lengths {
+            flags[at] = 1;
+            at += l as usize;
+        }
+        Ok(Segments { flags })
+    }
+
+    /// Build from head-pointers over a vector of length `n`.
+    pub fn from_head_pointers(ptrs: &[u32], n: usize) -> ScanResult<Segments> {
+        if n > 0 {
+            if ptrs.first() != Some(&0) {
+                return Err(ScanError::BadSegmentDescriptor(
+                    "head pointers must start at index 0",
+                ));
+            }
+        } else if !ptrs.is_empty() {
+            return Err(ScanError::BadSegmentDescriptor(
+                "empty vector cannot have segments",
+            ));
+        }
+        let mut flags = vec![0u32; n];
+        let mut prev: Option<u32> = None;
+        for &p in ptrs {
+            if (p as usize) >= n {
+                return Err(ScanError::BadSegmentDescriptor("head pointer out of range"));
+            }
+            if let Some(q) = prev {
+                if p <= q {
+                    return Err(ScanError::BadSegmentDescriptor(
+                        "head pointers must be strictly increasing",
+                    ));
+                }
+            }
+            flags[p as usize] = 1;
+            prev = Some(p);
+        }
+        Ok(Segments { flags })
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Is the underlying vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.flags.iter().filter(|&&f| f == 1).count()
+    }
+
+    /// The head-flags form (borrowed).
+    pub fn head_flags(&self) -> &[u32] {
+        &self.flags
+    }
+
+    /// Convert to per-segment lengths.
+    pub fn to_lengths(&self) -> Vec<u32> {
+        let mut lengths = Vec::new();
+        let mut cur = 0u32;
+        for (i, &f) in self.flags.iter().enumerate() {
+            if f == 1 && i != 0 {
+                lengths.push(cur);
+                cur = 0;
+            }
+            cur += 1;
+        }
+        if !self.flags.is_empty() {
+            lengths.push(cur);
+        }
+        lengths
+    }
+
+    /// Convert to head-pointers.
+    pub fn to_head_pointers(&self) -> Vec<u32> {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| (f == 1).then_some(i as u32))
+            .collect()
+    }
+
+    /// Iterate segment index ranges.
+    pub fn ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let ptrs = self.to_head_pointers();
+        let mut out = Vec::with_capacity(ptrs.len());
+        for (k, &p) in ptrs.iter().enumerate() {
+            let end = ptrs
+                .get(k + 1)
+                .map(|&q| q as usize)
+                .unwrap_or(self.flags.len());
+            out.push(p as usize..end);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_roundtrip() {
+        let s = Segments::from_lengths(&[3, 1, 4]).unwrap();
+        assert_eq!(s.head_flags(), &[1, 0, 0, 1, 1, 0, 0, 0]);
+        assert_eq!(s.to_lengths(), vec![3, 1, 4]);
+        assert_eq!(s.segment_count(), 3);
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn head_pointers_roundtrip() {
+        let s = Segments::from_head_pointers(&[0, 2, 3], 6).unwrap();
+        assert_eq!(s.head_flags(), &[1, 0, 1, 1, 0, 0]);
+        assert_eq!(s.to_head_pointers(), vec![0, 2, 3]);
+        let back = Segments::from_head_pointers(&s.to_head_pointers(), s.len()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        let s = Segments::from_lengths(&[2, 5, 1]).unwrap();
+        let r = s.ranges();
+        assert_eq!(r, vec![0..2, 2..7, 7..8]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_forms() {
+        assert!(Segments::from_head_flags(vec![0, 1, 1]).is_err()); // no head at 0
+        assert!(Segments::from_head_flags(vec![1, 2]).is_err()); // non-boolean
+        assert!(Segments::from_lengths(&[2, 0, 1]).is_err()); // empty segment
+        assert!(Segments::from_head_pointers(&[1, 2], 4).is_err()); // no 0
+        assert!(Segments::from_head_pointers(&[0, 2, 2], 4).is_err()); // not increasing
+        assert!(Segments::from_head_pointers(&[0, 9], 4).is_err()); // out of range
+        assert!(Segments::from_head_flags(vec![]).is_ok()); // empty is fine
+        assert_eq!(
+            Segments::from_head_flags(vec![]).unwrap().to_lengths(),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn single_segment() {
+        let s = Segments::from_lengths(&[5]).unwrap();
+        assert_eq!(s.head_flags(), &[1, 0, 0, 0, 0]);
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.ranges(), vec![0..5]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Typed device vectors: a thin, type-safe layer over [`SvVector`].
+//!
+//! The raw environment API works in element widths ([`Sew`]) and `u64`
+//! staging values — faithful to the hardware, but easy to misuse from host
+//! code. [`DeviceVec<T>`] carries the element type in the Rust type system:
+//! uploads/downloads are slices of `T`, and the width can never disagree
+//! with the data.
+//!
+//! ```
+//! use scanvec::env::ScanEnv;
+//! use scanvec::typed::DeviceVec;
+//! use scanvec::{primitives, ScanKind, ScanOp};
+//!
+//! let mut env = ScanEnv::paper_default();
+//! let v: DeviceVec<u16> = DeviceVec::upload(&mut env, &[1u16, 2, 3, 4]).unwrap();
+//! primitives::scan(&mut env, ScanOp::Plus, v.raw(), ScanKind::Inclusive).unwrap();
+//! assert_eq!(v.download(&env), vec![1u16, 3, 6, 10]);
+//! ```
+
+use crate::env::{ScanEnv, SvVector};
+use crate::error::ScanResult;
+use rvv_isa::Sew;
+use std::marker::PhantomData;
+
+/// An element type storable in a device vector.
+///
+/// Sealed to the four RVV integer element widths.
+pub trait SvElement: Copy + private::Sealed {
+    /// The element width this type maps to.
+    const SEW: Sew;
+    /// Zero-extend to the staging representation.
+    fn to_u64(self) -> u64;
+    /// Truncate from the staging representation.
+    fn from_u64(v: u64) -> Self;
+}
+
+mod private {
+    /// Seals [`super::SvElement`].
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+macro_rules! impl_elem {
+    ($t:ty, $sew:expr) => {
+        impl SvElement for $t {
+            const SEW: Sew = $sew;
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_elem!(u8, Sew::E8);
+impl_elem!(u16, Sew::E16);
+impl_elem!(u32, Sew::E32);
+impl_elem!(u64, Sew::E64);
+
+/// A device vector whose element type is tracked statically.
+#[derive(Debug, Clone)]
+pub struct DeviceVec<T: SvElement> {
+    raw: SvVector,
+    _elem: PhantomData<T>,
+}
+
+impl<T: SvElement> DeviceVec<T> {
+    /// Allocate a zeroed vector of `len` elements.
+    pub fn zeroed(env: &mut ScanEnv, len: usize) -> ScanResult<DeviceVec<T>> {
+        Ok(DeviceVec {
+            raw: env.alloc(T::SEW, len)?,
+            _elem: PhantomData,
+        })
+    }
+
+    /// Allocate and fill from host data.
+    pub fn upload(env: &mut ScanEnv, data: &[T]) -> ScanResult<DeviceVec<T>> {
+        let staged: Vec<u64> = data.iter().map(|&x| x.to_u64()).collect();
+        Ok(DeviceVec {
+            raw: env.from_elems(T::SEW, &staged)?,
+            _elem: PhantomData,
+        })
+    }
+
+    /// Read the whole vector back to the host.
+    pub fn download(&self, env: &ScanEnv) -> Vec<T> {
+        env.to_elems(&self.raw)
+            .into_iter()
+            .map(T::from_u64)
+            .collect()
+    }
+
+    /// Wrap an untyped vector; `None` if the element width disagrees.
+    pub fn from_raw(raw: SvVector) -> Option<DeviceVec<T>> {
+        (raw.sew() == T::SEW).then_some(DeviceVec {
+            raw,
+            _elem: PhantomData,
+        })
+    }
+
+    /// The untyped view, accepted by every primitive.
+    pub fn raw(&self) -> &SvVector {
+        &self.raw
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Typed single-element read (host-side staging, uncounted).
+    pub fn get(&self, env: &ScanEnv, i: usize) -> T {
+        T::from_u64(env.load_elem(&self.raw, i))
+    }
+
+    /// Typed single-element write (host-side staging, uncounted).
+    pub fn set(&self, env: &mut ScanEnv, i: usize, value: T) -> ScanResult<()> {
+        env.store_elem(&self.raw, i, value.to_u64())
+    }
+
+    /// Typed sub-view of elements `[start, start+len)`.
+    pub fn slice(&self, env: &ScanEnv, start: usize, len: usize) -> ScanResult<DeviceVec<T>> {
+        Ok(DeviceVec {
+            raw: env.slice(&self.raw, start, len)?,
+            _elem: PhantomData,
+        })
+    }
+}
+
+impl<T: SvElement> AsRef<SvVector> for DeviceVec<T> {
+    fn as_ref(&self) -> &SvVector {
+        &self.raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives;
+    use crate::{ScanKind, ScanOp};
+
+    fn env() -> ScanEnv {
+        ScanEnv::paper_default()
+    }
+
+    #[test]
+    fn upload_download_roundtrips_every_width() {
+        let mut e = env();
+        let a = DeviceVec::upload(&mut e, &[1u8, 255, 7]).unwrap();
+        assert_eq!(a.download(&e), vec![1u8, 255, 7]);
+        let b = DeviceVec::upload(&mut e, &[1u16, 65535, 7]).unwrap();
+        assert_eq!(b.download(&e), vec![1u16, 65535, 7]);
+        let c = DeviceVec::upload(&mut e, &[1u32, u32::MAX, 7]).unwrap();
+        assert_eq!(c.download(&e), vec![1u32, u32::MAX, 7]);
+        let d = DeviceVec::upload(&mut e, &[1u64, u64::MAX, 7]).unwrap();
+        assert_eq!(d.download(&e), vec![1u64, u64::MAX, 7]);
+    }
+
+    #[test]
+    fn typed_vectors_drive_primitives_at_every_width() {
+        let mut e = env();
+        // u16 scan with wraparound at the element width.
+        let v = DeviceVec::upload(&mut e, &[60_000u16, 10_000, 5]).unwrap();
+        primitives::scan(&mut e, ScanOp::Plus, v.raw(), ScanKind::Inclusive).unwrap();
+        assert_eq!(v.download(&e), vec![60_000u16, 4_464, 4_469]);
+        // u8 p_add wraps mod 256.
+        let w = DeviceVec::upload(&mut e, &[250u8, 1, 2]).unwrap();
+        primitives::p_add(&mut e, w.raw(), 10).unwrap();
+        assert_eq!(w.download(&e), vec![4u8, 11, 12]);
+    }
+
+    #[test]
+    fn from_raw_checks_width() {
+        let mut e = env();
+        let raw = e.from_u32(&[1, 2, 3]).unwrap();
+        assert!(DeviceVec::<u32>::from_raw(raw.clone()).is_some());
+        assert!(DeviceVec::<u16>::from_raw(raw).is_none());
+    }
+
+    #[test]
+    fn element_access_and_slicing() {
+        let mut e = env();
+        let v = DeviceVec::upload(&mut e, &[10u32, 20, 30, 40]).unwrap();
+        assert_eq!(v.get(&e, 2), 30);
+        v.set(&mut e, 2, 99).unwrap();
+        assert_eq!(v.get(&e, 2), 99);
+        let s = v.slice(&e, 1, 2).unwrap();
+        assert_eq!(s.download(&e), vec![20u32, 99]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

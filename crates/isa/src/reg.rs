@@ -1,0 +1,170 @@
+//! Checked register newtypes for the scalar (`x0..x31`) and vector
+//! (`v0..v31`) register files.
+
+use core::fmt;
+
+/// A scalar (integer) register, `x0` through `x31`.
+///
+/// `x0` is hard-wired to zero; writes to it are discarded by the simulator.
+/// Construction is checked so an out-of-range register number can never reach
+/// the encoder or the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XReg(u8);
+
+impl XReg {
+    /// The hard-wired zero register.
+    pub const ZERO: XReg = XReg(0);
+    /// Return address (`ra` = `x1`).
+    pub const RA: XReg = XReg(1);
+    /// Stack pointer (`sp` = `x2`).
+    pub const SP: XReg = XReg(2);
+
+    /// Construct from a register number.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn new(n: u8) -> XReg {
+        assert!(n < 32, "scalar register number out of range");
+        XReg(n)
+    }
+
+    /// Construct checked; `None` if `n >= 32`.
+    #[inline]
+    pub const fn try_new(n: u8) -> Option<XReg> {
+        if n < 32 {
+            Some(XReg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Argument register `a0..a7` (`x10..x17`), the calling convention the
+    /// kernel runner uses to pass buffer addresses and lengths.
+    ///
+    /// # Panics
+    /// Panics if `i >= 8`.
+    #[inline]
+    pub const fn arg(i: u8) -> XReg {
+        assert!(i < 8, "argument register index out of range");
+        XReg(10 + i)
+    }
+
+    /// Temporary registers usable without saving: `t0..t6`
+    /// (`x5..x7`, `x28..x31`).
+    ///
+    /// # Panics
+    /// Panics if `i >= 7`.
+    #[inline]
+    pub const fn temp(i: u8) -> XReg {
+        assert!(i < 7, "temporary register index out of range");
+        match i {
+            0..=2 => XReg(5 + i),
+            _ => XReg(28 + (i - 3)),
+        }
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Is this the hard-wired zero register?
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A vector register, `v0` through `v31`.
+///
+/// With `LMUL > 1` a `VReg` names the *base* of a register group and must be
+/// LMUL-aligned; that constraint is validated by the simulator per
+/// instruction (it depends on the dynamic `vtype`), not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(u8);
+
+impl VReg {
+    /// `v0`, the implicit mask register for masked instructions.
+    pub const V0: VReg = VReg(0);
+
+    /// Construct from a register number.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn new(n: u8) -> VReg {
+        assert!(n < 32, "vector register number out of range");
+        VReg(n)
+    }
+
+    /// Construct checked; `None` if `n >= 32`.
+    #[inline]
+    pub const fn try_new(n: u8) -> Option<VReg> {
+        if n < 32 {
+            Some(VReg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xreg_basics() {
+        assert_eq!(XReg::ZERO.num(), 0);
+        assert!(XReg::ZERO.is_zero());
+        assert_eq!(XReg::SP.num(), 2);
+        assert_eq!(XReg::arg(0).num(), 10);
+        assert_eq!(XReg::arg(7).num(), 17);
+        assert_eq!(XReg::temp(0).num(), 5);
+        assert_eq!(XReg::temp(2).num(), 7);
+        assert_eq!(XReg::temp(3).num(), 28);
+        assert_eq!(XReg::temp(6).num(), 31);
+        assert_eq!(XReg::try_new(31), Some(XReg::new(31)));
+        assert_eq!(XReg::try_new(32), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn xreg_out_of_range_panics() {
+        let _ = XReg::new(32);
+    }
+
+    #[test]
+    fn vreg_basics() {
+        assert_eq!(VReg::V0.num(), 0);
+        assert_eq!(VReg::new(31).num(), 31);
+        assert_eq!(VReg::try_new(32), None);
+        assert_eq!(format!("{}", VReg::new(8)), "v8");
+        assert_eq!(format!("{}", XReg::new(10)), "x10");
+    }
+
+    #[test]
+    #[should_panic]
+    fn vreg_out_of_range_panics() {
+        let _ = VReg::new(40);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dynamic instruction counters — the paper's performance metric.
+//!
+//! The paper evaluates on Spike, which is functional (not cycle-accurate),
+//! and uses *dynamic instruction count* as the figure of merit. [`Counters`]
+//! reproduces that: every architecturally retired instruction counts exactly
+//! one, whether scalar or vector, and independent of LMUL (an LMUL=8
+//! `vadd.vv` retires as one instruction, exactly as Spike counts it).
+//! A per-[`InstrClass`] histogram lets benches attribute counts (e.g. how
+//! much of an LMUL=8 segmented scan is spill memory traffic).
+
+use rvv_isa::{Instr, InstrClass};
+use std::fmt;
+
+/// Retired-instruction counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    total: u64,
+    by_class: [u64; InstrClass::ALL.len()],
+}
+
+impl Counters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Record one retired instruction.
+    #[inline]
+    pub fn retire(&mut self, instr: &Instr) {
+        self.total += 1;
+        self.by_class[InstrClass::of(instr).index()] += 1;
+    }
+
+    /// Total dynamic instruction count.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one class.
+    #[inline]
+    pub fn class(&self, c: InstrClass) -> u64 {
+        self.by_class[c.index()]
+    }
+
+    /// Sum of all vector classes (everything the V extension added).
+    pub fn vector_total(&self) -> u64 {
+        [
+            InstrClass::VectorCfg,
+            InstrClass::VectorAlu,
+            InstrClass::VectorMem,
+            InstrClass::VectorMask,
+            InstrClass::VectorPerm,
+            InstrClass::VectorRed,
+        ]
+        .iter()
+        .map(|&c| self.class(c))
+        .sum()
+    }
+
+    /// Sum of all scalar classes.
+    pub fn scalar_total(&self) -> u64 {
+        self.total - self.vector_total()
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        *self = Counters::default();
+    }
+
+    /// Difference (`self - earlier`), class by class. Panics in debug builds
+    /// if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        let mut by_class = [0u64; InstrClass::ALL.len()];
+        for (i, b) in by_class.iter_mut().enumerate() {
+            *b = self.by_class[i] - earlier.by_class[i];
+        }
+        Counters {
+            total: self.total - earlier.total,
+            by_class,
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {}", self.total)?;
+        for c in InstrClass::ALL {
+            let n = self.class(c);
+            if n > 0 {
+                writeln!(f, "  {:12} {}", c.label(), n)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvv_isa::{AluOp, Sew, VReg, XReg};
+
+    #[test]
+    fn retire_updates_total_and_class() {
+        let mut c = Counters::new();
+        c.retire(&Instr::Ecall);
+        c.retire(&Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::ZERO,
+            rs1: XReg::ZERO,
+            imm: 0,
+        });
+        c.retire(&Instr::VLoad {
+            eew: Sew::E32,
+            vd: VReg::new(8),
+            rs1: XReg::new(10),
+            vm: true,
+        });
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.class(InstrClass::ScalarCtrl), 1);
+        assert_eq!(c.class(InstrClass::ScalarAlu), 1);
+        assert_eq!(c.class(InstrClass::VectorMem), 1);
+        assert_eq!(c.vector_total(), 1);
+        assert_eq!(c.scalar_total(), 2);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut c = Counters::new();
+        c.retire(&Instr::Ecall);
+        let snap = c.clone();
+        c.retire(&Instr::Ecall);
+        c.retire(&Instr::Ebreak);
+        let d = c.since(&snap);
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.class(InstrClass::ScalarCtrl), 2);
+    }
+}

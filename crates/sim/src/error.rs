@@ -1,0 +1,100 @@
+//! Simulator error type.
+//!
+//! Everything the machine can trap on is an explicit, testable error — the
+//! failure-injection integration tests drive each of these paths.
+
+use rvv_isa::{Lmul, VReg};
+use std::fmt;
+
+/// A trap raised while executing an instruction or running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A vector instruction executed while `vtype` is ill-formed (no
+    /// successful `vsetvli` yet, or an illegal configuration was requested).
+    Vill,
+    /// A vector operand register is not aligned to the current LMUL group
+    /// size (e.g. `v3` used as a group base at LMUL=4).
+    MisalignedGroup {
+        /// The offending register.
+        reg: VReg,
+        /// The LMUL in effect.
+        lmul: Lmul,
+    },
+    /// A destination group overlaps a source group in a way the ISA forbids
+    /// (`vslideup`, `vrgather`, `vcompress`, `viota`).
+    OverlapConstraint {
+        /// Which instruction family raised it.
+        what: &'static str,
+    },
+    /// A memory access fell outside the machine's memory.
+    MemOutOfBounds {
+        /// Byte address of the start of the access.
+        addr: u64,
+        /// Access length in bytes.
+        len: u64,
+        /// Memory size in bytes.
+        size: u64,
+    },
+    /// A branch or jump targeted an address that is not a valid instruction
+    /// boundary within the running program.
+    BadControlFlow {
+        /// The target byte address.
+        target: u64,
+    },
+    /// `ebreak` executed.
+    Breakpoint {
+        /// PC of the `ebreak`.
+        pc: u64,
+    },
+    /// The run loop's instruction budget was exhausted — almost always an
+    /// infinite loop in a generated kernel.
+    FuelExhausted {
+        /// The budget that was exceeded.
+        fuel: u64,
+    },
+    /// A vector memory op used an element width whose EMUL would exceed 8
+    /// registers or otherwise cannot be realized.
+    UnsupportedEmul {
+        /// Description of the violation.
+        what: &'static str,
+    },
+    /// The program wrote to a guard region (buffer under/overrun detection
+    /// used by tests).
+    GuardHit {
+        /// Byte address of the faulting access.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Vill => write!(f, "vector instruction executed with vill set"),
+            SimError::MisalignedGroup { reg, lmul } => {
+                write!(f, "register {reg} is not aligned for LMUL {lmul}")
+            }
+            SimError::OverlapConstraint { what } => {
+                write!(f, "illegal destination/source overlap in {what}")
+            }
+            SimError::MemOutOfBounds { addr, len, size } => write!(
+                f,
+                "memory access [{addr:#x}, {:#x}) outside memory of {size:#x} bytes",
+                addr + len
+            ),
+            SimError::BadControlFlow { target } => {
+                write!(f, "control flow to invalid target {target:#x}")
+            }
+            SimError::Breakpoint { pc } => write!(f, "ebreak at pc {pc:#x}"),
+            SimError::FuelExhausted { fuel } => {
+                write!(f, "instruction budget of {fuel} exhausted")
+            }
+            SimError::UnsupportedEmul { what } => write!(f, "unsupported EMUL: {what}"),
+            SimError::GuardHit { addr } => write!(f, "guard region hit at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulator result alias.
+pub type SimResult<T> = Result<T, SimError>;

@@ -1,0 +1,273 @@
+//! Vector configuration instructions: `vsetvli`, `vsetivli`, `vsetvl`.
+//!
+//! `vl` is computed the way Spike does: `vl = min(AVL, VLMAX)`. With
+//! `rs1 = x0` and `rd != x0` the AVL is "as large as possible" (`VLMAX`);
+//! with both `x0` the configuration changes but `vl` is preserved (and must
+//! still be legal — we model the must-not-grow rule by keeping the old `vl`
+//! and trapping if it now exceeds `VLMAX`).
+
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use rvv_isa::{Instr, VType, XReg};
+
+impl Machine {
+    pub(super) fn exec_vconfig(&mut self, instr: &Instr) -> SimResult<()> {
+        match *instr {
+            Instr::Vsetvli { rd, rs1, vtype } => {
+                let avl = if rs1.is_zero() && rd.is_zero() {
+                    None
+                } else if rs1.is_zero() {
+                    Some(u64::MAX)
+                } else {
+                    Some(self.xreg(rs1))
+                };
+                self.apply(rd, avl, vtype)
+            }
+            Instr::Vsetivli { rd, uimm, vtype } => self.apply(rd, Some(uimm as u64), vtype),
+            Instr::Vsetvl { rd, rs1, rs2 } => {
+                let bits = self.xreg(rs2);
+                let vtype = match VType::from_bits(bits) {
+                    Some(t) => t,
+                    None => {
+                        // Illegal vtype sets vill; later vector instructions
+                        // trap. `vl` reads as 0.
+                        self.set_vcfg(None, 0);
+                        self.set_xreg(rd, 0);
+                        return Ok(());
+                    }
+                };
+                let avl = if rs1.is_zero() && rd.is_zero() {
+                    None
+                } else if rs1.is_zero() {
+                    Some(u64::MAX)
+                } else {
+                    Some(self.xreg(rs1))
+                };
+                self.apply(rd, avl, vtype)
+            }
+            _ => unreachable!("non-config instruction routed to exec_vconfig"),
+        }
+    }
+
+    fn apply(&mut self, rd: XReg, avl: Option<u64>, vtype: VType) -> SimResult<()> {
+        let vlmax = vtype.vlmax(self.vlen()) as u64;
+        if vlmax == 0 {
+            // SEW wider than LMUL x VLEN supports (possible with fractional
+            // LMUL): the configuration is unsupported here, so vill is set.
+            self.set_vcfg(None, 0);
+            self.set_xreg(rd, 0);
+            return Ok(());
+        }
+        let vl = match avl {
+            Some(avl) => avl.min(vlmax),
+            None => {
+                // Change vtype, keep vl: legal only if the old vl still fits.
+                let old = self.vl() as u64;
+                if old > vlmax {
+                    return Err(SimError::Vill);
+                }
+                old
+            }
+        };
+        self.set_vcfg(Some(vtype), vl as u32);
+        self.set_xreg(rd, vl);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{Machine, MachineConfig};
+    use rvv_isa::{Instr, Lmul, Sew, VType, XReg};
+
+    fn m() -> Machine {
+        Machine::new(MachineConfig {
+            vlen: 1024,
+            mem_bytes: 4096,
+        })
+    }
+
+    #[test]
+    fn vl_is_min_of_avl_and_vlmax() {
+        let mut m = m();
+        // VLEN=1024, e32, m1 -> VLMAX = 32.
+        m.set_xreg(XReg::new(10), 100);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::new(13),
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::M1),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.vl(), 32);
+        assert_eq!(m.xreg(XReg::new(13)), 32);
+        // AVL below VLMAX comes back exactly.
+        m.set_xreg(XReg::new(10), 13);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::new(13),
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::M1),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.vl(), 13);
+    }
+
+    #[test]
+    fn rs1_x0_means_vlmax() {
+        let mut m = m();
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::new(13),
+                rs1: XReg::ZERO,
+                vtype: VType::new(Sew::E32, Lmul::M8),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.vl(), 256); // 8 * 1024/32
+    }
+
+    #[test]
+    fn vsetivli_immediate_avl() {
+        let mut m = m();
+        m.exec(
+            0,
+            &Instr::Vsetivli {
+                rd: XReg::new(1),
+                uimm: 16,
+                vtype: VType::new(Sew::E64, Lmul::M1),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.vl(), 16);
+        assert_eq!(m.vtype().unwrap().sew, Sew::E64);
+    }
+
+    #[test]
+    fn fractional_lmul_configures() {
+        let mut m = m();
+        // VLEN=1024, e32, mf2 -> VLMAX = 16.
+        m.set_xreg(XReg::new(10), 100);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::new(13),
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::F2),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.vl(), 16);
+    }
+
+    #[test]
+    fn impossible_fractional_config_sets_vill() {
+        let mut m = Machine::new(crate::machine::MachineConfig {
+            vlen: 128,
+            mem_bytes: 4096,
+        });
+        m.set_xreg(XReg::new(10), 4);
+        // e64 at mf8 on VLEN=128: VLMAX = 0 -> vill.
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::new(13),
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E64, Lmul::F8),
+            },
+        )
+        .unwrap();
+        assert!(m.vtype().is_none());
+        assert_eq!(m.xreg(XReg::new(13)), 0);
+    }
+
+    #[test]
+    fn csrr_reads_vector_state() {
+        use rvv_isa::VCsr;
+        let mut m = m();
+        // Before any vsetvli: vtype reads as vill (bit 63), vl as 0.
+        m.exec(
+            0,
+            &Instr::Csrr {
+                rd: XReg::new(5),
+                csr: VCsr::Vtype,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(5)), 1 << 63);
+        m.exec(
+            0,
+            &Instr::Csrr {
+                rd: XReg::new(5),
+                csr: VCsr::Vlenb,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(5)), 128); // VLEN=1024
+        m.set_xreg(XReg::new(10), 13);
+        let vt = VType::new(Sew::E32, Lmul::M2);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::ZERO,
+                rs1: XReg::new(10),
+                vtype: vt,
+            },
+        )
+        .unwrap();
+        m.exec(
+            0,
+            &Instr::Csrr {
+                rd: XReg::new(6),
+                csr: VCsr::Vl,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(6)), 13);
+        m.exec(
+            0,
+            &Instr::Csrr {
+                rd: XReg::new(7),
+                csr: VCsr::Vtype,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(7)), vt.to_bits());
+    }
+
+    #[test]
+    fn vsetvl_with_illegal_vtype_sets_vill() {
+        let mut m = m();
+        m.set_xreg(XReg::new(5), 0b100); // reserved vlmul encoding -> vill
+        m.set_xreg(XReg::new(6), 10);
+        m.exec(
+            0,
+            &Instr::Vsetvl {
+                rd: XReg::new(7),
+                rs1: XReg::new(6),
+                rs2: XReg::new(5),
+            },
+        )
+        .unwrap();
+        assert!(m.vtype().is_none());
+        assert_eq!(m.xreg(XReg::new(7)), 0);
+        // Any vector instruction now traps.
+        use rvv_isa::{VAluOp, VReg};
+        let r = m.exec(
+            0,
+            &Instr::VOpVV {
+                op: VAluOp::Add,
+                vd: VReg::new(1),
+                vs2: VReg::new(2),
+                vs1: VReg::new(3),
+                vm: true,
+            },
+        );
+        assert!(matches!(r, Err(crate::error::SimError::Vill)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Instruction execution: `Machine::exec` dispatches one instruction and
+//! reports the resulting control flow.
+//!
+//! Execution is split by family:
+//! * [`scalar`] — RV64IM.
+//! * [`config`] — `vsetvli`/`vsetivli`/`vsetvl`.
+//! * [`varith`] — vector integer arithmetic, moves, merges, reductions.
+//! * [`vmem`] — vector loads/stores (unit, strided, indexed, whole-register,
+//!   mask).
+//! * [`vmask`] — compares-to-mask and the mask instruction group
+//!   (`viota`, `vcpop`, `vmsbf`, …).
+//! * [`vperm`] — slides, gather, compress.
+//!
+//! ## Policy modelling
+//!
+//! `vstart` is always 0 (the machine never traps mid-instruction). Tail and
+//! masked-off elements are left **undisturbed** — legal for both the
+//! agnostic and undisturbed policies, and what the paper's kernels (which
+//! run `ta, mu`) rely on.
+
+mod config;
+mod scalar;
+mod varith;
+mod vmask;
+mod vmem;
+mod vperm;
+
+use crate::error::SimResult;
+use crate::machine::Machine;
+use rvv_isa::Instr;
+
+/// Control-flow outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Fall through to `pc + 4`.
+    Next,
+    /// Transfer to an absolute byte address.
+    Jump(u64),
+    /// `ecall`: the program finished.
+    Halt,
+}
+
+impl Machine {
+    /// Execute one instruction at `pc`. On success the instruction is
+    /// counted as retired and the control-flow outcome is returned; on error
+    /// nothing is counted (the trap aborts the run).
+    pub fn exec(&mut self, pc: u64, instr: &Instr) -> SimResult<Control> {
+        use Instr::*;
+        let ctl = match *instr {
+            // Scalar.
+            Lui { .. }
+            | Auipc { .. }
+            | Jal { .. }
+            | Jalr { .. }
+            | Branch { .. }
+            | Load { .. }
+            | Store { .. }
+            | OpImm { .. }
+            | Op { .. }
+            | Csrr { .. }
+            | Ecall
+            | Ebreak => self.exec_scalar(pc, instr)?,
+            // Vector configuration.
+            Vsetvli { .. } | Vsetivli { .. } | Vsetvl { .. } => {
+                self.exec_vconfig(instr)?;
+                Control::Next
+            }
+            // Vector memory.
+            VLoad { .. }
+            | VStore { .. }
+            | VLoadStrided { .. }
+            | VStoreStrided { .. }
+            | VLoadIndexed { .. }
+            | VStoreIndexed { .. }
+            | VLoadWhole { .. }
+            | VStoreWhole { .. }
+            | VLoadMask { .. }
+            | VStoreMask { .. } => {
+                self.exec_vmem(instr)?;
+                Control::Next
+            }
+            // Vector arithmetic / moves / reductions.
+            VOpVV { .. }
+            | VOpVX { .. }
+            | VOpVI { .. }
+            | VMergeVVM { .. }
+            | VMergeVXM { .. }
+            | VMergeVIM { .. }
+            | VMvVV { .. }
+            | VMvVX { .. }
+            | VMvVI { .. }
+            | VMvSX { .. }
+            | VMvXS { .. }
+            | VRed { .. } => {
+                self.exec_varith(instr)?;
+                Control::Next
+            }
+            // Masks.
+            VCmpVV { .. }
+            | VCmpVX { .. }
+            | VCmpVI { .. }
+            | VMaskLogic { .. }
+            | VIota { .. }
+            | VId { .. }
+            | VCpop { .. }
+            | VFirst { .. }
+            | VMsbf { .. }
+            | VMsif { .. }
+            | VMsof { .. } => {
+                self.exec_vmask(instr)?;
+                Control::Next
+            }
+            // Permutation.
+            VSlideUpVX { .. }
+            | VSlideUpVI { .. }
+            | VSlideDownVX { .. }
+            | VSlideDownVI { .. }
+            | VSlide1Up { .. }
+            | VSlide1Down { .. }
+            | VRGatherVV { .. }
+            | VRGatherVX { .. }
+            | VCompress { .. } => {
+                self.exec_vperm(instr)?;
+                Control::Next
+            }
+        };
+        self.counters.retire(instr);
+        Ok(ctl)
+    }
+}

@@ -1,0 +1,202 @@
+//! RV64IM scalar execution.
+
+use super::Control;
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use rvv_isa::{AluOp, BranchCond, Instr, MemWidth};
+
+#[allow(clippy::manual_checked_ops)] // div-by-zero yields RISC-V's all-ones, not None
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+        AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        AluOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        // RISC-V division never traps: x/0 = all ones, MIN/-1 = MIN.
+        AluOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn branch_taken(cond: BranchCond, a: u64, b: u64) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i64) < (b as i64),
+        BranchCond::Ge => (a as i64) >= (b as i64),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+impl Machine {
+    pub(super) fn exec_scalar(&mut self, pc: u64, instr: &Instr) -> SimResult<Control> {
+        use Instr::*;
+        Ok(match *instr {
+            Lui { rd, imm20 } => {
+                self.set_xreg(rd, ((imm20 as i64) << 12) as u64);
+                Control::Next
+            }
+            Auipc { rd, imm20 } => {
+                self.set_xreg(rd, pc.wrapping_add(((imm20 as i64) << 12) as u64));
+                Control::Next
+            }
+            Jal { rd, offset } => {
+                self.set_xreg(rd, pc.wrapping_add(4));
+                Control::Jump(pc.wrapping_add(offset as i64 as u64))
+            }
+            Jalr { rd, rs1, offset } => {
+                let target = self.xreg(rs1).wrapping_add(offset as i64 as u64) & !1;
+                self.set_xreg(rd, pc.wrapping_add(4));
+                Control::Jump(target)
+            }
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                if branch_taken(cond, self.xreg(rs1), self.xreg(rs2)) {
+                    Control::Jump(pc.wrapping_add(offset as i64 as u64))
+                } else {
+                    Control::Next
+                }
+            }
+            Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.xreg(rs1).wrapping_add(offset as i64 as u64);
+                let raw = self.mem.load(addr, width.bytes())?;
+                let v = if signed {
+                    match width {
+                        MemWidth::B => raw as u8 as i8 as i64 as u64,
+                        MemWidth::H => raw as u16 as i16 as i64 as u64,
+                        MemWidth::W => raw as u32 as i32 as i64 as u64,
+                        MemWidth::D => raw,
+                    }
+                } else {
+                    raw
+                };
+                self.set_xreg(rd, v);
+                Control::Next
+            }
+            Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.xreg(rs1).wrapping_add(offset as i64 as u64);
+                self.mem.store(addr, width.bytes(), self.xreg(rs2))?;
+                Control::Next
+            }
+            OpImm { op, rd, rs1, imm } => {
+                self.set_xreg(rd, alu(op, self.xreg(rs1), imm as i64 as u64));
+                Control::Next
+            }
+            Op { op, rd, rs1, rs2 } => {
+                self.set_xreg(rd, alu(op, self.xreg(rs1), self.xreg(rs2)));
+                Control::Next
+            }
+            Csrr { rd, csr } => {
+                let v = match csr {
+                    rvv_isa::VCsr::Vl => self.vl() as u64,
+                    rvv_isa::VCsr::Vtype => match self.vtype() {
+                        Some(t) => t.to_bits(),
+                        None => 1 << 63, // vill
+                    },
+                    rvv_isa::VCsr::Vlenb => self.vlenb() as u64,
+                };
+                self.set_xreg(rd, v);
+                Control::Next
+            }
+            Ecall => Control::Halt,
+            Ebreak => return Err(SimError::Breakpoint { pc }),
+            _ => unreachable!("non-scalar instruction routed to exec_scalar"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu(AluOp::Add, u64::MAX, 1), 0);
+        assert_eq!(alu(AluOp::Sub, 0, 1), u64::MAX);
+        assert_eq!(alu(AluOp::Slt, (-1i64) as u64, 0), 1);
+        assert_eq!(alu(AluOp::Sltu, (-1i64) as u64, 0), 0);
+        assert_eq!(alu(AluOp::Sra, (-8i64) as u64, 2), (-2i64) as u64);
+        assert_eq!(alu(AluOp::Srl, 8, 2), 2);
+        assert_eq!(alu(AluOp::Sll, 1, 65), 2, "shift amount is mod 64");
+        assert_eq!(alu(AluOp::Mulhu, u64::MAX, u64::MAX), u64::MAX - 1);
+        assert_eq!(alu(AluOp::Mulh, (-1i64) as u64, (-1i64) as u64), 0);
+    }
+
+    #[test]
+    fn division_never_traps() {
+        assert_eq!(alu(AluOp::Div, 7, 0), u64::MAX);
+        assert_eq!(alu(AluOp::Divu, 7, 0), u64::MAX);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu(AluOp::Remu, 7, 0), 7);
+        assert_eq!(
+            alu(AluOp::Div, i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
+        assert_eq!(alu(AluOp::Rem, i64::MIN as u64, (-1i64) as u64), 0);
+        assert_eq!(alu(AluOp::Div, (-7i64) as u64, 2), (-3i64) as u64);
+        assert_eq!(alu(AluOp::Rem, (-7i64) as u64, 2), (-1i64) as u64);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(BranchCond::Eq, 1, 1));
+        assert!(branch_taken(BranchCond::Ne, 1, 2));
+        assert!(branch_taken(BranchCond::Lt, (-1i64) as u64, 0));
+        assert!(!branch_taken(BranchCond::Ltu, (-1i64) as u64, 0));
+        assert!(branch_taken(BranchCond::Geu, (-1i64) as u64, 0));
+        assert!(branch_taken(BranchCond::Ge, 0, 0));
+    }
+}

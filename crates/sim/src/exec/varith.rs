@@ -1,0 +1,570 @@
+//! Vector integer arithmetic, merges, moves, and reductions.
+
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use rvv_isa::{Instr, Sew, VAluOp, VRedOp, VReg};
+
+/// One element-wise ALU operation at a given SEW. `a` is `vs2` (the "vector"
+/// operand), `b` is `vs1`/`rs1`/`imm`. Both arrive zero-extended; results are
+/// truncated to SEW by the caller's `set_velem`.
+#[allow(clippy::manual_checked_ops)] // div-by-zero yields RVV's all-ones, not None
+pub(crate) fn velem_op(op: VAluOp, sew: Sew, a: u64, b: u64) -> u64 {
+    let sa = sew.sign_extend(a);
+    let sb = sew.sign_extend(b);
+    let shamt = (b & (sew.bits() as u64 - 1)) as u32;
+    match op {
+        VAluOp::Add => a.wrapping_add(b),
+        VAluOp::Sub => a.wrapping_sub(b),
+        VAluOp::Rsub => b.wrapping_sub(a),
+        VAluOp::Minu => a.min(b),
+        VAluOp::Min => sa.min(sb) as u64,
+        VAluOp::Maxu => a.max(b),
+        VAluOp::Max => sa.max(sb) as u64,
+        VAluOp::And => a & b,
+        VAluOp::Or => a | b,
+        VAluOp::Xor => a ^ b,
+        VAluOp::Sll => a.wrapping_shl(shamt),
+        VAluOp::Srl => a.wrapping_shr(shamt),
+        VAluOp::Sra => (sa >> shamt) as u64,
+        VAluOp::Mul => a.wrapping_mul(b),
+        VAluOp::Mulh => (((sa as i128) * (sb as i128)) >> sew.bits()) as u64,
+        VAluOp::Mulhu => (((a as u128) * (b as u128)) >> sew.bits()) as u64,
+        VAluOp::Divu => {
+            if b == 0 {
+                sew.max_value()
+            } else {
+                a / b
+            }
+        }
+        VAluOp::Div => {
+            if sb == 0 {
+                sew.max_value() // all ones == -1 at SEW
+            } else {
+                sa.wrapping_div(sb) as u64
+            }
+        }
+        VAluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        VAluOp::Rem => {
+            if sb == 0 {
+                a
+            } else {
+                sa.wrapping_rem(sb) as u64
+            }
+        }
+    }
+}
+
+fn red_op(op: VRedOp, sew: Sew, acc: u64, x: u64) -> u64 {
+    match op {
+        VRedOp::Sum => acc.wrapping_add(x),
+        VRedOp::And => acc & x,
+        VRedOp::Or => acc | x,
+        VRedOp::Xor => acc ^ x,
+        VRedOp::Minu => acc.min(x),
+        VRedOp::Min => sew.sign_extend(acc).min(sew.sign_extend(x)) as u64,
+        VRedOp::Maxu => acc.max(x),
+        VRedOp::Max => sew.sign_extend(acc).max(sew.sign_extend(x)) as u64,
+    }
+}
+
+impl Machine {
+    /// Alignment + v0-overlap checks shared by masked data-writing vector
+    /// instructions: every named group must be LMUL-aligned, and a masked
+    /// instruction may not write the group containing `v0`.
+    pub(crate) fn check_data_op(&self, vd: VReg, srcs: &[VReg], vm: bool) -> SimResult<()> {
+        let (t, _) = self.vcfg()?;
+        self.check_group(vd, t.lmul)?;
+        for &s in srcs {
+            self.check_group(s, t.lmul)?;
+        }
+        if !vm && Machine::groups_overlap(vd, t.lmul.regs(), VReg::V0, 1) {
+            return Err(SimError::OverlapConstraint {
+                what: "masked op writing v0 group",
+            });
+        }
+        Ok(())
+    }
+
+    fn vv(&mut self, op: VAluOp, vd: VReg, vs2: VReg, vs1: VReg, vm: bool) -> SimResult<()> {
+        self.check_data_op(vd, &[vs2, vs1], vm)?;
+        let (t, vl) = self.vcfg()?;
+        for i in 0..vl {
+            if self.active(vm, i) {
+                let a = self.velem(vs2, i, t.sew);
+                let b = self.velem(vs1, i, t.sew);
+                self.set_velem(vd, i, t.sew, velem_op(op, t.sew, a, b));
+            }
+        }
+        Ok(())
+    }
+
+    fn vx(&mut self, op: VAluOp, vd: VReg, vs2: VReg, b: u64, vm: bool) -> SimResult<()> {
+        self.check_data_op(vd, &[vs2], vm)?;
+        let (t, vl) = self.vcfg()?;
+        let b = t.sew.truncate(b);
+        for i in 0..vl {
+            if self.active(vm, i) {
+                let a = self.velem(vs2, i, t.sew);
+                self.set_velem(vd, i, t.sew, velem_op(op, t.sew, a, b));
+            }
+        }
+        Ok(())
+    }
+
+    pub(super) fn exec_varith(&mut self, instr: &Instr) -> SimResult<()> {
+        use Instr::*;
+        match *instr {
+            VOpVV {
+                op,
+                vd,
+                vs2,
+                vs1,
+                vm,
+            } => self.vv(op, vd, vs2, vs1, vm),
+            VOpVX {
+                op,
+                vd,
+                vs2,
+                rs1,
+                vm,
+            } => {
+                let b = self.xreg(rs1);
+                self.vx(op, vd, vs2, b, vm)
+            }
+            VOpVI {
+                op,
+                vd,
+                vs2,
+                imm,
+                vm,
+            } => {
+                let b = if op.imm_is_unsigned() {
+                    imm as u8 as u64
+                } else {
+                    imm as i64 as u64
+                };
+                self.vx(op, vd, vs2, b, vm)
+            }
+            VMergeVVM { vd, vs2, vs1 } => {
+                self.check_data_op(vd, &[vs2, vs1], true)?;
+                let (t, vl) = self.vcfg()?;
+                if Machine::groups_overlap(vd, t.lmul.regs(), VReg::V0, 1) {
+                    return Err(SimError::OverlapConstraint {
+                        what: "vmerge writing v0 group",
+                    });
+                }
+                for i in 0..vl {
+                    let v = if self.mask_bit(VReg::V0, i) {
+                        self.velem(vs1, i, t.sew)
+                    } else {
+                        self.velem(vs2, i, t.sew)
+                    };
+                    self.set_velem(vd, i, t.sew, v);
+                }
+                Ok(())
+            }
+            VMergeVXM { vd, vs2, rs1 } => {
+                let x = self.xreg(rs1);
+                self.merge_scalar(vd, vs2, x)
+            }
+            VMergeVIM { vd, vs2, imm } => self.merge_scalar(vd, vs2, imm as i64 as u64),
+            VMvVV { vd, vs1 } => {
+                self.check_data_op(vd, &[vs1], true)?;
+                let (t, vl) = self.vcfg()?;
+                for i in 0..vl {
+                    let v = self.velem(vs1, i, t.sew);
+                    self.set_velem(vd, i, t.sew, v);
+                }
+                Ok(())
+            }
+            VMvVX { vd, rs1 } => {
+                self.check_data_op(vd, &[], true)?;
+                let (t, vl) = self.vcfg()?;
+                let v = t.sew.truncate(self.xreg(rs1));
+                for i in 0..vl {
+                    self.set_velem(vd, i, t.sew, v);
+                }
+                Ok(())
+            }
+            VMvVI { vd, imm } => {
+                self.check_data_op(vd, &[], true)?;
+                let (t, vl) = self.vcfg()?;
+                let v = t.sew.truncate(imm as i64 as u64);
+                for i in 0..vl {
+                    self.set_velem(vd, i, t.sew, v);
+                }
+                Ok(())
+            }
+            VMvSX { vd, rs1 } => {
+                // Writes element 0 only; no-op when vl == 0. vd need not be
+                // LMUL-aligned per spec, but we require a legal vtype.
+                let (t, vl) = self.vcfg()?;
+                if vl > 0 {
+                    let v = self.xreg(rs1);
+                    self.set_velem(vd, 0, t.sew, v);
+                }
+                Ok(())
+            }
+            VMvXS { rd, vs2 } => {
+                let (t, _) = self.vcfg()?;
+                let v = t.sew.sign_extend(self.velem(vs2, 0, t.sew)) as u64;
+                self.set_xreg(rd, v);
+                Ok(())
+            }
+            VRed {
+                op,
+                vd,
+                vs2,
+                vs1,
+                vm,
+            } => {
+                // Reductions: vs2 is a full group; vd/vs1 use element 0 only.
+                let (t, vl) = self.vcfg()?;
+                self.check_group(vs2, t.lmul)?;
+                if vl == 0 {
+                    return Ok(()); // vd unchanged per spec
+                }
+                let mut acc = self.velem(vs1, 0, t.sew);
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let x = self.velem(vs2, i, t.sew);
+                        acc = t.sew.truncate(red_op(op, t.sew, acc, x));
+                    }
+                }
+                self.set_velem(vd, 0, t.sew, acc);
+                Ok(())
+            }
+            _ => unreachable!("non-arith instruction routed to exec_varith"),
+        }
+    }
+
+    fn merge_scalar(&mut self, vd: VReg, vs2: VReg, x: u64) -> SimResult<()> {
+        self.check_data_op(vd, &[vs2], true)?;
+        let (t, vl) = self.vcfg()?;
+        if Machine::groups_overlap(vd, t.lmul.regs(), VReg::V0, 1) {
+            return Err(SimError::OverlapConstraint {
+                what: "vmerge writing v0 group",
+            });
+        }
+        let x = t.sew.truncate(x);
+        for i in 0..vl {
+            let v = if self.mask_bit(VReg::V0, i) {
+                x
+            } else {
+                self.velem(vs2, i, t.sew)
+            };
+            self.set_velem(vd, i, t.sew, v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use rvv_isa::{Lmul, VType, XReg};
+
+    fn machine_e32(vl: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig {
+            vlen: 128,
+            mem_bytes: 4096,
+        });
+        m.set_xreg(XReg::new(10), vl as u64);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::ZERO,
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::M1),
+            },
+        )
+        .unwrap();
+        m
+    }
+
+    fn set_vec(m: &mut Machine, r: VReg, vals: &[u64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            m.set_velem(r, i as u32, Sew::E32, v);
+        }
+    }
+
+    fn get_vec(m: &Machine, r: VReg, n: u32) -> Vec<u64> {
+        (0..n).map(|i| m.velem(r, i, Sew::E32)).collect()
+    }
+
+    #[test]
+    fn vadd_vv_wraps_at_sew() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[u32::MAX as u64, 1, 2, 3]);
+        set_vec(&mut m, VReg::new(2), &[1, 10, 20, 30]);
+        m.exec(
+            0,
+            &Instr::VOpVV {
+                op: VAluOp::Add,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 4), vec![0, 11, 22, 33]);
+    }
+
+    #[test]
+    fn masked_add_leaves_inactive_undisturbed() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[5, 5, 5, 5]);
+        set_vec(&mut m, VReg::new(3), &[9, 9, 9, 9]);
+        // mask = 0b0101
+        m.set_mask_bit(VReg::V0, 0, true);
+        m.set_mask_bit(VReg::V0, 2, true);
+        m.set_xreg(XReg::new(5), 100);
+        m.exec(
+            0,
+            &Instr::VOpVX {
+                op: VAluOp::Add,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 4), vec![105, 9, 105, 9]);
+    }
+
+    #[test]
+    fn tail_elements_undisturbed() {
+        let mut m = machine_e32(2); // vl = 2 of 4
+        set_vec(&mut m, VReg::new(3), &[7, 7, 7, 7]);
+        set_vec(&mut m, VReg::new(1), &[1, 1, 1, 1]);
+        m.exec(
+            0,
+            &Instr::VOpVI {
+                op: VAluOp::Add,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                imm: 1,
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 4), vec![2, 2, 7, 7]);
+    }
+
+    #[test]
+    fn signed_ops_at_sew() {
+        let mut m = machine_e32(2);
+        set_vec(&mut m, VReg::new(1), &[0xffff_ffff, 3]); // -1, 3 as i32
+        set_vec(&mut m, VReg::new(2), &[1, 0xffff_fffe]); // 1, -2
+        m.exec(
+            0,
+            &Instr::VOpVV {
+                op: VAluOp::Max,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 2), vec![1, 3]);
+        m.exec(
+            0,
+            &Instr::VOpVV {
+                op: VAluOp::Div,
+                vd: VReg::new(4),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        // -1/1 = -1; 3/-2 = -1 (trunc toward zero)
+        assert_eq!(get_vec(&m, VReg::new(4), 2), vec![0xffff_ffff, 0xffff_ffff]);
+    }
+
+    #[test]
+    fn vrsub_and_vi() {
+        let mut m = machine_e32(2);
+        set_vec(&mut m, VReg::new(1), &[3, 10]);
+        m.exec(
+            0,
+            &Instr::VOpVI {
+                op: VAluOp::Rsub,
+                vd: VReg::new(2),
+                vs2: VReg::new(1),
+                imm: 5,
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(2), 2), vec![2, 0xffff_fffb]);
+    }
+
+    #[test]
+    fn vmerge_and_moves() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4]);
+        set_vec(&mut m, VReg::new(2), &[10, 20, 30, 40]);
+        m.set_mask_bit(VReg::V0, 1, true);
+        m.set_mask_bit(VReg::V0, 3, true);
+        m.exec(
+            0,
+            &Instr::VMergeVVM {
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 4), vec![1, 20, 3, 40]);
+        m.exec(
+            0,
+            &Instr::VMvVI {
+                vd: VReg::new(4),
+                imm: -1,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(4), 4), vec![0xffff_ffff; 4]);
+        m.set_xreg(XReg::new(6), 0x1_0000_0007);
+        m.exec(
+            0,
+            &Instr::VMvSX {
+                vd: VReg::new(4),
+                rs1: XReg::new(6),
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(4), 2), vec![7, 0xffff_ffff]);
+        m.exec(
+            0,
+            &Instr::VMvXS {
+                rd: XReg::new(7),
+                vs2: VReg::new(4),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(7)), 7);
+    }
+
+    #[test]
+    fn vmv_xs_sign_extends() {
+        let mut m = machine_e32(1);
+        set_vec(&mut m, VReg::new(1), &[0x8000_0000]);
+        m.exec(
+            0,
+            &Instr::VMvXS {
+                rd: XReg::new(7),
+                vs2: VReg::new(1),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(7)), 0x8000_0000u32 as i32 as i64 as u64);
+    }
+
+    #[test]
+    fn reduction_sum_and_masked() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4]);
+        set_vec(&mut m, VReg::new(2), &[100, 0, 0, 0]);
+        m.exec(
+            0,
+            &Instr::VRed {
+                op: VRedOp::Sum,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.velem(VReg::new(3), 0, Sew::E32), 110);
+        m.set_mask_bit(VReg::V0, 0, true);
+        m.set_mask_bit(VReg::V0, 3, true);
+        m.exec(
+            0,
+            &Instr::VRed {
+                op: VRedOp::Sum,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+                vm: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.velem(VReg::new(3), 0, Sew::E32), 105);
+    }
+
+    #[test]
+    fn lmul_misalignment_traps() {
+        let mut m = Machine::new(MachineConfig {
+            vlen: 128,
+            mem_bytes: 4096,
+        });
+        m.set_xreg(XReg::new(10), 8);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::ZERO,
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::M4),
+            },
+        )
+        .unwrap();
+        let r = m.exec(
+            0,
+            &Instr::VOpVV {
+                op: VAluOp::Add,
+                vd: VReg::new(3), // not a multiple of 4
+                vs2: VReg::new(4),
+                vs1: VReg::new(8),
+                vm: true,
+            },
+        );
+        assert!(matches!(r, Err(SimError::MisalignedGroup { .. })));
+    }
+
+    #[test]
+    fn masked_op_cannot_write_v0_group() {
+        let mut m = machine_e32(4);
+        let r = m.exec(
+            0,
+            &Instr::VOpVV {
+                op: VAluOp::Add,
+                vd: VReg::V0,
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+                vm: false,
+            },
+        );
+        assert!(matches!(r, Err(SimError::OverlapConstraint { .. })));
+    }
+
+    #[test]
+    fn velem_op_table() {
+        use VAluOp::*;
+        let s = Sew::E32;
+        // velem_op returns an untruncated 64-bit value; architectural
+        // truncation to SEW happens at the register write. Compare at SEW.
+        let at_sew = |op, a, b| s.truncate(velem_op(op, s, a, b));
+        assert_eq!(at_sew(Minu, 1, 0xffff_ffff), 1);
+        assert_eq!(at_sew(Min, 1, 0xffff_ffff), 0xffff_ffff); // -1 < 1
+        assert_eq!(at_sew(Sll, 1, 33), 2); // shamt mod 32
+        assert_eq!(at_sew(Sra, 0x8000_0000, 31), 0xffff_ffff);
+        assert_eq!(at_sew(Mulhu, 0xffff_ffff, 0xffff_ffff), 0xffff_fffe);
+        assert_eq!(at_sew(Mulh, 0xffff_ffff, 0xffff_ffff), 0); // (-1)*(-1)>>32
+        assert_eq!(at_sew(Divu, 5, 0), 0xffff_ffff);
+        assert_eq!(at_sew(Remu, 5, 0), 5);
+        assert_eq!(at_sew(Xor, 0b1100, 0b1010), 0b0110);
+    }
+}

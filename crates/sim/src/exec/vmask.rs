@@ -1,0 +1,539 @@
+//! Mask-producing and mask-consuming instructions: integer compares,
+//! mask-register logicals, `viota`, `vid`, `vcpop`, `vfirst`, and the
+//! set-before/including/only-first family.
+//!
+//! These are the heart of the paper's segmented-scan support: `vmsne`
+//! derives the head-flag mask, `vmsbf` builds the carry mask, `viota` +
+//! `vcpop` implement `enumerate`.
+
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use rvv_isa::{Instr, MaskOp, Sew, VCmp, VReg};
+
+fn cmp(cond: VCmp, sew: Sew, a: u64, b: u64) -> bool {
+    let (sa, sb) = (sew.sign_extend(a), sew.sign_extend(b));
+    match cond {
+        VCmp::Eq => a == b,
+        VCmp::Ne => a != b,
+        VCmp::Ltu => a < b,
+        VCmp::Lt => sa < sb,
+        VCmp::Leu => a <= b,
+        VCmp::Le => sa <= sb,
+        VCmp::Gtu => a > b,
+        VCmp::Gt => sa > sb,
+    }
+}
+
+fn mask_logic(op: MaskOp, a: bool, b: bool) -> bool {
+    match op {
+        MaskOp::Andn => a & !b,
+        MaskOp::And => a & b,
+        MaskOp::Or => a | b,
+        MaskOp::Xor => a ^ b,
+        MaskOp::Orn => a | !b,
+        MaskOp::Nand => !(a & b),
+        MaskOp::Nor => !(a | b),
+        MaskOp::Xnor => !(a ^ b),
+    }
+}
+
+impl Machine {
+    /// Compare-to-mask. The destination is a single mask register; results
+    /// are staged in a buffer so a destination overlapping a source group is
+    /// well-defined.
+    fn compare(
+        &mut self,
+        cond: VCmp,
+        vd: VReg,
+        vs2: VReg,
+        b_of: impl Fn(&Machine, u32, Sew) -> u64,
+        vm: bool,
+    ) -> SimResult<()> {
+        let (t, vl) = self.vcfg()?;
+        self.check_group(vs2, t.lmul)?;
+        let mut bits = Vec::with_capacity(vl as usize);
+        for i in 0..vl {
+            if self.active(vm, i) {
+                let a = self.velem(vs2, i, t.sew);
+                let b = t.sew.truncate(b_of(self, i, t.sew));
+                bits.push(Some(cmp(cond, t.sew, a, b)));
+            } else {
+                bits.push(None); // mask-undisturbed
+            }
+        }
+        for (i, bit) in bits.into_iter().enumerate() {
+            if let Some(v) = bit {
+                self.set_mask_bit(vd, i as u32, v);
+            }
+        }
+        Ok(())
+    }
+
+    pub(super) fn exec_vmask(&mut self, instr: &Instr) -> SimResult<()> {
+        use Instr::*;
+        match *instr {
+            VCmpVV {
+                cond,
+                vd,
+                vs2,
+                vs1,
+                vm,
+            } => {
+                let (t, _) = self.vcfg()?;
+                self.check_group(vs1, t.lmul)?;
+                self.compare(cond, vd, vs2, move |m, i, sew| m.velem(vs1, i, sew), vm)
+            }
+            VCmpVX {
+                cond,
+                vd,
+                vs2,
+                rs1,
+                vm,
+            } => {
+                let x = self.xreg(rs1);
+                self.compare(cond, vd, vs2, move |_, _, _| x, vm)
+            }
+            VCmpVI {
+                cond,
+                vd,
+                vs2,
+                imm,
+                vm,
+            } => self.compare(cond, vd, vs2, move |_, _, _| imm as i64 as u64, vm),
+            VMaskLogic { op, vd, vs2, vs1 } => {
+                let (_, vl) = self.vcfg()?;
+                for i in 0..vl {
+                    let a = self.mask_bit(vs2, i);
+                    let b = self.mask_bit(vs1, i);
+                    self.set_mask_bit(vd, i, mask_logic(op, a, b));
+                }
+                Ok(())
+            }
+            VCpop { rd, vs2, vm } => {
+                let (_, vl) = self.vcfg()?;
+                let mut n = 0u64;
+                for i in 0..vl {
+                    if self.active(vm, i) && self.mask_bit(vs2, i) {
+                        n += 1;
+                    }
+                }
+                self.set_xreg(rd, n);
+                Ok(())
+            }
+            VFirst { rd, vs2, vm } => {
+                let (_, vl) = self.vcfg()?;
+                let mut idx = u64::MAX; // -1
+                for i in 0..vl {
+                    if self.active(vm, i) && self.mask_bit(vs2, i) {
+                        idx = i as u64;
+                        break;
+                    }
+                }
+                self.set_xreg(rd, idx);
+                Ok(())
+            }
+            VMsbf { vd, vs2, vm } => self.set_first_family(vd, vs2, vm, |found, bit| {
+                // set-before-first: 1 strictly before the first set bit.
+                !found && !bit
+            }),
+            VMsif { vd, vs2, vm } => self.set_first_family(vd, vs2, vm, |found, _bit| {
+                // set-including-first: 1 up to and including the first set bit.
+                !found
+            }),
+            VMsof { vd, vs2, vm } => self.set_first_family(vd, vs2, vm, |found, bit| {
+                // set-only-first.
+                !found && bit
+            }),
+            VIota { vd, vs2, vm } => {
+                let (t, vl) = self.vcfg()?;
+                self.check_group(vd, t.lmul)?;
+                if Machine::groups_overlap(vd, t.lmul.regs(), vs2, 1) {
+                    return Err(SimError::OverlapConstraint {
+                        what: "viota vd overlaps vs2",
+                    });
+                }
+                if !vm && Machine::groups_overlap(vd, t.lmul.regs(), VReg::V0, 1) {
+                    return Err(SimError::OverlapConstraint {
+                        what: "masked viota writing v0",
+                    });
+                }
+                let mut count = 0u64;
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        self.set_velem(vd, i, t.sew, count);
+                        if self.mask_bit(vs2, i) {
+                            count += 1;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            VId { vd, vm } => {
+                let (t, vl) = self.vcfg()?;
+                self.check_group(vd, t.lmul)?;
+                if !vm && Machine::groups_overlap(vd, t.lmul.regs(), VReg::V0, 1) {
+                    return Err(SimError::OverlapConstraint {
+                        what: "masked vid writing v0",
+                    });
+                }
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        self.set_velem(vd, i, t.sew, i as u64);
+                    }
+                }
+                Ok(())
+            }
+            _ => unreachable!("non-mask instruction routed to exec_vmask"),
+        }
+    }
+
+    /// Shared loop for `vmsbf`/`vmsif`/`vmsof`. `f(found_before, bit)` gives
+    /// the output bit for an active element; `found_before` is whether a set
+    /// bit was seen strictly earlier (among active elements).
+    fn set_first_family(
+        &mut self,
+        vd: VReg,
+        vs2: VReg,
+        vm: bool,
+        f: impl Fn(bool, bool) -> bool,
+    ) -> SimResult<()> {
+        let (_, vl) = self.vcfg()?;
+        let mut found = false;
+        let mut out = Vec::with_capacity(vl as usize);
+        for i in 0..vl {
+            if self.active(vm, i) {
+                let bit = self.mask_bit(vs2, i);
+                out.push(Some(f(found, bit)));
+                if bit {
+                    found = true;
+                }
+            } else {
+                out.push(None);
+            }
+        }
+        for (i, b) in out.into_iter().enumerate() {
+            if let Some(v) = b {
+                self.set_mask_bit(vd, i as u32, v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use rvv_isa::{Lmul, VType, XReg};
+
+    fn machine_e32(vl: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig {
+            vlen: 256,
+            mem_bytes: 4096,
+        });
+        m.set_xreg(XReg::new(10), vl as u64);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::ZERO,
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::M1),
+            },
+        )
+        .unwrap();
+        m
+    }
+
+    fn set_vec(m: &mut Machine, r: VReg, vals: &[u64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            m.set_velem(r, i as u32, Sew::E32, v);
+        }
+    }
+
+    fn mask_bits(m: &Machine, r: VReg, n: u32) -> Vec<bool> {
+        (0..n).map(|i| m.mask_bit(r, i)).collect()
+    }
+
+    #[test]
+    fn vmsne_builds_head_flag_mask() {
+        // The paper: mask = vmsne(flags, 0) turns head-flag words into a mask.
+        let mut m = machine_e32(6);
+        set_vec(&mut m, VReg::new(1), &[1, 0, 0, 1, 0, 1]);
+        m.exec(
+            0,
+            &Instr::VCmpVI {
+                cond: VCmp::Ne,
+                vd: VReg::new(4),
+                vs2: VReg::new(1),
+                imm: 0,
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mask_bits(&m, VReg::new(4), 6),
+            vec![true, false, false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let mut m = machine_e32(2);
+        set_vec(&mut m, VReg::new(1), &[0xffff_ffff, 1]); // -1, 1
+        m.set_xreg(XReg::new(5), 0);
+        m.exec(
+            0,
+            &Instr::VCmpVX {
+                cond: VCmp::Lt,
+                vd: VReg::new(4),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(mask_bits(&m, VReg::new(4), 2), vec![true, false]);
+        m.exec(
+            0,
+            &Instr::VCmpVX {
+                cond: VCmp::Ltu,
+                vd: VReg::new(4),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(mask_bits(&m, VReg::new(4), 2), vec![false, false]);
+    }
+
+    #[test]
+    fn vmsbf_matches_paper_carry_mask() {
+        // Head flags at positions 2 and 4: the carry mask must cover
+        // elements strictly before position 2.
+        let mut m = machine_e32(6);
+        m.set_mask_bit(VReg::new(2), 2, true);
+        m.set_mask_bit(VReg::new(2), 4, true);
+        m.exec(
+            0,
+            &Instr::VMsbf {
+                vd: VReg::new(3),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mask_bits(&m, VReg::new(3), 6),
+            vec![true, true, false, false, false, false]
+        );
+        m.exec(
+            0,
+            &Instr::VMsif {
+                vd: VReg::new(4),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mask_bits(&m, VReg::new(4), 6),
+            vec![true, true, true, false, false, false]
+        );
+        m.exec(
+            0,
+            &Instr::VMsof {
+                vd: VReg::new(5),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mask_bits(&m, VReg::new(5), 6),
+            vec![false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn vmsbf_all_zero_mask_gives_all_ones() {
+        let mut m = machine_e32(4);
+        m.exec(
+            0,
+            &Instr::VMsbf {
+                vd: VReg::new(3),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(mask_bits(&m, VReg::new(3), 4), vec![true; 4]);
+    }
+
+    #[test]
+    fn viota_is_exclusive_prefix_popcount() {
+        let mut m = machine_e32(6);
+        for (i, b) in [true, false, true, true, false, true].iter().enumerate() {
+            m.set_mask_bit(VReg::new(2), i as u32, *b);
+        }
+        m.exec(
+            0,
+            &Instr::VIota {
+                vd: VReg::new(4),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        let got: Vec<u64> = (0..6).map(|i| m.velem(VReg::new(4), i, Sew::E32)).collect();
+        assert_eq!(got, vec![0, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn viota_overlap_traps() {
+        let mut m = machine_e32(4);
+        let r = m.exec(
+            0,
+            &Instr::VIota {
+                vd: VReg::new(2),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        );
+        assert!(matches!(r, Err(SimError::OverlapConstraint { .. })));
+    }
+
+    #[test]
+    fn vcpop_and_vfirst() {
+        let mut m = machine_e32(8);
+        for i in [1u32, 3, 6] {
+            m.set_mask_bit(VReg::new(2), i, true);
+        }
+        m.exec(
+            0,
+            &Instr::VCpop {
+                rd: XReg::new(5),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(5)), 3);
+        m.exec(
+            0,
+            &Instr::VFirst {
+                rd: XReg::new(6),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(6)), 1);
+        // Masked variants only see active elements.
+        m.set_mask_bit(VReg::V0, 3, true);
+        m.set_mask_bit(VReg::V0, 6, true);
+        m.exec(
+            0,
+            &Instr::VCpop {
+                rd: XReg::new(5),
+                vs2: VReg::new(2),
+                vm: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(5)), 2);
+        m.exec(
+            0,
+            &Instr::VFirst {
+                rd: XReg::new(6),
+                vs2: VReg::new(2),
+                vm: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(6)), 3);
+    }
+
+    #[test]
+    fn vfirst_empty_is_minus_one() {
+        let mut m = machine_e32(4);
+        m.exec(
+            0,
+            &Instr::VFirst {
+                rd: XReg::new(6),
+                vs2: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.xreg(XReg::new(6)), u64::MAX);
+    }
+
+    #[test]
+    fn vid_writes_indices() {
+        let mut m = machine_e32(5);
+        m.exec(
+            0,
+            &Instr::VId {
+                vd: VReg::new(3),
+                vm: true,
+            },
+        )
+        .unwrap();
+        let got: Vec<u64> = (0..5).map(|i| m.velem(VReg::new(3), i, Sew::E32)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mask_logic_ops() {
+        let mut m = machine_e32(4);
+        for i in [0u32, 1] {
+            m.set_mask_bit(VReg::new(1), i, true); // a = 1100 (LSB first)
+        }
+        for i in [1u32, 2] {
+            m.set_mask_bit(VReg::new(2), i, true); // b = 0110
+        }
+        m.exec(
+            0,
+            &Instr::VMaskLogic {
+                op: MaskOp::And,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mask_bits(&m, VReg::new(3), 4),
+            vec![false, true, false, false]
+        );
+        m.exec(
+            0,
+            &Instr::VMaskLogic {
+                op: MaskOp::Xor,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mask_bits(&m, VReg::new(3), 4),
+            vec![true, false, true, false]
+        );
+        m.exec(
+            0,
+            &Instr::VMaskLogic {
+                op: MaskOp::Nor,
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mask_bits(&m, VReg::new(3), 4),
+            vec![false, false, false, true]
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! Vector memory instructions: unit-stride, strided, indexed (the paper's
+//! permutation workhorse `VSUXEI`), whole-register (spill traffic), and mask
+//! loads/stores.
+//!
+//! ## EEW / EMUL
+//!
+//! Loads and stores carry their own element width (EEW). The effective
+//! LMUL of the accessed register group is `EMUL = EEW/SEW × LMUL`; indexed
+//! accesses use EEW for the *index* group and SEW for the *data* group. The
+//! paper's kernels always use EEW == SEW, but the general rule is modelled
+//! (and rejected when EMUL would exceed 8 registers).
+
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use rvv_isa::{Instr, Sew, VReg};
+
+impl Machine {
+    /// Effective group size in registers for an access of width `eew` under
+    /// the current `vtype`, clamped below at 1 register.
+    fn emul_regs(&self, eew: Sew) -> SimResult<u32> {
+        let (t, _) = self.vcfg()?;
+        let (lnum, lden) = t.lmul.fraction();
+        let num = eew.bits() * lnum;
+        let den = t.sew.bits() * lden;
+        if num > 8 * den {
+            return Err(SimError::UnsupportedEmul {
+                what: "EEW/SEW ratio × LMUL exceeds 8",
+            });
+        }
+        Ok((num / den).max(1))
+    }
+
+    fn check_emul_group(&self, reg: VReg, regs: u32) -> SimResult<()> {
+        if (reg.num() as u32).is_multiple_of(regs) {
+            Ok(())
+        } else {
+            let (t, _) = self.vcfg()?;
+            Err(SimError::MisalignedGroup { reg, lmul: t.lmul })
+        }
+    }
+
+    pub(super) fn exec_vmem(&mut self, instr: &Instr) -> SimResult<()> {
+        use Instr::*;
+        match *instr {
+            VLoad { eew, vd, rs1, vm } => {
+                let regs = self.emul_regs(eew)?;
+                self.check_emul_group(vd, regs)?;
+                let (_, vl) = self.vcfg()?;
+                let base = self.xreg(rs1);
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let addr = base.wrapping_add(i as u64 * eew.bytes() as u64);
+                        let v = self.mem.load(addr, eew.bytes() as u64)?;
+                        self.set_velem(vd, i, eew, v);
+                    }
+                }
+                Ok(())
+            }
+            VStore { eew, vs3, rs1, vm } => {
+                let regs = self.emul_regs(eew)?;
+                self.check_emul_group(vs3, regs)?;
+                let (_, vl) = self.vcfg()?;
+                let base = self.xreg(rs1);
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let addr = base.wrapping_add(i as u64 * eew.bytes() as u64);
+                        let v = self.velem(vs3, i, eew);
+                        self.mem.store(addr, eew.bytes() as u64, v)?;
+                    }
+                }
+                Ok(())
+            }
+            VLoadStrided {
+                eew,
+                vd,
+                rs1,
+                rs2,
+                vm,
+            } => {
+                let regs = self.emul_regs(eew)?;
+                self.check_emul_group(vd, regs)?;
+                let (_, vl) = self.vcfg()?;
+                let base = self.xreg(rs1);
+                let stride = self.xreg(rs2);
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let addr = base.wrapping_add((i as u64).wrapping_mul(stride));
+                        let v = self.mem.load(addr, eew.bytes() as u64)?;
+                        self.set_velem(vd, i, eew, v);
+                    }
+                }
+                Ok(())
+            }
+            VStoreStrided {
+                eew,
+                vs3,
+                rs1,
+                rs2,
+                vm,
+            } => {
+                let regs = self.emul_regs(eew)?;
+                self.check_emul_group(vs3, regs)?;
+                let (_, vl) = self.vcfg()?;
+                let base = self.xreg(rs1);
+                let stride = self.xreg(rs2);
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let addr = base.wrapping_add((i as u64).wrapping_mul(stride));
+                        let v = self.velem(vs3, i, eew);
+                        self.mem.store(addr, eew.bytes() as u64, v)?;
+                    }
+                }
+                Ok(())
+            }
+            VLoadIndexed {
+                eew,
+                ordered: _,
+                vd,
+                rs1,
+                vs2,
+                vm,
+            } => {
+                // Data group: SEW × LMUL; index group: EEW-based EMUL.
+                let (t, vl) = self.vcfg()?;
+                self.check_group(vd, t.lmul)?;
+                let idx_regs = self.emul_regs(eew)?;
+                self.check_emul_group(vs2, idx_regs)?;
+                let base = self.xreg(rs1);
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let off = self.velem(vs2, i, eew);
+                        let v = self
+                            .mem
+                            .load(base.wrapping_add(off), t.sew.bytes() as u64)?;
+                        self.set_velem(vd, i, t.sew, v);
+                    }
+                }
+                Ok(())
+            }
+            VStoreIndexed {
+                eew,
+                ordered: _,
+                vs3,
+                rs1,
+                vs2,
+                vm,
+            } => {
+                let (t, vl) = self.vcfg()?;
+                self.check_group(vs3, t.lmul)?;
+                let idx_regs = self.emul_regs(eew)?;
+                self.check_emul_group(vs2, idx_regs)?;
+                let base = self.xreg(rs1);
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let off = self.velem(vs2, i, eew);
+                        let v = self.velem(vs3, i, t.sew);
+                        self.mem
+                            .store(base.wrapping_add(off), t.sew.bytes() as u64, v)?;
+                    }
+                }
+                Ok(())
+            }
+            VLoadWhole { nregs, vd, rs1 } => {
+                // Whole-register ops ignore vtype entirely (they work even
+                // under vill) — that is what makes them usable as spill code.
+                if !(vd.num() as u32).is_multiple_of(nregs as u32) {
+                    return Err(SimError::UnsupportedEmul {
+                        what: "whole-register vd not aligned to register count",
+                    });
+                }
+                let base = self.xreg(rs1);
+                let vlenb = self.vlenb() as u64;
+                for r in 0..nregs {
+                    let bytes = self
+                        .mem
+                        .read_bytes(base + r as u64 * vlenb, vlenb)?
+                        .to_vec();
+                    self.set_vreg_bytes(VReg::new(vd.num() + r), &bytes);
+                }
+                Ok(())
+            }
+            VStoreWhole { nregs, vs3, rs1 } => {
+                if !(vs3.num() as u32).is_multiple_of(nregs as u32) {
+                    return Err(SimError::UnsupportedEmul {
+                        what: "whole-register vs3 not aligned to register count",
+                    });
+                }
+                let base = self.xreg(rs1);
+                let vlenb = self.vlenb() as u64;
+                for r in 0..nregs {
+                    let bytes = self.vreg_bytes(VReg::new(vs3.num() + r)).to_vec();
+                    self.mem.write_bytes(base + r as u64 * vlenb, &bytes)?;
+                }
+                Ok(())
+            }
+            VLoadMask { vd, rs1 } => {
+                let (_, vl) = self.vcfg()?;
+                let nbytes = vl.div_ceil(8) as u64;
+                let base = self.xreg(rs1);
+                let data = self.mem.read_bytes(base, nbytes)?.to_vec();
+                for (k, byte) in data.iter().enumerate() {
+                    for b in 0..8u32 {
+                        let i = k as u32 * 8 + b;
+                        if i < vl {
+                            self.set_mask_bit(vd, i, byte & (1 << b) != 0);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            VStoreMask { vs3, rs1 } => {
+                let (_, vl) = self.vcfg()?;
+                let nbytes = vl.div_ceil(8);
+                let base = self.xreg(rs1);
+                let mut data = vec![0u8; nbytes as usize];
+                for i in 0..vl {
+                    if self.mask_bit(vs3, i) {
+                        data[(i / 8) as usize] |= 1 << (i % 8);
+                    }
+                }
+                self.mem.write_bytes(base, &data)?;
+                Ok(())
+            }
+            _ => unreachable!("non-memory instruction routed to exec_vmem"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use rvv_isa::{Lmul, VType, XReg};
+
+    fn machine_e32(vl: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig {
+            vlen: 128,
+            mem_bytes: 65536,
+        });
+        m.set_xreg(XReg::new(10), vl as u64);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::ZERO,
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::M1),
+            },
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn unit_load_store_roundtrip() {
+        let mut m = machine_e32(4);
+        m.mem.write_u32_slice(0x100, &[10, 20, 30, 40]);
+        m.set_xreg(XReg::new(11), 0x100);
+        m.exec(
+            0,
+            &Instr::VLoad {
+                eew: Sew::E32,
+                vd: VReg::new(8),
+                rs1: XReg::new(11),
+                vm: true,
+            },
+        )
+        .unwrap();
+        m.set_xreg(XReg::new(12), 0x200);
+        m.exec(
+            0,
+            &Instr::VStore {
+                eew: Sew::E32,
+                vs3: VReg::new(8),
+                rs1: XReg::new(12),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.mem.read_u32_slice(0x200, 4), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn masked_store_skips_inactive() {
+        let mut m = machine_e32(4);
+        m.mem.write_u32_slice(0x200, &[9, 9, 9, 9]);
+        for i in 0..4 {
+            m.set_velem(VReg::new(8), i, Sew::E32, 100 + i as u64);
+        }
+        m.set_mask_bit(VReg::V0, 1, true);
+        m.set_mask_bit(VReg::V0, 2, true);
+        m.set_xreg(XReg::new(12), 0x200);
+        m.exec(
+            0,
+            &Instr::VStore {
+                eew: Sew::E32,
+                vs3: VReg::new(8),
+                rs1: XReg::new(12),
+                vm: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.mem.read_u32_slice(0x200, 4), vec![9, 101, 102, 9]);
+    }
+
+    #[test]
+    fn indexed_store_scatters_byte_offsets() {
+        // This is the paper's permute: vsuxei32 with byte offsets.
+        let mut m = machine_e32(4);
+        for (i, v) in [7u64, 8, 9, 10].iter().enumerate() {
+            m.set_velem(VReg::new(8), i as u32, Sew::E32, *v);
+        }
+        // Destination indices 2,0,3,1 -> byte offsets 8,0,12,4.
+        for (i, off) in [8u64, 0, 12, 4].iter().enumerate() {
+            m.set_velem(VReg::new(9), i as u32, Sew::E32, *off);
+        }
+        m.set_xreg(XReg::new(12), 0x300);
+        m.exec(
+            0,
+            &Instr::VStoreIndexed {
+                eew: Sew::E32,
+                ordered: false,
+                vs3: VReg::new(8),
+                rs1: XReg::new(12),
+                vs2: VReg::new(9),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.mem.read_u32_slice(0x300, 4), vec![8, 10, 7, 9]);
+    }
+
+    #[test]
+    fn indexed_load_gathers() {
+        let mut m = machine_e32(3);
+        m.mem.write_u32_slice(0x400, &[11, 22, 33, 44]);
+        for (i, off) in [12u64, 0, 8].iter().enumerate() {
+            m.set_velem(VReg::new(9), i as u32, Sew::E32, *off);
+        }
+        m.set_xreg(XReg::new(12), 0x400);
+        m.exec(
+            0,
+            &Instr::VLoadIndexed {
+                eew: Sew::E32,
+                ordered: true,
+                vd: VReg::new(8),
+                rs1: XReg::new(12),
+                vs2: VReg::new(9),
+                vm: true,
+            },
+        )
+        .unwrap();
+        let got: Vec<u64> = (0..3).map(|i| m.velem(VReg::new(8), i, Sew::E32)).collect();
+        assert_eq!(got, vec![44, 11, 33]);
+    }
+
+    #[test]
+    fn strided_load() {
+        let mut m = machine_e32(3);
+        m.mem.write_u32_slice(0x500, &[1, 2, 3, 4, 5, 6]);
+        m.set_xreg(XReg::new(11), 0x500);
+        m.set_xreg(XReg::new(12), 8); // stride: every other u32
+        m.exec(
+            0,
+            &Instr::VLoadStrided {
+                eew: Sew::E32,
+                vd: VReg::new(8),
+                rs1: XReg::new(11),
+                rs2: XReg::new(12),
+                vm: true,
+            },
+        )
+        .unwrap();
+        let got: Vec<u64> = (0..3).map(|i| m.velem(VReg::new(8), i, Sew::E32)).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn whole_register_spill_roundtrip() {
+        let mut m = machine_e32(4);
+        for i in 0..4 {
+            m.set_velem(VReg::new(8), i, Sew::E32, 0xa0 + i as u64);
+        }
+        m.set_xreg(XReg::new(2), 0x1000);
+        m.exec(
+            0,
+            &Instr::VStoreWhole {
+                nregs: 1,
+                vs3: VReg::new(8),
+                rs1: XReg::new(2),
+            },
+        )
+        .unwrap();
+        m.exec(
+            0,
+            &Instr::VLoadWhole {
+                nregs: 1,
+                vd: VReg::new(16),
+                rs1: XReg::new(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.vreg_bytes(VReg::new(16)), m.vreg_bytes(VReg::new(8)));
+    }
+
+    #[test]
+    fn whole_register_works_under_vill() {
+        let mut m = Machine::new(MachineConfig {
+            vlen: 128,
+            mem_bytes: 4096,
+        });
+        m.set_xreg(XReg::new(2), 0x100);
+        assert!(m.vtype().is_none());
+        m.exec(
+            0,
+            &Instr::VStoreWhole {
+                nregs: 2,
+                vs3: VReg::new(8),
+                rs1: XReg::new(2),
+            },
+        )
+        .unwrap();
+        m.exec(
+            0,
+            &Instr::VLoadWhole {
+                nregs: 2,
+                vd: VReg::new(10),
+                rs1: XReg::new(2),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn whole_register_alignment_enforced() {
+        let mut m = machine_e32(4);
+        m.set_xreg(XReg::new(2), 0x100);
+        let r = m.exec(
+            0,
+            &Instr::VLoadWhole {
+                nregs: 4,
+                vd: VReg::new(6),
+                rs1: XReg::new(2),
+            },
+        );
+        assert!(matches!(r, Err(SimError::UnsupportedEmul { .. })));
+    }
+
+    #[test]
+    fn mask_load_store_roundtrip() {
+        let mut m = machine_e32(4);
+        for i in [0u32, 3] {
+            m.set_mask_bit(VReg::new(4), i, true);
+        }
+        m.set_xreg(XReg::new(11), 0x600);
+        m.exec(
+            0,
+            &Instr::VStoreMask {
+                vs3: VReg::new(4),
+                rs1: XReg::new(11),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.mem.load(0x600, 1).unwrap(), 0b1001);
+        m.exec(
+            0,
+            &Instr::VLoadMask {
+                vd: VReg::new(5),
+                rs1: XReg::new(11),
+            },
+        )
+        .unwrap();
+        assert!(m.mask_bit(VReg::new(5), 0));
+        assert!(!m.mask_bit(VReg::new(5), 1));
+        assert!(m.mask_bit(VReg::new(5), 3));
+    }
+
+    #[test]
+    fn oob_load_traps() {
+        let mut m = machine_e32(4);
+        m.set_xreg(XReg::new(11), 65536 - 8);
+        let r = m.exec(
+            0,
+            &Instr::VLoad {
+                eew: Sew::E32,
+                vd: VReg::new(8),
+                rs1: XReg::new(11),
+                vm: true,
+            },
+        );
+        assert!(matches!(r, Err(SimError::MemOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn emul_overflow_rejected() {
+        // e64 load under e8/m8 vtype: EMUL = 64/8*8 = 64 registers -> trap.
+        let mut m = Machine::new(MachineConfig {
+            vlen: 128,
+            mem_bytes: 4096,
+        });
+        m.set_xreg(XReg::new(10), 4);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::ZERO,
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E8, Lmul::M8),
+            },
+        )
+        .unwrap();
+        let r = m.exec(
+            0,
+            &Instr::VLoad {
+                eew: Sew::E64,
+                vd: VReg::new(8),
+                rs1: XReg::new(11),
+                vm: true,
+            },
+        );
+        assert!(matches!(r, Err(SimError::UnsupportedEmul { .. })));
+    }
+}

@@ -1,0 +1,413 @@
+//! Vector permutation instructions: slides, register gather, compress.
+//!
+//! `vslideup` + masked add is the paper's in-register scan ladder (Figures 1
+//! and 4); `vcompress`/`vrgather` support alternative formulations used by
+//! the ablation benches.
+//!
+//! Sources are snapshotted before any destination write, so the semantics
+//! are well-defined even where the ISA *allows* overlap (e.g. `vslidedown`
+//! with `vd == vs2`); where the ISA *forbids* overlap we trap instead.
+
+use crate::error::{SimError, SimResult};
+use crate::machine::Machine;
+use rvv_isa::{Instr, VReg};
+
+impl Machine {
+    fn slide_up(&mut self, vd: VReg, vs2: VReg, offset: u64, vm: bool) -> SimResult<()> {
+        self.check_data_op(vd, &[vs2], vm)?;
+        let (t, vl) = self.vcfg()?;
+        if Machine::groups_overlap(vd, t.lmul.regs(), vs2, t.lmul.regs()) {
+            return Err(SimError::OverlapConstraint {
+                what: "vslideup vd overlaps vs2",
+            });
+        }
+        let start = offset.min(vl as u64) as u32;
+        // Snapshot source elements (vd/vs2 are disjoint, but keep the
+        // pattern uniform across the permutation family).
+        let src: Vec<u64> = (0..vl.saturating_sub(start))
+            .map(|i| self.velem(vs2, i, t.sew))
+            .collect();
+        for i in start..vl {
+            if self.active(vm, i) {
+                self.set_velem(vd, i, t.sew, src[(i - start) as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    fn slide_down(&mut self, vd: VReg, vs2: VReg, offset: u64, vm: bool) -> SimResult<()> {
+        self.check_data_op(vd, &[vs2], vm)?;
+        let (t, vl) = self.vcfg()?;
+        let vlmax = t.vlmax(self.vlen()) as u64;
+        let src: Vec<u64> = (0..vl)
+            .map(|i| {
+                let j = i as u64 + offset;
+                if j < vlmax {
+                    self.velem(vs2, j as u32, t.sew)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        for i in 0..vl {
+            if self.active(vm, i) {
+                self.set_velem(vd, i, t.sew, src[i as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    pub(super) fn exec_vperm(&mut self, instr: &Instr) -> SimResult<()> {
+        use Instr::*;
+        match *instr {
+            VSlideUpVX { vd, vs2, rs1, vm } => {
+                let off = self.xreg(rs1);
+                self.slide_up(vd, vs2, off, vm)
+            }
+            VSlideUpVI { vd, vs2, uimm, vm } => self.slide_up(vd, vs2, uimm as u64, vm),
+            VSlideDownVX { vd, vs2, rs1, vm } => {
+                let off = self.xreg(rs1);
+                self.slide_down(vd, vs2, off, vm)
+            }
+            VSlideDownVI { vd, vs2, uimm, vm } => self.slide_down(vd, vs2, uimm as u64, vm),
+            VSlide1Up { vd, vs2, rs1, vm } => {
+                self.check_data_op(vd, &[vs2], vm)?;
+                let (t, vl) = self.vcfg()?;
+                if Machine::groups_overlap(vd, t.lmul.regs(), vs2, t.lmul.regs()) {
+                    return Err(SimError::OverlapConstraint {
+                        what: "vslide1up vd overlaps vs2",
+                    });
+                }
+                let x = t.sew.truncate(self.xreg(rs1));
+                let src: Vec<u64> = (0..vl.saturating_sub(1))
+                    .map(|i| self.velem(vs2, i, t.sew))
+                    .collect();
+                if vl > 0 && self.active(vm, 0) {
+                    self.set_velem(vd, 0, t.sew, x);
+                }
+                for i in 1..vl {
+                    if self.active(vm, i) {
+                        self.set_velem(vd, i, t.sew, src[(i - 1) as usize]);
+                    }
+                }
+                Ok(())
+            }
+            VSlide1Down { vd, vs2, rs1, vm } => {
+                self.check_data_op(vd, &[vs2], vm)?;
+                let (t, vl) = self.vcfg()?;
+                let x = t.sew.truncate(self.xreg(rs1));
+                let src: Vec<u64> = (1..vl).map(|i| self.velem(vs2, i, t.sew)).collect();
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        let v = if i + 1 < vl { src[i as usize] } else { x };
+                        self.set_velem(vd, i, t.sew, v);
+                    }
+                }
+                Ok(())
+            }
+            VRGatherVV { vd, vs2, vs1, vm } => {
+                self.check_data_op(vd, &[vs2, vs1], vm)?;
+                let (t, vl) = self.vcfg()?;
+                let regs = t.lmul.regs();
+                if Machine::groups_overlap(vd, regs, vs2, regs)
+                    || Machine::groups_overlap(vd, regs, vs1, regs)
+                {
+                    return Err(SimError::OverlapConstraint {
+                        what: "vrgather vd overlaps a source",
+                    });
+                }
+                let vlmax = t.vlmax(self.vlen()) as u64;
+                let vals: Vec<u64> = (0..vl)
+                    .map(|i| {
+                        let idx = self.velem(vs1, i, t.sew);
+                        if idx < vlmax {
+                            self.velem(vs2, idx as u32, t.sew)
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        self.set_velem(vd, i, t.sew, vals[i as usize]);
+                    }
+                }
+                Ok(())
+            }
+            VRGatherVX { vd, vs2, rs1, vm } => {
+                self.check_data_op(vd, &[vs2], vm)?;
+                let (t, vl) = self.vcfg()?;
+                let regs = t.lmul.regs();
+                if Machine::groups_overlap(vd, regs, vs2, regs) {
+                    return Err(SimError::OverlapConstraint {
+                        what: "vrgather vd overlaps vs2",
+                    });
+                }
+                let vlmax = t.vlmax(self.vlen()) as u64;
+                let idx = self.xreg(rs1);
+                let v = if idx < vlmax {
+                    self.velem(vs2, idx as u32, t.sew)
+                } else {
+                    0
+                };
+                for i in 0..vl {
+                    if self.active(vm, i) {
+                        self.set_velem(vd, i, t.sew, v);
+                    }
+                }
+                Ok(())
+            }
+            VCompress { vd, vs2, vs1 } => {
+                let (t, vl) = self.vcfg()?;
+                self.check_group(vd, t.lmul)?;
+                self.check_group(vs2, t.lmul)?;
+                let regs = t.lmul.regs();
+                if Machine::groups_overlap(vd, regs, vs2, regs)
+                    || Machine::groups_overlap(vd, regs, vs1, 1)
+                {
+                    return Err(SimError::OverlapConstraint {
+                        what: "vcompress vd overlaps a source",
+                    });
+                }
+                let mut j = 0u32;
+                for i in 0..vl {
+                    if self.mask_bit(vs1, i) {
+                        let v = self.velem(vs2, i, t.sew);
+                        self.set_velem(vd, j, t.sew, v);
+                        j += 1;
+                    }
+                }
+                Ok(())
+            }
+            _ => unreachable!("non-permutation instruction routed to exec_vperm"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use rvv_isa::{Lmul, Sew, VType, XReg};
+
+    fn machine_e32(vl: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig {
+            vlen: 256,
+            mem_bytes: 4096,
+        });
+        m.set_xreg(XReg::new(10), vl as u64);
+        m.exec(
+            0,
+            &Instr::Vsetvli {
+                rd: XReg::ZERO,
+                rs1: XReg::new(10),
+                vtype: VType::new(Sew::E32, Lmul::M1),
+            },
+        )
+        .unwrap();
+        m
+    }
+
+    fn set_vec(m: &mut Machine, r: VReg, vals: &[u64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            m.set_velem(r, i as u32, Sew::E32, v);
+        }
+    }
+
+    fn get_vec(m: &Machine, r: VReg, n: u32) -> Vec<u64> {
+        (0..n).map(|i| m.velem(r, i, Sew::E32)).collect()
+    }
+
+    #[test]
+    fn slideup_preserves_low_elements() {
+        // This is exactly the paper's scan ladder step:
+        // y = slideup(zero, x, offset).
+        let mut m = machine_e32(8);
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        set_vec(&mut m, VReg::new(2), &[0; 8]); // pre-seeded destination
+        m.set_xreg(XReg::new(5), 2);
+        m.exec(
+            0,
+            &Instr::VSlideUpVX {
+                vd: VReg::new(2),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(2), 8), vec![0, 0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn slideup_offset_past_vl_writes_nothing() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4]);
+        set_vec(&mut m, VReg::new(2), &[9, 9, 9, 9]);
+        m.set_xreg(XReg::new(5), 10);
+        m.exec(
+            0,
+            &Instr::VSlideUpVX {
+                vd: VReg::new(2),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(2), 4), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn slideup_overlap_traps() {
+        let mut m = machine_e32(4);
+        m.set_xreg(XReg::new(5), 1);
+        let r = m.exec(
+            0,
+            &Instr::VSlideUpVX {
+                vd: VReg::new(1),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        );
+        assert!(matches!(r, Err(SimError::OverlapConstraint { .. })));
+    }
+
+    #[test]
+    fn slidedown_reads_past_vl_and_zero_fills() {
+        let mut m = machine_e32(4); // VLEN=256 e32 -> vlmax 8
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4, 55, 66, 77, 88]);
+        m.set_xreg(XReg::new(5), 3);
+        m.exec(
+            0,
+            &Instr::VSlideDownVX {
+                vd: VReg::new(2),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        // Elements beyond vl but below vlmax come from the register;
+        // beyond vlmax would be zero.
+        assert_eq!(get_vec(&m, VReg::new(2), 4), vec![4, 55, 66, 77]);
+        // Slide down by >= vlmax zero-fills everything.
+        m.set_xreg(XReg::new(5), 100);
+        m.exec(
+            0,
+            &Instr::VSlideDownVX {
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn slidedown_allows_in_place() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4]);
+        m.exec(
+            0,
+            &Instr::VSlideDownVI {
+                vd: VReg::new(1),
+                vs2: VReg::new(1),
+                uimm: 1,
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(1), 3), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn slide1up_and_slide1down() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4]);
+        m.set_xreg(XReg::new(5), 99);
+        m.exec(
+            0,
+            &Instr::VSlide1Up {
+                vd: VReg::new(2),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(2), 4), vec![99, 1, 2, 3]);
+        m.exec(
+            0,
+            &Instr::VSlide1Down {
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 4), vec![2, 3, 4, 99]);
+    }
+
+    #[test]
+    fn rgather_with_oob_index_zero_fills() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[10, 20, 30, 40]);
+        set_vec(&mut m, VReg::new(2), &[3, 3, 100, 0]);
+        m.exec(
+            0,
+            &Instr::VRGatherVV {
+                vd: VReg::new(3),
+                vs2: VReg::new(1),
+                vs1: VReg::new(2),
+                vm: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(3), 4), vec![40, 40, 0, 10]);
+    }
+
+    #[test]
+    fn compress_packs_selected() {
+        let mut m = machine_e32(6);
+        set_vec(&mut m, VReg::new(1), &[10, 20, 30, 40, 50, 60]);
+        set_vec(&mut m, VReg::new(2), &[0; 6]);
+        for i in [1u32, 3, 4] {
+            m.set_mask_bit(VReg::new(4), i, true);
+        }
+        m.exec(
+            0,
+            &Instr::VCompress {
+                vd: VReg::new(2),
+                vs2: VReg::new(1),
+                vs1: VReg::new(4),
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(2), 3), vec![20, 40, 50]);
+    }
+
+    #[test]
+    fn masked_slide_leaves_inactive() {
+        let mut m = machine_e32(4);
+        set_vec(&mut m, VReg::new(1), &[1, 2, 3, 4]);
+        set_vec(&mut m, VReg::new(2), &[9, 9, 9, 9]);
+        m.set_mask_bit(VReg::V0, 2, true);
+        m.set_xreg(XReg::new(5), 1);
+        m.exec(
+            0,
+            &Instr::VSlideUpVX {
+                vd: VReg::new(2),
+                vs2: VReg::new(1),
+                rs1: XReg::new(5),
+                vm: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(get_vec(&m, VReg::new(2), 4), vec![9, 9, 2, 9]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Flat little-endian memory with bounds checking and optional guard
+//! regions.
+//!
+//! The simulated machine sees one contiguous byte-addressable memory starting
+//! at address 0. The scan-vector library's environment bump-allocates buffers
+//! out of it; tests can arm *guard regions* around buffers so that an
+//! under/overrun traps deterministically instead of silently corrupting a
+//! neighbouring buffer.
+
+use crate::error::{SimError, SimResult};
+use std::ops::Range;
+
+/// Byte-addressable little-endian memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    guards: Vec<Range<u64>>,
+}
+
+impl Memory {
+    /// Create a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+            guards: Vec::new(),
+        }
+    }
+
+    /// Memory size in bytes.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Arm a guard region: any load or store intersecting `range` traps with
+    /// [`SimError::GuardHit`]. Returns a handle for [`Memory::remove_guard`].
+    pub fn add_guard(&mut self, range: Range<u64>) -> usize {
+        self.guards.push(range);
+        self.guards.len() - 1
+    }
+
+    /// Disarm a guard region previously armed with [`Memory::add_guard`].
+    /// Guards are disarmed by replacing with an empty range so handles stay
+    /// stable.
+    pub fn remove_guard(&mut self, handle: usize) {
+        if let Some(g) = self.guards.get_mut(handle) {
+            *g = 0..0;
+        }
+    }
+
+    /// Remove every guard region.
+    pub fn clear_guards(&mut self) {
+        self.guards.clear();
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, len: u64) -> SimResult<()> {
+        let end = addr.checked_add(len).ok_or(SimError::MemOutOfBounds {
+            addr,
+            len,
+            size: self.size(),
+        })?;
+        if end > self.size() {
+            return Err(SimError::MemOutOfBounds {
+                addr,
+                len,
+                size: self.size(),
+            });
+        }
+        if !self.guards.is_empty() {
+            for g in &self.guards {
+                if addr < g.end && end > g.start {
+                    return Err(SimError::GuardHit { addr });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Load `len ∈ {1,2,4,8}` bytes little-endian, zero-extended to `u64`.
+    #[inline]
+    pub fn load(&self, addr: u64, len: u64) -> SimResult<u64> {
+        self.check(addr, len)?;
+        let a = addr as usize;
+        let mut v = 0u64;
+        for (i, b) in self.bytes[a..a + len as usize].iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Store the low `len ∈ {1,2,4,8}` bytes of `value` little-endian.
+    #[inline]
+    pub fn store(&mut self, addr: u64, len: u64, value: u64) -> SimResult<()> {
+        self.check(addr, len)?;
+        let a = addr as usize;
+        for i in 0..len as usize {
+            self.bytes[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Read a byte slice (bounds- and guard-checked).
+    pub fn read_bytes(&self, addr: u64, len: u64) -> SimResult<&[u8]> {
+        self.check(addr, len)?;
+        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+
+    /// Write a byte slice (bounds- and guard-checked).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> SimResult<()> {
+        self.check(addr, data.len() as u64)?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Host-side convenience: copy a `u32` slice into memory (no guard check
+    /// — this is test/driver setup, not simulated execution).
+    pub fn write_u32_slice(&mut self, addr: u64, data: &[u32]) {
+        let a = addr as usize;
+        for (i, v) in data.iter().enumerate() {
+            self.bytes[a + 4 * i..a + 4 * i + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Host-side convenience: copy memory out as a `u32` vector.
+    pub fn read_u32_slice(&self, addr: u64, n: usize) -> Vec<u32> {
+        let a = addr as usize;
+        (0..n)
+            .map(|i| u32::from_le_bytes(self.bytes[a + 4 * i..a + 4 * i + 4].try_into().unwrap()))
+            .collect()
+    }
+
+    /// Host-side convenience: copy a `u64` slice into memory.
+    pub fn write_u64_slice(&mut self, addr: u64, data: &[u64]) {
+        let a = addr as usize;
+        for (i, v) in data.iter().enumerate() {
+            self.bytes[a + 8 * i..a + 8 * i + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Host-side convenience: copy memory out as a `u64` vector.
+    pub fn read_u64_slice(&self, addr: u64, n: usize) -> Vec<u64> {
+        let a = addr as usize;
+        (0..n)
+            .map(|i| u64::from_le_bytes(self.bytes[a + 8 * i..a + 8 * i + 8].try_into().unwrap()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = Memory::new(64);
+        m.store(8, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load(8, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.load(8, 4).unwrap(), 0x5566_7788);
+        assert_eq!(m.load(8, 1).unwrap(), 0x88);
+        // Little-endian byte order.
+        assert_eq!(m.load(15, 1).unwrap(), 0x11);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = Memory::new(16);
+        assert!(matches!(
+            m.load(16, 1),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.load(12, 8),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.store(u64::MAX, 8, 0),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
+        assert!(m.store(8, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn guards_trap_and_disarm() {
+        let mut m = Memory::new(64);
+        let g = m.add_guard(16..20);
+        assert!(matches!(m.load(16, 4), Err(SimError::GuardHit { .. })));
+        assert!(matches!(m.load(12, 8), Err(SimError::GuardHit { .. }))); // straddles
+        assert!(m.load(12, 4).is_ok()); // adjacent below
+        assert!(m.load(20, 4).is_ok()); // adjacent above
+        m.remove_guard(g);
+        assert!(m.load(16, 4).is_ok());
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = Memory::new(64);
+        m.write_u32_slice(4, &[1, 2, 3]);
+        assert_eq!(m.read_u32_slice(4, 3), vec![1, 2, 3]);
+        m.write_u64_slice(32, &[u64::MAX, 7]);
+        assert_eq!(m.read_u64_slice(32, 2), vec![u64::MAX, 7]);
+    }
+}

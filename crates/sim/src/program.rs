@@ -1,0 +1,348 @@
+//! Programs and the run loop.
+//!
+//! A [`Program`] is a flat sequence of instructions; the program counter is
+//! a byte address (`index × 4`) so that branch offsets behave exactly like
+//! the binary encoding. Instructions live outside simulated data memory
+//! (a Harvard-style split): the paper's experiments never use self-modifying
+//! code, and the split keeps kernels from trampling their own text.
+
+use crate::error::{SimError, SimResult};
+use crate::exec::Control;
+use crate::machine::Machine;
+use rvv_isa::{encode, Instr};
+use std::fmt;
+
+/// Default fuel for [`Machine::run`]: generous enough for the paper's
+/// largest experiment (N = 10⁶ split radix sort ≈ 2×10⁸ instructions) with
+/// an order of magnitude to spare.
+pub const DEFAULT_FUEL: u64 = 4_000_000_000;
+
+/// An executable program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// A label for traces and error messages.
+    pub name: String,
+    /// The instructions; instruction `i` sits at byte address `4·i`.
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Wrap an instruction sequence.
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Program {
+        Program {
+            name: name.into(),
+            instrs,
+        }
+    }
+
+    /// Length in instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Is the program empty?
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Assemble to machine code: the true 32-bit little-endian encodings.
+    /// The simulator executes the typed form, but this is byte-for-byte what
+    /// a real RV64GCV target would fetch, and tests decode it back.
+    pub fn assemble(&self) -> Result<Vec<u8>, rvv_isa::EncodeError> {
+        let mut out = Vec::with_capacity(self.instrs.len() * 4);
+        for i in &self.instrs {
+            out.extend_from_slice(&encode(i)?.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Load a program from raw RISC-V machine code (32-bit little-endian
+    /// words) — the inverse of [`Program::assemble`], and what the
+    /// `sim-run` CLI feeds the simulator.
+    ///
+    /// # Errors
+    /// Reports the word index and decode failure for the first instruction
+    /// outside the modelled subset; trailing bytes that do not form a whole
+    /// word are rejected.
+    pub fn from_machine_code(name: impl Into<String>, bytes: &[u8]) -> Result<Program, String> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(format!(
+                "{} bytes is not a whole number of instructions",
+                bytes.len()
+            ));
+        }
+        let mut instrs = Vec::with_capacity(bytes.len() / 4);
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            let w = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+            let instr = rvv_isa::decode(w)
+                .map_err(|e| format!("instruction {i} (byte offset {:#x}): {e}", i * 4))?;
+            instrs.push(instr);
+        }
+        Ok(Program::new(name, instrs))
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembly listing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            writeln!(f, "{:6x}:  {instr}", i * 4)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Dynamic instructions retired by this run (not cumulative machine
+    /// counters).
+    pub retired: u64,
+    /// PC of the halting `ecall`.
+    pub halt_pc: u64,
+}
+
+impl Machine {
+    /// Run `program` from its first instruction until `ecall`, a trap, or
+    /// `fuel` retired instructions.
+    pub fn run(&mut self, program: &Program, fuel: u64) -> SimResult<RunReport> {
+        let before = self.counters.total();
+        let len = program.instrs.len() as u64;
+        let mut pc: u64 = 0;
+        loop {
+            if self.counters.total() - before >= fuel {
+                return Err(SimError::FuelExhausted { fuel });
+            }
+            if !pc.is_multiple_of(4) || pc / 4 >= len {
+                return Err(SimError::BadControlFlow { target: pc });
+            }
+            let instr = &program.instrs[(pc / 4) as usize];
+            match self.exec(pc, instr)? {
+                Control::Next => pc += 4,
+                Control::Jump(target) => pc = target,
+                Control::Halt => {
+                    return Ok(RunReport {
+                        retired: self.counters.total() - before,
+                        halt_pc: pc,
+                    })
+                }
+            }
+        }
+    }
+
+    /// [`Machine::run`] with [`DEFAULT_FUEL`].
+    pub fn run_default(&mut self, program: &Program) -> SimResult<RunReport> {
+        self.run(program, DEFAULT_FUEL)
+    }
+
+    /// Like [`Machine::run`], but calls `hook(pc, instr)` before executing
+    /// each instruction — an execution trace for debugging kernels and for
+    /// tools that want per-instruction visibility (the hook sees the
+    /// architectural state through `&Machine` methods between calls is not
+    /// possible; capture what you need from pc/instr and the counters).
+    pub fn run_hooked(
+        &mut self,
+        program: &Program,
+        fuel: u64,
+        mut hook: impl FnMut(u64, &Instr),
+    ) -> SimResult<RunReport> {
+        let before = self.counters.total();
+        let len = program.instrs.len() as u64;
+        let mut pc: u64 = 0;
+        loop {
+            if self.counters.total() - before >= fuel {
+                return Err(SimError::FuelExhausted { fuel });
+            }
+            if !pc.is_multiple_of(4) || pc / 4 >= len {
+                return Err(SimError::BadControlFlow { target: pc });
+            }
+            let instr = &program.instrs[(pc / 4) as usize];
+            hook(pc, instr);
+            match self.exec(pc, instr)? {
+                Control::Next => pc += 4,
+                Control::Jump(target) => pc = target,
+                Control::Halt => {
+                    return Ok(RunReport {
+                        retired: self.counters.total() - before,
+                        halt_pc: pc,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use rvv_isa::{AluOp, BranchCond, XReg};
+
+    fn m() -> Machine {
+        Machine::new(MachineConfig {
+            vlen: 128,
+            mem_bytes: 4096,
+        })
+    }
+
+    /// A hand-assembled countdown loop:
+    ///   li t0, 5        (addi x5, x0, 5)
+    /// loop:
+    ///   addi x5, x5, -1
+    ///   bne x5, x0, loop
+    ///   ecall
+    fn countdown() -> Program {
+        Program::new(
+            "countdown",
+            vec![
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: XReg::new(5),
+                    rs1: XReg::ZERO,
+                    imm: 5,
+                },
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: XReg::new(5),
+                    rs1: XReg::new(5),
+                    imm: -1,
+                },
+                Instr::Branch {
+                    cond: BranchCond::Ne,
+                    rs1: XReg::new(5),
+                    rs2: XReg::ZERO,
+                    offset: -4,
+                },
+                Instr::Ecall,
+            ],
+        )
+    }
+
+    #[test]
+    fn loop_runs_and_counts() {
+        let mut m = m();
+        let r = m.run_default(&countdown()).unwrap();
+        // 1 init + 5 × (addi + bne) + ecall = 12.
+        assert_eq!(r.retired, 12);
+        assert_eq!(m.xreg(XReg::new(5)), 0);
+        assert_eq!(r.halt_pc, 12);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut m = m();
+        // Infinite loop: jal x0, 0.
+        let p = Program::new(
+            "spin",
+            vec![Instr::Jal {
+                rd: XReg::ZERO,
+                offset: 0,
+            }],
+        );
+        let r = m.run(&p, 1000);
+        assert!(matches!(r, Err(SimError::FuelExhausted { fuel: 1000 })));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_bad_control_flow() {
+        let mut m = m();
+        let p = Program::new(
+            "no-halt",
+            vec![Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::new(5),
+                rs1: XReg::ZERO,
+                imm: 1,
+            }],
+        );
+        assert!(matches!(
+            m.run_default(&p),
+            Err(SimError::BadControlFlow { .. })
+        ));
+    }
+
+    #[test]
+    fn wild_jump_is_bad_control_flow() {
+        let mut m = m();
+        let p = Program::new(
+            "wild",
+            vec![Instr::Jal {
+                rd: XReg::ZERO,
+                offset: 0x1000,
+            }],
+        );
+        assert!(matches!(
+            m.run_default(&p),
+            Err(SimError::BadControlFlow { target: 0x1000 })
+        ));
+    }
+
+    #[test]
+    fn ebreak_traps_with_pc() {
+        let mut m = m();
+        let p = Program::new(
+            "brk",
+            vec![
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: XReg::new(5),
+                    rs1: XReg::ZERO,
+                    imm: 1,
+                },
+                Instr::Ebreak,
+            ],
+        );
+        assert!(matches!(
+            m.run_default(&p),
+            Err(SimError::Breakpoint { pc: 4 })
+        ));
+    }
+
+    #[test]
+    fn assemble_then_decode_matches() {
+        let p = countdown();
+        let bytes = p.assemble().unwrap();
+        assert_eq!(bytes.len(), p.len() * 4);
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            let w = u32::from_le_bytes(chunk.try_into().unwrap());
+            assert_eq!(rvv_isa::decode(w).unwrap(), p.instrs[i]);
+        }
+    }
+
+    #[test]
+    fn hooked_run_sees_every_retired_instruction() {
+        let mut m = m();
+        let mut trace = Vec::new();
+        let r = m
+            .run_hooked(&countdown(), 1000, |pc, i| trace.push((pc, i.to_string())))
+            .unwrap();
+        assert_eq!(trace.len() as u64, r.retired);
+        assert_eq!(trace[0].1, "addi x5, x0, 5");
+        assert_eq!(trace.last().unwrap().1, "ecall");
+        // The loop body repeats five times.
+        assert_eq!(trace.iter().filter(|(pc, _)| *pc == 4).count(), 5);
+    }
+
+    #[test]
+    fn machine_code_loader_roundtrips() {
+        let p = countdown();
+        let bytes = p.assemble().unwrap();
+        let back = Program::from_machine_code("reloaded", &bytes).unwrap();
+        assert_eq!(back.instrs, p.instrs);
+        // A ragged byte count is rejected.
+        assert!(Program::from_machine_code("bad", &bytes[..6]).is_err());
+        // Undecodable words report their position.
+        let mut corrupt = bytes.clone();
+        corrupt[4..8].copy_from_slice(&0xffff_ffffu32.to_le_bytes());
+        let err = Program::from_machine_code("bad", &corrupt).unwrap_err();
+        assert!(err.contains("instruction 1"), "{err}");
+    }
+
+    #[test]
+    fn display_disassembles() {
+        let text = countdown().to_string();
+        assert!(text.contains("countdown:"));
+        assert!(text.contains("bne x5, x0, -4"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickhull on the scan vector model: cross products, farthest-point
+//! selection, and candidate compaction all run as data-parallel device
+//! primitives; the host recursion touches O(1) scalars per hull edge.
+//!
+//! Run: `cargo run --release --example convex_hull`
+
+use rand::prelude::*;
+use scan_vector_rvv::algos::{convex_hull_reference, quickhull};
+use scan_vector_rvv::core::env::ScanEnv;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2022);
+    // A dense blob plus a few extreme outliers.
+    let mut pts: Vec<(u32, u32)> = (0..5_000)
+        .map(|_| (rng.random_range(400..600), rng.random_range(400..600)))
+        .collect();
+    pts.extend([
+        (0, 500),
+        (1000, 500),
+        (500, 0),
+        (500, 1000),
+        (50, 80),
+        (950, 930),
+    ]);
+
+    let mut env = ScanEnv::paper_default();
+    let (hull, cost) = quickhull(&mut env, &pts).unwrap();
+    assert_eq!(
+        hull,
+        convex_hull_reference(&pts),
+        "must match the host reference"
+    );
+
+    println!(
+        "{} points -> {} hull vertices (CCW):",
+        pts.len(),
+        hull.len()
+    );
+    for p in &hull {
+        println!("  {p:?}");
+    }
+    println!(
+        "\n{cost} dynamic instructions ({:.1} per point)",
+        cost as f64 / pts.len() as f64
+    );
+}

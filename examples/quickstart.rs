@@ -1,0 +1,67 @@
+//! Quickstart: the scan vector model in five minutes.
+//!
+//! Builds an RVV environment (simulated, VLEN=1024), runs the three
+//! primitive classes — elementwise, scan, permutation — plus a segmented
+//! scan, and prints the dynamic instruction counts the paper uses as its
+//! performance metric.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use scan_vector_rvv::core::env::ScanEnv;
+use scan_vector_rvv::core::primitives::{
+    baseline, enumerate, p_add, permute, plus_scan, seg_plus_scan,
+};
+use scan_vector_rvv::isa::Sew;
+
+fn main() {
+    // The paper's headline machine: VLEN = 1024 bits, LMUL = 1.
+    let mut env = ScanEnv::paper_default();
+
+    // --- Elementwise class: p_add -------------------------------------
+    let v = env.from_u32(&[10, 20, 30, 40, 50, 60, 70, 80]).unwrap();
+    let cost = p_add(&mut env, &v, 5).unwrap();
+    println!("p_add       -> {:?}  ({cost} instructions)", env.to_u32(&v));
+
+    // --- Scan class: inclusive plus-scan ------------------------------
+    let s = env.from_u32(&[3, 1, 7, 0, 4, 1, 6, 3]).unwrap();
+    let cost = plus_scan(&mut env, &s).unwrap();
+    println!("plus_scan   -> {:?}  ({cost} instructions)", env.to_u32(&s));
+
+    // Same computation, sequential baseline — the paper's comparison.
+    let sb = env.from_u32(&[3, 1, 7, 0, 4, 1, 6, 3]).unwrap();
+    let base_cost = baseline::plus_scan(&mut env, &sb).unwrap();
+    println!("  (baseline: {base_cost} instructions — counts diverge as N grows)");
+
+    // --- Permutation class: out-of-place permute ----------------------
+    let src = env.from_u32(&[100, 101, 102, 103]).unwrap();
+    let idx = env.from_u32(&[3, 0, 2, 1]).unwrap();
+    let dst = env.alloc(Sew::E32, 4).unwrap();
+    let cost = permute(&mut env, &src, &idx, &dst).unwrap();
+    println!(
+        "permute     -> {:?}  ({cost} instructions)",
+        env.to_u32(&dst)
+    );
+
+    // --- Derived operation: enumerate (exclusive count of set flags) --
+    let flags = env.from_u32(&[1, 0, 1, 1, 0, 1]).unwrap();
+    let out = env.alloc(Sew::E32, 6).unwrap();
+    let (count, cost) = enumerate(&mut env, &flags, true, &out).unwrap();
+    println!(
+        "enumerate   -> {:?}, total {count}  ({cost} instructions)",
+        env.to_u32(&out)
+    );
+
+    // --- Segmented scan: independent prefix sums per segment ----------
+    let data = env.from_u32(&[5, 1, 2, 4, 8, 16, 3, 3]).unwrap();
+    let heads = env.from_u32(&[1, 0, 1, 0, 0, 1, 0, 1]).unwrap();
+    let cost = seg_plus_scan(&mut env, &data, &heads).unwrap();
+    println!(
+        "seg_scan    -> {:?}  ({cost} instructions)",
+        env.to_u32(&data)
+    );
+
+    println!(
+        "\nTotal dynamic instructions this session: {}",
+        env.retired()
+    );
+}

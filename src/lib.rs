@@ -1,0 +1,12 @@
+//! Umbrella crate for the scan-vector-model-on-RVV reproduction.
+//!
+//! Re-exports the workspace crates so the examples under `examples/` and the
+//! integration tests under `tests/` can reach everything through one
+//! dependency. See the repository `README.md` for the architecture overview
+//! and `DESIGN.md` for the per-experiment index.
+
+pub use rvv_asm as asm;
+pub use rvv_isa as isa;
+pub use rvv_sim as sim;
+pub use scanvec as core;
+pub use scanvec_algos as algos;

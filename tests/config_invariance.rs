@@ -1,0 +1,167 @@
+//! Results must be identical across every machine configuration: VLEN,
+//! LMUL, and spill profile change *instruction counts*, never values.
+//! This pins down the vector-length-agnostic programming claim (paper
+//! §3.1) and the correctness of spill code.
+
+use scan_vector_rvv::algos;
+use scan_vector_rvv::asm::SpillProfile;
+use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
+use scan_vector_rvv::core::primitives as p;
+use scan_vector_rvv::core::{ScanKind, ScanOp};
+use scan_vector_rvv::isa::Lmul;
+
+fn all_configs() -> Vec<EnvConfig> {
+    let mut v = Vec::new();
+    for vlen in [128u32, 256, 512, 1024] {
+        for lmul in Lmul::ALL {
+            for profile in [SpillProfile::llvm14(), SpillProfile::ideal()] {
+                v.push(EnvConfig {
+                    vlen,
+                    lmul,
+                    spill_profile: profile,
+                    mem_bytes: 32 << 20,
+                });
+            }
+        }
+    }
+    v
+}
+
+fn data(n: usize) -> (Vec<u32>, Vec<u32>) {
+    let xs: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(0x9e3779b9).rotate_left(7))
+        .collect();
+    let flags: Vec<u32> = (0..n).map(|i| u32::from(i == 0 || i % 13 == 5)).collect();
+    (xs, flags)
+}
+
+#[test]
+fn seg_scan_identical_across_all_configs() {
+    let (xs, flags) = data(531);
+    let mut reference: Option<Vec<u32>> = None;
+    for cfg in all_configs() {
+        let mut e = ScanEnv::new(cfg);
+        let v = e.from_u32(&xs).unwrap();
+        let f = e.from_u32(&flags).unwrap();
+        p::seg_scan(&mut e, ScanOp::Plus, &v, &f).unwrap();
+        let got = e.to_u32(&v);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "config {cfg:?} changed the result"),
+        }
+    }
+}
+
+#[test]
+fn scan_identical_across_all_configs() {
+    let (xs, _) = data(777);
+    let mut reference: Option<Vec<u32>> = None;
+    for cfg in all_configs() {
+        let mut e = ScanEnv::new(cfg);
+        let v = e.from_u32(&xs).unwrap();
+        p::scan(&mut e, ScanOp::Max, &v, ScanKind::Exclusive).unwrap();
+        let got = e.to_u32(&v);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "config {cfg:?} changed the result"),
+        }
+    }
+}
+
+#[test]
+fn radix_sort_identical_across_configs() {
+    let (xs, _) = data(257);
+    let mut want = xs.clone();
+    want.sort_unstable();
+    // A representative spread (the full cross product is covered by the
+    // primitive-level tests; the sort launches ~200 kernels per config).
+    for cfg in [
+        EnvConfig {
+            vlen: 128,
+            lmul: Lmul::M1,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 32 << 20,
+        },
+        EnvConfig {
+            vlen: 1024,
+            lmul: Lmul::M8,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 32 << 20,
+        },
+        EnvConfig {
+            vlen: 512,
+            lmul: Lmul::M4,
+            spill_profile: SpillProfile::ideal(),
+            mem_bytes: 32 << 20,
+        },
+    ] {
+        let mut e = ScanEnv::new(cfg);
+        let v = e.from_u32(&xs).unwrap();
+        algos::split_radix_sort(&mut e, &v, 32).unwrap();
+        assert_eq!(e.to_u32(&v), want, "config {cfg:?} mis-sorted");
+    }
+}
+
+#[test]
+fn spill_profile_changes_count_not_result() {
+    // At LMUL=8 the segmented scan spills; the two profiles must agree on
+    // values and disagree on counts (the calibrated profile adds the
+    // conservative frame).
+    let (xs, flags) = data(400);
+    let mut counts = Vec::new();
+    let mut results = Vec::new();
+    for profile in [SpillProfile::llvm14(), SpillProfile::ideal()] {
+        let mut e = ScanEnv::new(EnvConfig {
+            vlen: 1024,
+            lmul: Lmul::M8,
+            spill_profile: profile,
+            mem_bytes: 32 << 20,
+        });
+        let v = e.from_u32(&xs).unwrap();
+        let f = e.from_u32(&flags).unwrap();
+        counts.push(p::seg_scan(&mut e, ScanOp::Plus, &v, &f).unwrap());
+        results.push(e.to_u32(&v));
+    }
+    assert_eq!(results[0], results[1]);
+    assert!(
+        counts[0] > counts[1],
+        "calibrated profile must cost more than ideal: {counts:?}"
+    );
+}
+
+#[test]
+fn vl_boundary_sizes() {
+    // Sizes straddling strip boundaries at every VLEN: n = k*vlmax ± 1.
+    for vlen in [128u32, 1024] {
+        let vlmax = (vlen / 32) as usize;
+        for n in [
+            vlmax - 1,
+            vlmax,
+            vlmax + 1,
+            3 * vlmax - 1,
+            3 * vlmax,
+            3 * vlmax + 1,
+        ] {
+            let (xs, flags) = data(n);
+            let mut e = ScanEnv::new(EnvConfig {
+                vlen,
+                lmul: Lmul::M1,
+                spill_profile: SpillProfile::llvm14(),
+                mem_bytes: 32 << 20,
+            });
+            let v = e.from_u32(&xs).unwrap();
+            let f = e.from_u32(&flags).unwrap();
+            p::seg_scan(&mut e, ScanOp::Plus, &v, &f).unwrap();
+            let got = e.to_u32(&v);
+            let xu: Vec<u64> = xs.iter().map(|&x| x as u64).collect();
+            let want = scan_vector_rvv::core::native::seg_scan_inclusive(
+                ScanOp::Plus,
+                scan_vector_rvv::isa::Sew::E32,
+                &xu,
+                &flags,
+            );
+            let want: Vec<u32> = want.into_iter().map(|x| x as u32).collect();
+            assert_eq!(got, want, "vlen={vlen} n={n}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end runs of the full applications on one shared environment —
+//! the "does the whole stack hold together" test.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use scan_vector_rvv::algos::{
+    line_of_sight, line_of_sight_reference, qsort_baseline, random_csr, seg_quicksort,
+    split_radix_sort, spmv,
+};
+use scan_vector_rvv::core::env::ScanEnv;
+
+#[test]
+fn three_sorters_agree() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let data: Vec<u32> = (0..800).map(|_| rng.random_range(0..100_000)).collect();
+    let mut want = data.clone();
+    want.sort_unstable();
+
+    let mut env = ScanEnv::paper_default();
+    let a = env.from_u32(&data).unwrap();
+    let radix_cost = split_radix_sort(&mut env, &a, 32).unwrap();
+    assert_eq!(env.to_u32(&a), want);
+
+    let b = env.from_u32(&data).unwrap();
+    let qsort_cost = qsort_baseline(&mut env, &b).unwrap();
+    assert_eq!(env.to_u32(&b), want);
+
+    let c = env.from_u32(&data).unwrap();
+    let segq_cost = seg_quicksort(&mut env, &c).unwrap();
+    assert_eq!(env.to_u32(&c), want);
+
+    assert!(radix_cost > 0 && qsort_cost > 0 && segq_cost > 0);
+    // The environment's cumulative counter saw everything.
+    assert!(env.retired() >= radix_cost + qsort_cost + segq_cost);
+}
+
+#[test]
+fn spmv_chains_after_sorting_in_same_env() {
+    // Region allocation must leave the environment reusable across
+    // completely different workloads.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut env = ScanEnv::paper_default();
+
+    let data: Vec<u32> = (0..300).map(|_| rng.random()).collect();
+    let v = env.from_u32(&data).unwrap();
+    split_radix_sort(&mut env, &v, 32).unwrap();
+
+    let a = random_csr(&mut rng, 40, 128, 5);
+    let x: Vec<u32> = (0..128).map(|_| rng.random_range(0..50)).collect();
+    let (y, _) = spmv(&mut env, &a, &x).unwrap();
+    assert_eq!(y, a.spmv_reference(&x));
+
+    let terrain: Vec<u32> = (0..200).map(|_| rng.random_range(0..1500)).collect();
+    let (vis, _) = line_of_sight(&mut env, &terrain, 700).unwrap();
+    assert_eq!(vis, line_of_sight_reference(&terrain, 700));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn radix_sort_equals_std_sort(data in prop::collection::vec(any::<u32>(), 0..400)) {
+        let mut env = ScanEnv::paper_default();
+        let v = env.from_u32(&data).unwrap();
+        split_radix_sort(&mut env, &v, 32).unwrap();
+        let mut want = data;
+        want.sort_unstable();
+        prop_assert_eq!(env.to_u32(&v), want);
+    }
+
+    #[test]
+    fn seg_quicksort_equals_std_sort(data in prop::collection::vec(0u32..5000, 0..300)) {
+        let mut env = ScanEnv::paper_default();
+        let v = env.from_u32(&data).unwrap();
+        seg_quicksort(&mut env, &v).unwrap();
+        let mut want = data;
+        want.sort_unstable();
+        prop_assert_eq!(env.to_u32(&v), want);
+    }
+
+    #[test]
+    fn spmv_matches_reference(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_csr(&mut rng, 30, 64, 4);
+        let x: Vec<u32> = (0..64).map(|_| rng.random_range(0..1000)).collect();
+        let mut env = ScanEnv::paper_default();
+        let (y, _) = spmv(&mut env, &a, &x).unwrap();
+        prop_assert_eq!(y, a.spmv_reference(&x));
+    }
+}

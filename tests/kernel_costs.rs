@@ -1,0 +1,140 @@
+//! Golden dynamic-instruction costs for the core kernels.
+//!
+//! The experiment tables (EXPERIMENTS.md) are only reproducible if kernel
+//! codegen stays put, so these tests pin the *exact* cost formulas at the
+//! paper's headline configuration. A failure here means codegen changed —
+//! re-derive the formula and regenerate EXPERIMENTS.md, deliberately.
+
+use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
+use scan_vector_rvv::core::primitives::{self as p, baseline};
+use scan_vector_rvv::core::{ScanKind, ScanOp};
+use scan_vector_rvv::isa::Lmul;
+
+fn env1024() -> ScanEnv {
+    ScanEnv::new(EnvConfig::paper_default()) // VLEN=1024, LMUL=1: 32-elem strips
+}
+
+/// Number of strip-mining iterations for `n` elements of 32-bit data.
+fn strips(n: usize, vlmax: usize) -> u64 {
+    n.div_ceil(vlmax) as u64
+}
+
+/// Σ over strips of the in-register ladder rounds ⌈lg vl⌉ (vl = 32 for all
+/// full strips, the remainder for the last).
+fn ladder_rounds(n: usize, vlmax: usize) -> u64 {
+    let mut total = 0u64;
+    let mut left = n;
+    while left > 0 {
+        let vl = left.min(vlmax);
+        let mut rounds = 0u64;
+        let mut off = 1;
+        while off < vl {
+            rounds += 1;
+            off <<= 1;
+        }
+        total += rounds;
+        left -= vl;
+    }
+    total
+}
+
+#[test]
+fn p_add_cost_formula() {
+    // Per strip: vsetvli + vle + vadd.vx + vse + slli + add + sub + bne = 8;
+    // plus the n=0 guard branch and the halting ecall.
+    for n in [1usize, 31, 32, 33, 100, 1000] {
+        let mut e = env1024();
+        let v = e.from_u32(&vec![1; n]).unwrap();
+        let got = p::p_add(&mut e, &v, 1).unwrap();
+        assert_eq!(got, 8 * strips(n, 32) + 2, "n={n}");
+    }
+}
+
+#[test]
+fn scalar_baselines_cost_formulas() {
+    // p_add baseline: 6 per element + guard + ecall.
+    // plus_scan baseline: 6 per element + li + guard + ecall.
+    // seg scan baseline: 9 per element + 1 per head + li + guard + ecall.
+    let n = 997;
+    let mut e = env1024();
+    let v = e.from_u32(&vec![1; n]).unwrap();
+    assert_eq!(baseline::p_add(&mut e, &v, 1).unwrap(), 6 * n as u64 + 2);
+    let w = e.from_u32(&vec![1; n]).unwrap();
+    assert_eq!(baseline::plus_scan(&mut e, &w).unwrap(), 6 * n as u64 + 3);
+    let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 10 == 0)).collect();
+    let heads = flags.iter().filter(|&&f| f == 1).count() as u64;
+    let x = e.from_u32(&vec![1; n]).unwrap();
+    let f = e.from_u32(&flags).unwrap();
+    assert_eq!(
+        baseline::seg_plus_scan(&mut e, &x, &f).unwrap(),
+        9 * n as u64 + heads + 3
+    );
+}
+
+#[test]
+fn plus_scan_cost_formula() {
+    // Preamble: li carry + guard + vsetvlmax + li ident + vmv.v.x = 5.
+    // Per strip: vsetvli + vle + [li off + bgeu] + rounds×(vmv+slideup+add
+    // + slli + bltu) + carry-add + (vse + addi + vslidedown + vmv.x.s)
+    // + advance(slli+add+sub+bne) = 13 + 5·rounds.
+    // Epilogue: ecall.
+    for n in [1usize, 32, 100, 1000] {
+        let mut e = env1024();
+        let v = e.from_u32(&vec![1; n]).unwrap();
+        let got = p::scan(&mut e, ScanOp::Plus, &v, ScanKind::Inclusive).unwrap();
+        let want = 5 + 13 * strips(n, 32) + 5 * ladder_rounds(n, 32) + 1;
+        assert_eq!(got, want, "n={n}");
+    }
+}
+
+#[test]
+fn seg_plus_scan_cost_formula() {
+    // Preamble: li carry + guard + vsetvlmax + 2×(li) + 2×(vmv.v.x) = 7.
+    // Per strip: vsetvli + vle×2 + vmsne + vmsbf + vmv.s.x + [li+bgeu]
+    //   + rounds×(vmsne + vmv + slideup + vadd + vmv + slideup + vor
+    //             + slli + bltu)
+    //   + vmand + carry-add + vse + addi + vslidedown + vmv.x.s
+    //   + advance(4) = 19 + 9·rounds.
+    // Epilogue: ecall.
+    for n in [1usize, 32, 100, 1000] {
+        let mut e = env1024();
+        let v = e.from_u32(&vec![1; n]).unwrap();
+        let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 7 == 0)).collect();
+        let f = e.from_u32(&flags).unwrap();
+        let got = p::seg_plus_scan(&mut e, &v, &f).unwrap();
+        let want = 7 + 19 * strips(n, 32) + 9 * ladder_rounds(n, 32) + 1;
+        assert_eq!(got, want, "n={n}");
+    }
+}
+
+#[test]
+fn lmul8_seg_scan_fixed_overhead_band() {
+    // The calibrated conservative frame (6 slots × 1024 B, zeroed at
+    // 3 instructions per 8 bytes) puts the per-call fixed cost in the
+    // 2.2k–2.6k band the paper's Table 5 exhibits at N=100 (2090).
+    let mut e = ScanEnv::new(EnvConfig::with_lmul(Lmul::M8));
+    let v = e.from_u32(&vec![1; 100]).unwrap();
+    let flags: Vec<u32> = (0..100).map(|i| u32::from(i % 50 == 0)).collect();
+    let f = e.from_u32(&flags).unwrap();
+    let got = p::seg_plus_scan(&mut e, &v, &f).unwrap();
+    assert!(
+        (2_200..=2_600).contains(&got),
+        "LMUL=8 N=100 cost drifted out of the calibrated band: {got}"
+    );
+}
+
+#[test]
+fn costs_are_deterministic() {
+    // The same launch on fresh environments retires the identical count —
+    // the whole dynamic-instruction methodology rests on this.
+    let n = 777;
+    let data: Vec<u32> = (0..n as u32).map(|i| i * 31).collect();
+    let mut counts = Vec::new();
+    for _ in 0..3 {
+        let mut e = env1024();
+        let v = e.from_u32(&data).unwrap();
+        counts.push(p::scan(&mut e, ScanOp::Plus, &v, ScanKind::Inclusive).unwrap());
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+}

@@ -1,0 +1,205 @@
+//! Property tests: every simulated primitive agrees with the pure-Rust
+//! oracle (`scanvec::native`) across random data, VLEN, LMUL, and element
+//! width. This is the core correctness argument for the whole stack:
+//! ISA model → simulator → assembler → kernels.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use scan_vector_rvv::asm::SpillProfile;
+use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
+use scan_vector_rvv::core::native;
+use scan_vector_rvv::core::primitives as p;
+use scan_vector_rvv::core::{ScanKind, ScanOp};
+use scan_vector_rvv::isa::{Lmul, Sew};
+
+fn vlen() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(128u32), Just(256), Just(512), Just(1024)]
+}
+
+fn lmul() -> impl Strategy<Value = Lmul> {
+    prop_oneof![
+        Just(Lmul::M1),
+        Just(Lmul::M2),
+        Just(Lmul::M4),
+        Just(Lmul::M8)
+    ]
+}
+
+fn scan_op() -> impl Strategy<Value = ScanOp> {
+    prop_oneof![
+        Just(ScanOp::Plus),
+        Just(ScanOp::Max),
+        Just(ScanOp::Min),
+        Just(ScanOp::And),
+        Just(ScanOp::Or),
+        Just(ScanOp::Xor),
+    ]
+}
+
+fn env(vlen_bits: u32, l: Lmul) -> ScanEnv {
+    ScanEnv::new(EnvConfig {
+        vlen: vlen_bits,
+        lmul: l,
+        spill_profile: SpillProfile::llvm14(),
+        mem_bytes: 16 << 20,
+    })
+}
+
+fn head_flags(n: usize, seed: u64) -> Vec<u32> {
+    use rand::RngExt;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| u32::from(i == 0 || rng.random_range(0..7u32) == 0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_matches_oracle(
+        data in prop::collection::vec(any::<u32>(), 0..400),
+        vl in vlen(),
+        l in lmul(),
+        op in scan_op(),
+        exclusive in any::<bool>(),
+    ) {
+        let mut e = env(vl, l);
+        let v = e.from_u32(&data).unwrap();
+        let kind = if exclusive { ScanKind::Exclusive } else { ScanKind::Inclusive };
+        p::scan(&mut e, op, &v, kind).unwrap();
+        let want = if exclusive {
+            native::u32v::scan_exclusive(op, &data)
+        } else {
+            native::u32v::scan_inclusive(op, &data)
+        };
+        prop_assert_eq!(e.to_u32(&v), want);
+    }
+
+    #[test]
+    fn seg_scan_matches_oracle(
+        data in prop::collection::vec(any::<u32>(), 1..400),
+        vl in vlen(),
+        l in lmul(),
+        op in scan_op(),
+        seed in any::<u64>(),
+    ) {
+        let flags = head_flags(data.len(), seed);
+        let mut e = env(vl, l);
+        let v = e.from_u32(&data).unwrap();
+        let f = e.from_u32(&flags).unwrap();
+        p::seg_scan(&mut e, op, &v, &f).unwrap();
+        prop_assert_eq!(e.to_u32(&v), native::u32v::seg_scan_inclusive(op, &data, &flags));
+    }
+
+    #[test]
+    fn elementwise_and_reduce_match_oracle(
+        data in prop::collection::vec(any::<u32>(), 0..300),
+        x in any::<u32>(),
+        vl in vlen(),
+        op in scan_op(),
+    ) {
+        let mut e = env(vl, Lmul::M2);
+        let v = e.from_u32(&data).unwrap();
+        p::elem_vx(&mut e, op.valu(), &v, x as u64).unwrap();
+        let want: Vec<u32> = data
+            .iter()
+            .map(|&a| op.apply(Sew::E32, a as u64, x as u64) as u32)
+            .collect();
+        prop_assert_eq!(e.to_u32(&v), want);
+
+        let w = e.from_u32(&data).unwrap();
+        let (r, _) = p::reduce(&mut e, op, &w).unwrap();
+        let elems: Vec<u64> = data.iter().map(|&a| a as u64).collect();
+        prop_assert_eq!(r, native::reduce(op, Sew::E32, &elems));
+    }
+
+    #[test]
+    fn enumerate_select_permute_match_oracle(
+        bits in prop::collection::vec(0u32..2, 1..300),
+        vl in vlen(),
+        l in lmul(),
+    ) {
+        let n = bits.len();
+        let mut e = env(vl, l);
+        let f = e.from_u32(&bits).unwrap();
+        let d = e.alloc(Sew::E32, n).unwrap();
+        let (count, _) = p::enumerate(&mut e, &f, true, &d).unwrap();
+        let (want, want_count) = native::enumerate(&bits, true);
+        let got: Vec<u64> = e.to_u32(&d).iter().map(|&x| x as u64).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(count, want_count);
+
+        // select: flags pick between two ramps.
+        let a: Vec<u32> = (0..n as u32).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| i + 1000).collect();
+        let va = e.from_u32(&a).unwrap();
+        let vb = e.from_u32(&b).unwrap();
+        let out = e.alloc(Sew::E32, n).unwrap();
+        p::select(&mut e, &f, &va, &vb, &out).unwrap();
+        let au: Vec<u64> = a.iter().map(|&x| x as u64).collect();
+        let bu: Vec<u64> = b.iter().map(|&x| x as u64).collect();
+        let want: Vec<u32> =
+            native::select(&bits, &au, &bu).into_iter().map(|x| x as u32).collect();
+        prop_assert_eq!(e.to_u32(&out), want);
+
+        // permute by a random-but-valid permutation: reverse.
+        let idx: Vec<u32> = (0..n as u32).rev().collect();
+        let vi = e.from_u32(&idx).unwrap();
+        let dst = e.alloc(Sew::E32, n).unwrap();
+        p::permute(&mut e, &va, &vi, &dst).unwrap();
+        let want: Vec<u32> = a.iter().rev().copied().collect();
+        prop_assert_eq!(e.to_u32(&dst), want);
+    }
+
+    #[test]
+    fn split_and_pack_match_oracle(
+        pairs in prop::collection::vec((any::<u32>(), 0u32..2), 1..250),
+        vl in vlen(),
+        l in lmul(),
+    ) {
+        let data: Vec<u32> = pairs.iter().map(|&(d, _)| d).collect();
+        let flags: Vec<u32> = pairs.iter().map(|&(_, f)| f).collect();
+        let n = data.len();
+        let mut e = env(vl, l);
+        let v = e.from_u32(&data).unwrap();
+        let f = e.from_u32(&flags).unwrap();
+        let dst = e.alloc(Sew::E32, n).unwrap();
+        p::split(&mut e, &v, &f, &dst).unwrap();
+        let du: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+        let want: Vec<u32> = native::split(&du, &flags).into_iter().map(|x| x as u32).collect();
+        prop_assert_eq!(e.to_u32(&dst), want);
+
+        let packed = e.alloc(Sew::E32, n).unwrap();
+        let (kept, _) = p::pack(&mut e, &v, &f, &packed).unwrap();
+        let want: Vec<u32> = native::pack(&du, &flags).into_iter().map(|x| x as u32).collect();
+        prop_assert_eq!(kept as usize, want.len());
+        prop_assert_eq!(&e.to_u32(&packed)[..kept as usize], &want[..]);
+    }
+
+    #[test]
+    fn data_moves_match_oracle(
+        data in prop::collection::vec(any::<u32>(), 1..250),
+        vl in vlen(),
+        l in lmul(),
+    ) {
+        let n = data.len();
+        let mut e = env(vl, l);
+        let v = e.from_u32(&data).unwrap();
+        let c = e.alloc(Sew::E32, n).unwrap();
+        p::copy(&mut e, &v, &c).unwrap();
+        prop_assert_eq!(e.to_u32(&c), data.clone());
+        let r = e.alloc(Sew::E32, n).unwrap();
+        p::reverse(&mut e, &v, &r).unwrap();
+        let mut want = data.clone();
+        want.reverse();
+        prop_assert_eq!(e.to_u32(&r), want);
+        let i = e.alloc(Sew::E32, n).unwrap();
+        p::iota(&mut e, &i).unwrap();
+        prop_assert_eq!(e.to_u32(&i), (0..n as u32).collect::<Vec<_>>());
+        // gather(v, iota) == copy.
+        let g = e.alloc(Sew::E32, n).unwrap();
+        p::gather(&mut e, &v, &i, &g).unwrap();
+        prop_assert_eq!(e.to_u32(&g), data);
+    }
+}

@@ -1,0 +1,128 @@
+//! Invariant tests: the algebraic laws every scan implementation must
+//! satisfy, checked on the *simulated* results (not just the oracle).
+
+use proptest::prelude::*;
+use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
+use scan_vector_rvv::core::primitives as p;
+use scan_vector_rvv::core::{ScanKind, ScanOp, Segments};
+use scan_vector_rvv::isa::{Lmul, Sew};
+
+fn env() -> ScanEnv {
+    ScanEnv::new(EnvConfig {
+        vlen: 256,
+        lmul: Lmul::M1,
+        spill_profile: scan_vector_rvv::asm::SpillProfile::llvm14(),
+        mem_bytes: 16 << 20,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// exclusive(x)[i+1] == inclusive(x)[i]; exclusive(x)[0] == identity.
+    #[test]
+    fn exclusive_is_shifted_inclusive(data in prop::collection::vec(any::<u32>(), 1..300)) {
+        for op in [ScanOp::Plus, ScanOp::Max, ScanOp::Xor] {
+            let mut e = env();
+            let vi = e.from_u32(&data).unwrap();
+            p::scan(&mut e, op, &vi, ScanKind::Inclusive).unwrap();
+            let ve = e.from_u32(&data).unwrap();
+            p::scan(&mut e, op, &ve, ScanKind::Exclusive).unwrap();
+            let inc = e.to_u32(&vi);
+            let exc = e.to_u32(&ve);
+            prop_assert_eq!(exc[0] as u64, op.identity(Sew::E32));
+            prop_assert_eq!(&exc[1..], &inc[..inc.len() - 1]);
+        }
+    }
+
+    /// The last element of an inclusive scan equals the reduction.
+    #[test]
+    fn scan_last_equals_reduce(data in prop::collection::vec(any::<u32>(), 1..300)) {
+        for op in [ScanOp::Plus, ScanOp::Min, ScanOp::Or] {
+            let mut e = env();
+            let v = e.from_u32(&data).unwrap();
+            let (red, _) = p::reduce(&mut e, op, &v).unwrap();
+            p::scan(&mut e, op, &v, ScanKind::Inclusive).unwrap();
+            prop_assert_eq!(*e.to_u32(&v).last().unwrap() as u64, red);
+        }
+    }
+
+    /// A segmented scan is exactly a per-segment unsegmented scan.
+    #[test]
+    fn seg_scan_is_per_segment_scan(
+        lengths in prop::collection::vec(1u32..20, 1..25),
+    ) {
+        let segs = Segments::from_lengths(&lengths).unwrap();
+        let n = segs.len();
+        let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut e = env();
+        let v = e.from_u32(&data).unwrap();
+        let f = e.from_u32(segs.head_flags()).unwrap();
+        p::seg_scan(&mut e, ScanOp::Plus, &v, &f).unwrap();
+        let got = e.to_u32(&v);
+        // Scan each segment independently on the device too.
+        for range in segs.ranges() {
+            let mut e2 = env();
+            let seg_data = &data[range.clone()];
+            let sv = e2.from_u32(seg_data).unwrap();
+            p::scan(&mut e2, ScanOp::Plus, &sv, ScanKind::Inclusive).unwrap();
+            prop_assert_eq!(&got[range], &e2.to_u32(&sv)[..]);
+        }
+    }
+
+    /// Segment descriptor conversions are mutually inverse, and all three
+    /// forms drive the same segmented scan result.
+    #[test]
+    fn descriptor_forms_agree(lengths in prop::collection::vec(1u32..15, 1..20)) {
+        let segs = Segments::from_lengths(&lengths).unwrap();
+        let via_ptrs =
+            Segments::from_head_pointers(&segs.to_head_pointers(), segs.len()).unwrap();
+        prop_assert_eq!(&segs, &via_ptrs);
+        let via_flags = Segments::from_head_flags(segs.head_flags().to_vec()).unwrap();
+        prop_assert_eq!(&segs, &via_flags);
+        prop_assert_eq!(segs.to_lengths(), lengths);
+    }
+
+    /// split = zeros then ones, stable (checked against enumerate-based
+    /// positions computed on the host).
+    #[test]
+    fn split_is_stable_partition(
+        pairs in prop::collection::vec((0u32..100, 0u32..2), 1..200),
+    ) {
+        let data: Vec<u32> = pairs.iter().map(|&(d, _)| d).collect();
+        let flags: Vec<u32> = pairs.iter().map(|&(_, f)| f).collect();
+        let mut e = env();
+        let v = e.from_u32(&data).unwrap();
+        let f = e.from_u32(&flags).unwrap();
+        let dst = e.alloc(Sew::E32, data.len()).unwrap();
+        p::split(&mut e, &v, &f, &dst).unwrap();
+        let got = e.to_u32(&dst);
+        let mut want: Vec<u32> = data
+            .iter()
+            .zip(&flags)
+            .filter(|(_, &fl)| fl == 0)
+            .map(|(&d, _)| d)
+            .collect();
+        want.extend(data.iter().zip(&flags).filter(|(_, &fl)| fl != 0).map(|(&d, _)| d));
+        prop_assert_eq!(got, want);
+    }
+
+    /// enumerate(flags,0) and enumerate(flags,1) partition the index space:
+    /// for every i, zeros_before + ones_before == i.
+    #[test]
+    fn enumerate_polarities_are_complementary(bits in prop::collection::vec(0u32..2, 1..200)) {
+        let n = bits.len();
+        let mut e = env();
+        let f = e.from_u32(&bits).unwrap();
+        let d0 = e.alloc(Sew::E32, n).unwrap();
+        let d1 = e.alloc(Sew::E32, n).unwrap();
+        let (c0, _) = p::enumerate(&mut e, &f, false, &d0).unwrap();
+        let (c1, _) = p::enumerate(&mut e, &f, true, &d1).unwrap();
+        prop_assert_eq!(c0 + c1, n as u64);
+        let z = e.to_u32(&d0);
+        let o = e.to_u32(&d1);
+        for i in 0..n {
+            prop_assert_eq!(z[i] + o[i], i as u32);
+        }
+    }
+}

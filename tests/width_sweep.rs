@@ -1,0 +1,122 @@
+//! Element-width sweep: the primitives are width-generic; every SEW must
+//! agree with the oracle (which models per-width truncation exactly).
+
+use proptest::prelude::*;
+use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
+use scan_vector_rvv::core::typed::DeviceVec;
+use scan_vector_rvv::core::{native, primitives as p, ScanKind, ScanOp};
+use scan_vector_rvv::isa::{Lmul, Sew};
+
+fn env(vlen: u32) -> ScanEnv {
+    ScanEnv::new(EnvConfig {
+        vlen,
+        lmul: Lmul::M2,
+        spill_profile: scan_vector_rvv::asm::SpillProfile::llvm14(),
+        mem_bytes: 16 << 20,
+    })
+}
+
+fn sew() -> impl Strategy<Value = Sew> {
+    prop_oneof![
+        Just(Sew::E8),
+        Just(Sew::E16),
+        Just(Sew::E32),
+        Just(Sew::E64)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scans_agree_at_every_width(
+        data in prop::collection::vec(any::<u64>(), 1..200),
+        s in sew(),
+        vlen in prop_oneof![Just(128u32), Just(512)],
+        exclusive in any::<bool>(),
+    ) {
+        let staged: Vec<u64> = data.iter().map(|&x| s.truncate(x)).collect();
+        let mut e = env(vlen);
+        let v = e.from_elems(s, &staged).unwrap();
+        let kind = if exclusive { ScanKind::Exclusive } else { ScanKind::Inclusive };
+        p::scan(&mut e, ScanOp::Plus, &v, kind).unwrap();
+        let want = if exclusive {
+            native::scan_exclusive(ScanOp::Plus, s, &staged)
+        } else {
+            native::scan_inclusive(ScanOp::Plus, s, &staged)
+        };
+        prop_assert_eq!(e.to_elems(&v), want);
+    }
+
+    #[test]
+    fn seg_scans_agree_at_every_width(
+        data in prop::collection::vec(any::<u64>(), 1..200),
+        s in sew(),
+        head_period in 2usize..9,
+    ) {
+        let staged: Vec<u64> = data.iter().map(|&x| s.truncate(x)).collect();
+        let flags: Vec<u32> =
+            (0..staged.len()).map(|i| u32::from(i % head_period == 0)).collect();
+        let flag_elems: Vec<u64> = flags.iter().map(|&f| f as u64).collect();
+        let mut e = env(256);
+        let v = e.from_elems(s, &staged).unwrap();
+        let f = e.from_elems(s, &flag_elems).unwrap();
+        p::seg_scan(&mut e, ScanOp::Plus, &v, &f).unwrap();
+        prop_assert_eq!(
+            e.to_elems(&v),
+            native::seg_scan_inclusive(ScanOp::Plus, s, &staged, &flags)
+        );
+    }
+
+    #[test]
+    fn elementwise_and_reduce_at_every_width(
+        data in prop::collection::vec(any::<u64>(), 1..200),
+        s in sew(),
+        op in prop_oneof![
+            Just(ScanOp::Plus), Just(ScanOp::Max), Just(ScanOp::Min),
+            Just(ScanOp::And), Just(ScanOp::Or), Just(ScanOp::Xor)
+        ],
+        x in any::<u64>(),
+    ) {
+        let staged: Vec<u64> = data.iter().map(|&v| s.truncate(v)).collect();
+        let mut e = env(256);
+        let v = e.from_elems(s, &staged).unwrap();
+        p::elem_vx(&mut e, op.valu(), &v, x).unwrap();
+        let xt = s.truncate(x);
+        let want: Vec<u64> = staged.iter().map(|&a| op.apply(s, a, xt)).collect();
+        prop_assert_eq!(e.to_elems(&v), want.clone());
+        let (r, _) = p::reduce(&mut e, op, &v).unwrap();
+        prop_assert_eq!(r, native::reduce(op, s, &want));
+    }
+}
+
+#[test]
+fn typed_wrappers_match_untyped_across_widths() {
+    let mut e = env(512);
+    // The same logical computation at each width, via the typed API.
+    let d8: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+    let v8 = DeviceVec::upload(&mut e, &d8).unwrap();
+    p::scan(&mut e, ScanOp::Plus, v8.raw(), ScanKind::Inclusive).unwrap();
+    let mut acc = 0u8;
+    let want8: Vec<u8> = d8
+        .iter()
+        .map(|&x| {
+            acc = acc.wrapping_add(x);
+            acc
+        })
+        .collect();
+    assert_eq!(v8.download(&e), want8);
+
+    let d64: Vec<u64> = (0..100).map(|i| i * 0x0101_0101_0101).collect();
+    let v64 = DeviceVec::upload(&mut e, &d64).unwrap();
+    p::scan(&mut e, ScanOp::Plus, v64.raw(), ScanKind::Inclusive).unwrap();
+    let mut acc = 0u64;
+    let want64: Vec<u64> = d64
+        .iter()
+        .map(|&x| {
+            acc = acc.wrapping_add(x);
+            acc
+        })
+        .collect();
+    assert_eq!(v64.download(&e), want64);
+}
