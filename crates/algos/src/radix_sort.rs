@@ -32,8 +32,11 @@ pub fn split_radix_sort(env: &mut ScanEnv, v: &SvVector, bits: u32) -> ScanResul
     let mut cur = v.clone();
     let mut other = buffer.clone();
     for bit in 0..bits {
-        retired += get_flags(env, &cur, bit, &flags)?;
-        retired += split(env, &cur, &flags, &other)?;
+        retired += env.phase(&format!("radix_pass_{bit}"), |env| -> ScanResult<u64> {
+            let mut r = get_flags(env, &cur, bit, &flags)?;
+            r += split(env, &cur, &flags, &other)?;
+            Ok(r)
+        })?;
         std::mem::swap(&mut cur, &mut other);
     }
     // An even number of passes ends back in `v` (the paper relies on
@@ -69,8 +72,11 @@ pub fn split_radix_sort_pairs(
     let mut ok = kbuf.clone();
     let mut ov = vbuf.clone();
     for bit in 0..bits {
-        retired += get_flags(env, &ck, bit, &flags)?;
-        retired += split_pairs(env, &ck, &cv, &flags, &ok, &ov)?;
+        retired += env.phase(&format!("radix_pass_{bit}"), |env| -> ScanResult<u64> {
+            let mut r = get_flags(env, &ck, bit, &flags)?;
+            r += split_pairs(env, &ck, &cv, &flags, &ok, &ov)?;
+            Ok(r)
+        })?;
         std::mem::swap(&mut ck, &mut ok);
         std::mem::swap(&mut cv, &mut ov);
     }

@@ -67,6 +67,7 @@ pub struct ProgramBuilder {
     name: String,
     items: Vec<Item>,
     labels: Vec<Option<usize>>,
+    marks: Vec<(usize, String)>,
 }
 
 impl ProgramBuilder {
@@ -76,7 +77,17 @@ impl ProgramBuilder {
             name: name.into(),
             items: Vec::new(),
             labels: Vec::new(),
+            marks: Vec::new(),
         }
+    }
+
+    /// Attach a symbol mark at the current position: instructions emitted
+    /// from here until the next mark are attributed to `label` by
+    /// profilers (see [`rvv_sim::Program::symbol_for`]). Marks never affect
+    /// the emitted code.
+    pub fn mark(&mut self, label: impl Into<String>) -> &mut Self {
+        self.marks.push((self.items.len(), label.into()));
+        self
     }
 
     /// Current instruction count (next emission index).
@@ -553,7 +564,11 @@ impl ProgramBuilder {
             };
             instrs.push(i);
         }
-        Ok(Program::new(self.name, instrs))
+        let mut p = Program::new(self.name, instrs);
+        for (idx, label) in self.marks {
+            p.add_mark(idx as u64 * 4, label);
+        }
+        Ok(p)
     }
 }
 

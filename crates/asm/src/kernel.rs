@@ -281,6 +281,7 @@ impl KernelBuilder {
         if frame == 0 {
             return;
         }
+        self.b.mark("spill_prologue");
         let f = frame as i64;
         if f <= 2047 {
             self.b.addi(XReg::SP, XReg::SP, -(f as i32));
@@ -292,6 +293,7 @@ impl KernelBuilder {
         if self.profile.conservative_frame {
             // sd x0 loop over the frame: 3 instructions per 8 bytes. This is
             // the calibrated LLVM-14 fixed overhead (see module docs).
+            self.b.mark("frame_zero_init");
             self.b.mv(X_ZERO_PTR, FP);
             if f <= 2047 {
                 self.b.addi(X_ZERO_END, FP, f as i32);
@@ -314,6 +316,7 @@ impl KernelBuilder {
         if frame == 0 {
             return;
         }
+        self.b.mark("spill_epilogue");
         if frame <= 2047 {
             self.b.addi(XReg::SP, XReg::SP, frame as i32);
         } else {

@@ -3,7 +3,33 @@
 //! near-ideally (2.85x -> 21.93x in the paper; our codegen is tighter so
 //! both endpoints are higher).
 
+use rvv_isa::Lmul;
+use rvv_trace::TraceProfiler;
+use scanvec::env::{EnvConfig, ScanEnv};
+use scanvec::primitives::plus_scan;
 use scanvec_bench::{experiments, print_table};
+
+/// Profile one plus_scan launch and write the Chrome trace + text report
+/// under `results/` — the no-spill counterpart to `ablation_spill`'s
+/// profiles (the detector should find zero stack traffic at every LMUL).
+fn emit_profile(lmul: Lmul, n: usize) {
+    let mut env = ScanEnv::new(EnvConfig::with_lmul(lmul));
+    env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
+    let data: Vec<u32> = (0..n as u32).map(|i| i % 1000).collect();
+    let v = env.from_u32(&data).expect("alloc");
+    plus_scan(&mut env, &v).expect("scan");
+    let p = TraceProfiler::from_sink(env.detach_tracer().expect("attached")).expect("profiler");
+    std::fs::create_dir_all("results").expect("results dir");
+    let stem = format!("results/ablation_scan_lmul_m{}", lmul.regs());
+    std::fs::write(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
+    std::fs::write(format!("{stem}.txt"), p.text_report()).expect("write txt");
+    println!(
+        "profile m{}: {} retired, {} spill ops -> {stem}.json/.txt",
+        lmul.regs(),
+        p.total_retired(),
+        p.spill().total_ops(),
+    );
+}
 
 fn main() {
     let n = scanvec_bench::max_n_arg().min(1_000_000);
@@ -25,4 +51,9 @@ fn main() {
     );
     println!("\nNo spilling at any LMUL (3 live values ≤ 3 groups at m8): the speedup");
     println!("scales with the group size, unlike the segmented scan of Table 5.");
+
+    println!();
+    for lmul in [Lmul::M1, Lmul::M8] {
+        emit_profile(lmul, 4096);
+    }
 }

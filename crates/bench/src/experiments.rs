@@ -410,7 +410,7 @@ pub fn density_sweep(n: usize) -> Vec<(u32, u64, u64)> {
             let mut rng = StdRng::seed_from_u64(15 + per_mille as u64);
             let data = random_u32s(n, 15);
             let mut flags: Vec<u32> = (0..n)
-                .map(|_| u32::from(rng.random_range(0..1000) < per_mille))
+                .map(|_| u32::from(rng.random_range(0..1000u32) < per_mille))
                 .collect();
             if let Some(f) = flags.first_mut() {
                 *f = 1;

@@ -20,8 +20,9 @@
 use crate::error::{ScanError, ScanResult};
 use rvv_asm::SpillProfile;
 use rvv_isa::{Lmul, Sew, XReg};
-use rvv_sim::{Machine, MachineConfig, Program, RunReport};
+use rvv_sim::{Machine, MachineConfig, Program, RunReport, TraceSink, DEFAULT_FUEL};
 use std::collections::HashMap;
+use std::ops::Range;
 use std::rc::Rc;
 
 /// Stack reservation at the top of device memory.
@@ -123,6 +124,7 @@ pub struct ScanEnv {
     heap: u64,
     heap_limit: u64,
     kernels: HashMap<(String, Sew), Rc<Program>>,
+    tracer: Option<Box<dyn TraceSink>>,
 }
 
 impl ScanEnv {
@@ -139,6 +141,7 @@ impl ScanEnv {
             heap: HEAP_BASE,
             heap_limit,
             kernels: HashMap::new(),
+            tracer: None,
         }
     }
 
@@ -165,6 +168,50 @@ impl ScanEnv {
     /// Total dynamic instructions retired in this environment so far.
     pub fn retired(&self) -> u64 {
         self.machine.counters.total()
+    }
+
+    /// The device stack region (`[heap_limit, mem_bytes)`): the address
+    /// range spill frames live in. Profilers classify memory traffic into
+    /// this region as spill/stack traffic.
+    pub fn stack_region(&self) -> Range<u64> {
+        self.heap_limit..self.cfg.mem_bytes as u64
+    }
+
+    // ------------------------------------------------------------- tracing --
+
+    /// Attach a [`TraceSink`]: every subsequent kernel launch runs through
+    /// [`Machine::run_traced`] and every phase entered via
+    /// [`ScanEnv::phase`] is forwarded to the sink. Replaces (and returns)
+    /// any previously attached sink.
+    pub fn attach_tracer(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.tracer.replace(sink)
+    }
+
+    /// Detach and return the current sink (typically to read its report).
+    /// Subsequent launches go back to the untraced fast path.
+    pub fn detach_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
+    }
+
+    /// Is a sink attached?
+    pub fn has_tracer(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Run `f` inside a named phase. With a sink attached, the sink sees
+    /// `phase_begin(name)` / `phase_end(name)` around everything `f`
+    /// launches; phases nest. Without a sink this is a plain call — the
+    /// primitives wrap their bodies in phases unconditionally and rely on
+    /// this being free.
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce(&mut ScanEnv) -> T) -> T {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.phase_begin(name);
+        }
+        let out = f(self);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.phase_end(name);
+        }
+        out
     }
 
     // ---------------------------------------------------------- allocation --
@@ -354,7 +401,10 @@ impl ScanEnv {
         }
         self.machine
             .set_xreg(XReg::SP, self.cfg.mem_bytes as u64 - 64);
-        let report = self.machine.run_default(program)?;
+        let report = match self.tracer.as_deref_mut() {
+            Some(sink) => self.machine.run_traced(program, DEFAULT_FUEL, sink)?,
+            None => self.machine.run_default(program)?,
+        };
         Ok((report, self.machine.xreg(XReg::arg(0))))
     }
 }

@@ -49,6 +49,7 @@ pub fn build_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp, kind: ScanKind) -> Scan
     // Scratch scalar for the "next carry" in the exclusive variant.
     let t_next = XReg::new(16); // a6: unused argument slot
     k.prologue();
+    k.b.mark("setup");
 
     let done = k.b.label();
     k.b.li(T_CARRY, identity);
@@ -60,6 +61,7 @@ pub fn build_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp, kind: ScanKind) -> Scan
     k.init_remat(vs[2]);
 
     let head = k.b.label();
+    k.b.mark("strip_load");
     k.b.bind(head);
     k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
     let rx = k.vout(vs[0]);
@@ -67,6 +69,7 @@ pub fn build_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp, kind: ScanKind) -> Scan
     k.vflush(vs[0], rx);
 
     // In-register scan ladder: for (off = 1; off < vl; off <<= 1).
+    k.b.mark("ladder");
     let inner_done = k.b.label();
     k.b.li(T_OFF, 1);
     k.b.bgeu(T_OFF, T_VL, inner_done);
@@ -84,6 +87,7 @@ pub fn build_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp, kind: ScanKind) -> Scan
     k.b.slli(T_OFF, T_OFF, 1);
     k.b.bltu(T_OFF, T_VL, inner);
     k.b.bind(inner_done);
+    k.b.mark("carry_store");
 
     // Fold in the carry from previous strips.
     {
@@ -122,6 +126,7 @@ pub fn build_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp, kind: ScanKind) -> Scan
         }
     }
 
+    k.b.mark("advance");
     advance_and_loop(&mut k.b, sew, &[XReg::arg(1)], XReg::arg(0), head);
     k.b.bind(done);
     k.epilogue();

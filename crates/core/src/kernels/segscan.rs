@@ -55,6 +55,7 @@ pub fn build_seg_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Progr
     let carry_mask = VReg::new(2); // vmsbf(head_mask)
 
     k.prologue();
+    k.b.mark("setup");
     let done = k.b.label();
     k.b.li(T_CARRY, identity);
     k.b.beqz(XReg::arg(0), done);
@@ -67,6 +68,7 @@ pub fn build_seg_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Progr
     k.init_remat(one);
 
     let head = k.b.label();
+    k.b.mark("strip_load");
     k.b.bind(head);
     k.b.vsetvli(T_VL, XReg::arg(0), vtype_of(cfg, sew));
     {
@@ -86,6 +88,7 @@ pub fn build_seg_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Progr
     }
 
     // In-register segmented scan ladder.
+    k.b.mark("ladder");
     let inner_done = k.b.label();
     k.b.li(T_OFF, 1);
     k.b.bgeu(T_OFF, T_VL, inner_done);
@@ -115,6 +118,7 @@ pub fn build_seg_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Progr
     k.b.slli(T_OFF, T_OFF, 1);
     k.b.bltu(T_OFF, T_VL, inner);
     k.b.bind(inner_done);
+    k.b.mark("carry_store");
 
     // Fold the carry into elements before the first segment head.
     k.b.raw(Instr::VMaskLogic {
@@ -134,6 +138,7 @@ pub fn build_seg_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Progr
         k.b.vmv_xs(T_CARRY, ry);
     }
 
+    k.b.mark("advance");
     advance_and_loop(
         &mut k.b,
         sew,

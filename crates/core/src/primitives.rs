@@ -191,13 +191,15 @@ pub fn pack(
 
 /// In-place scan with operator `op`. Returns retired instructions.
 pub fn scan(env: &mut ScanEnv, op: ScanOp, v: &SvVector, kind: ScanKind) -> ScanResult<u64> {
-    let p = env.kernel(
-        &format!("scan_{}_{}", op.name(), kind.name()),
-        v.sew(),
-        |cfg, sew| kernels::build_scan(cfg, sew, op, kind),
-    )?;
-    let (r, _) = env.run(&p, &[v.len() as u64, v.addr()])?;
-    Ok(r.retired)
+    env.phase("scan", |env| {
+        let p = env.kernel(
+            &format!("scan_{}_{}", op.name(), kind.name()),
+            v.sew(),
+            |cfg, sew| kernels::build_scan(cfg, sew, op, kind),
+        )?;
+        let (r, _) = env.run(&p, &[v.len() as u64, v.addr()])?;
+        Ok(r.retired)
+    })
 }
 
 /// The paper's unsegmented `plus_scan` (inclusive, in place).
@@ -208,11 +210,13 @@ pub fn plus_scan(env: &mut ScanEnv, v: &SvVector) -> ScanResult<u64> {
 /// In-place segmented inclusive scan with head-flags (paper §5).
 pub fn seg_scan(env: &mut ScanEnv, op: ScanOp, v: &SvVector, flags: &SvVector) -> ScanResult<u64> {
     check_same("seg_scan", v, flags)?;
-    let p = env.kernel(&format!("seg_scan_{}", op.name()), v.sew(), |cfg, sew| {
-        kernels::build_seg_scan(cfg, sew, op)
-    })?;
-    let (r, _) = env.run(&p, &[v.len() as u64, v.addr(), flags.addr()])?;
-    Ok(r.retired)
+    env.phase("seg_scan", |env| {
+        let p = env.kernel(&format!("seg_scan_{}", op.name()), v.sew(), |cfg, sew| {
+            kernels::build_seg_scan(cfg, sew, op)
+        })?;
+        let (r, _) = env.run(&p, &[v.len() as u64, v.addr(), flags.addr()])?;
+        Ok(r.retired)
+    })
 }
 
 /// The paper's `seg_plus_scan`.
@@ -222,11 +226,13 @@ pub fn seg_plus_scan(env: &mut ScanEnv, v: &SvVector, flags: &SvVector) -> ScanR
 
 /// Reduction `⊕` over `v`. Returns `(value, retired)`.
 pub fn reduce(env: &mut ScanEnv, op: ScanOp, v: &SvVector) -> ScanResult<(u64, u64)> {
-    let p = env.kernel(&format!("reduce_{}", op.name()), v.sew(), |cfg, sew| {
-        kernels::build_reduce(cfg, sew, op)
-    })?;
-    let (r, val) = env.run(&p, &[v.len() as u64, v.addr()])?;
-    Ok((v.sew().truncate(val), r.retired))
+    env.phase("reduce", |env| {
+        let p = env.kernel(&format!("reduce_{}", op.name()), v.sew(), |cfg, sew| {
+            kernels::build_reduce(cfg, sew, op)
+        })?;
+        let (r, val) = env.run(&p, &[v.len() as u64, v.addr()])?;
+        Ok((v.sew().truncate(val), r.retired))
+    })
 }
 
 /// The paper's `enumerate` (Listing 8): `dst[i]` counts earlier positions
@@ -238,12 +244,14 @@ pub fn enumerate(
     dst: &SvVector,
 ) -> ScanResult<(u64, u64)> {
     check_same("enumerate", flags, dst)?;
-    let p = env.kernel("enumerate", flags.sew(), kernels::build_enumerate)?;
-    let (r, count) = env.run(
-        &p,
-        &[flags.len() as u64, flags.addr(), dst.addr(), set_bit as u64],
-    )?;
-    Ok((count, r.retired))
+    env.phase("enumerate", |env| {
+        let p = env.kernel("enumerate", flags.sew(), kernels::build_enumerate)?;
+        let (r, count) = env.run(
+            &p,
+            &[flags.len() as u64, flags.addr(), dst.addr(), set_bit as u64],
+        )?;
+        Ok((count, r.retired))
+    })
 }
 
 /// Ablation variant of [`enumerate`] that uses a generic exclusive scan
@@ -405,19 +413,21 @@ pub fn elem_vx_vls(env: &mut ScanEnv, op: VAluOp, v: &SvVector, x: u64) -> ScanR
 /// `enumerate` ×2, `p_add`, and `select`, exactly like the paper.
 pub fn split_index(env: &mut ScanEnv, flags: &SvVector, index: &SvVector) -> ScanResult<u64> {
     check_same("split_index", flags, index)?;
-    let n = flags.len();
-    let mark = env.heap_mark();
-    let i_down = env.alloc(flags.sew(), n)?;
-    let mut retired = 0;
-    let (count0, r) = enumerate(env, flags, false, index)?;
-    retired += r;
-    let (_, r) = enumerate(env, flags, true, &i_down)?;
-    retired += r;
-    retired += p_add(env, &i_down, count0)?;
-    // index[i] = flags[i] ? i_down[i] : index[i]
-    retired += select(env, flags, &i_down, index, index)?;
-    env.release_to(mark);
-    Ok(retired)
+    env.phase("split_index", |env| {
+        let n = flags.len();
+        let mark = env.heap_mark();
+        let i_down = env.alloc(flags.sew(), n)?;
+        let mut retired = 0;
+        let (count0, r) = enumerate(env, flags, false, index)?;
+        retired += r;
+        let (_, r) = enumerate(env, flags, true, &i_down)?;
+        retired += r;
+        retired += p_add(env, &i_down, count0)?;
+        // index[i] = flags[i] ? i_down[i] : index[i]
+        retired += select(env, flags, &i_down, index, index)?;
+        env.release_to(mark);
+        Ok(retired)
+    })
 }
 
 /// Blelloch's `split` (paper Listing 7): stable partition of `src` by
@@ -432,12 +442,14 @@ pub fn split(
 ) -> ScanResult<u64> {
     check_same("split", src, flags)?;
     check_same("split", src, dst)?;
-    let mark = env.heap_mark();
-    let index = env.alloc(src.sew(), src.len())?;
-    let mut retired = split_index(env, flags, &index)?;
-    retired += permute(env, src, &index, dst)?;
-    env.release_to(mark);
-    Ok(retired)
+    env.phase("split", |env| {
+        let mark = env.heap_mark();
+        let index = env.alloc(src.sew(), src.len())?;
+        let mut retired = split_index(env, flags, &index)?;
+        retired += permute(env, src, &index, dst)?;
+        env.release_to(mark);
+        Ok(retired)
+    })
 }
 
 /// `split` applied to a (key, value) pair: one index computation, two
@@ -460,16 +472,18 @@ pub fn split_pairs(
             b: vals.len(),
         });
     }
-    let mark = env.heap_mark();
-    let index = env.alloc(keys.sew(), keys.len())?;
-    let mut retired = split_index(env, flags, &index)?;
-    retired += permute(env, keys, &index, dst_keys)?;
-    // The value permute reuses the same index vector; widths may differ
-    // between keys and values only if the index still fits, so we require
-    // matching widths for simplicity (checked above via dst_vals).
-    retired += permute(env, vals, &index, dst_vals)?;
-    env.release_to(mark);
-    Ok(retired)
+    env.phase("split_pairs", |env| {
+        let mark = env.heap_mark();
+        let index = env.alloc(keys.sew(), keys.len())?;
+        let mut retired = split_index(env, flags, &index)?;
+        retired += permute(env, keys, &index, dst_keys)?;
+        // The value permute reuses the same index vector; widths may differ
+        // between keys and values only if the index still fits, so we require
+        // matching widths for simplicity (checked above via dst_vals).
+        retired += permute(env, vals, &index, dst_vals)?;
+        env.release_to(mark);
+        Ok(retired)
+    })
 }
 
 // -------------------------------------------------------------- baseline --

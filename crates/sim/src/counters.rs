@@ -63,6 +63,35 @@ impl Counters {
         self.total - self.vector_total()
     }
 
+    /// Iterate over `(class, count)` for every class, zero counts included,
+    /// in [`InstrClass::ALL`] order — the machine-readable companion to the
+    /// `Display` impl.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrClass, u64)> + '_ {
+        InstrClass::ALL.iter().map(|&c| (c, self.class(c)))
+    }
+
+    /// Serialize as a JSON object:
+    /// `{"total":N,"scalar":N,"vector":N,"classes":{"<label>":N,...}}`.
+    /// Class keys are [`InstrClass::label`] strings; every class appears,
+    /// so consumers need no presence checks. Hand-rolled (labels are known
+    /// to need no escaping) to keep the simulator dependency-free.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"total\":{},\"scalar\":{},\"vector\":{},\"classes\":{{",
+            self.total(),
+            self.scalar_total(),
+            self.vector_total()
+        );
+        for (i, (c, n)) in self.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", c.label(), n));
+        }
+        s.push_str("}}");
+        s
+    }
+
     /// Reset to zero.
     pub fn reset(&mut self) {
         *self = Counters::default();
@@ -122,6 +151,32 @@ mod tests {
         assert_eq!(c.class(InstrClass::VectorMem), 1);
         assert_eq!(c.vector_total(), 1);
         assert_eq!(c.scalar_total(), 2);
+    }
+
+    #[test]
+    fn iter_and_json_export() {
+        let mut c = Counters::new();
+        c.retire(&Instr::Ecall);
+        c.retire(&Instr::VLoad {
+            eew: Sew::E32,
+            vd: VReg::new(8),
+            rs1: XReg::new(10),
+            vm: true,
+        });
+        // iter covers every class once, sums to total.
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs.len(), InstrClass::ALL.len());
+        assert_eq!(pairs.iter().map(|&(_, n)| n).sum::<u64>(), c.total());
+        let json = c.to_json();
+        assert!(json.starts_with("{\"total\":2,"), "{json}");
+        assert!(json.contains("\"vector\":1"), "{json}");
+        assert!(
+            json.contains(&format!("\"{}\":1", InstrClass::VectorMem.label())),
+            "{json}"
+        );
+        // Crude structural sanity: balanced braces, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",}"), "{json}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod exec;
 mod machine;
 mod memory;
 mod program;
+mod trace;
 
 pub use counters::Counters;
 pub use error::{SimError, SimResult};
@@ -65,3 +66,4 @@ pub use exec::Control;
 pub use machine::{Machine, MachineConfig};
 pub use memory::Memory;
 pub use program::{Program, RunReport, DEFAULT_FUEL};
+pub use trace::{MemAccess, RetireEvent, TraceSink};

@@ -9,7 +9,8 @@
 use crate::error::{SimError, SimResult};
 use crate::exec::Control;
 use crate::machine::Machine;
-use rvv_isa::{encode, Instr};
+use crate::trace::{RetireEvent, TraceSink};
+use rvv_isa::{encode, Instr, InstrClass};
 use std::fmt;
 
 /// Default fuel for [`Machine::run`]: generous enough for the paper's
@@ -24,6 +25,11 @@ pub struct Program {
     pub name: String,
     /// The instructions; instruction `i` sits at byte address `4·i`.
     pub instrs: Vec<Instr>,
+    /// Symbol marks: `(byte address, label)` pairs sorted by address, used
+    /// by profilers to attribute PCs to regions of the generated code
+    /// (strip loop, spill prologue, …). Purely advisory — execution ignores
+    /// them.
+    pub marks: Vec<(u64, String)>,
 }
 
 impl Program {
@@ -32,7 +38,24 @@ impl Program {
         Program {
             name: name.into(),
             instrs,
+            marks: Vec::new(),
         }
+    }
+
+    /// Attach a symbol mark at byte address `pc`. Marks must be added in
+    /// ascending address order (debug-asserted) so lookups can bisect.
+    pub fn add_mark(&mut self, pc: u64, label: impl Into<String>) {
+        debug_assert!(
+            self.marks.last().is_none_or(|(p, _)| *p <= pc),
+            "marks must be added in ascending PC order"
+        );
+        self.marks.push((pc, label.into()));
+    }
+
+    /// The innermost mark covering `pc`: the last mark at or before it.
+    pub fn symbol_for(&self, pc: u64) -> Option<&str> {
+        let i = self.marks.partition_point(|(p, _)| *p <= pc);
+        i.checked_sub(1).map(|i| self.marks[i].1.as_str())
     }
 
     /// Length in instructions.
@@ -86,7 +109,12 @@ impl fmt::Display for Program {
     /// Disassembly listing.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}:", self.name)?;
+        let mut next_mark = 0;
         for (i, instr) in self.instrs.iter().enumerate() {
+            while next_mark < self.marks.len() && self.marks[next_mark].0 <= (i * 4) as u64 {
+                writeln!(f, "<{}>:", self.marks[next_mark].1)?;
+                next_mark += 1;
+            }
             writeln!(f, "{:6x}:  {instr}", i * 4)?;
         }
         Ok(())
@@ -134,6 +162,58 @@ impl Machine {
     /// [`Machine::run`] with [`DEFAULT_FUEL`].
     pub fn run_default(&mut self, program: &Program) -> SimResult<RunReport> {
         self.run(program, DEFAULT_FUEL)
+    }
+
+    /// Like [`Machine::run`], but reports every retired instruction to
+    /// `sink` (see [`TraceSink`]). The event is assembled *before* the
+    /// instruction executes — so memory footprints see the pre-execution
+    /// base registers — and delivered *after* it retires successfully; a
+    /// trapping instruction is neither counted nor reported.
+    ///
+    /// This is a separate loop rather than an `Option<&mut dyn TraceSink>`
+    /// parameter on [`Machine::run`] so that untraced execution keeps its
+    /// tight loop with no per-instruction branch or virtual call.
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        fuel: u64,
+        sink: &mut dyn TraceSink,
+    ) -> SimResult<RunReport> {
+        sink.launch(program);
+        let before = self.counters.total();
+        let len = program.instrs.len() as u64;
+        let mut pc: u64 = 0;
+        loop {
+            let seq = self.counters.total() - before;
+            if seq >= fuel {
+                return Err(SimError::FuelExhausted { fuel });
+            }
+            if !pc.is_multiple_of(4) || pc / 4 >= len {
+                return Err(SimError::BadControlFlow { target: pc });
+            }
+            let instr = &program.instrs[(pc / 4) as usize];
+            let event = RetireEvent {
+                pc,
+                instr,
+                class: InstrClass::of(instr),
+                vl: self.vl(),
+                vtype: self.vtype(),
+                mem: self.mem_footprint(instr),
+                seq,
+            };
+            let ctl = self.exec(pc, instr)?;
+            sink.retire(&event);
+            match ctl {
+                Control::Next => pc += 4,
+                Control::Jump(target) => pc = target,
+                Control::Halt => {
+                    return Ok(RunReport {
+                        retired: self.counters.total() - before,
+                        halt_pc: pc,
+                    })
+                }
+            }
+        }
     }
 
     /// Like [`Machine::run`], but calls `hook(pc, instr)` before executing
@@ -322,6 +402,59 @@ mod tests {
         assert_eq!(trace.last().unwrap().1, "ecall");
         // The loop body repeats five times.
         assert_eq!(trace.iter().filter(|(pc, _)| *pc == 4).count(), 5);
+    }
+
+    #[test]
+    fn traced_run_reports_every_retire_and_matches_untraced() {
+        use crate::trace::{RetireEvent, TraceSink};
+        struct Recorder {
+            events: Vec<(u64, u64, String)>,
+            launches: Vec<String>,
+        }
+        impl TraceSink for Recorder {
+            fn retire(&mut self, e: &RetireEvent<'_>) {
+                self.events.push((e.seq, e.pc, e.instr.to_string()));
+            }
+            fn launch(&mut self, p: &Program) {
+                self.launches.push(p.name.clone());
+            }
+        }
+        let mut sink = Recorder {
+            events: Vec::new(),
+            launches: Vec::new(),
+        };
+        let mut traced = m();
+        let r = traced.run_traced(&countdown(), 1000, &mut sink).unwrap();
+        let mut plain = m();
+        let r2 = plain.run_default(&countdown()).unwrap();
+        // Same report, same architectural outcome, same counters.
+        assert_eq!(r, r2);
+        assert_eq!(traced.xreg(XReg::new(5)), plain.xreg(XReg::new(5)));
+        assert_eq!(traced.counters, plain.counters);
+        // Every retired instruction was reported, in order.
+        assert_eq!(sink.launches, vec!["countdown".to_string()]);
+        assert_eq!(sink.events.len() as u64, r.retired);
+        for (i, (seq, _, _)) in sink.events.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+        assert_eq!(sink.events[0].2, "addi x5, x0, 5");
+        assert_eq!(sink.events.last().unwrap().2, "ecall");
+    }
+
+    #[test]
+    fn marks_symbolicate_and_display() {
+        let mut p = countdown();
+        p.add_mark(0, "init");
+        p.add_mark(4, "loop");
+        p.add_mark(12, "exit");
+        assert_eq!(p.symbol_for(0), Some("init"));
+        assert_eq!(p.symbol_for(4), Some("loop"));
+        assert_eq!(p.symbol_for(8), Some("loop"));
+        assert_eq!(p.symbol_for(12), Some("exit"));
+        assert_eq!(p.symbol_for(100), Some("exit"));
+        assert_eq!(Program::new("bare", vec![]).symbol_for(0), None);
+        let text = p.to_string();
+        assert!(text.contains("<loop>:"), "{text}");
     }
 
     #[test]

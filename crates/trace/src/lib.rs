@@ -1,0 +1,51 @@
+//! # rvv-trace — execution tracing and profiling for the scan-vector stack
+//!
+//! The simulator measures *how many* instructions a kernel retires; this
+//! crate answers *where they went*. [`TraceProfiler`] is a
+//! [`rvv_sim::TraceSink`] that aggregates a traced run into:
+//!
+//! * **Per-phase attribution** — the `scanvec` runtime brackets primitive
+//!   launches in named phases (`scan`, `seg_scan`, `enumerate`, `split`,
+//!   `radix_pass_7`, …); every retired instruction is attributed to the
+//!   innermost open phase, with a per-class histogram each.
+//! * **Hotspots** — a per-PC histogram, symbolicated against the kernel
+//!   generators' [`rvv_sim::Program`] marks (`strip_load`, `ladder`,
+//!   `spill_prologue`, …).
+//! * **Spill detection** — memory traffic whose effective address falls in
+//!   the device stack region is classified as spill/stack traffic,
+//!   separately for vector and scalar accesses. This quantifies the
+//!   paper's Table 5/6 story: at LMUL=8 the segmented scan has six live
+//!   register-group values but only three aligned groups, and the
+//!   resulting spill traffic is exactly what this detector counts.
+//!
+//! Exporters turn a finished profile into a Chrome trace-event JSON file
+//! (`chrome://tracing` / Perfetto, with one retired instruction per
+//! microsecond of virtual time) or a human-readable text report.
+//!
+//! The `trace-run` binary wires it all together: run a scan-vector
+//! workload under the profiler and emit both exports.
+//!
+//! ## Example
+//!
+//! ```
+//! use rvv_trace::TraceProfiler;
+//! use scanvec::env::ScanEnv;
+//! use scanvec::primitives::plus_scan;
+//!
+//! let mut env = ScanEnv::paper_default();
+//! env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
+//! let v = env.from_u32(&[3, 1, 4, 1, 5]).unwrap();
+//! plus_scan(&mut env, &v).unwrap();
+//! let profiler = TraceProfiler::from_sink(env.detach_tracer().unwrap()).unwrap();
+//! assert_eq!(profiler.phase("scan").unwrap().retired, profiler.total_retired());
+//! println!("{}", profiler.text_report());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod profiler;
+mod report;
+
+pub use profiler::{Hotspot, PhaseEvent, PhaseEventKind, PhaseStats, SpillStats, TraceProfiler};

@@ -1,0 +1,465 @@
+//! The aggregating profiler: phase attribution, hotspots, spill detection.
+
+use rvv_isa::InstrClass;
+use rvv_sim::{Program, RetireEvent, TraceSink};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Memory traffic into the stack region, split by access kind.
+///
+/// Vector traffic here is register-group save/restore (the whole-register
+/// `vsNr.v`/`vlNr.v` pairs the allocator emits under pressure, plus any
+/// other vector access aimed at the frame). Scalar traffic is frame
+/// management — under the calibrated LLVM-14 profile, dominated by the
+/// conservative `sd x0` frame zero-initialization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Vector loads from the stack region (spill reloads).
+    pub vector_loads: u64,
+    /// Vector stores to the stack region (spill saves).
+    pub vector_stores: u64,
+    /// Bytes moved by vector stack traffic.
+    pub vector_bytes: u64,
+    /// Scalar loads from the stack region.
+    pub scalar_loads: u64,
+    /// Scalar stores to the stack region (frame zero-init traffic).
+    pub scalar_stores: u64,
+    /// Bytes moved by scalar stack traffic.
+    pub scalar_bytes: u64,
+}
+
+impl SpillStats {
+    /// All stack-region accesses, vector and scalar.
+    pub fn total_ops(&self) -> u64 {
+        self.vector_loads + self.vector_stores + self.scalar_loads + self.scalar_stores
+    }
+
+    /// All stack-region bytes, vector and scalar.
+    pub fn total_bytes(&self) -> u64 {
+        self.vector_bytes + self.scalar_bytes
+    }
+
+    /// Vector spill operations only (the paper's LMUL=8 signal).
+    pub fn vector_ops(&self) -> u64 {
+        self.vector_loads + self.vector_stores
+    }
+
+    fn add(&mut self, other: &SpillStats) {
+        self.vector_loads += other.vector_loads;
+        self.vector_stores += other.vector_stores;
+        self.vector_bytes += other.vector_bytes;
+        self.scalar_loads += other.scalar_loads;
+        self.scalar_stores += other.scalar_stores;
+        self.scalar_bytes += other.scalar_bytes;
+    }
+}
+
+/// Aggregated statistics for one named phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase name as passed to `ScanEnv::phase`.
+    pub name: String,
+    /// Times the phase was entered.
+    pub enters: u64,
+    /// Instructions retired while this phase was innermost.
+    pub retired: u64,
+    /// Per-class histogram of those instructions (indexed like
+    /// [`InstrClass::ALL`]).
+    pub by_class: [u64; InstrClass::ALL.len()],
+    /// Stack-region traffic attributed to this phase.
+    pub spill: SpillStats,
+}
+
+impl PhaseStats {
+    fn new(name: &str) -> PhaseStats {
+        PhaseStats {
+            name: name.to_string(),
+            enters: 0,
+            retired: 0,
+            by_class: [0; InstrClass::ALL.len()],
+            spill: SpillStats::default(),
+        }
+    }
+
+    /// Count for one instruction class.
+    pub fn class(&self, c: InstrClass) -> u64 {
+        self.by_class[c.index()]
+    }
+}
+
+/// One entry of the per-PC histogram, symbolicated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Program (kernel) name the PC belongs to.
+    pub program: String,
+    /// Byte PC within that program.
+    pub pc: u64,
+    /// Innermost covering symbol mark, if the generator left any.
+    pub symbol: Option<String>,
+    /// Times an instruction at this PC retired.
+    pub count: u64,
+}
+
+impl Hotspot {
+    /// `kernel`symbol+0x10` or `kernel+0x10` when unsymbolicated.
+    pub fn location(&self) -> String {
+        match &self.symbol {
+            Some(s) => format!("{}`{}@{:#x}", self.program, s, self.pc),
+            None => format!("{}+{:#x}", self.program, self.pc),
+        }
+    }
+}
+
+/// What a [`PhaseEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseEventKind {
+    /// A phase opened.
+    Begin,
+    /// A phase closed.
+    End,
+    /// A kernel launched (instant).
+    Launch,
+}
+
+/// A timeline event, timestamped in retired instructions since profiling
+/// began. The sequence is what the Chrome exporter serializes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// Begin / end / launch.
+    pub kind: PhaseEventKind,
+    /// Phase or program name.
+    pub name: String,
+    /// Virtual timestamp: retired-instruction count at the event.
+    pub ts: u64,
+}
+
+/// A [`TraceSink`] that aggregates a run into per-phase, per-PC, and
+/// spill statistics. Purely additive per event — no allocation on the
+/// retire path beyond first-touch of a PC bucket.
+#[derive(Debug)]
+pub struct TraceProfiler {
+    stack_region: Range<u64>,
+    clock: u64,
+    total: PhaseStats,
+    phases: Vec<PhaseStats>,
+    phase_index: HashMap<String, usize>,
+    phase_stack: Vec<usize>,
+    programs: Vec<(String, Vec<(u64, String)>)>,
+    program_index: HashMap<String, usize>,
+    current_program: Option<usize>,
+    pc_counts: HashMap<(usize, u64), u64>,
+    events: Vec<PhaseEvent>,
+}
+
+impl TraceProfiler {
+    /// A profiler that classifies accesses into `stack_region` as
+    /// spill/stack traffic (pass `ScanEnv::stack_region()`; an empty range
+    /// disables spill detection).
+    pub fn new(stack_region: Range<u64>) -> TraceProfiler {
+        TraceProfiler {
+            stack_region,
+            clock: 0,
+            total: PhaseStats::new("(total)"),
+            phases: Vec::new(),
+            phase_index: HashMap::new(),
+            phase_stack: Vec::new(),
+            programs: Vec::new(),
+            program_index: HashMap::new(),
+            current_program: None,
+            pc_counts: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Recover a concrete profiler from a detached sink (`None` if the box
+    /// holds some other sink type).
+    pub fn from_sink(sink: Box<dyn TraceSink>) -> Option<TraceProfiler> {
+        let any: Box<dyn std::any::Any> = sink;
+        any.downcast::<TraceProfiler>().ok().map(|b| *b)
+    }
+
+    /// Total instructions retired while profiling.
+    pub fn total_retired(&self) -> u64 {
+        self.total.retired
+    }
+
+    /// Totals across all phases (name `"(total)"`).
+    pub fn totals(&self) -> &PhaseStats {
+        &self.total
+    }
+
+    /// Aggregate spill statistics for the whole run.
+    pub fn spill(&self) -> &SpillStats {
+        &self.total.spill
+    }
+
+    /// The stack region this profiler classifies against.
+    pub fn stack_region(&self) -> Range<u64> {
+        self.stack_region.clone()
+    }
+
+    /// Per-phase statistics, in first-entered order.
+    pub fn phases(&self) -> &[PhaseStats] {
+        &self.phases
+    }
+
+    /// Statistics of one phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phase_index.get(name).map(|&i| &self.phases[i])
+    }
+
+    /// Instructions retired outside any phase (host glue, direct launches).
+    pub fn unattributed(&self) -> u64 {
+        self.total.retired - self.phases.iter().map(|p| p.retired).sum::<u64>()
+    }
+
+    /// The raw timeline (what the Chrome exporter serializes).
+    pub fn events(&self) -> &[PhaseEvent] {
+        &self.events
+    }
+
+    /// The `limit` hottest PCs, symbolicated, descending by count (ties
+    /// broken by program name and PC so the order is deterministic).
+    pub fn hotspots(&self, limit: usize) -> Vec<Hotspot> {
+        let mut all: Vec<Hotspot> = self
+            .pc_counts
+            .iter()
+            .map(|(&(prog, pc), &count)| {
+                let (name, marks) = &self.programs[prog];
+                let i = marks.partition_point(|(p, _)| *p <= pc);
+                let symbol = i.checked_sub(1).map(|i| marks[i].1.clone());
+                Hotspot {
+                    program: name.clone(),
+                    pc,
+                    symbol,
+                    count,
+                }
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.program.cmp(&b.program))
+                .then_with(|| a.pc.cmp(&b.pc))
+        });
+        all.truncate(limit);
+        all
+    }
+
+    /// Names of the programs launched under this profiler, in first-launch
+    /// order.
+    pub fn programs(&self) -> Vec<&str> {
+        self.programs.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl TraceSink for TraceProfiler {
+    fn retire(&mut self, event: &RetireEvent<'_>) {
+        self.clock += 1;
+        let spill = event.mem.and_then(|m| {
+            (self.stack_region.contains(&m.addr)).then(|| {
+                let mut s = SpillStats::default();
+                match (event.class == InstrClass::VectorMem, m.store) {
+                    (true, true) => {
+                        s.vector_stores = 1;
+                        s.vector_bytes = m.bytes;
+                    }
+                    (true, false) => {
+                        s.vector_loads = 1;
+                        s.vector_bytes = m.bytes;
+                    }
+                    (false, true) => {
+                        s.scalar_stores = 1;
+                        s.scalar_bytes = m.bytes;
+                    }
+                    (false, false) => {
+                        s.scalar_loads = 1;
+                        s.scalar_bytes = m.bytes;
+                    }
+                }
+                s
+            })
+        });
+        let bump = |stats: &mut PhaseStats| {
+            stats.retired += 1;
+            stats.by_class[event.class.index()] += 1;
+            if let Some(s) = &spill {
+                stats.spill.add(s);
+            }
+        };
+        bump(&mut self.total);
+        if let Some(&top) = self.phase_stack.last() {
+            bump(&mut self.phases[top]);
+        }
+        if let Some(prog) = self.current_program {
+            *self.pc_counts.entry((prog, event.pc)).or_insert(0) += 1;
+        }
+    }
+
+    fn launch(&mut self, program: &Program) {
+        let idx = *self
+            .program_index
+            .entry(program.name.clone())
+            .or_insert_with(|| {
+                self.programs
+                    .push((program.name.clone(), program.marks.clone()));
+                self.programs.len() - 1
+            });
+        self.current_program = Some(idx);
+        self.events.push(PhaseEvent {
+            kind: PhaseEventKind::Launch,
+            name: program.name.clone(),
+            ts: self.clock,
+        });
+    }
+
+    fn phase_begin(&mut self, name: &str) {
+        let idx = match self.phase_index.get(name) {
+            Some(&i) => i,
+            None => {
+                self.phases.push(PhaseStats::new(name));
+                self.phase_index
+                    .insert(name.to_string(), self.phases.len() - 1);
+                self.phases.len() - 1
+            }
+        };
+        self.phases[idx].enters += 1;
+        self.phase_stack.push(idx);
+        self.events.push(PhaseEvent {
+            kind: PhaseEventKind::Begin,
+            name: name.to_string(),
+            ts: self.clock,
+        });
+    }
+
+    fn phase_end(&mut self, name: &str) {
+        let popped = self.phase_stack.pop();
+        debug_assert_eq!(
+            popped.map(|i| self.phases[i].name.as_str()),
+            Some(name),
+            "phase_end out of order"
+        );
+        self.events.push(PhaseEvent {
+            kind: PhaseEventKind::End,
+            name: name.to_string(),
+            ts: self.clock,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvv_isa::{Instr, MemWidth, XReg};
+    use rvv_sim::MemAccess;
+
+    fn retire_event(instr: &Instr, mem: Option<MemAccess>) -> RetireEvent<'_> {
+        RetireEvent {
+            pc: 0,
+            instr,
+            class: InstrClass::of(instr),
+            vl: 0,
+            vtype: None,
+            mem,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn phase_attribution_nests_to_innermost() {
+        let mut p = TraceProfiler::new(0..0);
+        let i = Instr::Ecall;
+        p.phase_begin("outer");
+        p.retire(&retire_event(&i, None));
+        p.phase_begin("inner");
+        p.retire(&retire_event(&i, None));
+        p.retire(&retire_event(&i, None));
+        p.phase_end("inner");
+        p.retire(&retire_event(&i, None));
+        p.phase_end("outer");
+        p.retire(&retire_event(&i, None));
+        assert_eq!(p.total_retired(), 5);
+        assert_eq!(p.phase("outer").unwrap().retired, 2);
+        assert_eq!(p.phase("inner").unwrap().retired, 2);
+        assert_eq!(p.unattributed(), 1);
+        assert_eq!(p.phase("outer").unwrap().enters, 1);
+    }
+
+    #[test]
+    fn spill_classification_by_region_and_kind() {
+        let mut p = TraceProfiler::new(1000..2000);
+        let store = Instr::Store {
+            width: MemWidth::D,
+            rs2: XReg::ZERO,
+            rs1: XReg::new(2),
+            offset: 0,
+        };
+        // Scalar store inside the region counts; outside does not.
+        p.retire(&retire_event(
+            &store,
+            Some(MemAccess {
+                addr: 1500,
+                bytes: 8,
+                store: true,
+            }),
+        ));
+        p.retire(&retire_event(
+            &store,
+            Some(MemAccess {
+                addr: 100,
+                bytes: 8,
+                store: true,
+            }),
+        ));
+        let vload = Instr::VLoadWhole {
+            nregs: 8,
+            vd: rvv_isa::VReg::new(8),
+            rs1: XReg::new(2),
+        };
+        p.retire(&retire_event(
+            &vload,
+            Some(MemAccess {
+                addr: 1000,
+                bytes: 1024,
+                store: false,
+            }),
+        ));
+        let s = p.spill();
+        assert_eq!(s.scalar_stores, 1);
+        assert_eq!(s.scalar_bytes, 8);
+        assert_eq!(s.vector_loads, 1);
+        assert_eq!(s.vector_bytes, 1024);
+        assert_eq!(s.total_ops(), 2);
+    }
+
+    #[test]
+    fn hotspots_symbolicate_via_marks() {
+        let mut p = TraceProfiler::new(0..0);
+        let mut prog = Program::new("k", vec![Instr::Ecall; 4]);
+        prog.add_mark(0, "head");
+        prog.add_mark(8, "tail");
+        p.launch(&prog);
+        let i = Instr::Ecall;
+        for pc in [0u64, 4, 8, 8, 8] {
+            let mut e = retire_event(&i, None);
+            e.pc = pc;
+            p.retire(&e);
+        }
+        let hs = p.hotspots(10);
+        assert_eq!(hs[0].pc, 8);
+        assert_eq!(hs[0].count, 3);
+        assert_eq!(hs[0].symbol.as_deref(), Some("tail"));
+        assert_eq!(hs[0].location(), "k`tail@0x8");
+        assert_eq!(hs[1].symbol.as_deref(), Some("head"));
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn from_sink_roundtrips() {
+        let mut p = TraceProfiler::new(0..0);
+        p.retire(&retire_event(&Instr::Ecall, None));
+        let boxed: Box<dyn TraceSink> = Box::new(p);
+        let back = TraceProfiler::from_sink(boxed).unwrap();
+        assert_eq!(back.total_retired(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Human-readable text report.
+
+use crate::profiler::TraceProfiler;
+use rvv_isa::InstrClass;
+use std::fmt::Write as _;
+
+impl TraceProfiler {
+    /// Render the profile as a text report: totals, per-phase table,
+    /// spill traffic, class histogram, and top hotspots.
+    pub fn text_report(&self) -> String {
+        let mut out = String::new();
+        let total = self.total_retired();
+        let t = self.totals();
+        let pct = |n: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / total as f64
+            }
+        };
+        writeln!(out, "rvv-trace profile").unwrap();
+        writeln!(out, "=================").unwrap();
+        writeln!(out, "total retired: {total}").unwrap();
+        let r = self.stack_region();
+        writeln!(out, "stack region:  {:#x}..{:#x}", r.start, r.end).unwrap();
+
+        writeln!(out, "\nphases (attributed to innermost):").unwrap();
+        writeln!(
+            out,
+            "  {:<16} {:>8} {:>12} {:>7} {:>10} {:>12}",
+            "phase", "enters", "retired", "%", "spill ops", "spill bytes"
+        )
+        .unwrap();
+        for p in self.phases() {
+            writeln!(
+                out,
+                "  {:<16} {:>8} {:>12} {:>6.1}% {:>10} {:>12}",
+                p.name,
+                p.enters,
+                p.retired,
+                pct(p.retired),
+                p.spill.total_ops(),
+                p.spill.total_bytes()
+            )
+            .unwrap();
+        }
+        let un = self.unattributed();
+        if un > 0 {
+            writeln!(
+                out,
+                "  {:<16} {:>8} {:>12} {:>6.1}%",
+                "(unattributed)",
+                "-",
+                un,
+                pct(un)
+            )
+            .unwrap();
+        }
+
+        let s = self.spill();
+        writeln!(out, "\nspill / stack traffic:").unwrap();
+        writeln!(
+            out,
+            "  vector: {} loads, {} stores, {} bytes",
+            s.vector_loads, s.vector_stores, s.vector_bytes
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  scalar: {} loads, {} stores, {} bytes",
+            s.scalar_loads, s.scalar_stores, s.scalar_bytes
+        )
+        .unwrap();
+
+        writeln!(out, "\ninstruction classes:").unwrap();
+        for c in InstrClass::ALL {
+            let n = t.class(c);
+            if n > 0 {
+                writeln!(out, "  {:<12} {:>12} {:>6.1}%", c.label(), n, pct(n)).unwrap();
+            }
+        }
+
+        let hs = self.hotspots(10);
+        if !hs.is_empty() {
+            writeln!(out, "\ntop hotspots:").unwrap();
+            for h in hs {
+                writeln!(
+                    out,
+                    "  {:>12} {:>6.1}%  {}",
+                    h.count,
+                    pct(h.count),
+                    h.location()
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvv_isa::Instr;
+    use rvv_sim::{RetireEvent, TraceSink};
+
+    #[test]
+    fn report_mentions_phases_and_totals() {
+        let mut p = TraceProfiler::new(0x100..0x200);
+        let i = Instr::Ecall;
+        p.phase_begin("seg_scan");
+        p.retire(&RetireEvent {
+            pc: 0,
+            instr: &i,
+            class: InstrClass::of(&i),
+            vl: 0,
+            vtype: None,
+            mem: None,
+            seq: 0,
+        });
+        p.phase_end("seg_scan");
+        let text = p.text_report();
+        assert!(text.contains("total retired: 1"), "{text}");
+        assert!(text.contains("seg_scan"), "{text}");
+        assert!(text.contains("scalar-ctrl"), "{text}");
+    }
+}

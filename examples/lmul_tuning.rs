@@ -6,11 +6,57 @@
 //! values) collapses at LMUL=8 on small inputs because only three aligned
 //! register groups exist and the kernel spills.
 //!
+//! The final section drills into the LMUL=8 collapse with the tracing
+//! subsystem: per-phase instruction attribution and the spill detector
+//! show exactly where the extra instructions go.
+//!
 //! Run: `cargo run --release --example lmul_tuning`
 
 use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::primitives::{plus_scan, seg_plus_scan};
 use scan_vector_rvv::isa::Lmul;
+use scan_vector_rvv::trace::TraceProfiler;
+
+/// Run one traced seg_plus_scan and print where every instruction went:
+/// per-phase counts and the spill traffic the detector attributed to them.
+fn spill_breakdown(lmul: Lmul, n: usize) {
+    let mut env = ScanEnv::new(EnvConfig::with_lmul(lmul));
+    env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
+    let data: Vec<u32> = (0..n as u32).map(|i| i % 1000).collect();
+    let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 64 == 0)).collect();
+    let v = env.from_u32(&data).unwrap();
+    let f = env.from_u32(&flags).unwrap();
+    seg_plus_scan(&mut env, &v, &f).unwrap();
+    let prof = TraceProfiler::from_sink(env.detach_tracer().unwrap()).unwrap();
+
+    let total = prof.total_retired();
+    println!(
+        "\nseg_plus_scan at m{} (N = {n}): {total} instructions",
+        lmul.regs()
+    );
+    println!(
+        "{:>14} {:>10} {:>7} {:>11} {:>12}",
+        "phase", "retired", "%", "spill ops", "spill bytes"
+    );
+    for ph in prof.phases() {
+        println!(
+            "{:>14} {:>10} {:>6.1}% {:>11} {:>12}",
+            ph.name,
+            ph.retired,
+            100.0 * ph.retired as f64 / total as f64,
+            ph.spill.total_ops(),
+            ph.spill.total_bytes(),
+        );
+    }
+    let s = prof.spill();
+    println!(
+        "spill traffic: {} vector ops ({} bytes), {} scalar ops ({} bytes)",
+        s.vector_ops(),
+        s.vector_bytes,
+        s.scalar_loads + s.scalar_stores,
+        s.scalar_bytes
+    );
+}
 
 fn main() {
     let sizes = [1_000usize, 100_000];
@@ -43,6 +89,11 @@ fn main() {
             );
         }
     }
+    println!("\nWhere do the extra LMUL=8 instructions go? Trace one small-N launch");
+    println!("at each endpoint and let the spill detector attribute the traffic:");
+    spill_breakdown(Lmul::M1, 4096);
+    spill_breakdown(Lmul::M8, 4096);
+
     println!("\nTakeaway (the paper's §6.3 conclusion): pick LMUL by live-value count.");
     println!("Kernels with few live vector values benefit from the largest LMUL;");
     println!("register-hungry kernels hit spill overhead that only very large inputs");

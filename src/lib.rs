@@ -8,5 +8,6 @@
 pub use rvv_asm as asm;
 pub use rvv_isa as isa;
 pub use rvv_sim as sim;
+pub use rvv_trace as trace;
 pub use scanvec as core;
 pub use scanvec_algos as algos;

@@ -1,0 +1,120 @@
+//! The tracing subsystem must be an observer, never a participant:
+//! attaching a sink cannot change architectural results or instruction
+//! counts, and the spill detector must reproduce the paper's Table 5
+//! story (segmented scan spills at LMUL=8, not at LMUL=1).
+
+use proptest::prelude::*;
+use scan_vector_rvv::asm::SpillProfile;
+use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
+use scan_vector_rvv::core::primitives as p;
+use scan_vector_rvv::isa::Lmul;
+use scan_vector_rvv::trace::TraceProfiler;
+
+fn env(lmul: Lmul) -> ScanEnv {
+    ScanEnv::new(EnvConfig {
+        vlen: 1024,
+        lmul,
+        spill_profile: SpillProfile::llvm14(),
+        mem_bytes: 16 << 20,
+    })
+}
+
+fn profiled_seg_scan(lmul: Lmul, n: usize, seg_len: usize) -> (TraceProfiler, u64) {
+    let mut e = env(lmul);
+    e.attach_tracer(Box::new(TraceProfiler::new(e.stack_region())));
+    let data: Vec<u32> = (0..n as u32).map(|i| i % 1000).collect();
+    let flags: Vec<u32> = (0..n).map(|i| u32::from(i % seg_len == 0)).collect();
+    let v = e.from_u32(&data).unwrap();
+    let f = e.from_u32(&flags).unwrap();
+    let retired = p::seg_plus_scan(&mut e, &v, &f).unwrap();
+    let profiler = TraceProfiler::from_sink(e.detach_tracer().unwrap()).unwrap();
+    (profiler, retired)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tracing is invisible: identical values, identical counters, and the
+    /// sink observes exactly the instructions the machine retires.
+    #[test]
+    fn attaching_a_sink_changes_nothing(
+        data in prop::collection::vec(any::<u32>(), 1..400),
+        seg_len in 1usize..50,
+        lmul_idx in 0usize..4,
+    ) {
+        let lmul = [Lmul::M1, Lmul::M2, Lmul::M4, Lmul::M8][lmul_idx];
+        let flags: Vec<u32> =
+            (0..data.len()).map(|i| u32::from(i % seg_len == 0)).collect();
+
+        let mut plain = env(lmul);
+        let v0 = plain.from_u32(&data).unwrap();
+        let f0 = plain.from_u32(&flags).unwrap();
+        let retired_plain = p::seg_plus_scan(&mut plain, &v0, &f0).unwrap();
+        let out_plain = plain.to_u32(&v0);
+
+        let mut traced = env(lmul);
+        traced.attach_tracer(Box::new(TraceProfiler::new(traced.stack_region())));
+        let v1 = traced.from_u32(&data).unwrap();
+        let f1 = traced.from_u32(&flags).unwrap();
+        let retired_traced = p::seg_plus_scan(&mut traced, &v1, &f1).unwrap();
+        let out_traced = traced.to_u32(&v1);
+        let profiler =
+            TraceProfiler::from_sink(traced.detach_tracer().unwrap()).unwrap();
+
+        prop_assert_eq!(out_plain, out_traced);
+        prop_assert_eq!(retired_plain, retired_traced);
+        prop_assert_eq!(
+            plain.machine().counters.clone(),
+            traced.machine().counters.clone()
+        );
+        prop_assert_eq!(profiler.total_retired(), traced.machine().counters.total());
+        // Phase attribution is a partition: every retired instruction lands
+        // in exactly one innermost phase or in the unattributed remainder.
+        let attributed: u64 = profiler.phases().iter().map(|ph| ph.retired).sum();
+        prop_assert_eq!(attributed + profiler.unattributed(), profiler.total_retired());
+    }
+}
+
+/// The acceptance criterion from the paper's Table 5 anomaly: for small
+/// inputs the segmented scan spills strictly more at LMUL=8 than LMUL=1
+/// (where it must not spill at all).
+#[test]
+fn seg_scan_spills_more_at_m8_than_m1() {
+    let (p1, _) = profiled_seg_scan(Lmul::M1, 4096, 64);
+    let (p8, _) = profiled_seg_scan(Lmul::M8, 4096, 64);
+    assert_eq!(
+        p1.spill().vector_ops(),
+        0,
+        "LMUL=1 seg_scan must not spill: {:?}",
+        p1.spill()
+    );
+    assert!(
+        p8.spill().vector_ops() > p1.spill().vector_ops(),
+        "LMUL=8 must spill more than LMUL=1: m8={:?} m1={:?}",
+        p8.spill(),
+        p1.spill()
+    );
+    // The spill traffic is attributed to the seg_scan phase, not lost.
+    let ph = p8.phase("seg_scan").expect("seg_scan phase recorded");
+    assert_eq!(ph.spill.vector_ops(), p8.spill().vector_ops());
+}
+
+/// Control: the unsegmented scan has only three live values, so it fits
+/// the register file at every LMUL and the detector stays silent.
+#[test]
+fn unsegmented_scan_never_spills() {
+    for lmul in [Lmul::M1, Lmul::M8] {
+        let mut e = env(lmul);
+        e.attach_tracer(Box::new(TraceProfiler::new(e.stack_region())));
+        let data: Vec<u32> = (0..4096u32).collect();
+        let v = e.from_u32(&data).unwrap();
+        p::plus_scan(&mut e, &v).unwrap();
+        let prof = TraceProfiler::from_sink(e.detach_tracer().unwrap()).unwrap();
+        assert_eq!(
+            prof.spill().total_ops(),
+            0,
+            "plus_scan spilled at {lmul:?}: {:?}",
+            prof.spill()
+        );
+    }
+}

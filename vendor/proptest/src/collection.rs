@@ -1,0 +1,82 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size arguments for [`vec`]: an exact length, `a..b`, or
+/// `a..=b`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<E::Value>` with a length drawn from `size`.
+pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<E> {
+    element: E,
+    size: SizeRange,
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<E::Value>> {
+        let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+        let len = self.size.lo + rng.below(span) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Give a filtered element strategy a few chances before
+            // rejecting the whole vector.
+            let mut tries = 0;
+            loop {
+                if let Some(v) = self.element.generate(rng) {
+                    out.push(v);
+                    break;
+                }
+                tries += 1;
+                if tries >= 16 {
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+}

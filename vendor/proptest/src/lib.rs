@@ -1,0 +1,236 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the real proptest
+//! cannot be fetched. This crate re-implements the subset the workspace's
+//! property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_filter_map`, `prop_flat_map`, and `boxed`.
+//! * Strategies for integer ranges, tuples (up to 8), [`strategy::Just`],
+//!   and [`arbitrary::any`] over primitives.
+//! * [`collection::vec`] with exact, `a..b`, and `a..=b` size ranges.
+//! * The [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`] macros.
+//! * [`test_runner::ProptestConfig`] (`with_cases`, `cases`).
+//!
+//! Differences from real proptest, deliberate for an offline test stub:
+//! no shrinking (failures report the original generated inputs), no
+//! failure-persistence files (existing `.proptest-regressions` files are
+//! ignored), and deterministic per-test seeding (a test's case sequence is
+//! stable across runs).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod test_runner;
+
+/// The `prop::` namespace tests reach through the prelude
+/// (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::arbitrary;
+    pub use crate::collection;
+    pub use crate::strategy;
+    pub use crate::test_runner;
+}
+
+/// Everything a property test imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run one test body over `config.cases` generated cases. Used by the
+/// [`proptest!`] macro expansion; not part of the public proptest API.
+pub fn run_cases<V: std::fmt::Debug>(
+    config: &test_runner::ProptestConfig,
+    test_name: &str,
+    generate: impl Fn(&mut test_runner::TestRng) -> Option<V>,
+    run: impl Fn(V) -> Result<(), test_runner::TestCaseError>,
+) {
+    let mut rng = test_runner::TestRng::for_test(test_name);
+    let mut rejects: u64 = 0;
+    let max_rejects = (config.cases as u64).saturating_mul(64).max(4096);
+    let mut case: u32 = 0;
+    while case < config.cases {
+        let value = match generate(&mut rng) {
+            Some(v) => v,
+            None => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest '{test_name}': too many generator rejections \
+                     ({rejects}); loosen the filters"
+                );
+                continue;
+            }
+        };
+        let described = format!("{value:?}");
+        match run(value) {
+            Ok(()) => case += 1,
+            Err(e) if e.is_rejection => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest '{test_name}': too many prop_assume! discards \
+                     ({rejects}); loosen the assumptions"
+                );
+            }
+            Err(e) => panic!(
+                "proptest '{test_name}' failed at case {case}/{}:\n  {e}\n  \
+                 inputs: {described}",
+                config.cases
+            ),
+        }
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args…)`: fail the
+/// current case without panicking the generator loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                    stringify!($a), stringify!($b), a, b
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n  right: {:?}",
+                    format!($($fmt)+), a, b
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with an optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($a), stringify!($b), a
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  both: {:?}", format!($($fmt)+), a),
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: silently discard the case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Weighted or unweighted union of strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The test-definition macro: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(
+                &config,
+                stringify!($name),
+                |rng| {
+                    Some(($(
+                        $crate::strategy::Strategy::generate(&($strat), rng)?,
+                    )+))
+                },
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,104 @@
+//! Runner configuration, the deterministic test RNG, and case errors.
+
+use std::fmt;
+
+/// Subset of real proptest's configuration: only `cases` matters here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    /// `true` for `prop_assume!` discards (the case is retried, not
+    /// failed).
+    pub is_rejection: bool,
+}
+
+impl TestCaseError {
+    /// A genuine assertion failure.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+            is_rejection: false,
+        }
+    }
+
+    /// A `prop_assume!` discard.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+            is_rejection: true,
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-test generator (SplitMix64). Each test name maps to a
+/// fixed case sequence, so failures reproduce across runs without
+/// persistence files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded from the test name (FNV-1a), so every test gets its own
+    /// stable stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[0, n)` for spans up to `2^64` (used by
+    /// full-width integer range strategies).
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        assert!(n > 0);
+        if n <= u64::MAX as u128 {
+            self.below(n as u64) as u128
+        } else {
+            // n == 2^64 (the largest span any 64-bit range produces).
+            self.next_u64() as u128
+        }
+    }
+}
