@@ -6,7 +6,7 @@
 //! out-of-range offsets rather than emitting garbage).
 
 use rvv_isa::{AluOp, BranchCond, Instr, MemWidth, Sew, VAluOp, VCmp, VRedOp, VReg, VType, XReg};
-use rvv_sim::Program;
+use rvv_sim::{CompiledPlan, Program};
 use std::fmt;
 
 /// A branch target. Created by [`ProgramBuilder::label`], positioned by
@@ -570,6 +570,14 @@ impl ProgramBuilder {
         }
         Ok(p)
     }
+
+    /// Resolve labels and produce a pre-decoded execution plan — `finish`
+    /// followed by [`CompiledPlan::compile`]. Use this when the program goes
+    /// straight to a machine; the plan still carries the source program for
+    /// disassembly and legacy-engine runs.
+    pub fn finish_plan(self) -> Result<CompiledPlan, AsmError> {
+        Ok(CompiledPlan::compile(self.finish()?))
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +592,25 @@ mod tests {
         });
         m.run_default(p).unwrap();
         m
+    }
+
+    #[test]
+    fn finish_plan_matches_finish() {
+        let build = || {
+            let mut b = ProgramBuilder::new("plan");
+            b.li(XReg::new(5), 7);
+            b.halt();
+            b
+        };
+        let plan = build().finish_plan().unwrap();
+        let p = build().finish().unwrap();
+        assert_eq!(plan.program().instrs, p.instrs);
+        let mut m = Machine::new(MachineConfig {
+            vlen: 128,
+            mem_bytes: 1 << 16,
+        });
+        m.run_plan(&plan, 100).unwrap();
+        assert_eq!(m.xreg(XReg::new(5)), 7);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Engine-vs-engine wall clock: the same kernels launched through the
+//! legacy single-step interpreter and through the pre-decoded execution
+//! plan. The JSON artifact with exact ns/instr numbers comes from the
+//! `host_throughput` *binary*; this Criterion bench tracks the same
+//! comparison over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scanvec::env::{ExecEngine, ScanEnv};
+use scanvec::primitives::{plus_scan, seg_plus_scan};
+use scanvec_bench::random_head_flags;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host_throughput");
+    g.sample_size(10);
+    let n = 100_000usize;
+    let data: Vec<u32> = (0..n as u32).collect();
+    let flags = random_head_flags(n, 42);
+    g.throughput(Throughput::Elements(n as u64));
+    for engine in [ExecEngine::Legacy, ExecEngine::Plan] {
+        let label = match engine {
+            ExecEngine::Legacy => "legacy",
+            ExecEngine::Plan => "plan",
+        };
+        g.bench_function(BenchmarkId::new("plus_scan", label), |b| {
+            b.iter(|| {
+                let mut e = ScanEnv::paper_default();
+                e.set_engine(engine);
+                let v = e.from_u32(black_box(&data)).unwrap();
+                black_box(plus_scan(&mut e, &v).unwrap())
+            })
+        });
+        g.bench_function(BenchmarkId::new("seg_plus_scan", label), |b| {
+            b.iter(|| {
+                let mut e = ScanEnv::paper_default();
+                e.set_engine(engine);
+                let v = e.from_u32(black_box(&data)).unwrap();
+                let f = e.from_u32(black_box(&flags)).unwrap();
+                black_box(seg_plus_scan(&mut e, &v, &f).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

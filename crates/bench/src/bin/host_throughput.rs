@@ -1,0 +1,171 @@
+//! Host throughput of the two run loops: wall-clock ns per simulated
+//! instruction for the legacy single-step interpreter vs the pre-decoded
+//! execution-plan engine, measured in the same process on the same
+//! workloads. Writes `results/host_throughput.json` and prints a table.
+//!
+//! Run: `cargo run --release --bin host_throughput [--max-n N] [--reps R]`
+//! (`--max-n 10_000`-ish keeps it fast enough for a CI smoke job).
+
+use scanvec::env::{ExecEngine, ScanEnv};
+use scanvec::primitives::{plus_scan, seg_plus_scan};
+use scanvec_algos::split_radix_sort;
+use scanvec_bench::{paper_env, print_table, random_head_flags};
+use std::time::Instant;
+
+/// One engine's numbers on one workload.
+#[derive(Clone, Copy)]
+struct Sample {
+    retired: u64,
+    secs: f64,
+}
+
+impl Sample {
+    fn ns_per_instr(&self) -> f64 {
+        self.secs * 1e9 / self.retired as f64
+    }
+    fn instrs_per_sec(&self) -> f64 {
+        self.retired as f64 / self.secs
+    }
+}
+
+/// A named workload: stages its data into a fresh environment and runs.
+type Workload<'a> = (&'a str, Box<dyn Fn(&mut ScanEnv)>);
+
+fn arg(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == flag {
+            return w[1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} takes an integer"));
+        }
+    }
+    default
+}
+
+/// Run `work` under `engine` `reps` times on fresh environments; keep the
+/// fastest repetition (least scheduler noise). The kernel cache inside each
+/// environment is cold on the first launch and warm within the workload —
+/// the same shape either engine sees in the experiment harness.
+fn measure(engine: ExecEngine, reps: usize, work: &dyn Fn(&mut ScanEnv)) -> Sample {
+    let mut best: Option<Sample> = None;
+    for _ in 0..reps {
+        let mut env = paper_env();
+        env.set_engine(engine);
+        let before = env.retired();
+        let t = Instant::now();
+        work(&mut env);
+        let secs = t.elapsed().as_secs_f64();
+        let retired = env.retired() - before;
+        if best.is_none_or(|b| secs < b.secs) {
+            best = Some(Sample { retired, secs });
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn main() {
+    let n = arg("--max-n", 100_000);
+    let reps = arg("--reps", 3);
+    let data: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
+    let flags: Vec<u32> = random_head_flags(n, 42);
+
+    let workloads: Vec<Workload> = vec![
+        (
+            "scan",
+            Box::new({
+                let data = data.clone();
+                move |env: &mut ScanEnv| {
+                    let v = env.from_u32(&data).unwrap();
+                    plus_scan(env, &v).unwrap();
+                }
+            }),
+        ),
+        (
+            "seg_scan",
+            Box::new({
+                let data = data.clone();
+                let flags = flags.clone();
+                move |env: &mut ScanEnv| {
+                    let v = env.from_u32(&data).unwrap();
+                    let f = env.from_u32(&flags).unwrap();
+                    seg_plus_scan(env, &v, &f).unwrap();
+                }
+            }),
+        ),
+        (
+            "radix",
+            Box::new({
+                let data = data.clone();
+                move |env: &mut ScanEnv| {
+                    // 8 bits of key: enough passes to be dominated by kernel
+                    // execution, small enough to keep CI smoke runs quick.
+                    let v = env.from_u32(&data).unwrap();
+                    split_radix_sort(env, &v, 8).unwrap();
+                }
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_items = Vec::new();
+    for (name, work) in &workloads {
+        let legacy = measure(ExecEngine::Legacy, reps, work.as_ref());
+        let plan = measure(ExecEngine::Plan, reps, work.as_ref());
+        assert_eq!(
+            legacy.retired, plan.retired,
+            "{name}: engines retired different instruction counts"
+        );
+        let speedup = plan.instrs_per_sec() / legacy.instrs_per_sec();
+        rows.push(vec![
+            name.to_string(),
+            legacy.retired.to_string(),
+            format!("{:.1}", legacy.ns_per_instr()),
+            format!("{:.1}", plan.ns_per_instr()),
+            format!("{:.1}M", legacy.instrs_per_sec() / 1e6),
+            format!("{:.1}M", plan.instrs_per_sec() / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+        json_items.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"retired\": {},\n",
+                "     \"legacy\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}}},\n",
+                "     \"plan\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}}},\n",
+                "     \"speedup\": {:.3}}}"
+            ),
+            name,
+            legacy.retired,
+            legacy.secs,
+            legacy.ns_per_instr(),
+            legacy.instrs_per_sec(),
+            plan.secs,
+            plan.ns_per_instr(),
+            plan.instrs_per_sec(),
+            speedup,
+        ));
+    }
+
+    print_table(
+        &format!("Host throughput, N = {n} (best of {reps})"),
+        &[
+            "workload",
+            "retired",
+            "legacy ns/instr",
+            "plan ns/instr",
+            "legacy instrs/s",
+            "plan instrs/s",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        json_items.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/host_throughput.json", json).expect("write json");
+    println!("\n-> results/host_throughput.json");
+}

@@ -24,6 +24,7 @@ fn pairs_table(title: &str, rows: &[experiments::Pair]) {
 }
 
 fn main() {
+    let wall = std::time::Instant::now();
     let sizes = sweep_sizes();
     pairs_table(
         "Table 1 — split radix sort vs qsort",
@@ -105,5 +106,10 @@ fn main() {
         "Unsegmented scan across LMUL (abstract claim)",
         &["LMUL", "count", "speedup"],
         &body,
+    );
+
+    println!(
+        "\ntotal host wall-clock: {:.1}s",
+        wall.elapsed().as_secs_f64()
     );
 }

@@ -4,9 +4,11 @@
 //! [`ScanEnv`] plays the role the C runtime plays in the paper: it owns the
 //! simulated machine, stages input vectors into simulated memory, launches
 //! compiled kernels with a simple calling convention, and reads results
-//! back. Kernels are generated per `(name, SEW)` under the environment's
-//! fixed `(VLEN, LMUL, spill profile)` — exactly like compiling a C file per
-//! target configuration — and cached.
+//! back. Kernels are generated per `(name, SEW, LMUL)` under the
+//! environment's fixed `(VLEN, spill profile)` — exactly like compiling a C
+//! file per target configuration — and cached as pre-decoded
+//! [`CompiledPlan`]s, so repeated launches skip instruction classification
+//! entirely (see [`ExecEngine`]).
 //!
 //! ## Calling convention
 //!
@@ -20,7 +22,7 @@
 use crate::error::{ScanError, ScanResult};
 use rvv_asm::SpillProfile;
 use rvv_isa::{Lmul, Sew, XReg};
-use rvv_sim::{Machine, MachineConfig, Program, RunReport, TraceSink, DEFAULT_FUEL};
+use rvv_sim::{CompiledPlan, Machine, MachineConfig, Program, RunReport, TraceSink, DEFAULT_FUEL};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::rc::Rc;
@@ -117,14 +119,32 @@ impl SvVector {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeapMark(u64);
 
+/// Which run loop kernel launches go through.
+///
+/// Both engines are architecturally indistinguishable — same results, same
+/// counters, same trace events — so switching engines is purely a host
+/// performance choice. `Legacy` exists for differential testing and for
+/// honest before/after host-throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Pre-decoded execution plan with SEW-specialized dispatch
+    /// ([`Machine::run_plan`]). The default.
+    #[default]
+    Plan,
+    /// The reference decode-classify-dispatch interpreter
+    /// ([`Machine::run_legacy`]).
+    Legacy,
+}
+
 /// The scan-vector-model execution environment.
 pub struct ScanEnv {
     machine: Machine,
     cfg: EnvConfig,
     heap: u64,
     heap_limit: u64,
-    kernels: HashMap<(String, Sew), Rc<Program>>,
+    kernels: HashMap<(String, Sew, Lmul), Rc<CompiledPlan>>,
     tracer: Option<Box<dyn TraceSink>>,
+    engine: ExecEngine,
 }
 
 impl ScanEnv {
@@ -142,6 +162,7 @@ impl ScanEnv {
             heap_limit,
             kernels: HashMap::new(),
             tracer: None,
+            engine: ExecEngine::default(),
         }
     }
 
@@ -153,6 +174,18 @@ impl ScanEnv {
     /// The configuration.
     pub fn config(&self) -> EnvConfig {
         self.cfg
+    }
+
+    /// The run loop kernel launches use (see [`ExecEngine`]).
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Select the run loop for subsequent launches. Cached kernels stay
+    /// valid — a plan carries its source program, so either engine can run
+    /// it.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
     }
 
     /// Borrow the machine (counters, memory inspection).
@@ -375,37 +408,56 @@ impl ScanEnv {
 
     // ------------------------------------------------------------- kernels --
 
-    /// Fetch or build a kernel. `name` must uniquely identify the generated
-    /// code together with `sew` (the environment's VLEN/LMUL/profile are
-    /// fixed).
+    /// Fetch or build a kernel, pre-compiled to a [`CompiledPlan`]. `name`
+    /// must uniquely identify the generated code together with `sew` and
+    /// the environment's LMUL (the VLEN/profile are fixed). The LMUL is
+    /// part of the cache key so kernels built under one register-group
+    /// width are never served to an environment reconfigured for another.
     pub fn kernel(
         &mut self,
         name: &str,
         sew: Sew,
         build: impl FnOnce(&EnvConfig, Sew) -> ScanResult<Program>,
-    ) -> ScanResult<Rc<Program>> {
-        if let Some(p) = self.kernels.get(&(name.to_string(), sew)) {
+    ) -> ScanResult<Rc<CompiledPlan>> {
+        let key = (name.to_string(), sew, self.cfg.lmul);
+        if let Some(p) = self.kernels.get(&key) {
             return Ok(Rc::clone(p));
         }
-        let p = Rc::new(build(&self.cfg, sew)?);
-        self.kernels.insert((name.to_string(), sew), Rc::clone(&p));
+        let p = Rc::new(CompiledPlan::compile(build(&self.cfg, sew)?));
+        self.kernels.insert(key, Rc::clone(&p));
         Ok(p)
     }
 
-    /// Launch a kernel with arguments in `a0..`, returning the run report
-    /// and the kernel's `a0` result.
-    pub fn run(&mut self, program: &Program, args: &[u64]) -> ScanResult<(RunReport, u64)> {
+    /// Launch a compiled kernel with arguments in `a0..`, returning the run
+    /// report and the kernel's `a0` result. Dispatches through the selected
+    /// [`ExecEngine`].
+    pub fn run(&mut self, plan: &CompiledPlan, args: &[u64]) -> ScanResult<(RunReport, u64)> {
         assert!(args.len() <= 8, "at most 8 kernel arguments");
         for (i, &a) in args.iter().enumerate() {
             self.machine.set_xreg(XReg::arg(i as u8), a);
         }
         self.machine
             .set_xreg(XReg::SP, self.cfg.mem_bytes as u64 - 64);
-        let report = match self.tracer.as_deref_mut() {
-            Some(sink) => self.machine.run_traced(program, DEFAULT_FUEL, sink)?,
-            None => self.machine.run_default(program)?,
+        let report = match (self.engine, self.tracer.as_deref_mut()) {
+            (ExecEngine::Plan, Some(sink)) => {
+                self.machine.run_plan_traced(plan, DEFAULT_FUEL, sink)?
+            }
+            (ExecEngine::Plan, None) => self.machine.run_plan(plan, DEFAULT_FUEL)?,
+            (ExecEngine::Legacy, Some(sink)) => {
+                self.machine
+                    .run_legacy_traced(plan.program(), DEFAULT_FUEL, sink)?
+            }
+            (ExecEngine::Legacy, None) => self.machine.run_legacy(plan.program(), DEFAULT_FUEL)?,
         };
         Ok((report, self.machine.xreg(XReg::arg(0))))
+    }
+
+    /// [`ScanEnv::run`] for an ad-hoc [`Program`]: compiles a throwaway
+    /// plan and launches it. Tests and one-shot glue use this; hot paths
+    /// should go through the [`ScanEnv::kernel`] cache.
+    pub fn run_program(&mut self, program: &Program, args: &[u64]) -> ScanResult<(RunReport, u64)> {
+        let plan = CompiledPlan::compile(program.clone());
+        self.run(&plan, args)
     }
 }
 
@@ -520,8 +572,28 @@ mod tests {
                 rvv_isa::Instr::Ecall,
             ],
         );
-        let (report, a0) = env.run(&p, &[40, 2]).unwrap();
+        let (report, a0) = env.run_program(&p, &[40, 2]).unwrap();
         assert_eq!(a0, 42);
         assert_eq!(report.retired, 2);
+    }
+
+    #[test]
+    fn engines_agree_and_share_the_kernel_cache() {
+        use crate::primitives::p_add;
+        let mut plan_env = ScanEnv::paper_default();
+        let mut legacy_env = ScanEnv::paper_default();
+        legacy_env.set_engine(ExecEngine::Legacy);
+        assert_eq!(plan_env.engine(), ExecEngine::Plan);
+        assert_eq!(legacy_env.engine(), ExecEngine::Legacy);
+        let data: Vec<u32> = (0..137).map(|i| i * 3 + 1).collect();
+        let a = plan_env.from_u32(&data).unwrap();
+        let b = legacy_env.from_u32(&data).unwrap();
+        p_add(&mut plan_env, &a, 9).unwrap();
+        p_add(&mut legacy_env, &b, 9).unwrap();
+        assert_eq!(plan_env.to_u32(&a), legacy_env.to_u32(&b));
+        assert_eq!(plan_env.retired(), legacy_env.retired());
+        // Switching engines reuses the cached plan (its source rides along).
+        legacy_env.set_engine(ExecEngine::Plan);
+        p_add(&mut legacy_env, &b, 1).unwrap();
     }
 }

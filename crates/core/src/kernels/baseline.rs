@@ -249,7 +249,7 @@ mod tests {
         let mut e = ScanEnv::paper_default();
         let v = e.from_u32(&data).unwrap();
         let p = build_scan_baseline(&e.config(), Sew::E32, ScanOp::Plus).unwrap();
-        let (report, _) = e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+        let (report, _) = e.run_program(&p, &[data.len() as u64, v.addr()]).unwrap();
         assert_eq!(
             e.to_u32(&v),
             native::u32v::scan_inclusive(ScanOp::Plus, &data)
@@ -265,7 +265,7 @@ mod tests {
         let mut e = ScanEnv::paper_default();
         let v = e.from_u32(&data).unwrap();
         let p = build_elem_baseline(&e.config(), Sew::E32, ScanOp::Plus).unwrap();
-        let (report, _) = e.run(&p, &[1000, v.addr(), 5]).unwrap();
+        let (report, _) = e.run_program(&p, &[1000, v.addr(), 5]).unwrap();
         assert_eq!(report.retired, 6 * 1000 + 2);
         assert_eq!(e.to_u32(&v), vec![6u32; 1000]);
     }
@@ -279,7 +279,7 @@ mod tests {
         let v = e.from_u32(&data).unwrap();
         let f = e.from_u32(&flags).unwrap();
         let p = build_seg_scan_baseline(&e.config(), Sew::E32, ScanOp::Plus).unwrap();
-        let (report, _) = e.run(&p, &[n as u64, v.addr(), f.addr()]).unwrap();
+        let (report, _) = e.run_program(&p, &[n as u64, v.addr(), f.addr()]).unwrap();
         assert_eq!(
             e.to_u32(&v),
             native::u32v::seg_scan_inclusive(ScanOp::Plus, &data, &flags)
@@ -295,7 +295,7 @@ mod tests {
         let mut e = ScanEnv::paper_default();
         let v = e.from_u32(&data).unwrap();
         let p = build_scan_baseline(&e.config(), Sew::E32, ScanOp::Max).unwrap();
-        e.run(&p, &[5, v.addr()]).unwrap();
+        e.run_program(&p, &[5, v.addr()]).unwrap();
         assert_eq!(e.to_u32(&v), vec![3, 9, 9, 12, 12]);
         assert!(e.machine().counters.class(InstrClass::ScalarCtrl) > 6);
     }
@@ -307,7 +307,7 @@ mod tests {
         let f = e.from_u32(&flags).unwrap();
         let d = e.alloc(Sew::E32, 5).unwrap();
         let p = build_enumerate_baseline(&e.config(), Sew::E32).unwrap();
-        let (_, count) = e.run(&p, &[5, f.addr(), d.addr(), 1]).unwrap();
+        let (_, count) = e.run_program(&p, &[5, f.addr(), d.addr(), 1]).unwrap();
         assert_eq!(count, 3);
         assert_eq!(e.to_u32(&d), vec![0, 1, 1, 2, 3]);
 
@@ -315,13 +315,14 @@ mod tests {
         let bb = e.from_u32(&[20, 21, 22, 23, 24]).unwrap();
         let out = e.alloc(Sew::E32, 5).unwrap();
         let p = build_select_baseline(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[5, f.addr(), a.addr(), bb.addr(), out.addr()])
+        e.run_program(&p, &[5, f.addr(), a.addr(), bb.addr(), out.addr()])
             .unwrap();
         assert_eq!(e.to_u32(&out), vec![10, 21, 12, 13, 24]);
 
         let idx = e.from_u32(&[4, 3, 2, 1, 0]).unwrap();
         let p = build_permute_baseline(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[5, a.addr(), out.addr(), idx.addr()]).unwrap();
+        e.run_program(&p, &[5, a.addr(), out.addr(), idx.addr()])
+            .unwrap();
         assert_eq!(e.to_u32(&out), vec![14, 13, 12, 11, 10]);
     }
 }

@@ -309,10 +309,10 @@ mod tests {
         let src = e.from_u32(&data).unwrap();
         let dst = e.alloc(Sew::E32, 37).unwrap();
         let p = build_copy(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[37, src.addr(), dst.addr()]).unwrap();
+        e.run_program(&p, &[37, src.addr(), dst.addr()]).unwrap();
         assert_eq!(e.to_u32(&dst), data);
         let p = build_reverse(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[37, src.addr(), dst.addr()]).unwrap();
+        e.run_program(&p, &[37, src.addr(), dst.addr()]).unwrap();
         let mut rev = data.clone();
         rev.reverse();
         assert_eq!(e.to_u32(&dst), rev);
@@ -326,8 +326,10 @@ mod tests {
         let b = e.alloc(Sew::E32, data.len()).unwrap();
         let c = e.alloc(Sew::E32, data.len()).unwrap();
         let p = build_reverse(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[data.len() as u64, a.addr(), b.addr()]).unwrap();
-        e.run(&p, &[data.len() as u64, b.addr(), c.addr()]).unwrap();
+        e.run_program(&p, &[data.len() as u64, a.addr(), b.addr()])
+            .unwrap();
+        e.run_program(&p, &[data.len() as u64, b.addr(), c.addr()])
+            .unwrap();
         assert_eq!(e.to_u32(&c), data);
     }
 
@@ -340,7 +342,7 @@ mod tests {
         let i = e.from_u32(&idx).unwrap();
         let d = e.alloc(Sew::E32, idx.len()).unwrap();
         let p = build_gather(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[idx.len() as u64, t.addr(), d.addr(), i.addr()])
+        e.run_program(&p, &[idx.len() as u64, t.addr(), d.addr(), i.addr()])
             .unwrap();
         assert_eq!(e.to_u32(&d), vec![50, 10, 30, 30, 20, 40]);
     }
@@ -350,7 +352,7 @@ mod tests {
         let mut e = env();
         let d = e.alloc(Sew::E32, 19).unwrap();
         let p = build_iota(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[19, d.addr()]).unwrap();
+        e.run_program(&p, &[19, d.addr()]).unwrap();
         assert_eq!(e.to_u32(&d), (0..19).collect::<Vec<u32>>());
     }
 
@@ -362,8 +364,9 @@ mod tests {
         let even = e.alloc(Sew::E32, 11).unwrap();
         let odd = e.alloc(Sew::E32, 10).unwrap();
         let p = build_deinterleave(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[11, src.addr(), even.addr()]).unwrap();
-        e.run(&p, &[10, src.addr() + 4, odd.addr()]).unwrap();
+        e.run_program(&p, &[11, src.addr(), even.addr()]).unwrap();
+        e.run_program(&p, &[10, src.addr() + 4, odd.addr()])
+            .unwrap();
         assert_eq!(e.to_u32(&even), (0..21).step_by(2).collect::<Vec<u32>>());
         assert_eq!(e.to_u32(&odd), (1..21).step_by(2).collect::<Vec<u32>>());
     }
@@ -377,8 +380,8 @@ mod tests {
         let vb = e.from_u32(&b).unwrap();
         let dst = e.alloc(Sew::E32, 18).unwrap();
         let p = build_interleave_lane(&e.config(), Sew::E32).unwrap();
-        e.run(&p, &[9, va.addr(), dst.addr()]).unwrap();
-        e.run(&p, &[9, vb.addr(), dst.addr() + 4]).unwrap();
+        e.run_program(&p, &[9, va.addr(), dst.addr()]).unwrap();
+        e.run_program(&p, &[9, vb.addr(), dst.addr() + 4]).unwrap();
         let want: Vec<u32> = (0..18).map(|i| (i / 2) * 10 + i % 2).collect();
         assert_eq!(e.to_u32(&dst), want);
     }
@@ -392,13 +395,15 @@ mod tests {
         let vb = e.from_u32(&b).unwrap();
         let dst = e.alloc(Sew::E32, 100).unwrap();
         let il = build_interleave_lane(&e.config(), Sew::E32).unwrap();
-        e.run(&il, &[50, va.addr(), dst.addr()]).unwrap();
-        e.run(&il, &[50, vb.addr(), dst.addr() + 4]).unwrap();
+        e.run_program(&il, &[50, va.addr(), dst.addr()]).unwrap();
+        e.run_program(&il, &[50, vb.addr(), dst.addr() + 4])
+            .unwrap();
         let ea = e.alloc(Sew::E32, 50).unwrap();
         let eb = e.alloc(Sew::E32, 50).unwrap();
         let de = build_deinterleave(&e.config(), Sew::E32).unwrap();
-        e.run(&de, &[50, dst.addr(), ea.addr()]).unwrap();
-        e.run(&de, &[50, dst.addr() + 4, eb.addr()]).unwrap();
+        e.run_program(&de, &[50, dst.addr(), ea.addr()]).unwrap();
+        e.run_program(&de, &[50, dst.addr() + 4, eb.addr()])
+            .unwrap();
         assert_eq!(e.to_u32(&ea), a);
         assert_eq!(e.to_u32(&eb), b);
     }
@@ -419,7 +424,7 @@ mod tests {
             (VCmp::Leu, vec![1, 0, 1, 0, 0]),
         ] {
             let p = build_cmp_flags(&e.config(), Sew::E32, cond).unwrap();
-            e.run(&p, &[a.len() as u64, va.addr(), vb.addr(), d.addr()])
+            e.run_program(&p, &[a.len() as u64, va.addr(), vb.addr(), d.addr()])
                 .unwrap();
             assert_eq!(e.to_u32(&d), want, "{cond:?}");
         }

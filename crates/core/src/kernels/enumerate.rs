@@ -163,7 +163,7 @@ mod tests {
                 let d = e.alloc(Sew::E32, flags.len()).unwrap();
                 let p = build(&e.config(), Sew::E32).unwrap();
                 let (_, count) = e
-                    .run(&p, &[flags.len() as u64, f.addr(), d.addr(), set_bit])
+                    .run_program(&p, &[flags.len() as u64, f.addr(), d.addr(), set_bit])
                     .unwrap();
                 let (want, want_count) = native::enumerate(&flags, set_bit == 1);
                 let got: Vec<u64> = e.to_u32(&d).iter().map(|&x| x as u64).collect();
@@ -185,7 +185,7 @@ mod tests {
             let d = e.alloc(Sew::E32, flags.len()).unwrap();
             let p = build(&e.config(), Sew::E32).unwrap();
             let (report, _) = e
-                .run(&p, &[flags.len() as u64, f.addr(), d.addr(), 1])
+                .run_program(&p, &[flags.len() as u64, f.addr(), d.addr(), 1])
                 .unwrap();
             cost.push(report.retired);
         }

@@ -74,7 +74,7 @@ mod tests {
             });
             let v = e.from_u32(&data).unwrap();
             let p = build_reduce(&e.config(), Sew::E32, op).unwrap();
-            let (_, got) = e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+            let (_, got) = e.run_program(&p, &[data.len() as u64, v.addr()]).unwrap();
             // vmv.x.s sign-extends; compare at SEW.
             assert_eq!(
                 Sew::E32.truncate(got),
@@ -90,7 +90,7 @@ mod tests {
             let mut e = ScanEnv::paper_default();
             let v = e.from_u32(&[]).unwrap();
             let p = build_reduce(&e.config(), Sew::E32, op).unwrap();
-            let (_, got) = e.run(&p, &[0, v.addr()]).unwrap();
+            let (_, got) = e.run_program(&p, &[0, v.addr()]).unwrap();
             assert_eq!(Sew::E32.truncate(got), op.identity(Sew::E32), "op={op}");
         }
     }

@@ -162,7 +162,7 @@ mod tests {
                 let v = e.from_u32(&data).unwrap();
                 let p =
                     build_scan(&e.config(), Sew::E32, ScanOp::Plus, ScanKind::Inclusive).unwrap();
-                e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+                e.run_program(&p, &[data.len() as u64, v.addr()]).unwrap();
                 let want = native::u32v::scan_inclusive(ScanOp::Plus, &data);
                 assert_eq!(e.to_u32(&v), want, "vlen={vlen} lmul={lmul:?}");
             }
@@ -175,7 +175,7 @@ mod tests {
         let mut e = env(256, Lmul::M1);
         let v = e.from_u32(&data).unwrap();
         let p = build_scan(&e.config(), Sew::E32, ScanOp::Plus, ScanKind::Exclusive).unwrap();
-        e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+        e.run_program(&p, &[data.len() as u64, v.addr()]).unwrap();
         assert_eq!(
             e.to_u32(&v),
             native::u32v::scan_exclusive(ScanOp::Plus, &data)
@@ -190,7 +190,7 @@ mod tests {
                 let mut e = env(256, Lmul::M2);
                 let v = e.from_u32(&data).unwrap();
                 let p = build_scan(&e.config(), Sew::E32, op, kind).unwrap();
-                e.run(&p, &[data.len() as u64, v.addr()]).unwrap();
+                e.run_program(&p, &[data.len() as u64, v.addr()]).unwrap();
                 let want = match kind {
                     ScanKind::Inclusive => native::u32v::scan_inclusive(op, &data),
                     ScanKind::Exclusive => native::u32v::scan_exclusive(op, &data),
@@ -205,9 +205,9 @@ mod tests {
         let mut e = env(128, Lmul::M1);
         let v = e.from_u32(&[]).unwrap();
         let p = build_scan(&e.config(), Sew::E32, ScanOp::Plus, ScanKind::Inclusive).unwrap();
-        e.run(&p, &[0, v.addr()]).unwrap();
+        e.run_program(&p, &[0, v.addr()]).unwrap();
         let v1 = e.from_u32(&[42]).unwrap();
-        e.run(&p, &[1, v1.addr()]).unwrap();
+        e.run_program(&p, &[1, v1.addr()]).unwrap();
         assert_eq!(e.to_u32(&v1), vec![42]);
     }
 
@@ -217,7 +217,7 @@ mod tests {
         let data64: Vec<u64> = vec![u64::MAX - 5, 3, 9, 1, 2, 8];
         let v = e.from_u64(&data64).unwrap();
         let p = build_scan(&e.config(), Sew::E64, ScanOp::Plus, ScanKind::Inclusive).unwrap();
-        e.run(&p, &[data64.len() as u64, v.addr()]).unwrap();
+        e.run_program(&p, &[data64.len() as u64, v.addr()]).unwrap();
         assert_eq!(
             e.to_elems(&v),
             native::scan_inclusive(ScanOp::Plus, Sew::E64, &data64)
@@ -226,7 +226,8 @@ mod tests {
         let data8: Vec<u64> = (0..50).map(|i| i * 7 % 256).collect();
         let v8 = e.from_elems(Sew::E8, &data8).unwrap();
         let p8 = build_scan(&e.config(), Sew::E8, ScanOp::Plus, ScanKind::Inclusive).unwrap();
-        e.run(&p8, &[data8.len() as u64, v8.addr()]).unwrap();
+        e.run_program(&p8, &[data8.len() as u64, v8.addr()])
+            .unwrap();
         assert_eq!(
             e.to_elems(&v8),
             native::scan_inclusive(ScanOp::Plus, Sew::E8, &data8)

@@ -173,7 +173,8 @@ mod tests {
         let v = e.from_u32(data).unwrap();
         let f = e.from_u32(flags).unwrap();
         let p = build_seg_scan(&e.config(), Sew::E32, op).unwrap();
-        e.run(&p, &[data.len() as u64, v.addr(), f.addr()]).unwrap();
+        e.run_program(&p, &[data.len() as u64, v.addr(), f.addr()])
+            .unwrap();
         e.to_u32(&v)
     }
 

@@ -110,7 +110,7 @@ mod tests {
             let mut e = env();
             let v = e.from_u32(&data).unwrap();
             let p = build_elem_vx_vls(&e.config(), Sew::E32, VAluOp::Add).unwrap();
-            e.run(&p, &[n as u64, v.addr(), 7]).unwrap();
+            e.run_program(&p, &[n as u64, v.addr(), 7]).unwrap();
             let want: Vec<u32> = data.iter().map(|&x| x + 7).collect();
             assert_eq!(e.to_u32(&v), want, "n={n}");
         }
@@ -126,7 +126,7 @@ mod tests {
         let v = e.from_u32(&data).unwrap();
         let vla = primitives::p_add(&mut e, &v, 1).unwrap();
         let p = build_elem_vx_vls(&e.config(), Sew::E32, VAluOp::Add).unwrap();
-        let (r, _) = e.run(&p, &[n as u64, v.addr(), 1]).unwrap();
+        let (r, _) = e.run_program(&p, &[n as u64, v.addr(), 1]).unwrap();
         assert!(r.retired > vla, "VLS {} must exceed VLA {}", r.retired, vla);
     }
 
@@ -139,7 +139,7 @@ mod tests {
         let v = e.from_u32(&data).unwrap();
         let vla = primitives::p_add(&mut e, &v, 1).unwrap();
         let p = build_elem_vx_vls(&e.config(), Sew::E32, VAluOp::Add).unwrap();
-        let (r, _) = e.run(&p, &[n as u64, v.addr(), 1]).unwrap();
+        let (r, _) = e.run_program(&p, &[n as u64, v.addr(), 1]).unwrap();
         assert!(r.retired <= vla);
     }
 }

@@ -56,7 +56,7 @@ pub mod primitives;
 pub mod segment;
 pub mod typed;
 
-pub use env::{EnvConfig, ScanEnv, SvVector};
+pub use env::{EnvConfig, ExecEngine, ScanEnv, SvVector};
 pub use error::{ScanError, ScanResult};
 pub use ops::ScanOp;
 pub use primitives::ScanKind;

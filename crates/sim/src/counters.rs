@@ -27,8 +27,18 @@ impl Counters {
     /// Record one retired instruction.
     #[inline]
     pub fn retire(&mut self, instr: &Instr) {
+        self.retire_class(InstrClass::of(instr));
+    }
+
+    /// Record one retired instruction whose class is already known — the
+    /// pre-decoded execution plan computes every instruction's class once at
+    /// compile time, so the per-retire `InstrClass::of` match disappears
+    /// from the hot loop. Must be fed the same class `InstrClass::of` would
+    /// return, or the histogram diverges from the legacy path.
+    #[inline]
+    pub fn retire_class(&mut self, class: InstrClass) {
         self.total += 1;
-        self.by_class[InstrClass::of(instr).index()] += 1;
+        self.by_class[class.index()] += 1;
     }
 
     /// Total dynamic instruction count.

@@ -25,6 +25,8 @@ mod vmask;
 mod vmem;
 mod vperm;
 
+pub(crate) use scalar::{alu_fn, branch_fn};
+
 use crate::error::SimResult;
 use crate::machine::Machine;
 use rvv_isa::Instr;
@@ -45,6 +47,15 @@ impl Machine {
     /// counted as retired and the control-flow outcome is returned; on error
     /// nothing is counted (the trap aborts the run).
     pub fn exec(&mut self, pc: u64, instr: &Instr) -> SimResult<Control> {
+        let ctl = self.exec_inner(pc, instr)?;
+        self.counters.retire(instr);
+        Ok(ctl)
+    }
+
+    /// [`Machine::exec`] without the retire accounting. The execution-plan
+    /// engine routes unspecialized instructions here and counts them by the
+    /// plan's precomputed class; `exec` is this plus `Counters::retire`.
+    pub(crate) fn exec_inner(&mut self, pc: u64, instr: &Instr) -> SimResult<Control> {
         use Instr::*;
         let ctl = match *instr {
             // Scalar.
@@ -124,7 +135,6 @@ impl Machine {
                 Control::Next
             }
         };
-        self.counters.retire(instr);
         Ok(ctl)
     }
 }

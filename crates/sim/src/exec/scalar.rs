@@ -66,6 +66,43 @@ fn branch_taken(cond: BranchCond, a: u64, b: u64) -> bool {
     }
 }
 
+/// Pre-resolve one ALU operation to a plain function pointer (the inner
+/// match on the constant op folds away). Used by the execution plan so the
+/// per-instruction `AluOp` dispatch happens once at compile time.
+pub(crate) fn alu_fn(op: AluOp) -> fn(u64, u64) -> u64 {
+    match op {
+        AluOp::Add => |a, b| alu(AluOp::Add, a, b),
+        AluOp::Sub => |a, b| alu(AluOp::Sub, a, b),
+        AluOp::Sll => |a, b| alu(AluOp::Sll, a, b),
+        AluOp::Slt => |a, b| alu(AluOp::Slt, a, b),
+        AluOp::Sltu => |a, b| alu(AluOp::Sltu, a, b),
+        AluOp::Xor => |a, b| alu(AluOp::Xor, a, b),
+        AluOp::Srl => |a, b| alu(AluOp::Srl, a, b),
+        AluOp::Sra => |a, b| alu(AluOp::Sra, a, b),
+        AluOp::Or => |a, b| alu(AluOp::Or, a, b),
+        AluOp::And => |a, b| alu(AluOp::And, a, b),
+        AluOp::Mul => |a, b| alu(AluOp::Mul, a, b),
+        AluOp::Mulh => |a, b| alu(AluOp::Mulh, a, b),
+        AluOp::Mulhu => |a, b| alu(AluOp::Mulhu, a, b),
+        AluOp::Div => |a, b| alu(AluOp::Div, a, b),
+        AluOp::Divu => |a, b| alu(AluOp::Divu, a, b),
+        AluOp::Rem => |a, b| alu(AluOp::Rem, a, b),
+        AluOp::Remu => |a, b| alu(AluOp::Remu, a, b),
+    }
+}
+
+/// Pre-resolve one branch condition to a predicate function pointer.
+pub(crate) fn branch_fn(cond: BranchCond) -> fn(u64, u64) -> bool {
+    match cond {
+        BranchCond::Eq => |a, b| branch_taken(BranchCond::Eq, a, b),
+        BranchCond::Ne => |a, b| branch_taken(BranchCond::Ne, a, b),
+        BranchCond::Lt => |a, b| branch_taken(BranchCond::Lt, a, b),
+        BranchCond::Ge => |a, b| branch_taken(BranchCond::Ge, a, b),
+        BranchCond::Ltu => |a, b| branch_taken(BranchCond::Ltu, a, b),
+        BranchCond::Geu => |a, b| branch_taken(BranchCond::Geu, a, b),
+    }
+}
+
 impl Machine {
     pub(super) fn exec_scalar(&mut self, pc: u64, instr: &Instr) -> SimResult<Control> {
         use Instr::*;

@@ -17,7 +17,7 @@ use rvv_isa::{Instr, Sew, VReg};
 impl Machine {
     /// Effective group size in registers for an access of width `eew` under
     /// the current `vtype`, clamped below at 1 register.
-    fn emul_regs(&self, eew: Sew) -> SimResult<u32> {
+    pub(crate) fn emul_regs(&self, eew: Sew) -> SimResult<u32> {
         let (t, _) = self.vcfg()?;
         let (lnum, lden) = t.lmul.fraction();
         let num = eew.bits() * lnum;
@@ -30,7 +30,7 @@ impl Machine {
         Ok((num / den).max(1))
     }
 
-    fn check_emul_group(&self, reg: VReg, regs: u32) -> SimResult<()> {
+    pub(crate) fn check_emul_group(&self, reg: VReg, regs: u32) -> SimResult<()> {
         if (reg.num() as u32).is_multiple_of(regs) {
             Ok(())
         } else {

@@ -41,11 +41,11 @@ impl Machine {
         let vlmax = t.vlmax(self.vlen()) as u64;
         let src: Vec<u64> = (0..vl)
             .map(|i| {
-                let j = i as u64 + offset;
-                if j < vlmax {
-                    self.velem(vs2, j as u32, t.sew)
-                } else {
-                    0
+                // checked_add: an offset near u64::MAX is architecturally
+                // past VLMAX (reads as 0), not a wrap back into range.
+                match (i as u64).checked_add(offset) {
+                    Some(j) if j < vlmax => self.velem(vs2, j as u32, t.sew),
+                    _ => 0,
                 }
             })
             .collect();

@@ -57,6 +57,7 @@ mod error;
 mod exec;
 mod machine;
 mod memory;
+mod plan;
 mod program;
 mod trace;
 
@@ -65,5 +66,6 @@ pub use error::{SimError, SimResult};
 pub use exec::Control;
 pub use machine::{Machine, MachineConfig};
 pub use memory::Memory;
+pub use plan::CompiledPlan;
 pub use program::{Program, RunReport, DEFAULT_FUEL};
 pub use trace::{MemAccess, RetireEvent, TraceSink};

@@ -64,6 +64,10 @@ pub struct Machine {
     pub mem: Memory,
     /// Dynamic instruction counters (public: benches snapshot and diff).
     pub counters: Counters,
+    /// Reusable staging buffer for compare-to-mask kernels (two packed
+    /// bitsets). Not architectural state — only here so the hot path never
+    /// allocates.
+    pub(crate) cmp_scratch: Vec<u64>,
 }
 
 impl Machine {
@@ -85,6 +89,7 @@ impl Machine {
             vl: 0,
             mem: Memory::new(cfg.mem_bytes),
             counters: Counters::new(),
+            cmp_scratch: Vec::new(),
         }
     }
 
@@ -238,6 +243,61 @@ impl Machine {
         );
         let off = (reg.num() as u32 * self.vlenb) as usize;
         self.vregs[off..off + self.vlenb as usize].copy_from_slice(data);
+    }
+
+    /// The whole vector register file as one contiguous byte slice
+    /// (`32 × VLENB`, register `r` at offset `r·VLENB`). The plan engine's
+    /// SEW-monomorphized kernels index it with fixed-size
+    /// `from_le_bytes`/`to_le_bytes` instead of per-byte loops.
+    #[inline]
+    pub(crate) fn vreg_store(&self) -> &[u8] {
+        &self.vregs
+    }
+
+    /// Mutable view of the whole vector register file.
+    #[inline]
+    pub(crate) fn vreg_store_mut(&mut self) -> &mut [u8] {
+        &mut self.vregs
+    }
+
+    /// Whole-register load (`vl<nregs>r.v`) without the per-register
+    /// `to_vec` copy of the legacy interpreter: memory and the register file
+    /// are disjoint fields, so bytes move in one `copy_from_slice` per
+    /// register. Trap behaviour matches `exec` exactly.
+    pub(crate) fn vload_whole_fast(&mut self, nregs: u8, vd: VReg, rs1: XReg) -> SimResult<()> {
+        if !(vd.num() as u32).is_multiple_of(nregs as u32) {
+            return Err(SimError::UnsupportedEmul {
+                what: "whole-register vd not aligned to register count",
+            });
+        }
+        let base = self.xreg(rs1);
+        let vlenb = self.vlenb as u64;
+        for r in 0..nregs {
+            let bytes = self.mem.read_bytes(base + r as u64 * vlenb, vlenb)?;
+            let off = ((vd.num() + r) as u32 * self.vlenb) as usize;
+            self.vregs[off..off + vlenb as usize].copy_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    /// Whole-register store (`vs<nregs>r.v`), allocation-free counterpart of
+    /// [`Machine::vload_whole_fast`].
+    pub(crate) fn vstore_whole_fast(&mut self, nregs: u8, vs3: VReg, rs1: XReg) -> SimResult<()> {
+        if !(vs3.num() as u32).is_multiple_of(nregs as u32) {
+            return Err(SimError::UnsupportedEmul {
+                what: "whole-register vs3 not aligned to register count",
+            });
+        }
+        let base = self.xreg(rs1);
+        let vlenb = self.vlenb as u64;
+        for r in 0..nregs {
+            let off = ((vs3.num() + r) as u32 * self.vlenb) as usize;
+            self.mem.write_bytes(
+                base + r as u64 * vlenb,
+                &self.vregs[off..off + vlenb as usize],
+            )?;
+        }
+        Ok(())
     }
 
     /// Reset architectural state (registers, vtype, counters) but keep

@@ -134,7 +134,55 @@ pub struct RunReport {
 impl Machine {
     /// Run `program` from its first instruction until `ecall`, a trap, or
     /// `fuel` retired instructions.
+    ///
+    /// This compiles the program to a [`crate::CompiledPlan`] and drives it
+    /// ([`Machine::run_plan`]). Callers that run the same program repeatedly
+    /// should compile once and call `run_plan` directly to amortise the
+    /// decode cost.
     pub fn run(&mut self, program: &Program, fuel: u64) -> SimResult<RunReport> {
+        let plan = crate::plan::CompiledPlan::compile(program.clone());
+        self.run_plan(&plan, fuel)
+    }
+
+    /// [`Machine::run`] with [`DEFAULT_FUEL`].
+    pub fn run_default(&mut self, program: &Program) -> SimResult<RunReport> {
+        self.run(program, DEFAULT_FUEL)
+    }
+
+    /// Like [`Machine::run`], but reports every retired instruction to
+    /// `sink` (see [`TraceSink`]). Compiles a plan and delegates to
+    /// [`Machine::run_plan_traced`]; event assembly and delivery ordering
+    /// match [`Machine::run_legacy_traced`] exactly.
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        fuel: u64,
+        sink: &mut dyn TraceSink,
+    ) -> SimResult<RunReport> {
+        let plan = crate::plan::CompiledPlan::compile(program.clone());
+        self.run_plan_traced(&plan, fuel, sink)
+    }
+
+    /// Like [`Machine::run`], but calls `hook(pc, instr)` before executing
+    /// each instruction — an execution trace for debugging kernels and for
+    /// tools that want per-instruction visibility (capture what you need
+    /// from pc/instr and the counters).
+    pub fn run_hooked(
+        &mut self,
+        program: &Program,
+        fuel: u64,
+        hook: impl FnMut(u64, &Instr),
+    ) -> SimResult<RunReport> {
+        let plan = crate::plan::CompiledPlan::compile(program.clone());
+        self.run_plan_hooked(&plan, fuel, hook)
+    }
+
+    /// The reference interpreter: decode-classify-dispatch every step, no
+    /// pre-compiled plan. Kept as the semantic baseline — the differential
+    /// tests assert that [`Machine::run_plan`] is architecturally
+    /// indistinguishable from this loop, and the host-throughput harness
+    /// measures both in one process.
+    pub fn run_legacy(&mut self, program: &Program, fuel: u64) -> SimResult<RunReport> {
         let before = self.counters.total();
         let len = program.instrs.len() as u64;
         let mut pc: u64 = 0;
@@ -159,21 +207,12 @@ impl Machine {
         }
     }
 
-    /// [`Machine::run`] with [`DEFAULT_FUEL`].
-    pub fn run_default(&mut self, program: &Program) -> SimResult<RunReport> {
-        self.run(program, DEFAULT_FUEL)
-    }
-
-    /// Like [`Machine::run`], but reports every retired instruction to
-    /// `sink` (see [`TraceSink`]). The event is assembled *before* the
-    /// instruction executes — so memory footprints see the pre-execution
-    /// base registers — and delivered *after* it retires successfully; a
-    /// trapping instruction is neither counted nor reported.
-    ///
-    /// This is a separate loop rather than an `Option<&mut dyn TraceSink>`
-    /// parameter on [`Machine::run`] so that untraced execution keeps its
-    /// tight loop with no per-instruction branch or virtual call.
-    pub fn run_traced(
+    /// [`Machine::run_legacy`] with per-retire reporting to `sink`. The
+    /// event is assembled *before* the instruction executes — so memory
+    /// footprints see the pre-execution base registers — and delivered
+    /// *after* it retires successfully; a trapping instruction is neither
+    /// counted nor reported.
+    pub fn run_legacy_traced(
         &mut self,
         program: &Program,
         fuel: u64,
@@ -204,42 +243,6 @@ impl Machine {
             let ctl = self.exec(pc, instr)?;
             sink.retire(&event);
             match ctl {
-                Control::Next => pc += 4,
-                Control::Jump(target) => pc = target,
-                Control::Halt => {
-                    return Ok(RunReport {
-                        retired: self.counters.total() - before,
-                        halt_pc: pc,
-                    })
-                }
-            }
-        }
-    }
-
-    /// Like [`Machine::run`], but calls `hook(pc, instr)` before executing
-    /// each instruction — an execution trace for debugging kernels and for
-    /// tools that want per-instruction visibility (the hook sees the
-    /// architectural state through `&Machine` methods between calls is not
-    /// possible; capture what you need from pc/instr and the counters).
-    pub fn run_hooked(
-        &mut self,
-        program: &Program,
-        fuel: u64,
-        mut hook: impl FnMut(u64, &Instr),
-    ) -> SimResult<RunReport> {
-        let before = self.counters.total();
-        let len = program.instrs.len() as u64;
-        let mut pc: u64 = 0;
-        loop {
-            if self.counters.total() - before >= fuel {
-                return Err(SimError::FuelExhausted { fuel });
-            }
-            if !pc.is_multiple_of(4) || pc / 4 >= len {
-                return Err(SimError::BadControlFlow { target: pc });
-            }
-            let instr = &program.instrs[(pc / 4) as usize];
-            hook(pc, instr);
-            match self.exec(pc, instr)? {
                 Control::Next => pc += 4,
                 Control::Jump(target) => pc = target,
                 Control::Halt => {
@@ -470,6 +473,17 @@ mod tests {
         corrupt[4..8].copy_from_slice(&0xffff_ffffu32.to_le_bytes());
         let err = Program::from_machine_code("bad", &corrupt).unwrap_err();
         assert!(err.contains("instruction 1"), "{err}");
+    }
+
+    #[test]
+    fn plan_and_legacy_loops_agree() {
+        let mut planned = m();
+        let mut legacy = m();
+        let r1 = planned.run_default(&countdown()).unwrap();
+        let r2 = legacy.run_legacy(&countdown(), DEFAULT_FUEL).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(planned.xreg(XReg::new(5)), legacy.xreg(XReg::new(5)));
+        assert_eq!(planned.counters, legacy.counters);
     }
 
     #[test]

@@ -56,15 +56,15 @@ fn main() {
     let x = env.from_u32(&xs).unwrap();
     let y = env.from_u32(&ys).unwrap();
 
-    // The kernel caches like any built-in one.
-    let program = env
+    // The kernel caches like any built-in one, pre-compiled to a plan.
+    let plan = env
         .kernel("custom_axpy", Sew::E32, |c, _| {
             Ok(build_axpy(c.vlen, c.lmul))
         })
         .unwrap();
-    println!("disassembly:\n{program}");
+    println!("disassembly:\n{}", plan.program());
     let (report, _) = env
-        .run(&program, &[n as u64, y.addr(), x.addr(), a as u64])
+        .run(&plan, &[n as u64, y.addr(), x.addr(), a as u64])
         .unwrap();
 
     let got = env.to_u32(&y);
@@ -79,6 +79,6 @@ fn main() {
         "({:.3} per element at VLEN={}, {} machine-code bytes)",
         report.retired as f64 / n as f64,
         cfg.vlen,
-        program.assemble().unwrap().len()
+        plan.program().assemble().unwrap().len()
     );
 }
