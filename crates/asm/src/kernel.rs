@@ -41,7 +41,11 @@ use crate::builder::ProgramBuilder;
 use rvv_isa::{Lmul, VReg, XReg};
 
 /// Models the compiler's spill code generation cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` because the profile is part of the shared plan registry's cache
+/// key: kernels generated under different spill strategies are different
+/// programs and must never be served across profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpillProfile {
     /// Allocate a frame slot for *every* declared vector value (not just
     /// the ones that spill) and zero-initialize the frame with a scalar

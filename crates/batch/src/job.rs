@@ -1,0 +1,170 @@
+//! Jobs and reports: the units the runner shards and the records it emits.
+
+use rvv_sim::Counters;
+use rvv_trace::TraceProfiler;
+use scanvec::{EnvConfig, ScanEnv, ScanResult};
+use std::fmt;
+use std::time::Duration;
+
+/// The measurement closure a [`BatchJob`] runs inside its environment.
+pub type JobFn<T> = Box<dyn Fn(&mut ScanEnv) -> ScanResult<T> + Send + Sync>;
+
+/// One sweep point: a named, weighted, self-contained measurement to run
+/// inside a (pooled, reset) [`ScanEnv`] of the given configuration.
+///
+/// The closure must derive everything it does from its arguments and the
+/// environment — the engine may run it on any worker thread, in any order
+/// relative to other jobs, inside a recycled environment. Determinism of
+/// the sweep is exactly determinism of the closures.
+pub struct BatchJob<T> {
+    /// Stable identifier, unique within a batch (e.g. `"table1/bitonic/n=1000"`).
+    pub name: String,
+    /// Environment configuration the job runs under.
+    pub config: EnvConfig,
+    /// Relative cost hint for load balancing (e.g. the point's `n`).
+    /// Only the *ordering* of weights matters; equal weights degrade to
+    /// round-robin by job index. Never affects results, only wall clock.
+    pub weight: u64,
+    /// Attach a [`TraceProfiler`] for this job's run?
+    pub trace: bool,
+    run: JobFn<T>,
+}
+
+impl<T> BatchJob<T> {
+    /// A job with weight 1 and no tracing.
+    pub fn new(
+        name: impl Into<String>,
+        config: EnvConfig,
+        run: impl Fn(&mut ScanEnv) -> ScanResult<T> + Send + Sync + 'static,
+    ) -> BatchJob<T> {
+        BatchJob {
+            name: name.into(),
+            config,
+            weight: 1,
+            trace: false,
+            run: Box::new(run),
+        }
+    }
+
+    /// Set the load-balancing weight (builder style).
+    pub fn weight(mut self, weight: u64) -> BatchJob<T> {
+        self.weight = weight;
+        self
+    }
+
+    /// Request a per-job trace profile (builder style).
+    pub fn traced(mut self, trace: bool) -> BatchJob<T> {
+        self.trace = trace;
+        self
+    }
+
+    pub(crate) fn execute(&self, env: &mut ScanEnv) -> ScanResult<T> {
+        (self.run)(env)
+    }
+}
+
+impl<T> fmt::Debug for BatchJob<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchJob")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .field("weight", &self.weight)
+            .field("trace", &self.trace)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What one [`BatchJob`] produced.
+#[derive(Debug)]
+pub struct JobReport<T> {
+    /// The job's name.
+    pub name: String,
+    /// The configuration it ran under.
+    pub config: EnvConfig,
+    /// The closure's result (errors are reported, not propagated — one
+    /// failing point must not take down a 100-point sweep).
+    pub output: ScanResult<T>,
+    /// Dynamic instructions this job retired, by class.
+    pub counters: Counters,
+    /// Total dynamic instructions this job retired.
+    pub retired: u64,
+    /// The job's trace profile, when it was created with
+    /// [`BatchJob::traced`].
+    pub profile: Option<TraceProfiler>,
+    /// Which worker ran the job. Deterministic given `(jobs, threads)` —
+    /// sharding is computed before execution — but *not* stable across
+    /// thread counts, so it is excluded from [`JobReport::stable_line`].
+    pub worker: usize,
+    /// Host wall-clock time of the closure. Timing only — excluded from
+    /// the stable serialization.
+    pub wall: Duration,
+}
+
+impl<T: fmt::Debug> JobReport<T> {
+    /// The determinism-comparable serialization of this report: name,
+    /// configuration, retired count, per-class counters, and the output's
+    /// `Debug` form. Everything scheduling-dependent (worker id, wall
+    /// clock) is excluded, so serial and parallel runs of the same jobs
+    /// produce byte-identical lines.
+    pub fn stable_line(&self) -> String {
+        let out = match &self.output {
+            Ok(v) => format!("ok {v:?}"),
+            Err(e) => format!("err {e}"),
+        };
+        format!(
+            "{} cfg=vlen{}/{:?}/{:?} retired={} counters={} output={}",
+            self.name,
+            self.config.vlen,
+            self.config.lmul,
+            self.config.spill_profile,
+            self.retired,
+            self.counters.to_json(),
+            out
+        )
+    }
+}
+
+/// Everything a [`crate::BatchRunner::run`] call produced, in job order.
+#[derive(Debug)]
+pub struct BatchResult<T> {
+    /// One report per job, **in job order** regardless of scheduling.
+    pub reports: Vec<JobReport<T>>,
+    /// All job counters merged (commutative fold, scheduling-independent).
+    pub counters: Counters,
+    /// All per-job profiles merged in job order (`None` when no job traced).
+    pub profile: Option<TraceProfiler>,
+    /// Worker threads the batch ran with.
+    pub threads: usize,
+    /// Kernel plans compiled into the shared registry during this batch.
+    pub plan_compiles: u64,
+    /// Wall clock of the whole batch. Timing only — excluded from
+    /// [`BatchResult::stable_digest`].
+    pub wall: Duration,
+}
+
+impl<T: fmt::Debug> BatchResult<T> {
+    /// The determinism-comparable serialization of the whole batch: every
+    /// report's [`JobReport::stable_line`] in job order, then the merged
+    /// counters. Byte-identical across thread counts for deterministic
+    /// jobs — the concurrency tests and the CI serial-vs-parallel gate
+    /// compare exactly this string.
+    pub fn stable_digest(&self) -> String {
+        let mut s = String::new();
+        for r in &self.reports {
+            s.push_str(&r.stable_line());
+            s.push('\n');
+        }
+        s.push_str(&format!("merged={}\n", self.counters.to_json()));
+        s
+    }
+
+    /// Total dynamic instructions retired across all jobs.
+    pub fn retired(&self) -> u64 {
+        self.counters.total()
+    }
+
+    /// Did every job succeed?
+    pub fn all_ok(&self) -> bool {
+        self.reports.iter().all(|r| r.output.is_ok())
+    }
+}

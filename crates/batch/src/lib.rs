@@ -1,0 +1,67 @@
+//! # rvv-batch — the deterministic parallel sweep engine
+//!
+//! Every experiment in this workspace is a *sweep*: the same measurement
+//! repeated over a grid of `(algorithm, n, VLEN, LMUL, spill profile)`
+//! points, each point a fully independent simulation. This crate runs such
+//! sweeps across OS threads with one hard guarantee: **the output is
+//! byte-identical at any thread count**, including `--threads 1`.
+//!
+//! ## How determinism survives parallelism
+//!
+//! * **The unit of work is a whole sweep point.** A [`BatchJob`] owns its
+//!   closure; nothing inside a simulation is ever split across threads, so
+//!   per-point results are trivially the serial results.
+//! * **Sharding is computed up front**, before any worker starts:
+//!   longest-processing-time assignment over the declared job weights, with
+//!   all ties broken by job index. Scheduling jitter cannot move a job
+//!   between workers.
+//! * **Results are emitted in job order**, not completion order: each
+//!   report is placed into its job's slot, and merged [`Counters`] /
+//!   [`TraceProfiler`] aggregates fold in job order too.
+//! * **Workers share one [`PlanCache`]**, so a kernel configuration is
+//!   compiled exactly once per process no matter which worker touches it
+//!   first — and compiled code is immutable ([`rvv_sim::CompiledPlan`] is
+//!   `Send + Sync`), so sharing cannot perturb execution.
+//! * **Wall-clock timing is quarantined.** [`JobReport`] carries timing for
+//!   the speedup tables, but the [`JobReport::stable_line`] /
+//!   [`BatchResult::stable_digest`] serialization — what the determinism
+//!   tests and the CI serial-vs-parallel comparison hash — excludes it.
+//!
+//! Worker environments are pooled per [`EnvConfig`] and recycled with
+//! [`ScanEnv::reset`] between jobs, so a 40-point sweep at 4 configurations
+//! allocates 4 machines, not 40.
+//!
+//! ```
+//! use rvv_batch::{BatchJob, BatchRunner};
+//! use scanvec::EnvConfig;
+//! use scanvec::primitives::plus_scan;
+//!
+//! let jobs: Vec<BatchJob<Vec<u32>>> = [100usize, 1000]
+//!     .iter()
+//!     .map(|&n| {
+//!         BatchJob::new(format!("scan/n={n}"), EnvConfig::paper_default(), move |env| {
+//!             let v = env.from_u32(&vec![1; n])?;
+//!             plus_scan(env, &v)?;
+//!             Ok(env.to_u32(&v))
+//!         })
+//!         .weight(n as u64)
+//!     })
+//!     .collect();
+//! let serial = BatchRunner::new(1).run(jobs);
+//! assert_eq!(serial.reports[0].output.as_ref().unwrap().last(), Some(&100));
+//! // One plan registry, every kernel compiled once across the whole sweep.
+//! assert!(serial.plan_compiles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod runner;
+
+pub use job::{BatchJob, BatchResult, JobReport};
+pub use runner::BatchRunner;
+
+// Re-exported so bins depending on `rvv-batch` can name the shared pieces
+// without importing the crates behind them.
+pub use scanvec::{EnvConfig, PlanCache, ScanEnv};

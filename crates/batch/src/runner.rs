@@ -1,0 +1,237 @@
+//! The runner: up-front sharding, scoped workers, in-order emission.
+
+use crate::job::{BatchJob, BatchResult, JobReport};
+use rvv_trace::TraceProfiler;
+use scanvec::{EnvConfig, PlanCache, ScanEnv};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs batches of [`BatchJob`]s across `threads` scoped worker threads
+/// (serially on the calling thread for `threads == 1`), all workers
+/// compiling into one shared [`PlanCache`].
+///
+/// The runner is reusable: every [`BatchRunner::run`] call shards its own
+/// jobs, but the plan registry persists across calls, so a warm-up batch
+/// pays the compiles and later batches launch cached plans only.
+#[derive(Debug)]
+pub struct BatchRunner {
+    threads: usize,
+    plans: Arc<PlanCache>,
+}
+
+impl BatchRunner {
+    /// A runner with `threads` workers (clamped to at least 1) and a fresh
+    /// plan registry.
+    pub fn new(threads: usize) -> BatchRunner {
+        BatchRunner::with_cache(threads, PlanCache::shared())
+    }
+
+    /// A runner whose workers compile into an existing registry — share one
+    /// across runners (or with serial [`ScanEnv::with_cache`] environments)
+    /// and a configuration is compiled once process-wide.
+    pub fn with_cache(threads: usize, plans: Arc<PlanCache>) -> BatchRunner {
+        BatchRunner {
+            threads: threads.max(1),
+            plans,
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared plan registry.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
+    }
+
+    /// Run every job and emit reports **in job order**, with merged
+    /// counters and (if any job traced) a merged profile. See the crate
+    /// docs for the determinism contract; the short version is that
+    /// nothing in the output depends on scheduling, only `wall` and
+    /// `worker` fields (both excluded from the stable serialization)
+    /// reflect the actual execution.
+    pub fn run<T: Send + std::fmt::Debug>(&self, jobs: Vec<BatchJob<T>>) -> BatchResult<T> {
+        let started = Instant::now();
+        let compiles_before = self.plans.compiles();
+        let reports: Vec<JobReport<T>> = if self.threads == 1 {
+            // Serial reference path: caller's thread, job order, one pool.
+            let mut pool = EnvPool::new(&self.plans);
+            jobs.iter()
+                .map(|job| run_one(job, pool.env_for(job.config), 0))
+                .collect()
+        } else {
+            let shards = shard(&jobs, self.threads);
+            let mut slots: Vec<Option<JobReport<T>>> = Vec::new();
+            slots.resize_with(jobs.len(), || None);
+            let jobs = &jobs;
+            let completed = std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .enumerate()
+                    .map(|(worker, shard)| {
+                        let plans = Arc::clone(&self.plans);
+                        s.spawn(move || {
+                            let mut pool = EnvPool::new(&plans);
+                            shard
+                                .into_iter()
+                                .map(|i| {
+                                    (i, run_one(&jobs[i], pool.env_for(jobs[i].config), worker))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("batch worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, report) in completed {
+                debug_assert!(slots[i].is_none(), "job {i} ran twice");
+                slots[i] = Some(report);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("job never ran"))
+                .collect()
+        };
+        // Scheduling-independent merges: fold in job order.
+        let mut counters = rvv_sim::Counters::new();
+        let mut profile: Option<TraceProfiler> = None;
+        for r in &reports {
+            counters.merge(&r.counters);
+            if let Some(p) = &r.profile {
+                match &mut profile {
+                    Some(merged) => merged.merge(p),
+                    None => {
+                        let mut merged = TraceProfiler::new(p.stack_region());
+                        merged.merge(p);
+                        profile = Some(merged);
+                    }
+                }
+            }
+        }
+        BatchResult {
+            reports,
+            counters,
+            profile,
+            threads: self.threads,
+            plan_compiles: self.plans.compiles() - compiles_before,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+/// Per-worker environment pool: one reusable [`ScanEnv`] per distinct
+/// configuration, reset between jobs, all compiling into the shared
+/// registry.
+struct EnvPool<'a> {
+    plans: &'a Arc<PlanCache>,
+    envs: HashMap<EnvConfig, ScanEnv>,
+}
+
+impl<'a> EnvPool<'a> {
+    fn new(plans: &'a Arc<PlanCache>) -> EnvPool<'a> {
+        EnvPool {
+            plans,
+            envs: HashMap::new(),
+        }
+    }
+
+    fn env_for(&mut self, cfg: EnvConfig) -> &mut ScanEnv {
+        let env = self
+            .envs
+            .entry(cfg)
+            .or_insert_with(|| ScanEnv::with_cache(cfg, Arc::clone(self.plans)));
+        env.reset();
+        env
+    }
+}
+
+fn run_one<T>(job: &BatchJob<T>, env: &mut ScanEnv, worker: usize) -> JobReport<T> {
+    if job.trace {
+        env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
+    }
+    let before = env.machine().counters.clone();
+    let started = Instant::now();
+    let output = job.execute(env);
+    let wall = started.elapsed();
+    let counters = env.machine().counters.since(&before);
+    let profile = env.detach_tracer().and_then(TraceProfiler::from_sink);
+    JobReport {
+        name: job.name.clone(),
+        config: job.config,
+        output,
+        retired: counters.total(),
+        counters,
+        profile,
+        worker,
+        wall,
+    }
+}
+
+/// Deterministic longest-processing-time sharding: jobs sorted by
+/// (weight desc, index asc) are greedily assigned to the least-loaded
+/// worker, ties broken by worker index; each worker then runs its shard in
+/// job-index order. Depends only on `(weights, threads)` — never on
+/// execution timing.
+fn shard<T>(jobs: &[BatchJob<T>], threads: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[b].weight.cmp(&jobs[a].weight).then_with(|| a.cmp(&b)));
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut load = vec![0u64; threads];
+    for i in order {
+        let w = (0..threads)
+            .min_by_key(|&w| (load[w], w))
+            .expect("at least one worker");
+        load[w] += jobs[i].weight.max(1);
+        shards[w].push(i);
+    }
+    for s in &mut shards {
+        s.sort_unstable();
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(weight: u64) -> BatchJob<u64> {
+        BatchJob::new(format!("w{weight}"), EnvConfig::paper_default(), |_| Ok(0)).weight(weight)
+    }
+
+    #[test]
+    fn sharding_is_balanced_and_deterministic() {
+        let jobs: Vec<_> = [8u64, 1, 7, 2, 6, 3, 5, 4].into_iter().map(job).collect();
+        let a = shard(&jobs, 2);
+        let b = shard(&jobs, 2);
+        assert_eq!(a, b, "same inputs, same shards");
+        // LPT on this grid balances perfectly: 8+1+4+5 vs 7+2+3+6.
+        let w = |s: &Vec<usize>| s.iter().map(|&i| jobs[i].weight).sum::<u64>();
+        assert_eq!(w(&a[0]), w(&a[1]));
+        // Every job appears exactly once, shards in job-index order.
+        let mut all: Vec<usize> = a.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..jobs.len()).collect::<Vec<_>>());
+        assert!(a.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+    }
+
+    #[test]
+    fn sharding_handles_more_workers_than_jobs() {
+        let jobs: Vec<_> = [5u64, 3].into_iter().map(job).collect();
+        let shards = shard(&jobs, 8);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 2);
+        assert_eq!(shards.len(), 8);
+    }
+
+    #[test]
+    fn zero_weight_jobs_still_round_robin() {
+        let jobs: Vec<_> = (0..6).map(|_| job(0)).collect();
+        let shards = shard(&jobs, 3);
+        assert!(shards.iter().all(|s| s.len() == 2), "{shards:?}");
+    }
+}

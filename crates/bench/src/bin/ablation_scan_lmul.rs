@@ -2,42 +2,60 @@
 //! live vector values the kernel never spills, so LMUL grouping scales
 //! near-ideally (2.85x -> 21.93x in the paper; our codegen is tighter so
 //! both endpoints are higher).
+//!
+//! Each LMUL point and both profiling runs are independent `rvv-batch`
+//! jobs; `--threads <N>` fans them out with identical output.
 
 use rvv_isa::Lmul;
-use rvv_trace::TraceProfiler;
-use scanvec::env::{EnvConfig, ScanEnv};
+use scanvec::env::EnvConfig;
 use scanvec::primitives::plus_scan;
-use scanvec_bench::{experiments, print_table};
-
-/// Profile one plus_scan launch and write the Chrome trace + text report
-/// under `results/` — the no-spill counterpart to `ablation_spill`'s
-/// profiles (the detector should find zero stack traffic at every LMUL).
-fn emit_profile(lmul: Lmul, n: usize) {
-    let mut env = ScanEnv::new(EnvConfig::with_lmul(lmul));
-    env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
-    let data: Vec<u32> = (0..n as u32).map(|i| i % 1000).collect();
-    let v = env.from_u32(&data).expect("alloc");
-    plus_scan(&mut env, &v).expect("scan");
-    let p = TraceProfiler::from_sink(env.detach_tracer().expect("attached")).expect("profiler");
-    std::fs::create_dir_all("results").expect("results dir");
-    let stem = format!("results/ablation_scan_lmul_m{}", lmul.regs());
-    std::fs::write(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
-    std::fs::write(format!("{stem}.txt"), p.text_report()).expect("write txt");
-    println!(
-        "profile m{}: {} retired, {} spill ops -> {stem}.json/.txt",
-        lmul.regs(),
-        p.total_retired(),
-        p.spill().total_ops(),
-    );
-}
+use scanvec::ScanEnv;
+use scanvec_bench::{experiments, print_table, threads_arg};
 
 fn main() {
     let n = scanvec_bench::max_n_arg().min(1_000_000);
-    let rows: Vec<Vec<String>> = experiments::scan_lmul_sweep(n)
+    const PROFILE_N: usize = 4096;
+
+    let mut jobs = Vec::new();
+    for lmul in Lmul::ALL {
+        jobs.push(
+            rvv_batch::BatchJob::new(
+                format!("scan/m{}", lmul.regs()),
+                EnvConfig::with_lmul(lmul),
+                move |env: &mut ScanEnv| experiments::scan_lmul_point(env, n),
+            )
+            .weight(n as u64),
+        );
+    }
+    // The no-spill counterpart to `ablation_spill`'s profiles (the
+    // detector should find zero stack traffic at every LMUL).
+    for lmul in [Lmul::M1, Lmul::M8] {
+        jobs.push(
+            rvv_batch::BatchJob::new(
+                format!("profile/m{}", lmul.regs()),
+                EnvConfig::with_lmul(lmul),
+                move |env: &mut ScanEnv| {
+                    let data: Vec<u32> = (0..PROFILE_N as u32).map(|i| i % 1000).collect();
+                    let v = env.from_u32(&data)?;
+                    plus_scan(env, &v)?;
+                    Ok((0, 0))
+                },
+            )
+            .traced(true)
+            .weight(PROFILE_N as u64),
+        );
+    }
+
+    let result = rvv_batch::BatchRunner::new(threads_arg()).run(jobs);
+    assert!(result.all_ok(), "ablation job failed");
+
+    let rows: Vec<Vec<String>> = result.reports[..4]
         .iter()
-        .map(|&(lmul, ours, base)| {
+        .zip(Lmul::ALL)
+        .map(|(r, lmul)| {
+            let &(ours, base) = r.output.as_ref().expect("measured");
             vec![
-                format!("m{lmul}"),
+                format!("m{}", lmul.regs()),
                 ours.to_string(),
                 base.to_string(),
                 format!("{:.2}", base as f64 / ours as f64),
@@ -53,7 +71,17 @@ fn main() {
     println!("scales with the group size, unlike the segmented scan of Table 5.");
 
     println!();
-    for lmul in [Lmul::M1, Lmul::M8] {
-        emit_profile(lmul, 4096);
+    std::fs::create_dir_all("results").expect("results dir");
+    for (r, lmul) in result.reports[4..].iter().zip([Lmul::M1, Lmul::M8]) {
+        let p = r.profile.as_ref().expect("traced job carries a profile");
+        let stem = format!("results/ablation_scan_lmul_m{}", lmul.regs());
+        std::fs::write(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
+        std::fs::write(format!("{stem}.txt"), p.text_report()).expect("write txt");
+        println!(
+            "profile m{}: {} retired, {} spill ops -> {stem}.json/.txt",
+            lmul.regs(),
+            p.total_retired(),
+            p.spill().total_ops(),
+        );
     }
 }

@@ -2,45 +2,118 @@
 //! spill strategy? Compares the calibrated LLVM-14 profile (conservative
 //! frame, zero-initialized) against an idealized compiler (minimal frame,
 //! spill traffic only).
+//!
+//! Every `(profile, n, LMUL)` point and both instruction-level profiling
+//! runs are independent `rvv-batch` jobs; `--threads <N>` fans them out,
+//! with output identical at any worker count.
 
 use rvv_asm::SpillProfile;
 use rvv_isa::Lmul;
-use rvv_trace::TraceProfiler;
-use scanvec::env::{EnvConfig, ScanEnv};
+use scanvec::env::EnvConfig;
 use scanvec::primitives::seg_plus_scan;
-use scanvec_bench::{experiments, print_table, sweep_sizes};
+use scanvec::ScanEnv;
+use scanvec_bench::{experiments, print_table, sweep_sizes, threads_arg};
 
-/// Profile one seg_plus_scan launch and write the Chrome trace + text
-/// report under `results/`.
-fn emit_profile(lmul: Lmul, n: usize) {
-    let mut env = ScanEnv::new(EnvConfig::with_lmul(lmul));
-    env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
-    let data: Vec<u32> = (0..n as u32).map(|i| i % 1000).collect();
-    let flags: Vec<u32> = (0..n).map(|i| u32::from(i % 64 == 0)).collect();
-    let v = env.from_u32(&data).expect("alloc");
-    let f = env.from_u32(&flags).expect("alloc");
-    seg_plus_scan(&mut env, &v, &f).expect("seg_scan");
-    let p = TraceProfiler::from_sink(env.detach_tracer().expect("attached")).expect("profiler");
-    std::fs::create_dir_all("results").expect("results dir");
-    let stem = format!("results/ablation_spill_m{}", lmul.regs());
-    std::fs::write(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
-    std::fs::write(format!("{stem}.txt"), p.text_report()).expect("write txt");
-    println!(
-        "profile m{}: {} retired, {} vector spill ops ({} bytes) -> {stem}.json/.txt",
-        lmul.regs(),
-        p.total_retired(),
-        p.spill().vector_ops(),
-        p.spill().vector_bytes,
-    );
+/// What one job of this ablation produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Out {
+    /// A Table 5 point under some profile: count + result checksum.
+    Seg { count: u64, checksum: u64 },
+    /// A profiling run (the payload is the job report's trace profile).
+    Traced,
+}
+
+fn profile_cfg(profile: SpillProfile, lmul: Lmul) -> EnvConfig {
+    EnvConfig {
+        lmul,
+        spill_profile: profile,
+        ..EnvConfig::paper_default()
+    }
 }
 
 fn main() {
     let sizes = sweep_sizes();
-    let cal = experiments::table5_with_profile(&sizes, SpillProfile::llvm14());
-    let ideal = experiments::table5_with_profile(&sizes, SpillProfile::ideal());
+    let profiles = [
+        ("llvm14", SpillProfile::llvm14()),
+        ("ideal", SpillProfile::ideal()),
+    ];
+    let mut jobs = Vec::new();
+    for (label, profile) in profiles {
+        for &n in &sizes {
+            for lmul in Lmul::ALL {
+                jobs.push(
+                    rvv_batch::BatchJob::new(
+                        format!("{label}/m{}/n={n}", lmul.regs()),
+                        profile_cfg(profile, lmul),
+                        move |env: &mut ScanEnv| {
+                            experiments::table5_point(env, n)
+                                .map(|(count, checksum)| Out::Seg { count, checksum })
+                        },
+                    )
+                    .weight(n as u64),
+                );
+            }
+        }
+    }
+    // The instruction-level profiles: one small-N launch at each LMUL
+    // endpoint under the spill detector, traced by the engine.
+    const PROFILE_N: usize = 4096;
+    for lmul in [Lmul::M1, Lmul::M8] {
+        jobs.push(
+            rvv_batch::BatchJob::new(
+                format!("profile/m{}", lmul.regs()),
+                EnvConfig::with_lmul(lmul),
+                move |env: &mut ScanEnv| {
+                    let data: Vec<u32> = (0..PROFILE_N as u32).map(|i| i % 1000).collect();
+                    let flags: Vec<u32> = (0..PROFILE_N).map(|i| u32::from(i % 64 == 0)).collect();
+                    let v = env.from_u32(&data)?;
+                    let f = env.from_u32(&flags)?;
+                    seg_plus_scan(env, &v, &f)?;
+                    Ok(Out::Traced)
+                },
+            )
+            .traced(true)
+            .weight(PROFILE_N as u64),
+        );
+    }
+
+    let result = rvv_batch::BatchRunner::new(threads_arg()).run(jobs);
+    assert!(result.all_ok(), "ablation job failed");
+
+    // Decode: profiles × sizes × LMULs, in job order, checking the
+    // cross-LMUL result invariant per (profile, n).
+    let mut it = result.reports.iter();
+    let mut tables = Vec::new();
+    for _ in profiles {
+        let t: Vec<(usize, [u64; 4])> = sizes
+            .iter()
+            .map(|&n| {
+                let mut counts = [0u64; 4];
+                let mut reference: Option<u64> = None;
+                for c in &mut counts {
+                    match it.next().and_then(|r| r.output.as_ref().ok()) {
+                        Some(&Out::Seg { count, checksum }) => {
+                            *c = count;
+                            match reference {
+                                None => reference = Some(checksum),
+                                Some(r) => {
+                                    assert_eq!(checksum, r, "LMUL changed the result at n={n}")
+                                }
+                            }
+                        }
+                        other => panic!("expected a seg point, got {other:?}"),
+                    }
+                }
+                (n, counts)
+            })
+            .collect();
+        tables.push(t);
+    }
+    let (cal, ideal) = (&tables[0], &tables[1]);
+
     let rows: Vec<Vec<String>> = cal
         .iter()
-        .zip(&ideal)
+        .zip(ideal)
         .map(|(&(n, c), &(_, i))| {
             vec![
                 n.to_string(),
@@ -68,9 +141,21 @@ fn main() {
     println!("with an ideal compiler the spill traffic alone is amortizable and LMUL=8");
     println!("wins much earlier. The large-N marginal cost is profile-independent.");
 
-    // Where the anomaly lives, instruction by instruction: profile one
-    // small-N launch at each endpoint under the spill detector.
+    // Where the anomaly lives, instruction by instruction: the traced
+    // jobs' profiles, written as Chrome trace + text report.
     println!();
-    emit_profile(Lmul::M1, 4096);
-    emit_profile(Lmul::M8, 4096);
+    std::fs::create_dir_all("results").expect("results dir");
+    for (r, lmul) in it.zip([Lmul::M1, Lmul::M8]) {
+        let p = r.profile.as_ref().expect("traced job carries a profile");
+        let stem = format!("results/ablation_spill_m{}", lmul.regs());
+        std::fs::write(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
+        std::fs::write(format!("{stem}.txt"), p.text_report()).expect("write txt");
+        println!(
+            "profile m{}: {} retired, {} vector spill ops ({} bytes) -> {stem}.json/.txt",
+            lmul.regs(),
+            p.total_retired(),
+            p.spill().vector_ops(),
+            p.spill().vector_bytes,
+        );
+    }
 }

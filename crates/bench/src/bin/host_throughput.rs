@@ -3,14 +3,19 @@
 //! execution-plan engine, measured in the same process on the same
 //! workloads. Writes `results/host_throughput.json` and prints a table.
 //!
-//! Run: `cargo run --release --bin host_throughput [--max-n N] [--reps R]`
-//! (`--max-n 10_000`-ish keeps it fast enough for a CI smoke job).
+//! Run: `cargo run --release --bin host_throughput [--max-n N] [--reps R]
+//! [--threads T]`. Every `(workload, engine, rep)` is an `rvv-batch` job;
+//! all jobs share one plan registry, so every repetition measures the
+//! steady state (cached plans) for both engines — kernel compilation is
+//! paid once, by whichever job runs first.
 
-use scanvec::env::{ExecEngine, ScanEnv};
+use rvv_batch::{BatchJob, BatchRunner};
+use scanvec::env::{EnvConfig, ExecEngine, ScanEnv};
 use scanvec::primitives::{plus_scan, seg_plus_scan};
+use scanvec::ScanResult;
 use scanvec_algos::split_radix_sort;
-use scanvec_bench::{paper_env, print_table, random_head_flags};
-use std::time::Instant;
+use scanvec_bench::{print_table, random_head_flags, threads_arg};
+use std::sync::Arc;
 
 /// One engine's numbers on one workload.
 #[derive(Clone, Copy)]
@@ -28,9 +33,6 @@ impl Sample {
     }
 }
 
-/// A named workload: stages its data into a fresh environment and runs.
-type Workload<'a> = (&'a str, Box<dyn Fn(&mut ScanEnv)>);
-
 fn arg(flag: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
     for w in args.windows(2) {
@@ -43,77 +45,92 @@ fn arg(flag: &str, default: usize) -> usize {
     default
 }
 
-/// Run `work` under `engine` `reps` times on fresh environments; keep the
-/// fastest repetition (least scheduler noise). The kernel cache inside each
-/// environment is cold on the first launch and warm within the workload —
-/// the same shape either engine sees in the experiment harness.
-fn measure(engine: ExecEngine, reps: usize, work: &dyn Fn(&mut ScanEnv)) -> Sample {
-    let mut best: Option<Sample> = None;
-    for _ in 0..reps {
-        let mut env = paper_env();
-        env.set_engine(engine);
-        let before = env.retired();
-        let t = Instant::now();
-        work(&mut env);
-        let secs = t.elapsed().as_secs_f64();
-        let retired = env.retired() - before;
-        if best.is_none_or(|b| secs < b.secs) {
-            best = Some(Sample { retired, secs });
-        }
-    }
-    best.expect("at least one rep")
-}
-
 fn main() {
     let n = arg("--max-n", 100_000);
     let reps = arg("--reps", 3);
-    let data: Vec<u32> = (0..n as u32)
-        .map(|i| i.wrapping_mul(2_654_435_761))
-        .collect();
-    let flags: Vec<u32> = random_head_flags(n, 42);
+    let data: Arc<Vec<u32>> = Arc::new(
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect(),
+    );
+    let flags: Arc<Vec<u32>> = Arc::new(random_head_flags(n, 42));
 
-    let workloads: Vec<Workload> = vec![
-        (
-            "scan",
-            Box::new({
-                let data = data.clone();
-                move |env: &mut ScanEnv| {
-                    let v = env.from_u32(&data).unwrap();
-                    plus_scan(env, &v).unwrap();
-                }
-            }),
-        ),
-        (
-            "seg_scan",
-            Box::new({
-                let data = data.clone();
-                let flags = flags.clone();
-                move |env: &mut ScanEnv| {
-                    let v = env.from_u32(&data).unwrap();
-                    let f = env.from_u32(&flags).unwrap();
-                    seg_plus_scan(env, &v, &f).unwrap();
-                }
-            }),
-        ),
-        (
-            "radix",
-            Box::new({
-                let data = data.clone();
-                move |env: &mut ScanEnv| {
-                    // 8 bits of key: enough passes to be dominated by kernel
-                    // execution, small enough to keep CI smoke runs quick.
-                    let v = env.from_u32(&data).unwrap();
-                    split_radix_sort(env, &v, 8).unwrap();
-                }
-            }),
-        ),
+    type Work = Arc<dyn Fn(&mut ScanEnv) -> ScanResult<()> + Send + Sync>;
+    let workloads: Vec<(&str, Work)> = vec![
+        ("scan", {
+            let data = Arc::clone(&data);
+            Arc::new(move |env: &mut ScanEnv| {
+                let v = env.from_u32(&data)?;
+                plus_scan(env, &v)?;
+                Ok(())
+            })
+        }),
+        ("seg_scan", {
+            let data = Arc::clone(&data);
+            let flags = Arc::clone(&flags);
+            Arc::new(move |env: &mut ScanEnv| {
+                let v = env.from_u32(&data)?;
+                let f = env.from_u32(&flags)?;
+                seg_plus_scan(env, &v, &f)?;
+                Ok(())
+            })
+        }),
+        ("radix", {
+            let data = Arc::clone(&data);
+            Arc::new(move |env: &mut ScanEnv| {
+                // 8 bits of key: enough passes to be dominated by kernel
+                // execution, small enough to keep CI smoke runs quick.
+                let v = env.from_u32(&data)?;
+                split_radix_sort(env, &v, 8)?;
+                Ok(())
+            })
+        }),
     ];
+
+    // One job per (workload, engine, rep); job wall clock is the sample.
+    let engines = [("legacy", ExecEngine::Legacy), ("plan", ExecEngine::Plan)];
+    let mut jobs: Vec<BatchJob<()>> = Vec::new();
+    for (wname, work) in &workloads {
+        for (ename, engine) in engines {
+            for rep in 0..reps {
+                let work = Arc::clone(work);
+                jobs.push(
+                    BatchJob::new(
+                        format!("{wname}/{ename}/rep{rep}"),
+                        EnvConfig::paper_default(),
+                        move |env: &mut ScanEnv| {
+                            env.set_engine(engine);
+                            work(env)
+                        },
+                    )
+                    .weight(n as u64),
+                );
+            }
+        }
+    }
+    let result = BatchRunner::new(threads_arg()).run(jobs);
+    assert!(result.all_ok(), "throughput job failed");
+
+    // Best-of-reps per (workload, engine), in job order.
+    let mut it = result.reports.iter();
+    let mut best = |what: &str| -> Sample {
+        (0..reps)
+            .map(|_| {
+                let r = it.next().unwrap_or_else(|| panic!("missing {what} rep"));
+                Sample {
+                    retired: r.retired,
+                    secs: r.wall.as_secs_f64(),
+                }
+            })
+            .min_by(|a, b| a.secs.total_cmp(&b.secs))
+            .expect("at least one rep")
+    };
 
     let mut rows = Vec::new();
     let mut json_items = Vec::new();
-    for (name, work) in &workloads {
-        let legacy = measure(ExecEngine::Legacy, reps, work.as_ref());
-        let plan = measure(ExecEngine::Plan, reps, work.as_ref());
+    for (name, _) in &workloads {
+        let legacy = best(name);
+        let plan = best(name);
         assert_eq!(
             legacy.retired, plan.retired,
             "{name}: engines retired different instruction counts"

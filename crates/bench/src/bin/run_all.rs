@@ -1,8 +1,19 @@
 //! Run every table, figure, and ablation in sequence — regenerates the
 //! full evaluation (`results/full_run.txt` in the repository was produced
-//! by this). Accepts `--max-n` like the individual binaries.
+//! by this). Accepts `--max-n` like the individual binaries and
+//! `--threads <N>` to run the sweep through the `rvv-batch` parallel
+//! engine.
+//!
+//! With `--threads N > 1` the sweep runs **twice** — once serially as the
+//! reference, once across N workers — and the two runs' stable digests
+//! (per-point outputs, retired counts, merged counters; no timing) are
+//! compared byte for byte. Any divergence is a determinism bug: the binary
+//! reports it and exits nonzero. `results/parallel_sweep.json` records the
+//! wall clocks and the speedup either way.
 
-use scanvec_bench::{experiments, fmt_ratio, fmt_speedup, print_table, sweep_sizes};
+use rvv_batch::BatchRunner;
+use scanvec_bench::sweep::{decode_sweep, sweep_jobs, SweepShape};
+use scanvec_bench::{experiments, fmt_ratio, fmt_speedup, print_table, threads_arg};
 
 fn pairs_table(title: &str, rows: &[experiments::Pair]) {
     let body: Vec<Vec<String>> = rows
@@ -23,19 +34,64 @@ fn pairs_table(title: &str, rows: &[experiments::Pair]) {
     );
 }
 
-fn main() {
-    let wall = std::time::Instant::now();
-    let sizes = sweep_sizes();
-    pairs_table(
-        "Table 1 — split radix sort vs qsort",
-        &experiments::table1(&sizes),
+fn write_sweep_json(
+    threads: usize,
+    jobs: usize,
+    retired: u64,
+    serial_secs: f64,
+    parallel_secs: Option<f64>,
+    identical: bool,
+) {
+    let (parallel, speedup) = match parallel_secs {
+        Some(p) => (format!("{p:.6}"), format!("{:.3}", serial_secs / p)),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"threads\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"retired\": {},\n",
+            "  \"serial_secs\": {:.6},\n",
+            "  \"parallel_secs\": {},\n",
+            "  \"speedup\": {},\n",
+            "  \"identical\": {}\n",
+            "}}\n"
+        ),
+        threads, jobs, retired, serial_secs, parallel, speedup, identical
     );
-    pairs_table("Table 2 — p_add", &experiments::table2(&sizes));
-    pairs_table("Table 3 — plus_scan", &experiments::table3(&sizes));
-    pairs_table("Table 4 — seg_plus_scan", &experiments::table4(&sizes));
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/parallel_sweep.json", json).expect("write parallel_sweep.json");
+    println!("-> results/parallel_sweep.json");
+}
 
-    let t5 = experiments::table5(&sizes);
-    let body: Vec<Vec<String>> = t5
+fn main() {
+    let threads = threads_arg();
+    let shape = SweepShape::from_args();
+    let wall = std::time::Instant::now();
+
+    // Serial reference run: job order on one thread.
+    let serial = BatchRunner::new(1).run(sweep_jobs(&shape));
+    let serial_secs = serial.wall.as_secs_f64();
+
+    // Parallel run of the *same* jobs, then the byte-for-byte comparison.
+    let (result, parallel_secs, identical) = if threads > 1 {
+        let parallel = BatchRunner::new(threads).run(sweep_jobs(&shape));
+        let identical = parallel.stable_digest() == serial.stable_digest();
+        let secs = parallel.wall.as_secs_f64();
+        (parallel, Some(secs), identical)
+    } else {
+        (serial, None, true)
+    };
+
+    let tables = decode_sweep(&shape, &result.reports);
+    pairs_table("Table 1 — split radix sort vs qsort", &tables.t1);
+    pairs_table("Table 2 — p_add", &tables.t2);
+    pairs_table("Table 3 — plus_scan", &tables.t3);
+    pairs_table("Table 4 — seg_plus_scan", &tables.t4);
+
+    let body: Vec<Vec<String>> = tables
+        .t5
         .iter()
         .map(|&(n, c)| {
             vec![
@@ -53,7 +109,7 @@ fn main() {
         &body,
     );
 
-    let body: Vec<Vec<String>> = experiments::table6(&t5)
+    let body: Vec<Vec<String>> = experiments::table6(&tables.t5)
         .iter()
         .map(|&(n, r)| {
             vec![
@@ -70,8 +126,8 @@ fn main() {
         &body,
     );
 
-    let n7 = 10_000.min(scanvec_bench::max_n_arg());
-    let body: Vec<Vec<String>> = experiments::table7(n7)
+    let body: Vec<Vec<String>> = tables
+        .t7
         .iter()
         .map(|&(vlen, seg, padd)| vec![vlen.to_string(), seg.to_string(), padd.to_string()])
         .collect();
@@ -81,7 +137,7 @@ fn main() {
         &body,
     );
 
-    let body: Vec<Vec<String>> = experiments::figure5(n7)
+    let body: Vec<Vec<String>> = experiments::figure5_from(tables.t7.clone())
         .iter()
         .map(|&(vlen, seg, padd, ideal)| {
             vec![
@@ -98,7 +154,8 @@ fn main() {
         &body,
     );
 
-    let body: Vec<Vec<String>> = experiments::scan_lmul_sweep(n7)
+    let body: Vec<Vec<String>> = tables
+        .scan_lmul
         .iter()
         .map(|&(l, ours, base)| vec![format!("m{l}"), ours.to_string(), fmt_speedup(base, ours)])
         .collect();
@@ -109,7 +166,33 @@ fn main() {
     );
 
     println!(
-        "\ntotal host wall-clock: {:.1}s",
+        "\n{} jobs, {} instructions simulated, {} plan compiles, {} thread(s)",
+        result.reports.len(),
+        result.retired(),
+        result.plan_compiles,
+        result.threads,
+    );
+    if let Some(p) = parallel_secs {
+        println!(
+            "serial {serial_secs:.1}s, parallel {p:.1}s -> {:.2}x",
+            serial_secs / p
+        );
+    }
+    println!(
+        "total host wall-clock: {:.1}s",
         wall.elapsed().as_secs_f64()
     );
+    write_sweep_json(
+        threads,
+        result.reports.len(),
+        result.retired(),
+        serial_secs,
+        parallel_secs,
+        identical,
+    );
+
+    if !identical {
+        eprintln!("ERROR: parallel sweep diverged from the serial reference");
+        std::process::exit(1);
+    }
 }

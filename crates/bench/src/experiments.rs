@@ -9,8 +9,23 @@ use crate::{env_with, env_with_profile, paper_env, random_head_flags, random_u32
 use rvv_asm::SpillProfile;
 use rvv_isa::Lmul;
 use scanvec::primitives::{self, baseline};
-use scanvec::{ScanKind, ScanOp};
+use scanvec::{ScanEnv, ScanKind, ScanOp, ScanResult};
 use scanvec_algos::{qsort_baseline, split_radix_sort};
+
+/// FNV-1a over the little-endian bytes of a result vector: the checksum
+/// sweep points return so cross-configuration equality checks (Table 5's
+/// "LMUL must not change the answer") survive decomposition into
+/// independent batch jobs.
+pub fn checksum(words: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
 
 /// One (vectorized, baseline) measurement pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,90 +45,100 @@ impl Pair {
     }
 }
 
+/// Table 1 at one size, in a caller-provided (fresh or reset) paper-config
+/// environment: split radix sort vs scalar quicksort. The batch-engine unit
+/// behind [`table1`].
+pub fn table1_point(e: &mut ScanEnv, n: usize) -> ScanResult<Pair> {
+    let data = random_u32s(n, 1);
+    let v = e.from_u32(&data)?;
+    let ours = split_radix_sort(e, &v, 32)?;
+    let w = e.from_u32(&data)?;
+    let base = qsort_baseline(e, &w)?;
+    // Cross-check both sorted the same.
+    assert_eq!(e.to_u32(&v), e.to_u32(&w), "sorters disagree at n={n}");
+    Ok(Pair {
+        n,
+        ours,
+        baseline: base,
+    })
+}
+
 /// Table 1: split radix sort (scan vector model) vs scalar quicksort.
 pub fn table1(sizes: &[usize]) -> Vec<Pair> {
     sizes
         .iter()
-        .map(|&n| {
-            let data = random_u32s(n, 1);
-            let mut e = paper_env();
-            let v = e.from_u32(&data).expect("alloc");
-            let ours = split_radix_sort(&mut e, &v, 32).expect("radix sort");
-            let w = e.from_u32(&data).expect("alloc");
-            let base = qsort_baseline(&mut e, &w).expect("qsort");
-            // Cross-check both sorted the same.
-            assert_eq!(e.to_u32(&v), e.to_u32(&w), "sorters disagree at n={n}");
-            Pair {
-                n,
-                ours,
-                baseline: base,
-            }
-        })
+        .map(|&n| table1_point(&mut paper_env(), n).expect("radix sort"))
         .collect()
+}
+
+/// Table 2 at one size (see [`table1_point`] for the contract).
+pub fn table2_point(e: &mut ScanEnv, n: usize) -> ScanResult<Pair> {
+    let data = random_u32s(n, 2);
+    let v = e.from_u32(&data)?;
+    let ours = primitives::p_add(e, &v, 5)?;
+    let w = e.from_u32(&data)?;
+    let base = baseline::p_add(e, &w, 5)?;
+    assert_eq!(e.to_u32(&v), e.to_u32(&w));
+    Ok(Pair {
+        n,
+        ours,
+        baseline: base,
+    })
 }
 
 /// Table 2: `p_add` vs scalar baseline.
 pub fn table2(sizes: &[usize]) -> Vec<Pair> {
     sizes
         .iter()
-        .map(|&n| {
-            let data = random_u32s(n, 2);
-            let mut e = paper_env();
-            let v = e.from_u32(&data).expect("alloc");
-            let ours = primitives::p_add(&mut e, &v, 5).expect("p_add");
-            let w = e.from_u32(&data).expect("alloc");
-            let base = baseline::p_add(&mut e, &w, 5).expect("baseline");
-            assert_eq!(e.to_u32(&v), e.to_u32(&w));
-            Pair {
-                n,
-                ours,
-                baseline: base,
-            }
-        })
+        .map(|&n| table2_point(&mut paper_env(), n).expect("p_add"))
         .collect()
+}
+
+/// Table 3 at one size (see [`table1_point`] for the contract).
+pub fn table3_point(e: &mut ScanEnv, n: usize) -> ScanResult<Pair> {
+    let data = random_u32s(n, 3);
+    let v = e.from_u32(&data)?;
+    let ours = primitives::plus_scan(e, &v)?;
+    let w = e.from_u32(&data)?;
+    let base = baseline::plus_scan(e, &w)?;
+    assert_eq!(e.to_u32(&v), e.to_u32(&w));
+    Ok(Pair {
+        n,
+        ours,
+        baseline: base,
+    })
 }
 
 /// Table 3: unsegmented plus-scan vs scalar baseline.
 pub fn table3(sizes: &[usize]) -> Vec<Pair> {
     sizes
         .iter()
-        .map(|&n| {
-            let data = random_u32s(n, 3);
-            let mut e = paper_env();
-            let v = e.from_u32(&data).expect("alloc");
-            let ours = primitives::plus_scan(&mut e, &v).expect("plus_scan");
-            let w = e.from_u32(&data).expect("alloc");
-            let base = baseline::plus_scan(&mut e, &w).expect("baseline");
-            assert_eq!(e.to_u32(&v), e.to_u32(&w));
-            Pair {
-                n,
-                ours,
-                baseline: base,
-            }
-        })
+        .map(|&n| table3_point(&mut paper_env(), n).expect("plus_scan"))
         .collect()
+}
+
+/// Table 4 at one size (see [`table1_point`] for the contract).
+pub fn table4_point(e: &mut ScanEnv, n: usize) -> ScanResult<Pair> {
+    let data = random_u32s(n, 4);
+    let flags = random_head_flags(n, 4);
+    let v = e.from_u32(&data)?;
+    let f = e.from_u32(&flags)?;
+    let ours = primitives::seg_plus_scan(e, &v, &f)?;
+    let w = e.from_u32(&data)?;
+    let base = baseline::seg_plus_scan(e, &w, &f)?;
+    assert_eq!(e.to_u32(&v), e.to_u32(&w));
+    Ok(Pair {
+        n,
+        ours,
+        baseline: base,
+    })
 }
 
 /// Table 4: segmented plus-scan vs scalar baseline.
 pub fn table4(sizes: &[usize]) -> Vec<Pair> {
     sizes
         .iter()
-        .map(|&n| {
-            let data = random_u32s(n, 4);
-            let flags = random_head_flags(n, 4);
-            let mut e = paper_env();
-            let v = e.from_u32(&data).expect("alloc");
-            let f = e.from_u32(&flags).expect("alloc");
-            let ours = primitives::seg_plus_scan(&mut e, &v, &f).expect("seg scan");
-            let w = e.from_u32(&data).expect("alloc");
-            let base = baseline::seg_plus_scan(&mut e, &w, &f).expect("baseline");
-            assert_eq!(e.to_u32(&v), e.to_u32(&w));
-            Pair {
-                n,
-                ours,
-                baseline: base,
-            }
-        })
+        .map(|&n| table4_point(&mut paper_env(), n).expect("seg scan"))
         .collect()
 }
 
@@ -123,24 +148,33 @@ pub fn table5(sizes: &[usize]) -> Vec<(usize, [u64; 4])> {
     table5_with_profile(sizes, SpillProfile::llvm14())
 }
 
+/// Table 5 at one `(n, LMUL, profile)` point — the LMUL and profile come
+/// from the environment's configuration. Returns the dynamic instruction
+/// count and a [`checksum`] of the scanned vector, so the caller can assert
+/// cross-LMUL result equality without the points sharing an environment.
+pub fn table5_point(e: &mut ScanEnv, n: usize) -> ScanResult<(u64, u64)> {
+    let data = random_u32s(n, 5);
+    let flags = random_head_flags(n, 5);
+    let v = e.from_u32(&data)?;
+    let f = e.from_u32(&flags)?;
+    let count = primitives::seg_plus_scan(e, &v, &f)?;
+    Ok((count, checksum(&e.to_u32(&v))))
+}
+
 /// Table 5 under an explicit spill cost profile (for the ablation).
 pub fn table5_with_profile(sizes: &[usize], profile: SpillProfile) -> Vec<(usize, [u64; 4])> {
     sizes
         .iter()
         .map(|&n| {
-            let data = random_u32s(n, 5);
-            let flags = random_head_flags(n, 5);
             let mut counts = [0u64; 4];
-            let mut reference: Option<Vec<u32>> = None;
+            let mut reference: Option<u64> = None;
             for (i, lmul) in Lmul::ALL.into_iter().enumerate() {
                 let mut e = env_with_profile(1024, lmul, profile);
-                let v = e.from_u32(&data).expect("alloc");
-                let f = e.from_u32(&flags).expect("alloc");
-                counts[i] = primitives::seg_plus_scan(&mut e, &v, &f).expect("seg scan");
-                let got = e.to_u32(&v);
-                match &reference {
-                    None => reference = Some(got),
-                    Some(r) => assert_eq!(&got, r, "LMUL changed the result at n={n}"),
+                let (count, sum) = table5_point(&mut e, n).expect("seg scan");
+                counts[i] = count;
+                match reference {
+                    None => reference = Some(sum),
+                    Some(r) => assert_eq!(sum, r, "LMUL changed the result at n={n}"),
                 }
             }
             (n, counts)
@@ -163,27 +197,39 @@ pub fn table6(t5: &[(usize, [u64; 4])]) -> Vec<(usize, [f64; 3])> {
 /// segmented plus-scan and `p_add`, N = 10⁴ (LMUL=1).
 /// Returns `(vlen, seg_scan_count, p_add_count)`.
 pub fn table7(n: usize) -> Vec<(u32, u64, u64)> {
-    let data = random_u32s(n, 7);
-    let flags = random_head_flags(n, 7);
     [128u32, 256, 512, 1024]
         .into_iter()
         .map(|vlen| {
             let mut e = env_with(vlen, Lmul::M1);
-            let v = e.from_u32(&data).expect("alloc");
-            let f = e.from_u32(&flags).expect("alloc");
-            let seg = primitives::seg_plus_scan(&mut e, &v, &f).expect("seg scan");
-            let w = e.from_u32(&data).expect("alloc");
-            let padd = primitives::p_add(&mut e, &w, 5).expect("p_add");
+            let (seg, padd) = table7_point(&mut e, n).expect("table7");
             (vlen, seg, padd)
         })
         .collect()
+}
+
+/// Table 7 at one VLEN (taken from the environment's configuration).
+/// Returns `(seg_scan_count, p_add_count)`.
+pub fn table7_point(e: &mut ScanEnv, n: usize) -> ScanResult<(u64, u64)> {
+    let data = random_u32s(n, 7);
+    let flags = random_head_flags(n, 7);
+    let v = e.from_u32(&data)?;
+    let f = e.from_u32(&flags)?;
+    let seg = primitives::seg_plus_scan(e, &v, &f)?;
+    let w = e.from_u32(&data)?;
+    let padd = primitives::p_add(e, &w, 5)?;
+    Ok((seg, padd))
 }
 
 /// Figure 5: speedup relative to VLEN=128 for the segmented plus-scan and
 /// `p_add`, plus the ideal `vlen/128` line. Derived from [`table7`] data.
 /// Returns `(vlen, seg_speedup, p_add_speedup, ideal)`.
 pub fn figure5(n: usize) -> Vec<(u32, f64, f64, f64)> {
-    let t7 = table7(n);
+    figure5_from(table7(n))
+}
+
+/// [`figure5`] from already-measured [`table7`] rows (the batch-ported
+/// `run_all` derives the figure without re-measuring).
+pub fn figure5_from(t7: Vec<(u32, u64, u64)>) -> Vec<(u32, f64, f64, f64)> {
     let (base_seg, base_padd) = (t7[0].1, t7[0].2);
     t7.into_iter()
         .map(|(vlen, seg, padd)| {
@@ -201,18 +247,25 @@ pub fn figure5(n: usize) -> Vec<(u32, f64, f64, f64)> {
 /// near-ideal group scaling; the 2.85× → 21.93× improvement).
 /// Returns `(lmul_regs, scan_count, baseline_count)`.
 pub fn scan_lmul_sweep(n: usize) -> Vec<(u32, u64, u64)> {
-    let data = random_u32s(n, 8);
     Lmul::ALL
         .into_iter()
         .map(|lmul| {
             let mut e = env_with(1024, lmul);
-            let v = e.from_u32(&data).expect("alloc");
-            let ours = primitives::plus_scan(&mut e, &v).expect("scan");
-            let w = e.from_u32(&data).expect("alloc");
-            let base = baseline::plus_scan(&mut e, &w).expect("baseline");
+            let (ours, base) = scan_lmul_point(&mut e, n).expect("scan");
             (lmul.regs(), ours, base)
         })
         .collect()
+}
+
+/// One LMUL point of [`scan_lmul_sweep`] (the LMUL comes from the
+/// environment). Returns `(scan_count, baseline_count)`.
+pub fn scan_lmul_point(e: &mut ScanEnv, n: usize) -> ScanResult<(u64, u64)> {
+    let data = random_u32s(n, 8);
+    let v = e.from_u32(&data)?;
+    let ours = primitives::plus_scan(e, &v)?;
+    let w = e.from_u32(&data)?;
+    let base = baseline::plus_scan(e, &w)?;
+    Ok((ours, base))
 }
 
 /// Ablation: `enumerate` via `viota` (paper §4.4) vs via a generic

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod sweep;
 
 use rand::prelude::*;
 use rvv_asm::SpillProfile;
@@ -92,6 +93,21 @@ pub fn max_n_arg() -> usize {
         }
     }
     1_000_000
+}
+
+/// Parse `--threads <N>` from the command line; defaults to 1 (serial).
+/// Every ported binary runs its jobs through `rvv-batch` at this worker
+/// count; the engine guarantees the output is identical at any value.
+pub fn threads_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--threads" {
+            let t: usize = w[1].parse().expect("--threads takes an integer");
+            assert!(t >= 1, "--threads must be at least 1");
+            return t;
+        }
+    }
+    1
 }
 
 /// The paper's sizes, capped by `--max-n`.

@@ -1,0 +1,276 @@
+//! The full-evaluation sweep as a batch: every `run_all` table point as an
+//! independent [`BatchJob`], plus the decoder that folds the in-order
+//! reports back into the table structures the printers consume.
+//!
+//! The job list is a pure function of [`SweepShape`], so `run_all` can
+//! build it twice — once for the serial reference, once for the parallel
+//! run — and compare the two [`rvv_batch::BatchResult::stable_digest`]s
+//! byte for byte.
+
+use crate::experiments::{self, Pair};
+use rvv_batch::BatchJob;
+use rvv_isa::Lmul;
+use scanvec::{EnvConfig, ScanEnv, ScanResult};
+
+/// The sweep grid: the `--max-n`-capped paper sizes, and the size used by
+/// the fixed-N experiments (Table 7 / the scan-LMUL sweep).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepShape {
+    /// Sizes for Tables 1–5.
+    pub sizes: Vec<usize>,
+    /// N for Table 7 and the scan-LMUL sweep.
+    pub n7: usize,
+}
+
+impl SweepShape {
+    /// The shape the command line asks for (`--max-n`).
+    pub fn from_args() -> SweepShape {
+        SweepShape {
+            sizes: crate::sweep_sizes(),
+            n7: 10_000.min(crate::max_n_arg()),
+        }
+    }
+}
+
+/// What one sweep job measured. One variant per experiment family so a
+/// single batch carries the whole evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measurement {
+    /// A vectorized-vs-baseline pair (Tables 1–4).
+    Pair(Pair),
+    /// A Table 5 point: segmented-scan count plus result checksum.
+    Seg {
+        /// Dynamic instruction count.
+        count: u64,
+        /// [`experiments::checksum`] of the scanned vector.
+        checksum: u64,
+    },
+    /// A Table 7 point at one VLEN.
+    Vlen {
+        /// Segmented-scan count.
+        seg: u64,
+        /// `p_add` count.
+        padd: u64,
+    },
+    /// A scan-LMUL-sweep point at one LMUL.
+    Scan {
+        /// Vectorized scan count.
+        ours: u64,
+        /// Scalar baseline count.
+        base: u64,
+    },
+}
+
+/// The decoded sweep, one field per printed table (Table 6 and Figure 5
+/// are derived from these by the printers).
+#[derive(Debug)]
+pub struct SweepTables {
+    /// Table 1 rows.
+    pub t1: Vec<Pair>,
+    /// Table 2 rows.
+    pub t2: Vec<Pair>,
+    /// Table 3 rows.
+    pub t3: Vec<Pair>,
+    /// Table 4 rows.
+    pub t4: Vec<Pair>,
+    /// Table 5 rows: `(n, counts at m1/m2/m4/m8)`.
+    pub t5: Vec<(usize, [u64; 4])>,
+    /// Table 7 rows: `(vlen, seg_count, p_add_count)`.
+    pub t7: Vec<(u32, u64, u64)>,
+    /// Scan-LMUL rows: `(lmul_regs, scan_count, baseline_count)`.
+    pub scan_lmul: Vec<(u32, u64, u64)>,
+}
+
+type PairPoint = fn(&mut ScanEnv, usize) -> ScanResult<Pair>;
+
+/// Every point of the full evaluation as an independent job, in table
+/// order. Deterministic in `shape`; [`decode_sweep`] expects exactly this
+/// layout.
+pub fn sweep_jobs(shape: &SweepShape) -> Vec<BatchJob<Measurement>> {
+    let mut jobs = Vec::new();
+    let paper = EnvConfig::paper_default();
+    let points: [(&str, PairPoint); 4] = [
+        ("table1", experiments::table1_point),
+        ("table2", experiments::table2_point),
+        ("table3", experiments::table3_point),
+        ("table4", experiments::table4_point),
+    ];
+    for (table, point) in points {
+        for &n in &shape.sizes {
+            jobs.push(
+                BatchJob::new(format!("{table}/n={n}"), paper, move |env: &mut ScanEnv| {
+                    point(env, n).map(Measurement::Pair)
+                })
+                // Table 1 sorts cost ~bits× more than the linear points;
+                // weights only steer load balancing, so coarse is fine.
+                .weight(n as u64 * if table == "table1" { 16 } else { 1 }),
+            );
+        }
+    }
+    for &n in &shape.sizes {
+        for lmul in Lmul::ALL {
+            jobs.push(
+                BatchJob::new(
+                    format!("table5/m{}/n={n}", lmul.regs()),
+                    EnvConfig::with_lmul(lmul),
+                    move |env: &mut ScanEnv| {
+                        experiments::table5_point(env, n)
+                            .map(|(count, checksum)| Measurement::Seg { count, checksum })
+                    },
+                )
+                .weight(n as u64),
+            );
+        }
+    }
+    for vlen in [128u32, 256, 512, 1024] {
+        let n = shape.n7;
+        jobs.push(
+            BatchJob::new(
+                format!("table7/vlen{vlen}"),
+                EnvConfig::with_vlen(vlen),
+                move |env: &mut ScanEnv| {
+                    experiments::table7_point(env, n)
+                        .map(|(seg, padd)| Measurement::Vlen { seg, padd })
+                },
+            )
+            .weight(n as u64),
+        );
+    }
+    for lmul in Lmul::ALL {
+        let n = shape.n7;
+        jobs.push(
+            BatchJob::new(
+                format!("scan_lmul/m{}", lmul.regs()),
+                EnvConfig::with_lmul(lmul),
+                move |env: &mut ScanEnv| {
+                    experiments::scan_lmul_point(env, n)
+                        .map(|(ours, base)| Measurement::Scan { ours, base })
+                },
+            )
+            .weight(n as u64),
+        );
+    }
+    jobs
+}
+
+/// Fold the in-order reports of a [`sweep_jobs`] batch back into tables.
+///
+/// Panics on any failed job and re-asserts Table 5's cross-LMUL result
+/// equality from the point checksums — the same invariant the serial
+/// [`experiments::table5_with_profile`] enforces in-process.
+pub fn decode_sweep(
+    shape: &SweepShape,
+    reports: &[rvv_batch::JobReport<Measurement>],
+) -> SweepTables {
+    let mut it = reports.iter();
+    let mut next = |what: &str| -> Measurement {
+        let r = it
+            .next()
+            .unwrap_or_else(|| panic!("sweep too short at {what}"));
+        *r.output
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", r.name))
+    };
+    let mut pairs = |table: &str| -> Vec<Pair> {
+        shape
+            .sizes
+            .iter()
+            .map(|_| match next(table) {
+                Measurement::Pair(p) => p,
+                m => panic!("{table}: expected a pair, got {m:?}"),
+            })
+            .collect()
+    };
+    let t1 = pairs("table1");
+    let t2 = pairs("table2");
+    let t3 = pairs("table3");
+    let t4 = pairs("table4");
+    let t5 = shape
+        .sizes
+        .iter()
+        .map(|&n| {
+            let mut counts = [0u64; 4];
+            let mut reference: Option<u64> = None;
+            for c in &mut counts {
+                match next("table5") {
+                    Measurement::Seg { count, checksum } => {
+                        *c = count;
+                        match reference {
+                            None => reference = Some(checksum),
+                            Some(r) => {
+                                assert_eq!(checksum, r, "LMUL changed the result at n={n}")
+                            }
+                        }
+                    }
+                    m => panic!("table5: expected a seg point, got {m:?}"),
+                }
+            }
+            (n, counts)
+        })
+        .collect();
+    let t7 = [128u32, 256, 512, 1024]
+        .into_iter()
+        .map(|vlen| match next("table7") {
+            Measurement::Vlen { seg, padd } => (vlen, seg, padd),
+            m => panic!("table7: expected a vlen point, got {m:?}"),
+        })
+        .collect();
+    let scan_lmul = Lmul::ALL
+        .into_iter()
+        .map(|lmul| match next("scan_lmul") {
+            Measurement::Scan { ours, base } => (lmul.regs(), ours, base),
+            m => panic!("scan_lmul: expected a scan point, got {m:?}"),
+        })
+        .collect();
+    assert!(it.next().is_none(), "sweep longer than its shape");
+    SweepTables {
+        t1,
+        t2,
+        t3,
+        t4,
+        t5,
+        t7,
+        scan_lmul,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvv_batch::BatchRunner;
+
+    fn small() -> SweepShape {
+        SweepShape {
+            sizes: vec![100, 1000],
+            n7: 1000,
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_serial_experiments() {
+        let shape = small();
+        let result = BatchRunner::new(1).run(sweep_jobs(&shape));
+        assert!(result.all_ok());
+        let tables = decode_sweep(&shape, &result.reports);
+        assert_eq!(tables.t1, experiments::table1(&shape.sizes));
+        assert_eq!(tables.t2, experiments::table2(&shape.sizes));
+        assert_eq!(tables.t3, experiments::table3(&shape.sizes));
+        assert_eq!(tables.t4, experiments::table4(&shape.sizes));
+        assert_eq!(tables.t5, experiments::table5(&shape.sizes));
+        assert_eq!(tables.t7, experiments::table7(shape.n7));
+        assert_eq!(tables.scan_lmul, experiments::scan_lmul_sweep(shape.n7));
+    }
+
+    #[test]
+    fn job_list_is_deterministic_and_sized_by_shape() {
+        let shape = small();
+        let a = sweep_jobs(&shape);
+        let b = sweep_jobs(&shape);
+        assert_eq!(a.len(), 4 * 2 + 2 * 4 + 4 + 4);
+        let names = |jobs: &[BatchJob<Measurement>]| {
+            jobs.iter().map(|j| j.name.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(names(&a), names(&b));
+        assert!(a.iter().all(|j| j.weight > 0));
+    }
+}

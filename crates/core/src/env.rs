@@ -20,12 +20,12 @@
 //! * Kernels end with `ecall`.
 
 use crate::error::{ScanError, ScanResult};
+use crate::plan_cache::PlanCache;
 use rvv_asm::SpillProfile;
-use rvv_isa::{Lmul, Sew, XReg};
+use rvv_isa::{KernelConfig, Lmul, Sew, XReg};
 use rvv_sim::{CompiledPlan, Machine, MachineConfig, Program, RunReport, TraceSink, DEFAULT_FUEL};
-use std::collections::HashMap;
 use std::ops::Range;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Stack reservation at the top of device memory.
 const STACK_BYTES: u64 = 1 << 20;
@@ -33,7 +33,10 @@ const STACK_BYTES: u64 = 1 << 20;
 const HEAP_BASE: u64 = 4096;
 
 /// Environment configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` so batch workers can pool one reusable environment per distinct
+/// configuration (see `rvv-batch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EnvConfig {
     /// Vector register length in bits (the paper sweeps 128..1024).
     pub vlen: u32,
@@ -69,6 +72,17 @@ impl EnvConfig {
         EnvConfig {
             lmul,
             ..EnvConfig::paper_default()
+        }
+    }
+
+    /// The architectural kernel-compilation key this environment generates
+    /// code under, at element width `sew` (device memory size does not
+    /// affect generated code, so it is not part of the key).
+    pub fn kernel_config(&self, sew: Sew) -> KernelConfig {
+        KernelConfig {
+            vlen: self.vlen,
+            sew,
+            lmul: self.lmul,
         }
     }
 }
@@ -142,14 +156,23 @@ pub struct ScanEnv {
     cfg: EnvConfig,
     heap: u64,
     heap_limit: u64,
-    kernels: HashMap<(String, Sew, Lmul), Rc<CompiledPlan>>,
+    plans: Arc<PlanCache>,
     tracer: Option<Box<dyn TraceSink>>,
     engine: ExecEngine,
 }
 
 impl ScanEnv {
-    /// Build an environment.
+    /// Build an environment with a private plan registry.
     pub fn new(cfg: EnvConfig) -> ScanEnv {
+        ScanEnv::with_cache(cfg, PlanCache::shared())
+    }
+
+    /// Build an environment that compiles kernels into (and launches them
+    /// from) a shared [`PlanCache`]. Environments sharing a registry never
+    /// recompile a kernel another one already built for the same
+    /// `(name, VLEN, SEW, LMUL, spill profile)` — the batch engine gives
+    /// every pooled worker environment one process-wide registry.
+    pub fn with_cache(cfg: EnvConfig, plans: Arc<PlanCache>) -> ScanEnv {
         let machine = Machine::new(MachineConfig {
             vlen: cfg.vlen,
             mem_bytes: cfg.mem_bytes,
@@ -160,7 +183,7 @@ impl ScanEnv {
             cfg,
             heap: HEAP_BASE,
             heap_limit,
-            kernels: HashMap::new(),
+            plans,
             tracer: None,
             engine: ExecEngine::default(),
         }
@@ -169,6 +192,26 @@ impl ScanEnv {
     /// Environment with the paper's headline configuration.
     pub fn paper_default() -> ScanEnv {
         ScanEnv::new(EnvConfig::paper_default())
+    }
+
+    /// The plan registry this environment compiles into.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
+    }
+
+    /// Reset the environment for reuse: zero the CPU (scalar/vector
+    /// registers, `vtype`, counters), release every heap allocation, disarm
+    /// all memory guards, and detach any tracer. Cached plans are **not**
+    /// dropped — they live in the (possibly shared) registry — so a pooled
+    /// worker that resets between jobs relaunches kernels with zero
+    /// recompilation. Memory contents are not scrubbed; [`ScanEnv::alloc`]
+    /// zeroes every allocation it hands out, so a reset environment is
+    /// observationally identical to a fresh one.
+    pub fn reset(&mut self) {
+        self.machine.reset_cpu();
+        self.machine.mem.clear_guards();
+        self.heap = HEAP_BASE;
+        self.tracer = None;
     }
 
     /// The configuration.
@@ -409,23 +452,24 @@ impl ScanEnv {
     // ------------------------------------------------------------- kernels --
 
     /// Fetch or build a kernel, pre-compiled to a [`CompiledPlan`]. `name`
-    /// must uniquely identify the generated code together with `sew` and
-    /// the environment's LMUL (the VLEN/profile are fixed). The LMUL is
-    /// part of the cache key so kernels built under one register-group
-    /// width are never served to an environment reconfigured for another.
+    /// must uniquely identify the generated code together with the
+    /// environment's full architectural configuration — the registry key is
+    /// `(name, VLEN, SEW, LMUL, spill profile)` ([`EnvConfig::kernel_config`]
+    /// plus the profile), so kernels built under one configuration are never
+    /// served to an environment with another, even when many environments
+    /// share one registry.
     pub fn kernel(
         &mut self,
         name: &str,
         sew: Sew,
         build: impl FnOnce(&EnvConfig, Sew) -> ScanResult<Program>,
-    ) -> ScanResult<Rc<CompiledPlan>> {
-        let key = (name.to_string(), sew, self.cfg.lmul);
-        if let Some(p) = self.kernels.get(&key) {
-            return Ok(Rc::clone(p));
-        }
-        let p = Rc::new(CompiledPlan::compile(build(&self.cfg, sew)?));
-        self.kernels.insert(key, Rc::clone(&p));
-        Ok(p)
+    ) -> ScanResult<Arc<CompiledPlan>> {
+        self.plans.get_or_compile(
+            name,
+            self.cfg.kernel_config(sew),
+            self.cfg.spill_profile,
+            || build(&self.cfg, sew),
+        )
     }
 
     /// Launch a compiled kernel with arguments in `a0..`, returning the run

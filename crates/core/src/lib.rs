@@ -11,6 +11,9 @@
 //!
 //! * [`env`] — [`env::ScanEnv`] owns the simulated machine, stages device
 //!   vectors, caches kernels per `(VLEN, SEW, LMUL, spill profile)`.
+//! * [`plan_cache`] — the thread-safe [`PlanCache`] registry behind that
+//!   caching: `Arc`-shared compiled plans, one compile per configuration
+//!   even across a worker pool (the `rvv-batch` sweep engine builds on it).
 //! * [`primitives`] — the public operations over device vectors, each
 //!   returning the dynamic instruction count of its launch, plus the
 //!   [`primitives::baseline`] scalar counterparts the paper compares with.
@@ -52,6 +55,7 @@ pub mod kernels;
 pub mod native;
 pub mod ops;
 pub mod paper;
+pub mod plan_cache;
 pub mod primitives;
 pub mod segment;
 pub mod typed;
@@ -59,6 +63,7 @@ pub mod typed;
 pub use env::{EnvConfig, ExecEngine, ScanEnv, SvVector};
 pub use error::{ScanError, ScanResult};
 pub use ops::ScanOp;
+pub use plan_cache::PlanCache;
 pub use primitives::ScanKind;
 pub use segment::Segments;
 pub use typed::{DeviceVec, SvElement};

@@ -316,6 +316,56 @@ impl VType {
     }
 }
 
+/// A kernel compilation configuration: the architectural parameters a
+/// generated kernel is specialized for. This is the shared plan registry's
+/// cache key (together with the kernel name and spill profile): two
+/// environments agree on a compiled kernel exactly when they agree on a
+/// `KernelConfig`.
+///
+/// Hashes cheaply and stably: [`KernelConfig::to_bits`] packs the whole
+/// configuration into one `u64` (VLEN is a power of two in `[64, 65536]`,
+/// so its log2 fits in 5 bits; SEW and LMUL reuse their `vtype` field
+/// encodings), and the `Hash` impl hashes exactly that word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct KernelConfig {
+    /// Vector register length in bits.
+    pub vlen: u32,
+    /// Selected element width the kernel was generated for.
+    pub sew: Sew,
+    /// Register-group multiplier the kernel was generated for.
+    pub lmul: Lmul,
+}
+
+impl KernelConfig {
+    /// Pack into a single word: `log2(vlen)` in bits 6.., the `vsew` field
+    /// in bits 3..6, the `vlmul` field in bits 0..3. Distinct
+    /// configurations map to distinct words.
+    #[inline]
+    pub const fn to_bits(self) -> u64 {
+        ((self.vlen.trailing_zeros() as u64) << 6)
+            | (self.sew.vtype_bits() << 3)
+            | self.lmul.vtype_bits()
+    }
+
+    /// `VLMAX` for this configuration (0 = illegal, see [`VType::vlmax`]).
+    #[inline]
+    pub const fn vlmax(self) -> u32 {
+        VType::new(self.sew, self.lmul).vlmax(self.vlen)
+    }
+}
+
+impl std::hash::Hash for KernelConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vlen{}/{}/{}", self.vlen, self.sew, self.lmul)
+    }
+}
+
 impl fmt::Display for VType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -406,6 +456,27 @@ mod tests {
         assert_eq!(VType::new(Sew::E32, Lmul::M1).vlmax(128), 4);
         assert_eq!(VType::new(Sew::E64, Lmul::M2).vlmax(256), 8);
         assert_eq!(VType::new(Sew::E8, Lmul::M1).vlmax(128), 16);
+    }
+
+    #[test]
+    fn kernel_config_bits_are_injective() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for vlen in [64u32, 128, 256, 512, 1024, 65536] {
+            for &sew in &Sew::ALL {
+                for &lmul in &Lmul::ALL_WITH_FRACTIONAL {
+                    let k = KernelConfig { vlen, sew, lmul };
+                    assert!(seen.insert(k.to_bits()), "collision at {k}");
+                }
+            }
+        }
+        let k = KernelConfig {
+            vlen: 1024,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        };
+        assert_eq!(k.vlmax(), 32);
+        assert_eq!(format!("{k}"), "vlen1024/e32/m1");
     }
 
     #[test]

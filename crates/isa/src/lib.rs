@@ -48,7 +48,7 @@ mod instr;
 mod reg;
 
 pub use class::InstrClass;
-pub use config::{Lmul, Sew, VType};
+pub use config::{KernelConfig, Lmul, Sew, VType};
 pub use decode::{decode, DecodeError};
 pub use encode::{encode, EncodeError};
 pub use instr::{AluOp, BranchCond, Instr, MaskOp, MemWidth, VAluOp, VCmp, VCsr, VRedOp};

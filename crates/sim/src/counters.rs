@@ -107,6 +107,17 @@ impl Counters {
         *self = Counters::default();
     }
 
+    /// Accumulate another counter set into this one, class by class. The
+    /// batch engine uses this to fold per-worker counters into a sweep-wide
+    /// total; addition is commutative, so the merged result is independent
+    /// of worker scheduling.
+    pub fn merge(&mut self, other: &Counters) {
+        self.total += other.total;
+        for (a, b) in self.by_class.iter_mut().zip(other.by_class.iter()) {
+            *a += *b;
+        }
+    }
+
     /// Difference (`self - earlier`), class by class. Panics in debug builds
     /// if `earlier` is not actually earlier.
     pub fn since(&self, earlier: &Counters) -> Counters {
@@ -187,6 +198,24 @@ mod tests {
         // Crude structural sanity: balanced braces, no trailing comma.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",}"), "{json}");
+    }
+
+    #[test]
+    fn merge_adds_class_by_class() {
+        let mut a = Counters::new();
+        a.retire(&Instr::Ecall);
+        let mut b = Counters::new();
+        b.retire(&Instr::Ecall);
+        b.retire(&Instr::VLoad {
+            eew: Sew::E32,
+            vd: VReg::new(8),
+            rs1: XReg::new(10),
+            vm: true,
+        });
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.class(InstrClass::ScalarCtrl), 2);
+        assert_eq!(a.class(InstrClass::VectorMem), 1);
     }
 
     #[test]

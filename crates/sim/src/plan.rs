@@ -22,10 +22,18 @@
 //! Kernels are monomorphized over the element type only; `vl`, LMUL, and the
 //! mask are read at execution time through the same `Machine` accessors the
 //! legacy interpreter uses. A `vsetvli` that changes LMUL but not SEW
-//! therefore hits the cache, and a key mismatch (including `vill`, key 0)
-//! re-resolves in one match — the cache is a single `(key, fn)` slot per
-//! micro-op, which is exact for the paper's kernels (each static vector
-//! instruction runs under one vtype per strip-mined loop).
+//! therefore hits the cache; the cache is one once-initialized slot per SEW
+//! per micro-op (`vill`, key 0, errors before any slot is touched), which
+//! is exact for the paper's kernels (each static vector instruction runs
+//! under one vtype per strip-mined loop) and lock-free on the hit path.
+//!
+//! ## Thread safety
+//!
+//! `CompiledPlan` is `Send + Sync` (asserted below): the ops are immutable
+//! after compilation and the specialization caches are [`OnceLock`] slots,
+//! so one plan instance compiled into a shared registry can be executed
+//! concurrently by many machines. All *mutable* state lives in the
+//! `Machine` executing the plan, never in the plan itself.
 
 use crate::error::{SimError, SimResult};
 use crate::exec::{alu_fn, branch_fn, Control};
@@ -33,7 +41,7 @@ use crate::machine::Machine;
 use crate::program::{Program, RunReport};
 use crate::trace::{RetireEvent, TraceSink};
 use rvv_isa::{Instr, InstrClass, MemWidth, Sew, VAluOp, VCmp, VCsr, VReg, XReg};
-use std::cell::Cell;
+use std::sync::OnceLock;
 
 // ------------------------------------------------------------------ types --
 
@@ -48,6 +56,15 @@ pub struct CompiledPlan {
     source: Program,
     ops: Vec<MicroOp>,
 }
+
+// Compile-time proof that a plan can be shared read-only across worker
+// threads (the `scanvec` plan registry hands out `Arc<CompiledPlan>`).
+// Breaking this — e.g. by reintroducing `Cell`/`Rc` state — is a build
+// error here rather than a failure at every downstream use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledPlan>();
+};
 
 impl CompiledPlan {
     /// Lower `program` into a plan. Never fails: instructions that cannot be
@@ -178,39 +195,42 @@ enum AluRhs {
     Imm(u64),
 }
 
-/// Per-op vtype specialization cache: one `(key, kernel)` slot. The key is
-/// [`vtype_key`] (0 = `vill`, 1..=4 = SEW); a hit is a single compare, a
-/// miss re-resolves the kernel for the new SEW.
-struct KCache<F: Copy> {
-    slot: Cell<Option<(u8, F)>>,
+/// Per-op vtype specialization cache: one [`OnceLock`] kernel slot per SEW
+/// key (the key is [`vtype_key`]: 0 = `vill`, 1..=4 = SEW). A hit is one
+/// acquire load; a miss resolves the kernel for that SEW exactly once, even
+/// under concurrent lookups — which is what makes a [`CompiledPlan`]
+/// `Sync`: a plan cached in a shared registry can be executed by many
+/// worker threads at once, each warming or reusing the same resolved
+/// kernels. Resolution is a pure function of `(op, SEW)`, so racing
+/// initializers compute identical pointers.
+struct KCache<F> {
+    slots: [OnceLock<F>; 4],
 }
 
-impl<F: Copy> std::fmt::Debug for KCache<F> {
+impl<F> std::fmt::Debug for KCache<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "KCache(key={:?})", self.slot.get().map(|(k, _)| k))
+        let keys: Vec<u8> = (0..4u8)
+            .filter(|&k| self.slots[k as usize].get().is_some())
+            .map(|k| k + 1)
+            .collect();
+        write!(f, "KCache(resolved={keys:?})")
     }
 }
 
 impl<F: Copy> KCache<F> {
     fn new() -> KCache<F> {
         KCache {
-            slot: Cell::new(None),
+            slots: [const { OnceLock::new() }; 4],
         }
     }
 
-    /// Return the kernel for `key`, resolving on miss. Key 0 (`vill`) errors
-    /// with [`SimError::Vill`] — the same first check every specialized
-    /// vector family performs in the legacy interpreter.
+    /// Return the kernel for `key`, resolving on first use. Key 0 (`vill`)
+    /// errors with [`SimError::Vill`] — the same first check every
+    /// specialized vector family performs in the legacy interpreter.
     #[inline(always)]
     fn lookup(&self, key: u8, resolve: impl FnOnce(Sew) -> F) -> SimResult<F> {
-        if let Some((k, f)) = self.slot.get() {
-            if k == key {
-                return Ok(f);
-            }
-        }
-        let f = resolve(sew_of_key(key)?);
-        self.slot.set(Some((key, f)));
-        Ok(f)
+        let sew = sew_of_key(key)?;
+        Ok(*self.slots[(key - 1) as usize].get_or_init(|| resolve(sew)))
     }
 }
 

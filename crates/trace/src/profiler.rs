@@ -85,6 +85,15 @@ impl PhaseStats {
     pub fn class(&self, c: InstrClass) -> u64 {
         self.by_class[c.index()]
     }
+
+    fn merge(&mut self, other: &PhaseStats) {
+        self.enters += other.enters;
+        self.retired += other.retired;
+        for (a, b) in self.by_class.iter_mut().zip(other.by_class.iter()) {
+            *a += *b;
+        }
+        self.spill.add(&other.spill);
+    }
 }
 
 /// One entry of the per-PC histogram, symbolicated.
@@ -250,6 +259,64 @@ impl TraceProfiler {
     /// order.
     pub fn programs(&self) -> Vec<&str> {
         self.programs.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Fold another (quiescent) profiler into this one.
+    ///
+    /// Phase and spill statistics add; per-PC histograms add with program
+    /// identity matched **by name** (a kernel profiled on two workers is one
+    /// hotspot table); `other`'s timeline is appended with its virtual
+    /// timestamps shifted past this profiler's clock, so the merged timeline
+    /// reads as `self`'s run followed by `other`'s. Merging is therefore
+    /// order-sensitive for events but order-insensitive for every aggregate —
+    /// the batch engine merges worker profiles in job order to keep even the
+    /// timeline deterministic.
+    ///
+    /// Both profilers must be outside any open phase (the batch engine only
+    /// merges detached, finished sinks).
+    pub fn merge(&mut self, other: &TraceProfiler) {
+        debug_assert!(
+            self.phase_stack.is_empty() && other.phase_stack.is_empty(),
+            "merging profilers with open phases"
+        );
+        self.total.merge(&other.total);
+        for phase in &other.phases {
+            let idx = match self.phase_index.get(&phase.name) {
+                Some(&i) => i,
+                None => {
+                    self.phases.push(PhaseStats::new(&phase.name));
+                    self.phase_index
+                        .insert(phase.name.clone(), self.phases.len() - 1);
+                    self.phases.len() - 1
+                }
+            };
+            self.phases[idx].merge(phase);
+        }
+        // Remap other's program indices into ours by name.
+        let remap: Vec<usize> = other
+            .programs
+            .iter()
+            .map(|(name, marks)| match self.program_index.get(name) {
+                Some(&i) => i,
+                None => {
+                    self.programs.push((name.clone(), marks.clone()));
+                    self.program_index
+                        .insert(name.clone(), self.programs.len() - 1);
+                    self.programs.len() - 1
+                }
+            })
+            .collect();
+        for (&(prog, pc), &count) in &other.pc_counts {
+            *self.pc_counts.entry((remap[prog], pc)).or_insert(0) += count;
+        }
+        let base = self.clock;
+        self.events.extend(other.events.iter().map(|e| PhaseEvent {
+            kind: e.kind,
+            name: e.name.clone(),
+            ts: base + e.ts,
+        }));
+        self.clock += other.clock;
+        self.current_program = None;
     }
 }
 
@@ -452,6 +519,54 @@ mod tests {
         assert_eq!(hs[0].location(), "k`tail@0x8");
         assert_eq!(hs[1].symbol.as_deref(), Some("head"));
         assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn merge_adds_aggregates_and_concatenates_timelines() {
+        let prog = Program::new("k", vec![Instr::Ecall; 2]);
+        let mk = |phase: &str, retires: usize| {
+            let mut p = TraceProfiler::new(1000..2000);
+            p.launch(&prog);
+            p.phase_begin(phase);
+            for _ in 0..retires {
+                p.retire(&retire_event(&Instr::Ecall, None));
+            }
+            p.retire(&retire_event(
+                &Instr::Store {
+                    width: MemWidth::D,
+                    rs2: XReg::ZERO,
+                    rs1: XReg::new(2),
+                    offset: 0,
+                },
+                Some(MemAccess {
+                    addr: 1500,
+                    bytes: 8,
+                    store: true,
+                }),
+            ));
+            p.phase_end(phase);
+            p
+        };
+        let mut a = mk("shared", 2);
+        let b = mk("shared", 4);
+        let c = mk("only-c", 1);
+        a.merge(&b);
+        a.merge(&c);
+        assert_eq!(a.total_retired(), 3 + 5 + 2);
+        assert_eq!(a.phase("shared").unwrap().retired, 8);
+        assert_eq!(a.phase("shared").unwrap().enters, 2);
+        assert_eq!(a.phase("only-c").unwrap().retired, 2);
+        assert_eq!(a.spill().scalar_stores, 3);
+        // One program entry, counts added across profilers.
+        assert_eq!(a.programs(), vec!["k"]);
+        assert_eq!(a.hotspots(1)[0].count, 10);
+        // Timelines concatenate with shifted timestamps.
+        let ts: Vec<u64> = a.events().iter().map(|e| e.ts).collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "timeline not monotonic"
+        );
+        assert_eq!(a.events().len(), 3 + 3 + 3);
     }
 
     #[test]
