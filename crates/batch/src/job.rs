@@ -1,8 +1,8 @@
 //! Jobs and reports: the units the runner shards and the records it emits.
 
-use rvv_sim::Counters;
+use rvv_sim::{Counters, SimError};
 use rvv_trace::TraceProfiler;
-use scanvec::{EnvConfig, ScanEnv, ScanResult};
+use scanvec::{EnvConfig, ScanEnv, ScanError, ScanResult};
 use std::fmt;
 use std::time::Duration;
 
@@ -27,6 +27,15 @@ pub struct BatchJob<T> {
     pub weight: u64,
     /// Attach a [`TraceProfiler`] for this job's run?
     pub trace: bool,
+    /// How many times a failed attempt is retried (0 = run once). Retries
+    /// run in a **fresh** environment — not the pooled one — so an attempt
+    /// that corrupted its environment cannot contaminate the next.
+    pub retries: u32,
+    /// Deterministic per-attempt watchdog: abort the attempt once this many
+    /// instructions have retired (the fuel-based stand-in for a wall-clock
+    /// timeout — fires at the same instruction on every run). Exhausting it
+    /// reports [`JobOutcome::TimedOut`].
+    pub watchdog: Option<u64>,
     run: JobFn<T>,
 }
 
@@ -42,6 +51,8 @@ impl<T> BatchJob<T> {
             config,
             weight: 1,
             trace: false,
+            retries: 0,
+            watchdog: None,
             run: Box::new(run),
         }
     }
@@ -55,6 +66,36 @@ impl<T> BatchJob<T> {
     /// Request a per-job trace profile (builder style).
     pub fn traced(mut self, trace: bool) -> BatchJob<T> {
         self.trace = trace;
+        self
+    }
+
+    /// Retry a failed job up to `retries` more times, each attempt in a
+    /// fresh environment (builder style).
+    pub fn retries(mut self, retries: u32) -> BatchJob<T> {
+        self.retries = retries;
+        self
+    }
+
+    /// Arm the deterministic instruction-budget watchdog (builder style).
+    pub fn watchdog(mut self, fuel: u64) -> BatchJob<T> {
+        self.watchdog = Some(fuel);
+        self
+    }
+
+    /// Run `setup` on the environment before the job body, every attempt
+    /// (builder style). This is how drivers attach per-job instrumentation
+    /// the closure itself doesn't know about — e.g. arming a fault plan's
+    /// guards and hook for an injection sweep. The environment reset
+    /// between jobs clears whatever `setup` installed.
+    pub fn with_setup(mut self, setup: impl Fn(&mut ScanEnv) + Send + Sync + 'static) -> BatchJob<T>
+    where
+        T: 'static,
+    {
+        let run = self.run;
+        self.run = Box::new(move |env| {
+            setup(env);
+            run(env)
+        });
         self
     }
 
@@ -74,6 +115,82 @@ impl<T> fmt::Debug for BatchJob<T> {
     }
 }
 
+/// How one [`BatchJob`] ended. Failures are *reported*, never propagated —
+/// one failing point must not take down a 100-point sweep — and every
+/// failure mode is distinguishable in the report.
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The closure returned `Ok`.
+    Ok(T),
+    /// The simulated machine trapped ([`scanvec::ScanError::Sim`]): a guard
+    /// hit, an injected fault, out-of-bounds access, an illegal
+    /// instruction, …
+    Trapped(SimError),
+    /// The closure failed on the host side (allocation, validation — any
+    /// non-trap [`ScanError`]).
+    Failed(ScanError),
+    /// The closure panicked; the payload text. The environment it ran in
+    /// was poisoned and discarded.
+    Panicked(String),
+    /// The job's [`BatchJob::watchdog`] instruction budget ran out.
+    TimedOut {
+        /// The exhausted budget.
+        budget: u64,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// Did the job succeed?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+
+    /// The success value, if any.
+    pub fn output(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Classify a closure result against the watchdog that was armed for
+    /// the attempt: a fuel trap matching the armed budget is a timeout, any
+    /// other sim trap is [`JobOutcome::Trapped`], other errors are
+    /// [`JobOutcome::Failed`].
+    pub(crate) fn classify(result: ScanResult<T>, watchdog: Option<u64>) -> JobOutcome<T> {
+        match result {
+            Ok(v) => JobOutcome::Ok(v),
+            Err(ScanError::Sim(SimError::FuelExhausted { fuel })) if watchdog == Some(fuel) => {
+                JobOutcome::TimedOut { budget: fuel }
+            }
+            Err(ScanError::Sim(e)) => JobOutcome::Trapped(e),
+            Err(e) => JobOutcome::Failed(e),
+        }
+    }
+
+    /// The stable, scheduling-independent serialization used by
+    /// [`JobReport::stable_line`]. `Ok`/`Trapped`/`Failed` match the forms
+    /// the previous `ScanResult` field produced (`ok {v:?}` / `err {e}`),
+    /// so existing golden digests stay valid.
+    fn stable(&self) -> String
+    where
+        T: fmt::Debug,
+    {
+        match self {
+            JobOutcome::Ok(v) => format!("ok {v:?}"),
+            JobOutcome::Trapped(e) => format!("err {}", ScanError::Sim(e.clone())),
+            JobOutcome::Failed(e) => format!("err {e}"),
+            JobOutcome::Panicked(msg) => {
+                // Panic payloads can embed host line numbers etc.; first
+                // line only keeps the manifest stable and readable.
+                let first = msg.lines().next().unwrap_or("");
+                format!("panicked {first}")
+            }
+            JobOutcome::TimedOut { budget } => format!("timed-out budget={budget}"),
+        }
+    }
+}
+
 /// What one [`BatchJob`] produced.
 #[derive(Debug)]
 pub struct JobReport<T> {
@@ -81,10 +198,15 @@ pub struct JobReport<T> {
     pub name: String,
     /// The configuration it ran under.
     pub config: EnvConfig,
-    /// The closure's result (errors are reported, not propagated — one
-    /// failing point must not take down a 100-point sweep).
-    pub output: ScanResult<T>,
-    /// Dynamic instructions this job retired, by class.
+    /// How the job ended (after retries, if any were configured).
+    pub outcome: JobOutcome<T>,
+    /// Attempts made (1 = first try succeeded or no retries configured;
+    /// 0 = the job never ran because its worker thread died). Quarantined
+    /// from [`JobReport::stable_line`] like `wall`/`worker`: retry counts
+    /// are deterministic for deterministic jobs, but they are bookkeeping,
+    /// not results.
+    pub attempts: u32,
+    /// Dynamic instructions this job retired, by class (final attempt).
     pub counters: Counters,
     /// Total dynamic instructions this job retired.
     pub retired: u64,
@@ -100,17 +222,20 @@ pub struct JobReport<T> {
     pub wall: Duration,
 }
 
+impl<T> JobReport<T> {
+    /// The success value, if the job succeeded.
+    pub fn output(&self) -> Option<&T> {
+        self.outcome.output()
+    }
+}
+
 impl<T: fmt::Debug> JobReport<T> {
     /// The determinism-comparable serialization of this report: name,
-    /// configuration, retired count, per-class counters, and the output's
-    /// `Debug` form. Everything scheduling-dependent (worker id, wall
-    /// clock) is excluded, so serial and parallel runs of the same jobs
+    /// configuration, retired count, per-class counters, and the outcome.
+    /// Everything scheduling-dependent (worker id, wall clock, attempt
+    /// count) is excluded, so serial and parallel runs of the same jobs
     /// produce byte-identical lines.
     pub fn stable_line(&self) -> String {
-        let out = match &self.output {
-            Ok(v) => format!("ok {v:?}"),
-            Err(e) => format!("err {e}"),
-        };
         format!(
             "{} cfg=vlen{}/{:?}/{:?} retired={} counters={} output={}",
             self.name,
@@ -119,7 +244,7 @@ impl<T: fmt::Debug> JobReport<T> {
             self.config.spill_profile,
             self.retired,
             self.counters.to_json(),
-            out
+            self.outcome.stable()
         )
     }
 }
@@ -165,6 +290,66 @@ impl<T: fmt::Debug> BatchResult<T> {
 
     /// Did every job succeed?
     pub fn all_ok(&self) -> bool {
-        self.reports.iter().all(|r| r.output.is_ok())
+        self.reports.iter().all(|r| r.outcome.is_ok())
+    }
+
+    /// `None` when every job succeeded; otherwise a summary of the failed
+    /// jobs, suitable for a `--keep-going` failure manifest. The summary's
+    /// `Display` is deterministic: job order, stable outcome forms, no
+    /// timing or scheduling data.
+    pub fn degraded(&self) -> Option<DegradedSummary> {
+        let failed: Vec<FailedJob> = self
+            .reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.outcome.is_ok())
+            .map(|(index, r)| FailedJob {
+                index,
+                name: r.name.clone(),
+                outcome: r.outcome.stable(),
+            })
+            .collect();
+        if failed.is_empty() {
+            None
+        } else {
+            Some(DegradedSummary {
+                total: self.reports.len(),
+                failed,
+            })
+        }
+    }
+}
+
+/// One failed job inside a [`DegradedSummary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedJob {
+    /// The job's index in the batch (job order, not schedule order).
+    pub index: usize,
+    /// The job's name.
+    pub name: String,
+    /// The stable form of the failure (`err …`, `panicked …`,
+    /// `timed-out …`).
+    pub outcome: String,
+}
+
+/// A degraded batch: the sweep completed, some jobs failed. Produced by
+/// [`BatchResult::degraded`]; its `Display` is the failure manifest
+/// `run_all --keep-going` writes (deterministic — byte-identical across
+/// thread counts and reruns for deterministic jobs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedSummary {
+    /// Jobs in the batch.
+    pub total: usize,
+    /// The failures, in job order.
+    pub failed: Vec<FailedJob>,
+}
+
+impl fmt::Display for DegradedSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} of {} jobs failed", self.failed.len(), self.total)?;
+        for j in &self.failed {
+            writeln!(f, "  {:04} {}: {}", j.index, j.name, j.outcome)?;
+        }
+        Ok(())
     }
 }

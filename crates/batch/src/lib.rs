@@ -31,6 +31,20 @@
 //! [`ScanEnv::reset`] between jobs, so a 40-point sweep at 4 configurations
 //! allocates 4 machines, not 40.
 //!
+//! ## How failure stays contained
+//!
+//! Every job body runs inside `catch_unwind`: a panicking job becomes
+//! [`JobOutcome::Panicked`] in its report (and poisons its pooled
+//! environment, which the pool then discards) instead of unwinding the
+//! worker. Simulated traps surface as [`JobOutcome::Trapped`], host-side
+//! errors as [`JobOutcome::Failed`], and an exhausted
+//! [`BatchJob::watchdog`] budget as [`JobOutcome::TimedOut`]. Jobs may be
+//! given bounded [`BatchJob::retries`], each retry in a fresh environment;
+//! the attempt count is reported but — like `wall` and `worker` —
+//! quarantined out of the stable serialization. A batch with failures
+//! still completes every job; [`BatchResult::degraded`] summarizes the
+//! failures as a deterministic manifest for `--keep-going` style drivers.
+//!
 //! ```
 //! use rvv_batch::{BatchJob, BatchRunner};
 //! use scanvec::EnvConfig;
@@ -48,7 +62,7 @@
 //!     })
 //!     .collect();
 //! let serial = BatchRunner::new(1).run(jobs);
-//! assert_eq!(serial.reports[0].output.as_ref().unwrap().last(), Some(&100));
+//! assert_eq!(serial.reports[0].output().unwrap().last(), Some(&100));
 //! // One plan registry, every kernel compiled once across the whole sweep.
 //! assert!(serial.plan_compiles > 0);
 //! ```
@@ -59,7 +73,7 @@
 mod job;
 mod runner;
 
-pub use job::{BatchJob, BatchResult, JobReport};
+pub use job::{BatchJob, BatchResult, DegradedSummary, FailedJob, JobOutcome, JobReport};
 pub use runner::BatchRunner;
 
 // Re-exported so bins depending on `rvv-batch` can name the shared pieces

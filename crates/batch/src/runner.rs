@@ -1,11 +1,13 @@
-//! The runner: up-front sharding, scoped workers, in-order emission.
+//! The runner: up-front sharding, scoped workers, in-order emission,
+//! panic-isolated and retrying job execution.
 
-use crate::job::{BatchJob, BatchResult, JobReport};
+use crate::job::{BatchJob, BatchResult, JobOutcome, JobReport};
 use rvv_trace::TraceProfiler;
 use scanvec::{EnvConfig, PlanCache, ScanEnv};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Runs batches of [`BatchJob`]s across `threads` scoped worker threads
 /// (serially on the calling thread for `threads == 1`), all workers
@@ -59,17 +61,21 @@ impl BatchRunner {
         let reports: Vec<JobReport<T>> = if self.threads == 1 {
             // Serial reference path: caller's thread, job order, one pool.
             let mut pool = EnvPool::new(&self.plans);
-            jobs.iter()
-                .map(|job| run_one(job, pool.env_for(job.config), 0))
-                .collect()
+            jobs.iter().map(|job| run_one(job, &mut pool, 0)).collect()
         } else {
             let shards = shard(&jobs, self.threads);
             let mut slots: Vec<Option<JobReport<T>>> = Vec::new();
             slots.resize_with(jobs.len(), || None);
             let jobs = &jobs;
-            let completed = std::thread::scope(|s| {
+            // (completed reports, panicked workers). Job bodies are panic-
+            // isolated inside `run_one`, so a worker thread dying is a bug
+            // in the runner itself — but even then the batch must degrade,
+            // not abort: the dead worker's unfinished jobs are reported as
+            // panicked, naming the worker and job.
+            let (completed, dead_workers) = std::thread::scope(|s| {
                 let handles: Vec<_> = shards
-                    .into_iter()
+                    .iter()
+                    .cloned()
                     .enumerate()
                     .map(|(worker, shard)| {
                         let plans = Arc::clone(&self.plans);
@@ -77,21 +83,43 @@ impl BatchRunner {
                             let mut pool = EnvPool::new(&plans);
                             shard
                                 .into_iter()
-                                .map(|i| {
-                                    (i, run_one(&jobs[i], pool.env_for(jobs[i].config), worker))
-                                })
+                                .map(|i| (i, run_one(&jobs[i], &mut pool, worker)))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("batch worker panicked"))
-                    .collect::<Vec<_>>()
+                let mut completed = Vec::new();
+                let mut dead = Vec::new();
+                for (worker, h) in handles.into_iter().enumerate() {
+                    match h.join() {
+                        Ok(pairs) => completed.extend(pairs),
+                        Err(payload) => dead.push((worker, panic_text(payload.as_ref()))),
+                    }
+                }
+                (completed, dead)
             });
             for (i, report) in completed {
                 debug_assert!(slots[i].is_none(), "job {i} ran twice");
                 slots[i] = Some(report);
+            }
+            for (worker, msg) in dead_workers {
+                for &i in &shards[worker] {
+                    if slots[i].is_none() {
+                        slots[i] = Some(JobReport {
+                            name: jobs[i].name.clone(),
+                            config: jobs[i].config,
+                            outcome: JobOutcome::Panicked(format!(
+                                "worker {worker} died before job {i}: {msg}"
+                            )),
+                            attempts: 0,
+                            counters: rvv_sim::Counters::new(),
+                            retired: 0,
+                            profile: None,
+                            worker,
+                            wall: Duration::ZERO,
+                        });
+                    }
+                }
             }
             slots
                 .into_iter()
@@ -146,30 +174,86 @@ impl<'a> EnvPool<'a> {
             .envs
             .entry(cfg)
             .or_insert_with(|| ScanEnv::with_cache(cfg, Arc::clone(self.plans)));
+        // A poisoned environment (a previous job panicked inside it) is
+        // discarded, not reset — the unwind may have left host-side state
+        // inconsistent in ways reset cannot repair.
+        if env.is_poisoned() {
+            *env = ScanEnv::with_cache(cfg, Arc::clone(self.plans));
+        }
         env.reset();
         env
     }
 }
 
-fn run_one<T>(job: &BatchJob<T>, env: &mut ScanEnv, worker: usize) -> JobReport<T> {
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one attempt of `job` in `env`, isolating panics: a panicking job
+/// body poisons the environment (so the pool rebuilds it) and becomes
+/// [`JobOutcome::Panicked`] instead of unwinding the worker.
+fn attempt<T>(
+    job: &BatchJob<T>,
+    env: &mut ScanEnv,
+) -> (JobOutcome<T>, rvv_sim::Counters, Option<TraceProfiler>) {
     if job.trace {
         env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
     }
+    if let Some(fuel) = job.watchdog {
+        env.set_fuel_budget(Some(fuel));
+    }
     let before = env.machine().counters.clone();
-    let started = Instant::now();
-    let output = job.execute(env);
-    let wall = started.elapsed();
+    // `&mut ScanEnv` is not unwind-safe by type, which is exactly the
+    // point: on panic we poison it and never run a job in it again.
+    let result = catch_unwind(AssertUnwindSafe(|| job.execute(env)));
+    let outcome = match result {
+        Ok(r) => JobOutcome::classify(r, job.watchdog),
+        Err(payload) => {
+            env.poison();
+            JobOutcome::Panicked(panic_text(payload.as_ref()))
+        }
+    };
     let counters = env.machine().counters.since(&before);
     let profile = env.detach_tracer().and_then(TraceProfiler::from_sink);
+    (outcome, counters, profile)
+}
+
+fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobReport<T> {
+    let started = Instant::now();
+    let max_attempts = 1 + job.retries;
+    let mut attempts = 0;
+    let (outcome, counters, profile) = loop {
+        attempts += 1;
+        // First try uses the pooled environment; retries get a fresh one
+        // (the pool discards poisoned envs, and `env_for` resets between
+        // uses, but a *retry* must not trust even a reset environment —
+        // the failed attempt is evidence something is off).
+        let result = if attempts == 1 {
+            attempt(job, pool.env_for(job.config))
+        } else {
+            let mut env = ScanEnv::with_cache(job.config, Arc::clone(pool.plans));
+            attempt(job, &mut env)
+        };
+        if result.0.is_ok() || attempts >= max_attempts {
+            break result;
+        }
+    };
     JobReport {
         name: job.name.clone(),
         config: job.config,
-        output,
+        outcome,
+        attempts,
         retired: counters.total(),
         counters,
         profile,
         worker,
-        wall,
+        wall: started.elapsed(),
     }
 }
 

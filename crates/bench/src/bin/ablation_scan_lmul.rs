@@ -53,7 +53,7 @@ fn main() {
         .iter()
         .zip(Lmul::ALL)
         .map(|(r, lmul)| {
-            let &(ours, base) = r.output.as_ref().expect("measured");
+            let &(ours, base) = r.output().expect("measured");
             vec![
                 format!("m{}", lmul.regs()),
                 ours.to_string(),

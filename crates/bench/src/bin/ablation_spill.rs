@@ -91,7 +91,7 @@ fn main() {
                 let mut counts = [0u64; 4];
                 let mut reference: Option<u64> = None;
                 for c in &mut counts {
-                    match it.next().and_then(|r| r.output.as_ref().ok()) {
+                    match it.next().and_then(|r| r.output()) {
                         Some(&Out::Seg { count, checksum }) => {
                             *c = count;
                             match reference {

@@ -10,10 +10,51 @@
 //! compared byte for byte. Any divergence is a determinism bug: the binary
 //! reports it and exits nonzero. `results/parallel_sweep.json` records the
 //! wall clocks and the speedup either way.
+//!
+//! Robustness flags:
+//!
+//! * `--inject-seed <S>` arms a deterministic [`FaultPlan`] on every sweep
+//!   job (plan derived from `(S, job_index)`), plus a generous instruction
+//!   watchdog — a chaos-hardened run of the full evaluation.
+//! * `--keep-going` turns job failures from a fatal error into a degraded
+//!   run: the sweep still completes every point, the failures are written
+//!   to `results/failure_manifest.txt` (deterministic — byte-identical
+//!   across thread counts and reruns), the tables are skipped, and the
+//!   binary exits nonzero.
 
-use rvv_batch::BatchRunner;
-use scanvec_bench::sweep::{decode_sweep, sweep_jobs, SweepShape};
-use scanvec_bench::{experiments, fmt_ratio, fmt_speedup, print_table, threads_arg};
+use rvv_batch::{BatchJob, BatchRunner};
+use rvv_fault::{ArmedFaults, FaultPlan};
+use scanvec_bench::sweep::{decode_sweep, sweep_jobs, Measurement, SweepShape};
+use scanvec_bench::{
+    experiments, flag_arg, fmt_ratio, fmt_speedup, inject_seed_arg, print_table, threads_arg,
+};
+
+/// Instruction watchdog for injected runs: far above the largest legit
+/// sweep point (~2×10⁸ retired at n=10⁶), far below `DEFAULT_FUEL` — a
+/// fault that turns a loop infinite burns 10⁹ instructions, not 4×10⁹.
+const INJECT_WATCHDOG: u64 = 1_000_000_000;
+
+/// The device heap base (`HEAP_BASE` in `scanvec::env`); guard-region
+/// offsets in a [`FaultPlan`] are relative to it.
+const HEAP_BASE: u64 = 4096;
+
+/// Arm `FaultPlan::derive(seed, index)` on every job: guard regions on the
+/// device heap plus the [`ArmedFaults`] hook, installed by a per-attempt
+/// setup closure (the environment reset between jobs clears both).
+fn arm_injection(jobs: Vec<BatchJob<Measurement>>, seed: u64) -> Vec<BatchJob<Measurement>> {
+    jobs.into_iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let plan = FaultPlan::derive(seed, i as u64);
+            job.watchdog(INJECT_WATCHDOG).with_setup(move |env| {
+                for r in plan.guard_ranges(HEAP_BASE) {
+                    env.machine_mut().mem.add_guard(r);
+                }
+                env.attach_fault_hook(Box::new(ArmedFaults::new(&plan)));
+            })
+        })
+        .collect()
+}
 
 fn pairs_table(title: &str, rows: &[experiments::Pair]) {
     let body: Vec<Vec<String>> = rows
@@ -67,22 +108,77 @@ fn write_sweep_json(
 
 fn main() {
     let threads = threads_arg();
+    let keep_going = flag_arg("--keep-going");
+    let inject_seed = inject_seed_arg();
     let shape = SweepShape::from_args();
     let wall = std::time::Instant::now();
 
+    let build_jobs = || {
+        let jobs = sweep_jobs(&shape);
+        match inject_seed {
+            Some(seed) => arm_injection(jobs, seed),
+            None => jobs,
+        }
+    };
+    if let Some(seed) = inject_seed {
+        println!("fault injection armed: seed={seed:#x}");
+    }
+
     // Serial reference run: job order on one thread.
-    let serial = BatchRunner::new(1).run(sweep_jobs(&shape));
+    let serial = BatchRunner::new(1).run(build_jobs());
     let serial_secs = serial.wall.as_secs_f64();
 
     // Parallel run of the *same* jobs, then the byte-for-byte comparison.
     let (result, parallel_secs, identical) = if threads > 1 {
-        let parallel = BatchRunner::new(threads).run(sweep_jobs(&shape));
+        let parallel = BatchRunner::new(threads).run(build_jobs());
         let identical = parallel.stable_digest() == serial.stable_digest();
         let secs = parallel.wall.as_secs_f64();
         (parallel, Some(secs), identical)
     } else {
         (serial, None, true)
     };
+
+    // A degraded batch can't be folded into tables (`decode_sweep` demands
+    // every point). With `--keep-going` the run still counts: write the
+    // deterministic failure manifest and exit nonzero after the bookkeeping.
+    if let Some(summary) = result.degraded() {
+        if !keep_going {
+            eprintln!("ERROR: {summary}");
+            eprintln!("(re-run with --keep-going for a failure manifest)");
+            std::process::exit(1);
+        }
+        let manifest = format!(
+            "# run_all failure manifest\n# fault injection seed={}\n{summary}",
+            match inject_seed {
+                Some(s) => format!("{s:#x}"),
+                None => "none".to_string(),
+            }
+        );
+        std::fs::create_dir_all("results").expect("results dir");
+        std::fs::write("results/failure_manifest.txt", &manifest)
+            .expect("write failure_manifest.txt");
+        print!("{manifest}");
+        println!("-> results/failure_manifest.txt (tables skipped)");
+        println!(
+            "\n{} jobs, {} instructions simulated, {} plan compiles, {} thread(s)",
+            result.reports.len(),
+            result.retired(),
+            result.plan_compiles,
+            result.threads,
+        );
+        write_sweep_json(
+            threads,
+            result.reports.len(),
+            result.retired(),
+            serial_secs,
+            parallel_secs,
+            identical,
+        );
+        if !identical {
+            eprintln!("ERROR: parallel sweep diverged from the serial reference");
+        }
+        std::process::exit(if identical { 2 } else { 1 });
+    }
 
     let tables = decode_sweep(&shape, &result.reports);
     pairs_table("Table 1 — split radix sort vs qsort", &tables.t1);

@@ -167,9 +167,8 @@ pub fn decode_sweep(
         let r = it
             .next()
             .unwrap_or_else(|| panic!("sweep too short at {what}"));
-        *r.output
-            .as_ref()
-            .unwrap_or_else(|e| panic!("{} failed: {e}", r.name))
+        *r.output()
+            .unwrap_or_else(|| panic!("{} failed: {:?}", r.name, r.outcome))
     };
     let mut pairs = |table: &str| -> Vec<Pair> {
         shape

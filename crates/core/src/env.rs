@@ -23,7 +23,10 @@ use crate::error::{ScanError, ScanResult};
 use crate::plan_cache::PlanCache;
 use rvv_asm::SpillProfile;
 use rvv_isa::{KernelConfig, Lmul, Sew, XReg};
-use rvv_sim::{CompiledPlan, Machine, MachineConfig, Program, RunReport, TraceSink, DEFAULT_FUEL};
+use rvv_sim::{
+    CompiledPlan, FaultHook, Machine, MachineConfig, Program, RunReport, SimError, TraceSink,
+    DEFAULT_FUEL,
+};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -159,6 +162,13 @@ pub struct ScanEnv {
     plans: Arc<PlanCache>,
     tracer: Option<Box<dyn TraceSink>>,
     engine: ExecEngine,
+    fault: Option<Box<dyn FaultHook + Send>>,
+    /// `(budget, retired-at-arming)`: a deterministic watchdog. While armed,
+    /// kernel launches get `min(DEFAULT_FUEL, budget - spent)` fuel, so a
+    /// job cannot retire more than `budget` instructions across all its
+    /// launches (see [`ScanEnv::set_fuel_budget`]).
+    fuel_budget: Option<(u64, u64)>,
+    poisoned: bool,
 }
 
 impl ScanEnv {
@@ -186,6 +196,9 @@ impl ScanEnv {
             plans,
             tracer: None,
             engine: ExecEngine::default(),
+            fault: None,
+            fuel_budget: None,
+            poisoned: false,
         }
     }
 
@@ -201,17 +214,83 @@ impl ScanEnv {
 
     /// Reset the environment for reuse: zero the CPU (scalar/vector
     /// registers, `vtype`, counters), release every heap allocation, disarm
-    /// all memory guards, and detach any tracer. Cached plans are **not**
-    /// dropped — they live in the (possibly shared) registry — so a pooled
-    /// worker that resets between jobs relaunches kernels with zero
+    /// all memory guards, detach any tracer and fault hook, disarm the fuel
+    /// budget, and restore the default [`ExecEngine`]. Cached plans are
+    /// **not** dropped — they live in the (possibly shared) registry — so a
+    /// pooled worker that resets between jobs relaunches kernels with zero
     /// recompilation. Memory contents are not scrubbed; [`ScanEnv::alloc`]
     /// zeroes every allocation it hands out, so a reset environment is
-    /// observationally identical to a fresh one.
+    /// observationally identical to a fresh one — *including after a trap*:
+    /// a kernel aborted mid-flight leaves `vl`/`vtype`/registers dirty, and
+    /// `reset` restores all of it (the reset-after-trap regression test
+    /// pins this).
+    ///
+    /// The poison flag ([`ScanEnv::poison`]) is deliberately **not**
+    /// cleared: a panic may have interrupted host-side bookkeeping at an
+    /// arbitrary point, so a poisoned environment must be discarded, not
+    /// reset.
     pub fn reset(&mut self) {
         self.machine.reset_cpu();
         self.machine.mem.clear_guards();
         self.heap = HEAP_BASE;
         self.tracer = None;
+        self.fault = None;
+        self.fuel_budget = None;
+        self.engine = ExecEngine::default();
+    }
+
+    /// Mark this environment as unusable. The batch runner poisons an
+    /// environment when a job body panics inside it — the unwind may have
+    /// left host-side state (allocator bookkeeping, partially staged
+    /// buffers) inconsistent in ways [`ScanEnv::reset`] cannot see, so the
+    /// pool rebuilds a fresh environment instead of reusing this one.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Has this environment been [`ScanEnv::poison`]ed?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Arm a deterministic per-job watchdog: across all subsequent kernel
+    /// launches, at most `budget` further instructions may retire; the
+    /// launch that crosses the line traps with
+    /// [`SimError::FuelExhausted`]`{ fuel: budget }`. This is the
+    /// deterministic stand-in for a wall-clock timeout — it fires at the
+    /// same instruction on every run, on every engine, at every thread
+    /// count. `None` disarms.
+    pub fn set_fuel_budget(&mut self, budget: Option<u64>) {
+        self.fuel_budget = budget.map(|b| (b, self.machine.counters.total()));
+    }
+
+    /// The armed watchdog budget, if any.
+    pub fn fuel_budget(&self) -> Option<u64> {
+        self.fuel_budget.map(|(b, _)| b)
+    }
+
+    /// Attach a [`FaultHook`]: every subsequent kernel launch runs through
+    /// the faulted drivers ([`Machine::run_plan_faulted`] /
+    /// [`Machine::run_legacy_faulted`]), which consult the hook before each
+    /// instruction. Replaces (and returns) any previously attached hook.
+    /// While a hook is attached, launches are *not* traced (fault injection
+    /// and trace capture are separate experiments).
+    pub fn attach_fault_hook(
+        &mut self,
+        hook: Box<dyn FaultHook + Send>,
+    ) -> Option<Box<dyn FaultHook + Send>> {
+        self.fault.replace(hook)
+    }
+
+    /// Detach and return the current fault hook. Subsequent launches go
+    /// back to the unfaulted fast path.
+    pub fn detach_fault_hook(&mut self) -> Option<Box<dyn FaultHook + Send>> {
+        self.fault.take()
+    }
+
+    /// Is a fault hook attached?
+    pub fn has_fault_hook(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// The configuration.
@@ -311,10 +390,10 @@ impl ScanEnv {
         }
         self.heap = end;
         // Fresh allocations are zeroed (bump region starts zeroed, but the
-        // space may be reused after release_to).
-        self.machine
-            .mem
-            .write_bytes(addr, &vec![0u8; bytes as usize])?;
+        // space may be reused after release_to). Guard-exempt: arming a
+        // guard inside the heap must fail the kernel that overruns into it,
+        // not the allocator.
+        self.machine.mem.fill(addr, bytes, 0)?;
         Ok(SvVector { addr, len, sew })
     }
 
@@ -387,12 +466,15 @@ impl ScanEnv {
     }
 
     /// Read back element values (zero-extended) at the vector's SEW.
+    /// Guard-exempt ([`rvv_sim::Memory::peek`]): reading results back is
+    /// host staging, not simulated execution, and must work even while
+    /// guards are armed over the buffer.
     pub fn to_elems(&self, v: &SvVector) -> Vec<u64> {
         (0..v.len)
             .map(|i| {
                 self.machine
                     .mem
-                    .load(
+                    .peek(
                         v.addr + i as u64 * v.sew.bytes() as u64,
                         v.sew.bytes() as u64,
                     )
@@ -403,10 +485,15 @@ impl ScanEnv {
 
     /// A typed sub-view of a device vector: elements `[start, start+len)`.
     pub fn slice(&self, v: &SvVector, start: usize, len: usize) -> ScanResult<SvVector> {
-        if start + len > v.len {
+        let end = start.checked_add(len).ok_or(ScanError::LengthMismatch {
+            what: "slice",
+            a: usize::MAX,
+            b: v.len,
+        })?;
+        if end > v.len {
             return Err(ScanError::LengthMismatch {
                 what: "slice",
-                a: start + len,
+                a: end,
                 b: v.len,
             });
         }
@@ -418,21 +505,21 @@ impl ScanEnv {
     }
 
     /// Host-side single-element store (staging/glue, not simulated
-    /// execution — costs no instructions).
+    /// execution — costs no instructions and is guard-exempt).
     pub fn store_elem(&mut self, v: &SvVector, i: usize, value: u64) -> ScanResult<()> {
         assert!(i < v.len, "element index out of range");
         let e = v.sew.bytes() as u64;
-        self.machine.mem.store(v.addr + i as u64 * e, e, value)?;
+        self.machine.mem.poke(v.addr + i as u64 * e, e, value)?;
         Ok(())
     }
 
-    /// Host-side single-element load (zero-extended).
+    /// Host-side single-element load (zero-extended, guard-exempt).
     pub fn load_elem(&self, v: &SvVector, i: usize) -> u64 {
         assert!(i < v.len, "element index out of range");
         let e = v.sew.bytes() as u64;
         self.machine
             .mem
-            .load(v.addr + i as u64 * e, e)
+            .peek(v.addr + i as u64 * e, e)
             .expect("vector in bounds")
     }
 
@@ -482,17 +569,42 @@ impl ScanEnv {
         }
         self.machine
             .set_xreg(XReg::SP, self.cfg.mem_bytes as u64 - 64);
-        let report = match (self.engine, self.tracer.as_deref_mut()) {
-            (ExecEngine::Plan, Some(sink)) => {
-                self.machine.run_plan_traced(plan, DEFAULT_FUEL, sink)?
+        // An armed watchdog caps this launch at whatever is left of the
+        // job's budget; exhausting it reports the *budget*, not the
+        // remainder, so the trap message is the same wherever in the job
+        // the line is crossed.
+        let (fuel, budget) = match self.fuel_budget {
+            Some((budget, base)) => {
+                let spent = self.machine.counters.total() - base;
+                (DEFAULT_FUEL.min(budget.saturating_sub(spent)), Some(budget))
             }
-            (ExecEngine::Plan, None) => self.machine.run_plan(plan, DEFAULT_FUEL)?,
-            (ExecEngine::Legacy, Some(sink)) => {
-                self.machine
-                    .run_legacy_traced(plan.program(), DEFAULT_FUEL, sink)?
-            }
-            (ExecEngine::Legacy, None) => self.machine.run_legacy(plan.program(), DEFAULT_FUEL)?,
+            None => (DEFAULT_FUEL, None),
         };
+        let report = match (
+            self.engine,
+            self.fault.as_deref_mut(),
+            self.tracer.as_deref_mut(),
+        ) {
+            (ExecEngine::Plan, Some(hook), _) => self.machine.run_plan_faulted(plan, fuel, hook),
+            (ExecEngine::Legacy, Some(hook), _) => {
+                self.machine.run_legacy_faulted(plan.program(), fuel, hook)
+            }
+            (ExecEngine::Plan, None, Some(sink)) => self.machine.run_plan_traced(plan, fuel, sink),
+            (ExecEngine::Plan, None, None) => self.machine.run_plan(plan, fuel),
+            (ExecEngine::Legacy, None, Some(sink)) => {
+                self.machine.run_legacy_traced(plan.program(), fuel, sink)
+            }
+            (ExecEngine::Legacy, None, None) => self.machine.run_legacy(plan.program(), fuel),
+        };
+        // Only a trap carrying exactly this launch's metered allocation is
+        // the watchdog firing — an injected fuel fault carries its own
+        // (different) value and must pass through unrewritten.
+        let report = report.map_err(|e| match (e, budget) {
+            (SimError::FuelExhausted { fuel: f }, Some(b)) if f == fuel && f < DEFAULT_FUEL => {
+                SimError::FuelExhausted { fuel: b }
+            }
+            (e, _) => e,
+        })?;
         Ok((report, self.machine.xreg(XReg::arg(0))))
     }
 

@@ -1,0 +1,150 @@
+//! Regression: [`ScanEnv::reset`] after a simulator trap must restore the
+//! environment to a state that reproduces an unfaulted run **exactly** —
+//! same output bytes, same retired count, same per-class counters. A trap
+//! that leaks `vl`/`vtype`, guard regions, a fuel budget, or allocator
+//! state into the next run would show up here as a count or output drift.
+
+use rvv_sim::SimError;
+use scanvec::primitives::{plus_scan, seg_plus_scan};
+use scanvec::{EnvConfig, ExecEngine, ScanEnv, ScanError};
+
+const N: usize = 777;
+
+/// One full measurement from a clean (fresh or reset) environment: scan a
+/// fixed workload, return the scanned bytes and the complete counter
+/// state. Two equal `Golden`s mean the two runs were indistinguishable.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    scanned: Vec<u32>,
+    seg_scanned: Vec<u32>,
+    counters: rvv_sim::Counters,
+}
+
+fn golden(env: &mut ScanEnv) -> Golden {
+    let data: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(13) % 997).collect();
+    let flags: Vec<u32> = (0..N).map(|i| u32::from(i % 61 == 0)).collect();
+    let v = env.from_u32(&data).unwrap();
+    plus_scan(env, &v).unwrap();
+    let scanned = env.to_u32(&v);
+    let w = env.from_u32(&data).unwrap();
+    let f = env.from_u32(&flags).unwrap();
+    seg_plus_scan(env, &w, &f).unwrap();
+    Golden {
+        scanned,
+        seg_scanned: env.to_u32(&w),
+        counters: env.machine_mut().counters.clone(),
+    }
+}
+
+fn check_engine(engine: ExecEngine, trap: impl Fn(&mut ScanEnv) -> ScanError) {
+    let mut env = ScanEnv::new(EnvConfig::paper_default());
+    env.set_engine(engine);
+    let reference = golden(&mut env);
+
+    env.reset();
+    env.set_engine(engine);
+    let err = trap(&mut env);
+    assert!(
+        matches!(err, ScanError::Sim(_)),
+        "expected a simulator trap, got {err}"
+    );
+
+    env.reset();
+    env.set_engine(engine);
+    let recovered = golden(&mut env);
+    assert_eq!(
+        recovered, reference,
+        "{engine:?}: reset after `{err}` did not restore golden behaviour"
+    );
+}
+
+/// The device heap base (`HEAP_BASE` in `scanvec::env`): the first
+/// allocation of a reset environment lands here, so a guard over it fires
+/// on the kernel's first device-side access.
+const HEAP_BASE: u64 = 4096;
+
+fn guard_trap(env: &mut ScanEnv) -> ScanError {
+    env.machine_mut().mem.add_guard(HEAP_BASE..HEAP_BASE + 64);
+    let data: Vec<u32> = (0..N as u32).collect();
+    // Host staging (`from_u32`) is guard-exempt; the kernel launch is not.
+    let v = env.from_u32(&data).unwrap();
+    let err = plus_scan(env, &v).unwrap_err();
+    match &err {
+        ScanError::Sim(SimError::GuardHit { addr }) => {
+            assert!(
+                (HEAP_BASE..HEAP_BASE + 64).contains(addr),
+                "guard hit outside the armed range: {addr:#x}"
+            );
+        }
+        other => panic!("expected a guard hit, got {other}"),
+    }
+    err
+}
+
+fn fuel_trap(env: &mut ScanEnv) -> ScanError {
+    const BUDGET: u64 = 50;
+    env.set_fuel_budget(Some(BUDGET));
+    let data: Vec<u32> = (0..N as u32).collect();
+    let v = env.from_u32(&data).unwrap();
+    let err = plus_scan(env, &v).unwrap_err();
+    match &err {
+        ScanError::Sim(SimError::FuelExhausted { fuel }) => {
+            // The watchdog reports the *budget*, wherever the line was
+            // crossed — the trap text is position-independent.
+            assert_eq!(*fuel, BUDGET);
+        }
+        other => panic!("expected fuel exhaustion, got {other}"),
+    }
+    err
+}
+
+#[test]
+fn reset_after_guard_hit_restores_golden_counts() {
+    for engine in [ExecEngine::Plan, ExecEngine::Legacy] {
+        check_engine(engine, guard_trap);
+    }
+}
+
+#[test]
+fn reset_after_fuel_exhaustion_restores_golden_counts() {
+    for engine in [ExecEngine::Plan, ExecEngine::Legacy] {
+        check_engine(engine, fuel_trap);
+    }
+}
+
+#[test]
+fn reset_after_both_traps_in_sequence_restores_golden_counts() {
+    // Stacked damage: guard hit, then (without an intervening golden run)
+    // fuel exhaustion, then reset — still byte-identical.
+    let mut env = ScanEnv::new(EnvConfig::paper_default());
+    let reference = golden(&mut env);
+    env.reset();
+    guard_trap(&mut env);
+    env.reset();
+    fuel_trap(&mut env);
+    env.reset();
+    assert_eq!(golden(&mut env), reference);
+}
+
+#[test]
+fn watchdog_budget_spans_multiple_launches() {
+    // A budget larger than one launch but smaller than the job: the trap
+    // fires on a *later* launch and still reports the armed budget.
+    let mut env = ScanEnv::new(EnvConfig::paper_default());
+    let data: Vec<u32> = (0..N as u32).collect();
+    let v = env.from_u32(&data).unwrap();
+    plus_scan(&mut env, &v).unwrap();
+    let one_launch = env.retired();
+    assert!(one_launch > 0);
+
+    env.reset();
+    let budget = one_launch + one_launch / 2;
+    env.set_fuel_budget(Some(budget));
+    let v = env.from_u32(&data).unwrap();
+    plus_scan(&mut env, &v).unwrap();
+    let second = plus_scan(&mut env, &v);
+    match second {
+        Err(ScanError::Sim(SimError::FuelExhausted { fuel })) => assert_eq!(fuel, budget),
+        other => panic!("expected the second launch to exhaust the budget, got {other:?}"),
+    }
+}

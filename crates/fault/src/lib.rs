@@ -1,0 +1,541 @@
+//! # rvv-fault — deterministic fault injection for the scan-vector stack
+//!
+//! The paper's headline anomaly (LMUL=8 spills making kernels *slower*) was
+//! found because Spike surfaces pathological configurations faithfully; this
+//! crate makes our reproduction equally trustworthy at the edges. It
+//! provides:
+//!
+//! * [`FaultPlan`] — a seeded, serializable description of *which* faults to
+//!   inject *where*, derived from `(seed, job_index)` with a self-contained
+//!   xorshift64* PRNG (no `rand` dependency anywhere near the injection
+//!   path).
+//! * [`ArmedFaults`] — a [`rvv_sim::FaultHook`] that fires a plan's faults
+//!   at exact instruction/access ordinals, identically on the plan engine
+//!   and the legacy interpreter.
+//! * [`chaos`] — a differential harness that runs the eight scan-vector
+//!   algorithms under injected faults on **both** engines and checks the
+//!   no-panic / no-divergence / clean-recovery contract.
+//!
+//! ## Determinism contract
+//!
+//! A fault plan is a pure function of `(seed, job_index)`. The armed hook
+//! decides from its own ordinal counters — never wall clock, never host
+//! state — and the run loops consult it at identical points (see
+//! `rvv_sim::FaultHook`). Consequently a faulted run is exactly as
+//! reproducible as an unfaulted one: same trap, same instruction, same
+//! counters, on every engine, at every thread count, on every rerun.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+
+use rvv_isa::{decode, encode, Instr};
+use rvv_sim::{FaultAction, FaultHook, MemAccess, SimError};
+use std::fmt;
+use std::str::FromStr;
+
+// ---------------------------------------------------------------- PRNG --
+
+/// Xorshift64* — tiny, seedable, and good enough for picking fault points.
+/// Lives here so the injection path has **no** dependency on the `rand`
+/// crate (vendored or otherwise): fault plans must be derivable in any
+/// build of this workspace, bit-identically.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+/// SplitMix64 finalizer: avalanches a seed so that nearby inputs (seed 1,
+/// seed 2, …) produce uncorrelated streams.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl XorShift64 {
+    /// Seed a generator (any seed works; zero is remapped internally).
+    pub fn new(seed: u64) -> XorShift64 {
+        let state = mix64(seed);
+        XorShift64 {
+            state: if state == 0 { 0x9e37_79b9 } else { state },
+        }
+    }
+
+    /// Seed from a `(seed, job_index)` pair — the keying every
+    /// [`FaultPlan`] uses.
+    pub fn from_pair(seed: u64, job_index: u64) -> XorShift64 {
+        XorShift64::new(seed ^ mix64(job_index))
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `[0, n)`. Modulo bias is irrelevant at the
+    /// ranges fault plans draw from.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+// -------------------------------------------------------------- faults --
+
+/// One armed fault. Ordinals (`nth`, `after`) are 1-based and count the
+/// same quantity on both engines (see each variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Trap the `nth` memory-*read* instruction with
+    /// [`SimError::InjectedFault`] (`what = "read"`).
+    ReadFault {
+        /// 1-based ordinal among read instructions.
+        nth: u64,
+    },
+    /// Trap the `nth` memory-*write* instruction with
+    /// [`SimError::InjectedFault`] (`what = "write"`).
+    WriteFault {
+        /// 1-based ordinal among write instructions.
+        nth: u64,
+    },
+    /// Trap with [`SimError::FuelExhausted`] once `after` instructions have
+    /// been consulted — fuel exhaustion at a precise, engine-independent
+    /// point (the run loop's own fuel counts per *launch*; this counts
+    /// across the whole hook lifetime, i.e. per job).
+    FuelCut {
+        /// Instructions allowed before the cut.
+        after: u64,
+    },
+    /// Flip bit `bit` of the `nth` instruction's 32-bit encoding. If the
+    /// corrupted word still decodes, the decoded instruction executes in
+    /// place of the original; if not, the fetch traps with
+    /// [`SimError::IllegalInstruction`] carrying the corrupted word.
+    BitFlip {
+        /// 1-based instruction ordinal.
+        nth: u64,
+        /// Bit position, `0..32`.
+        bit: u8,
+    },
+    /// Force the `nth` fetch to see a reserved (undecodable) opcode:
+    /// traps with [`SimError::IllegalInstruction`] carrying `encoding`.
+    Reserved {
+        /// 1-based instruction ordinal.
+        nth: u64,
+        /// The reserved word (verified undecodable at derive time).
+        encoding: u32,
+    },
+    /// Arm a guard region at `offset` bytes into the device heap, `len`
+    /// bytes long. Not a hook-level fault — the harness arms it on the
+    /// environment's memory before launching ([`Fault::guard_range`]);
+    /// kernels that stray into it trap with [`SimError::GuardHit`].
+    GuardRegion {
+        /// Byte offset from the heap base.
+        offset: u64,
+        /// Guard length in bytes.
+        len: u64,
+    },
+}
+
+impl Fault {
+    /// The absolute address range a [`Fault::GuardRegion`] arms, given the
+    /// heap base address; `None` for every other variant.
+    pub fn guard_range(&self, heap_base: u64) -> Option<std::ops::Range<u64>> {
+        match self {
+            Fault::GuardRegion { offset, len } => {
+                let start = heap_base.saturating_add(*offset);
+                Some(start..start.saturating_add(*len))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::ReadFault { nth } => write!(f, "read@{nth}"),
+            Fault::WriteFault { nth } => write!(f, "write@{nth}"),
+            Fault::FuelCut { after } => write!(f, "fuel@{after}"),
+            Fault::BitFlip { nth, bit } => write!(f, "bitflip@{nth}.{bit}"),
+            Fault::Reserved { nth, encoding } => write!(f, "reserved@{nth}:{encoding:#010x}"),
+            Fault::GuardRegion { offset, len } => write!(f, "guard@{offset}+{len}"),
+        }
+    }
+}
+
+impl FromStr for Fault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Fault, String> {
+        let (kind, rest) = s
+            .split_once('@')
+            .ok_or_else(|| format!("fault `{s}`: expected kind@params"))?;
+        let num = |t: &str| -> Result<u64, String> {
+            if let Some(hex) = t.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                t.parse()
+            }
+            .map_err(|e| format!("fault `{s}`: bad number `{t}`: {e}"))
+        };
+        match kind {
+            "read" => Ok(Fault::ReadFault { nth: num(rest)? }),
+            "write" => Ok(Fault::WriteFault { nth: num(rest)? }),
+            "fuel" => Ok(Fault::FuelCut { after: num(rest)? }),
+            "bitflip" => {
+                let (n, b) = rest
+                    .split_once('.')
+                    .ok_or_else(|| format!("fault `{s}`: expected bitflip@nth.bit"))?;
+                let bit = num(b)?;
+                if bit >= 32 {
+                    return Err(format!("fault `{s}`: bit {bit} out of range"));
+                }
+                Ok(Fault::BitFlip {
+                    nth: num(n)?,
+                    bit: bit as u8,
+                })
+            }
+            "reserved" => {
+                let (n, e) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("fault `{s}`: expected reserved@nth:encoding"))?;
+                Ok(Fault::Reserved {
+                    nth: num(n)?,
+                    encoding: num(e)? as u32,
+                })
+            }
+            "guard" => {
+                let (o, l) = rest
+                    .split_once('+')
+                    .ok_or_else(|| format!("fault `{s}`: expected guard@offset+len"))?;
+                Ok(Fault::GuardRegion {
+                    offset: num(o)?,
+                    len: num(l)?,
+                })
+            }
+            other => Err(format!("fault `{s}`: unknown kind `{other}`")),
+        }
+    }
+}
+
+// --------------------------------------------------------------- plans --
+
+/// A serialized, seeded fault schedule for one job.
+///
+/// Derive one per job with [`FaultPlan::derive`] — every plan is a pure
+/// function of `(seed, job_index)` — or parse one back from its `Display`
+/// form (`read@17;guard@4096+64`, or `none`), which round-trips exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The armed faults, in derivation order.
+    pub faults: Vec<Fault>,
+}
+
+/// Ordinals are drawn **log-uniformly** in `[1, 2^15]`: the eight
+/// workloads retire anywhere from ~700 (spmv at small n) to ~130 000
+/// (seg_quicksort) instructions, so a uniform draw would overshoot the
+/// small ones almost always. Log-uniform puts half the draws below ~180 —
+/// inside every workload — while still occasionally arming past the end
+/// (a valid "fault never fires" scenario).
+fn log_uniform(rng: &mut XorShift64, max_exp: u64) -> u64 {
+    let e = rng.below(max_exp + 1);
+    1 + rng.below(1u64 << e)
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Derive the plan for `job_index` under `seed`: one fault always, a
+    /// second with probability 1/4, kinds and ordinals drawn from
+    /// xorshift64* keyed by the pair.
+    pub fn derive(seed: u64, job_index: u64) -> FaultPlan {
+        let mut rng = XorShift64::from_pair(seed, job_index);
+        let count = if rng.below(4) == 0 { 2 } else { 1 };
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            faults.push(Self::draw(&mut rng));
+        }
+        FaultPlan { faults }
+    }
+
+    fn draw(rng: &mut XorShift64) -> Fault {
+        match rng.below(6) {
+            0 => Fault::ReadFault {
+                nth: log_uniform(rng, 13),
+            },
+            1 => Fault::WriteFault {
+                nth: log_uniform(rng, 12),
+            },
+            2 => Fault::FuelCut {
+                after: log_uniform(rng, 15),
+            },
+            3 => Fault::BitFlip {
+                nth: log_uniform(rng, 15),
+                bit: rng.below(32) as u8,
+            },
+            4 => {
+                // Draw candidate words until one fails to decode (almost
+                // every random word does; bound the loop for determinism
+                // paranoia and fall back to the all-ones word, which is
+                // not a valid encoding in the modelled subset).
+                let mut encoding = 0xffff_ffff;
+                for _ in 0..8 {
+                    let w = rng.next_u64() as u32;
+                    if decode(w).is_err() {
+                        encoding = w;
+                        break;
+                    }
+                }
+                Fault::Reserved {
+                    nth: log_uniform(rng, 15),
+                    encoding,
+                }
+            }
+            _ => Fault::GuardRegion {
+                // Cache-line aligned offset within the first 64 KiB of
+                // heap — where small-n chaos workloads actually allocate,
+                // so an armed guard has a real chance of being hit.
+                offset: rng.below(1 << 10) * 64,
+                len: 64 * (1 + rng.below(4)),
+            },
+        }
+    }
+
+    /// Every guard range this plan arms (absolute, given the heap base).
+    pub fn guard_ranges(&self, heap_base: u64) -> Vec<std::ops::Range<u64>> {
+        self.faults
+            .iter()
+            .filter_map(|f| f.guard_range(heap_base))
+            .collect()
+    }
+
+    /// Does this plan contain any hook-level fault (anything other than
+    /// guard arming)?
+    pub fn has_hook_faults(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| !matches!(f, Fault::GuardRegion { .. }))
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "none");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultPlan, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(FaultPlan::none());
+        }
+        let faults = s
+            .split(';')
+            .map(Fault::from_str)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan { faults })
+    }
+}
+
+// ---------------------------------------------------------------- hook --
+
+/// A [`FaultHook`] firing the faults of one [`FaultPlan`].
+///
+/// Purely ordinal-driven: it counts consulted instructions and memory
+/// read/write instructions, and fires each armed fault the moment its
+/// ordinal comes up. Attach one per job attempt — the counters are the
+/// job's, not the launch's, so a fault can fire in any kernel the job
+/// launches.
+#[derive(Debug, Clone)]
+pub struct ArmedFaults {
+    faults: Vec<Fault>,
+    instrs: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl ArmedFaults {
+    /// Arm `plan`'s faults ([`Fault::GuardRegion`] entries are ignored
+    /// here — arm those on the environment's memory).
+    pub fn new(plan: &FaultPlan) -> ArmedFaults {
+        ArmedFaults {
+            faults: plan.faults.clone(),
+            instrs: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Instructions consulted so far.
+    pub fn instructions_seen(&self) -> u64 {
+        self.instrs
+    }
+}
+
+impl FaultHook for ArmedFaults {
+    fn before(&mut self, pc: u64, instr: &Instr, mem: Option<&MemAccess>) -> FaultAction {
+        self.instrs += 1;
+        if let Some(m) = mem {
+            if m.store {
+                self.writes += 1;
+            } else {
+                self.reads += 1;
+            }
+        }
+        for f in &self.faults {
+            match *f {
+                Fault::ReadFault { nth } => {
+                    if mem.is_some_and(|m| !m.store) && self.reads == nth {
+                        return FaultAction::Trap(SimError::InjectedFault {
+                            what: "read",
+                            seq: nth,
+                        });
+                    }
+                }
+                Fault::WriteFault { nth } => {
+                    if mem.is_some_and(|m| m.store) && self.writes == nth {
+                        return FaultAction::Trap(SimError::InjectedFault {
+                            what: "write",
+                            seq: nth,
+                        });
+                    }
+                }
+                Fault::FuelCut { after } => {
+                    if self.instrs > after {
+                        return FaultAction::Trap(SimError::FuelExhausted { fuel: after });
+                    }
+                }
+                Fault::BitFlip { nth, bit } => {
+                    if self.instrs == nth {
+                        // Corrupt the real encoding. Instructions that have
+                        // no binary encoding cannot be corrupted in flight —
+                        // pass (deterministically: encodability depends only
+                        // on the instruction).
+                        let Ok(word) = encode(instr) else {
+                            continue;
+                        };
+                        let corrupted = word ^ (1u32 << bit);
+                        return match decode(corrupted) {
+                            Ok(replacement) => FaultAction::Replace(replacement),
+                            Err(_) => FaultAction::Trap(SimError::IllegalInstruction {
+                                pc,
+                                encoding: corrupted,
+                            }),
+                        };
+                    }
+                }
+                Fault::Reserved { nth, encoding } => {
+                    if self.instrs == nth {
+                        return FaultAction::Trap(SimError::IllegalInstruction { pc, encoding });
+                    }
+                }
+                Fault::GuardRegion { .. } => {}
+            }
+        }
+        FaultAction::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic_and_key_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = XorShift64::from_pair(7, 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShift64::from_pair(7, 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = XorShift64::from_pair(7, 4);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c, "job index must change the stream");
+        let d: Vec<u64> = {
+            let mut r = XorShift64::from_pair(8, 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, d, "seed must change the stream");
+    }
+
+    #[test]
+    fn plans_derive_deterministically() {
+        for job in 0..64 {
+            assert_eq!(FaultPlan::derive(42, job), FaultPlan::derive(42, job));
+        }
+        // Different jobs under one seed should not all share a plan.
+        let distinct: std::collections::HashSet<String> = (0..64)
+            .map(|j| FaultPlan::derive(42, j).to_string())
+            .collect();
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct plans",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn plan_display_roundtrips() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for job in 0..32 {
+                let plan = FaultPlan::derive(seed, job);
+                let text = plan.to_string();
+                let back: FaultPlan = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+                assert_eq!(plan, back, "round-trip of `{text}`");
+            }
+        }
+        assert_eq!("none".parse::<FaultPlan>().unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::none().to_string(), "none");
+        assert!("bogus@1".parse::<FaultPlan>().is_err());
+        assert!("bitflip@1.99".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn reserved_words_do_not_decode() {
+        for seed in 0..64u64 {
+            for f in FaultPlan::derive(seed, 0).faults {
+                if let Fault::Reserved { encoding, .. } = f {
+                    assert!(decode(encoding).is_err(), "{encoding:#010x} decodes");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guard_range_is_offset_from_heap_base() {
+        let f = Fault::GuardRegion {
+            offset: 128,
+            len: 64,
+        };
+        assert_eq!(f.guard_range(4096), Some(4224..4288));
+        assert_eq!(Fault::ReadFault { nth: 1 }.guard_range(4096), None);
+    }
+}

@@ -64,6 +64,25 @@ pub enum SimError {
         /// Byte address of the faulting access.
         addr: u64,
     },
+    /// A fetched word does not decode to an instruction in the modelled
+    /// subset — a reserved opcode, or an encoding corrupted in flight
+    /// (see `rvv-fault`). Real hardware raises an illegal-instruction
+    /// exception here; we trap with the exact word so the failure is
+    /// reproducible.
+    IllegalInstruction {
+        /// PC of the undecodable fetch.
+        pc: u64,
+        /// The 32-bit word that failed to decode.
+        encoding: u32,
+    },
+    /// A fault-injection hook forced this trap (see `rvv-fault`). Never
+    /// raised by ordinary execution — only when a `FaultHook` is attached.
+    InjectedFault {
+        /// Which injection point fired (e.g. `"read"`, `"write"`).
+        what: &'static str,
+        /// The 1-based ordinal of the access/instruction the plan armed.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,10 +95,13 @@ impl fmt::Display for SimError {
             SimError::OverlapConstraint { what } => {
                 write!(f, "illegal destination/source overlap in {what}")
             }
+            // `addr + len` can exceed u64::MAX for wild pointers (that is
+            // exactly why the access trapped) — saturate rather than
+            // overflow inside the error formatter.
             SimError::MemOutOfBounds { addr, len, size } => write!(
                 f,
                 "memory access [{addr:#x}, {:#x}) outside memory of {size:#x} bytes",
-                addr + len
+                addr.saturating_add(*len)
             ),
             SimError::BadControlFlow { target } => {
                 write!(f, "control flow to invalid target {target:#x}")
@@ -90,6 +112,12 @@ impl fmt::Display for SimError {
             }
             SimError::UnsupportedEmul { what } => write!(f, "unsupported EMUL: {what}"),
             SimError::GuardHit { addr } => write!(f, "guard region hit at {addr:#x}"),
+            SimError::IllegalInstruction { pc, encoding } => {
+                write!(f, "illegal instruction {encoding:#010x} at pc {pc:#x}")
+            }
+            SimError::InjectedFault { what, seq } => {
+                write!(f, "injected {what} fault at access {seq}")
+            }
         }
     }
 }
@@ -98,3 +126,97 @@ impl std::error::Error for SimError {}
 
 /// Simulator result alias.
 pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One sample of every variant. The match in [`display_is_lossless`]
+    /// is intentionally exhaustive (no wildcard arm): adding a `SimError`
+    /// variant without extending this list is a compile error, which is
+    /// what keeps the display/round-trip coverage honest.
+    fn samples() -> Vec<SimError> {
+        vec![
+            SimError::Vill,
+            SimError::MisalignedGroup {
+                reg: VReg::new(3),
+                lmul: Lmul::M4,
+            },
+            SimError::OverlapConstraint { what: "vslideup" },
+            SimError::MemOutOfBounds {
+                addr: 0xdead_beef,
+                len: 8,
+                size: 0x1000,
+            },
+            SimError::BadControlFlow { target: 0xfeed },
+            SimError::Breakpoint { pc: 0x44 },
+            SimError::FuelExhausted { fuel: 123_456 },
+            SimError::UnsupportedEmul { what: "emul > 8" },
+            SimError::GuardHit { addr: 0xabcd },
+            SimError::IllegalInstruction {
+                pc: 0x10,
+                encoding: 0xffff_ffff,
+            },
+            SimError::InjectedFault {
+                what: "read",
+                seq: 42,
+            },
+        ]
+    }
+
+    #[test]
+    fn display_is_lossless() {
+        for e in samples() {
+            let text = e.to_string();
+            // Each variant's distinguishing payload must survive into the
+            // message — batch failure manifests are built from these.
+            match &e {
+                SimError::Vill => assert!(text.contains("vill")),
+                SimError::MisalignedGroup { reg, lmul } => {
+                    assert!(text.contains(&reg.to_string()), "{text}");
+                    assert!(text.contains(&lmul.to_string()), "{text}");
+                }
+                SimError::OverlapConstraint { what } | SimError::UnsupportedEmul { what } => {
+                    assert!(text.contains(what), "{text}")
+                }
+                SimError::MemOutOfBounds { addr, .. } => {
+                    assert!(text.contains(&format!("{addr:#x}")), "{text}")
+                }
+                SimError::BadControlFlow { target } => {
+                    assert!(text.contains(&format!("{target:#x}")), "{text}")
+                }
+                SimError::Breakpoint { pc } => {
+                    assert!(text.contains(&format!("{pc:#x}")), "{text}")
+                }
+                SimError::FuelExhausted { fuel } => {
+                    assert!(text.contains(&fuel.to_string()), "{text}")
+                }
+                SimError::GuardHit { addr } => {
+                    assert!(text.contains(&format!("{addr:#x}")), "{text}")
+                }
+                SimError::IllegalInstruction { pc, encoding } => {
+                    assert!(text.contains(&format!("{encoding:#010x}")), "{text}");
+                    assert!(text.contains(&format!("{pc:#x}")), "{text}");
+                }
+                SimError::InjectedFault { what, seq } => {
+                    assert!(text.contains(what), "{text}");
+                    assert!(text.contains(&seq.to_string()), "{text}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_display_never_overflows() {
+        // A wild pointer near u64::MAX used to overflow `addr + len` inside
+        // the formatter (a panic in debug builds) — the report must render.
+        let e = SimError::MemOutOfBounds {
+            addr: u64::MAX - 3,
+            len: 8,
+            size: 0x1000,
+        };
+        let text = e.to_string();
+        assert!(text.contains(&format!("{:#x}", u64::MAX - 3)), "{text}");
+        assert!(text.contains(&format!("{:#x}", u64::MAX)), "{text}");
+    }
+}

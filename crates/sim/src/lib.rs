@@ -55,6 +55,7 @@
 mod counters;
 mod error;
 mod exec;
+mod fault;
 mod machine;
 mod memory;
 mod plan;
@@ -64,6 +65,7 @@ mod trace;
 pub use counters::Counters;
 pub use error::{SimError, SimResult};
 pub use exec::Control;
+pub use fault::{FaultAction, FaultHook};
 pub use machine::{Machine, MachineConfig};
 pub use memory::Memory;
 pub use plan::CompiledPlan;

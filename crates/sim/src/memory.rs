@@ -53,8 +53,11 @@ impl Memory {
         self.guards.clear();
     }
 
+    /// Bounds check only — `addr + len` computed with `checked_add` so wild
+    /// pointers near `u64::MAX` trap instead of wrapping around into
+    /// low memory.
     #[inline]
-    fn check(&self, addr: u64, len: u64) -> SimResult<()> {
+    fn check_bounds(&self, addr: u64, len: u64) -> SimResult<u64> {
         let end = addr.checked_add(len).ok_or(SimError::MemOutOfBounds {
             addr,
             len,
@@ -67,6 +70,12 @@ impl Memory {
                 size: self.size(),
             });
         }
+        Ok(end)
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, len: u64) -> SimResult<()> {
+        let end = self.check_bounds(addr, len)?;
         if !self.guards.is_empty() {
             for g in &self.guards {
                 if addr < g.end && end > g.start {
@@ -110,6 +119,43 @@ impl Memory {
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> SimResult<()> {
         self.check(addr, data.len() as u64)?;
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Host-side load: bounds-checked but **guard-exempt**. Guard regions
+    /// model device-side buffer overruns; the host runtime staging inputs
+    /// and reading back results is not simulated execution and must be able
+    /// to inspect memory even while guards are armed (a chaos run that arms
+    /// a guard over a result buffer must not turn read-back into a trap).
+    #[inline]
+    pub fn peek(&self, addr: u64, len: u64) -> SimResult<u64> {
+        self.check_bounds(addr, len)?;
+        let a = addr as usize;
+        let mut v = 0u64;
+        for (i, b) in self.bytes[a..a + len as usize].iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Host-side store: bounds-checked but guard-exempt (see
+    /// [`Memory::peek`]).
+    #[inline]
+    pub fn poke(&mut self, addr: u64, len: u64, value: u64) -> SimResult<()> {
+        self.check_bounds(addr, len)?;
+        let a = addr as usize;
+        for i in 0..len as usize {
+            self.bytes[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Host-side fill: bounds-checked, guard-exempt. The environment's
+    /// allocator zeroes fresh allocations through this so arming a guard
+    /// inside the heap cannot make allocation itself trap.
+    pub fn fill(&mut self, addr: u64, len: u64, byte: u8) -> SimResult<()> {
+        self.check_bounds(addr, len)?;
+        self.bytes[addr as usize..(addr + len) as usize].fill(byte);
         Ok(())
     }
 
@@ -190,6 +236,40 @@ mod tests {
         assert!(m.load(20, 4).is_ok()); // adjacent above
         m.remove_guard(g);
         assert!(m.load(16, 4).is_ok());
+    }
+
+    #[test]
+    fn overflow_near_u64_max_traps_and_reports() {
+        let m = Memory::new(16);
+        for addr in [u64::MAX, u64::MAX - 7, u64::MAX - 4] {
+            let e = m.load(addr, 8).unwrap_err();
+            assert!(matches!(e, SimError::MemOutOfBounds { .. }), "{e:?}");
+            // The report must render without overflowing (debug builds
+            // panic on arithmetic overflow).
+            let _ = e.to_string();
+        }
+        assert!(matches!(
+            m.peek(u64::MAX - 1, 4),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn host_side_access_is_guard_exempt() {
+        let mut m = Memory::new(64);
+        m.add_guard(16..24);
+        // Simulated access traps...
+        assert!(matches!(m.load(16, 4), Err(SimError::GuardHit { .. })));
+        assert!(matches!(m.store(16, 4, 1), Err(SimError::GuardHit { .. })));
+        // ...host-side staging does not, but stays bounds-checked.
+        m.poke(16, 8, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.peek(16, 8).unwrap(), 0x0102_0304_0506_0708);
+        m.fill(16, 8, 0).unwrap();
+        assert_eq!(m.peek(16, 8).unwrap(), 0);
+        assert!(matches!(
+            m.fill(60, 8, 0),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
     }
 
     #[test]

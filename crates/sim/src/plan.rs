@@ -1792,6 +1792,76 @@ impl Machine {
             }
         }
     }
+
+    /// Like [`Machine::run_plan`], but consults a [`crate::FaultHook`]
+    /// before each instruction executes. Architecturally identical to
+    /// [`Machine::run_legacy_faulted`] with the same hook: the hook is
+    /// consulted at the same points, a forced trap aborts without retiring,
+    /// and a replacement instruction executes (and is counted) by its own
+    /// class through the generic [`Machine::exec`] path on both engines.
+    pub fn run_plan_faulted(
+        &mut self,
+        plan: &CompiledPlan,
+        fuel: u64,
+        hook: &mut dyn crate::FaultHook,
+    ) -> SimResult<RunReport> {
+        let before = self.counters.total();
+        let mut key = vtype_key(self);
+        let mut at: usize = 0;
+        let mut bad: Option<u64> = None;
+        loop {
+            if self.counters.total() - before >= fuel {
+                return Err(SimError::FuelExhausted { fuel });
+            }
+            if let Some(target) = bad {
+                return Err(SimError::BadControlFlow { target });
+            }
+            let Some(op) = plan.ops.get(at) else {
+                return Err(SimError::BadControlFlow {
+                    target: (at as u64) * 4,
+                });
+            };
+            let pc = (at as u64) * 4;
+            let instr = &plan.source.instrs[at];
+            let flow = match hook.before(pc, instr, self.mem_footprint(instr).as_ref()) {
+                crate::FaultAction::Pass => {
+                    let flow = op.kind.execute(self, plan, key)?;
+                    self.counters.retire_class(op.class);
+                    flow
+                }
+                crate::FaultAction::Trap(e) => return Err(e),
+                crate::FaultAction::Replace(r) => {
+                    // The replacement goes through the generic exec path
+                    // (which retires it under the *replacement*'s class —
+                    // exactly what the legacy loop does). It may be a
+                    // vsetvli, so the specialization key is refreshed
+                    // unconditionally.
+                    let ctl = self.exec(pc, &r)?;
+                    key = vtype_key(self);
+                    match ctl {
+                        Control::Next => Flow::Seq,
+                        Control::Jump(t) => resolve_dynamic(t, plan.ops.len()),
+                        Control::Halt => Flow::Halt,
+                    }
+                }
+            };
+            match flow {
+                Flow::Seq => at += 1,
+                Flow::To(i) => at = i,
+                Flow::Cfg => {
+                    key = vtype_key(self);
+                    at += 1;
+                }
+                Flow::BadJump(t) => bad = Some(t),
+                Flow::Halt => {
+                    return Ok(RunReport {
+                        retired: self.counters.total() - before,
+                        halt_pc: (at as u64) * 4,
+                    })
+                }
+            }
+        }
+    }
 }
 
 // PLAN_TESTS

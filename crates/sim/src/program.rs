@@ -254,6 +254,46 @@ impl Machine {
             }
         }
     }
+
+    /// [`Machine::run_legacy`] with a [`crate::FaultHook`] consulted before
+    /// each instruction executes. The reference semantics for
+    /// [`Machine::run_plan_faulted`] — the chaos suite asserts both engines
+    /// produce identical results (and identical failures) under the same
+    /// hook.
+    pub fn run_legacy_faulted(
+        &mut self,
+        program: &Program,
+        fuel: u64,
+        hook: &mut dyn crate::FaultHook,
+    ) -> SimResult<RunReport> {
+        let before = self.counters.total();
+        let len = program.instrs.len() as u64;
+        let mut pc: u64 = 0;
+        loop {
+            if self.counters.total() - before >= fuel {
+                return Err(SimError::FuelExhausted { fuel });
+            }
+            if !pc.is_multiple_of(4) || pc / 4 >= len {
+                return Err(SimError::BadControlFlow { target: pc });
+            }
+            let instr = &program.instrs[(pc / 4) as usize];
+            let ctl = match hook.before(pc, instr, self.mem_footprint(instr).as_ref()) {
+                crate::FaultAction::Pass => self.exec(pc, instr)?,
+                crate::FaultAction::Trap(e) => return Err(e),
+                crate::FaultAction::Replace(r) => self.exec(pc, &r)?,
+            };
+            match ctl {
+                Control::Next => pc += 4,
+                Control::Jump(target) => pc = target,
+                Control::Halt => {
+                    return Ok(RunReport {
+                        retired: self.counters.total() - before,
+                        halt_pc: pc,
+                    })
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
