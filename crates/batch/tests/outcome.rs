@@ -7,14 +7,12 @@
 use rvv_batch::{BatchJob, BatchRunner, EnvConfig, JobOutcome, ScanEnv};
 use rvv_sim::SimError;
 use scanvec::primitives::{plus_scan, seg_plus_scan};
-use scanvec::ScanError;
+use scanvec::{ScanError, HEAP_BASE};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-/// The device heap base: a reset environment's first allocation lands
-/// here, so a guard over it fires on the kernel's first access.
-const HEAP_BASE: u64 = 4096;
-
+// A reset environment's first allocation lands at `HEAP_BASE`, so a guard
+// over it fires on the kernel's first access.
 fn cfg() -> EnvConfig {
     EnvConfig {
         mem_bytes: 1 << 22,

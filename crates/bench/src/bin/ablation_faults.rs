@@ -19,7 +19,7 @@
 use rvv_batch::{BatchJob, BatchRunner, JobOutcome};
 use rvv_fault::chaos::{chaos_config, run_algo, ChaosAlgo, CHAOS_FUEL};
 use rvv_fault::{ArmedFaults, FaultPlan};
-use scanvec::ScanEnv;
+use scanvec::{ScanEnv, HEAP_BASE};
 use scanvec_bench::{inject_seed_arg, threads_arg};
 
 /// Default fault seed: the chaos suite's, so CI exercises a fixed grid.
@@ -27,9 +27,6 @@ const DEFAULT_SEED: u64 = 0x5eed_fa17_2026_0807;
 
 /// Scenarios per algorithm (× 8 algorithms = the grid).
 const PER_ALGO: u64 = 28;
-
-/// The device heap base (`HEAP_BASE` in `scanvec::env`).
-const HEAP_BASE: u64 = 4096;
 
 fn scenario_jobs(seed: u64) -> Vec<BatchJob<String>> {
     let mut jobs = Vec::new();

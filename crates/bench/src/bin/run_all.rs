@@ -24,6 +24,7 @@
 
 use rvv_batch::{BatchJob, BatchRunner};
 use rvv_fault::{ArmedFaults, FaultPlan};
+use scanvec::HEAP_BASE;
 use scanvec_bench::sweep::{decode_sweep, sweep_jobs, Measurement, SweepShape};
 use scanvec_bench::{
     experiments, flag_arg, fmt_ratio, fmt_speedup, inject_seed_arg, print_table, threads_arg,
@@ -33,10 +34,6 @@ use scanvec_bench::{
 /// sweep point (~2×10⁸ retired at n=10⁶), far below `DEFAULT_FUEL` — a
 /// fault that turns a loop infinite burns 10⁹ instructions, not 4×10⁹.
 const INJECT_WATCHDOG: u64 = 1_000_000_000;
-
-/// The device heap base (`HEAP_BASE` in `scanvec::env`); guard-region
-/// offsets in a [`FaultPlan`] are relative to it.
-const HEAP_BASE: u64 = 4096;
 
 /// Arm `FaultPlan::derive(seed, index)` on every job: guard regions on the
 /// device heap plus the [`ArmedFaults`] hook, installed by a per-attempt

@@ -32,8 +32,10 @@ use std::sync::Arc;
 
 /// Stack reservation at the top of device memory.
 const STACK_BYTES: u64 = 1 << 20;
-/// Low guard: the first page is never allocated, so null-ish pointers trap.
-const HEAP_BASE: u64 = 4096;
+/// The device heap base: the first page is never allocated, so null-ish
+/// pointers trap. Public so fault plans and tests can compute guard
+/// offsets relative to the heap without re-declaring the constant.
+pub const HEAP_BASE: u64 = 4096;
 
 /// Environment configuration.
 ///
@@ -572,11 +574,18 @@ impl ScanEnv {
         // An armed watchdog caps this launch at whatever is left of the
         // job's budget; exhausting it reports the *budget*, not the
         // remainder, so the trap message is the same wherever in the job
-        // the line is crossed.
-        let (fuel, budget) = match self.fuel_budget {
+        // the line is crossed. The budget line lies inside this launch
+        // only when the metered allocation IS the remaining budget — a
+        // launch capped at `DEFAULT_FUEL` below the line can exhaust its
+        // own fuel without crossing it.
+        let (fuel, watchdog) = match self.fuel_budget {
             Some((budget, base)) => {
                 let spent = self.machine.counters.total() - base;
-                (DEFAULT_FUEL.min(budget.saturating_sub(spent)), Some(budget))
+                let remaining = budget.saturating_sub(spent);
+                (
+                    DEFAULT_FUEL.min(remaining),
+                    (remaining <= DEFAULT_FUEL).then_some(budget),
+                )
             }
             None => (DEFAULT_FUEL, None),
         };
@@ -596,11 +605,14 @@ impl ScanEnv {
             }
             (ExecEngine::Legacy, None, None) => self.machine.run_legacy(plan.program(), fuel),
         };
-        // Only a trap carrying exactly this launch's metered allocation is
-        // the watchdog firing — an injected fuel fault carries its own
-        // (different) value and must pass through unrewritten.
-        let report = report.map_err(|e| match (e, budget) {
-            (SimError::FuelExhausted { fuel: f }, Some(b)) if f == fuel && f < DEFAULT_FUEL => {
+        // The run loop is the only source of `FuelExhausted`, and it always
+        // carries the launch's metered fuel (injected fuel faults trap as
+        // `SimError::InjectedFault` — see `rvv-fault` — and pass through
+        // unrewritten). So when the budget line lies inside this launch,
+        // exhausting the metered allocation *is* the watchdog firing:
+        // report the budget.
+        let report = report.map_err(|e| match (e, watchdog) {
+            (SimError::FuelExhausted { fuel: f }, Some(b)) if f == fuel => {
                 SimError::FuelExhausted { fuel: b }
             }
             (e, _) => e,

@@ -60,7 +60,7 @@ pub mod primitives;
 pub mod segment;
 pub mod typed;
 
-pub use env::{EnvConfig, ExecEngine, ScanEnv, SvVector};
+pub use env::{EnvConfig, ExecEngine, ScanEnv, SvVector, HEAP_BASE};
 pub use error::{ScanError, ScanResult};
 pub use ops::ScanOp;
 pub use plan_cache::PlanCache;

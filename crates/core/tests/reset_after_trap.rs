@@ -6,7 +6,7 @@
 
 use rvv_sim::SimError;
 use scanvec::primitives::{plus_scan, seg_plus_scan};
-use scanvec::{EnvConfig, ExecEngine, ScanEnv, ScanError};
+use scanvec::{EnvConfig, ExecEngine, ScanEnv, ScanError, HEAP_BASE};
 
 const N: usize = 777;
 
@@ -58,11 +58,8 @@ fn check_engine(engine: ExecEngine, trap: impl Fn(&mut ScanEnv) -> ScanError) {
     );
 }
 
-/// The device heap base (`HEAP_BASE` in `scanvec::env`): the first
-/// allocation of a reset environment lands here, so a guard over it fires
-/// on the kernel's first device-side access.
-const HEAP_BASE: u64 = 4096;
-
+// The first allocation of a reset environment lands at `HEAP_BASE`, so a
+// guard over it fires on the kernel's first device-side access.
 fn guard_trap(env: &mut ScanEnv) -> ScanError {
     env.machine_mut().mem.add_guard(HEAP_BASE..HEAP_BASE + 64);
     let data: Vec<u32> = (0..N as u32).collect();

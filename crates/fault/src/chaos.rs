@@ -16,7 +16,7 @@
 
 use crate::{ArmedFaults, FaultPlan, XorShift64};
 use rvv_isa::Sew;
-use scanvec::{EnvConfig, ExecEngine, PlanCache, ScanEnv, ScanResult};
+use scanvec::{EnvConfig, ExecEngine, PlanCache, ScanEnv, ScanResult, HEAP_BASE};
 use scanvec_algos as algos;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -245,16 +245,20 @@ pub fn run_scenario(
         // kernel cache so the faulted attempt can't fail inside `kernel`).
         let golden = run_algo(&mut env, algo, data_seed, n)
             .map_err(|e| format!("{} unfaulted run failed on {engine:?}: {e}", algo.name()))?;
+        // `reset()` reverts to the default engine — re-select, or the
+        // Legacy iteration would silently run (and compare) Plan vs Plan.
         env.reset();
+        env.set_engine(engine);
 
         // Arm the plan: guards on memory, everything else via the hook.
-        for r in fault_plan.guard_ranges(heap_base()) {
+        for r in fault_plan.guard_ranges(HEAP_BASE) {
             env.machine_mut().mem.add_guard(r);
         }
         env.attach_fault_hook(Box::new(ArmedFaults::new(&fault_plan)));
         env.set_fuel_budget(Some(CHAOS_FUEL));
 
         // Contract 1: no panic escapes.
+        assert_eq!(env.engine(), engine, "faulted run must use {engine:?}");
         let outcome = catch_unwind(AssertUnwindSafe(|| run_algo(&mut env, algo, data_seed, n)))
             .map_err(|p| {
                 format!(
@@ -272,6 +276,8 @@ pub fn run_scenario(
         // Contract 3: reset() after the (possibly trapped) run restores a
         // state that reproduces the golden fingerprint bit-exactly.
         env.reset();
+        env.set_engine(engine);
+        assert_eq!(env.engine(), engine, "recovery run must use {engine:?}");
         let recovered = run_algo(&mut env, algo, data_seed, n).map_err(|e| {
             format!(
                 "post-reset run failed on {engine:?} {} scenario {index} plan=[{fault_plan}]: {e}",
@@ -306,13 +312,6 @@ pub fn run_scenario(
         result,
         faulted,
     })
-}
-
-/// The device heap base every `ScanEnv` uses (`HEAP_BASE` in
-/// `scanvec::env` — the first page is never allocated). Guard offsets are
-/// relative to this.
-fn heap_base() -> u64 {
-    4096
 }
 
 fn mix_data_seed(seed: u64, algo: ChaosAlgo) -> u64 {

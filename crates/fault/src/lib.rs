@@ -106,10 +106,14 @@ pub enum Fault {
         /// 1-based ordinal among write instructions.
         nth: u64,
     },
-    /// Trap with [`SimError::FuelExhausted`] once `after` instructions have
-    /// been consulted — fuel exhaustion at a precise, engine-independent
-    /// point (the run loop's own fuel counts per *launch*; this counts
-    /// across the whole hook lifetime, i.e. per job).
+    /// Trap with [`SimError::InjectedFault`] (`what = "fuel"`) once `after`
+    /// instructions have been consulted — starvation at a precise,
+    /// engine-independent point (the run loop's own fuel counts per
+    /// *launch*; this counts across the whole hook lifetime, i.e. per
+    /// job). Deliberately *not* [`SimError::FuelExhausted`]: that variant
+    /// is reserved for the run loop itself, which is what lets the
+    /// environment's watchdog rewrite distinguish a crossed budget line
+    /// from an injected starvation fault.
     FuelCut {
         /// Instructions allowed before the cut.
         after: u64,
@@ -207,9 +211,12 @@ impl FromStr for Fault {
                 let (n, e) = rest
                     .split_once(':')
                     .ok_or_else(|| format!("fault `{s}`: expected reserved@nth:encoding"))?;
+                let encoding = num(e)?;
+                let encoding = u32::try_from(encoding)
+                    .map_err(|_| format!("fault `{s}`: encoding {encoding:#x} exceeds u32"))?;
                 Ok(Fault::Reserved {
                     nth: num(n)?,
-                    encoding: num(e)? as u32,
+                    encoding,
                 })
             }
             "guard" => {
@@ -425,7 +432,10 @@ impl FaultHook for ArmedFaults {
                 }
                 Fault::FuelCut { after } => {
                     if self.instrs > after {
-                        return FaultAction::Trap(SimError::FuelExhausted { fuel: after });
+                        return FaultAction::Trap(SimError::InjectedFault {
+                            what: "fuel",
+                            seq: after,
+                        });
                     }
                 }
                 Fault::BitFlip { nth, bit } => {
@@ -516,6 +526,9 @@ mod tests {
         assert_eq!(FaultPlan::none().to_string(), "none");
         assert!("bogus@1".parse::<FaultPlan>().is_err());
         assert!("bitflip@1.99".parse::<FaultPlan>().is_err());
+        // Encodings wider than 32 bits must error, not silently truncate.
+        assert!("reserved@1:0x1ffffffff".parse::<FaultPlan>().is_err());
+        assert!("reserved@1:0xffffffff".parse::<FaultPlan>().is_ok());
     }
 
     #[test]

@@ -78,9 +78,11 @@ pub enum SimError {
     /// A fault-injection hook forced this trap (see `rvv-fault`). Never
     /// raised by ordinary execution — only when a `FaultHook` is attached.
     InjectedFault {
-        /// Which injection point fired (e.g. `"read"`, `"write"`).
+        /// Which injection point fired (e.g. `"read"`, `"write"`,
+        /// `"fuel"`).
         what: &'static str,
-        /// The 1-based ordinal of the access/instruction the plan armed.
+        /// The 1-based ordinal of the access/instruction the plan armed
+        /// (for `"fuel"`, the injected instruction budget).
         seq: u64,
     },
 }

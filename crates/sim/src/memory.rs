@@ -89,6 +89,7 @@ impl Memory {
     /// Load `len ∈ {1,2,4,8}` bytes little-endian, zero-extended to `u64`.
     #[inline]
     pub fn load(&self, addr: u64, len: u64) -> SimResult<u64> {
+        debug_assert!(len <= 8, "load of {len} bytes does not fit a u64");
         self.check(addr, len)?;
         let a = addr as usize;
         let mut v = 0u64;
@@ -101,6 +102,7 @@ impl Memory {
     /// Store the low `len ∈ {1,2,4,8}` bytes of `value` little-endian.
     #[inline]
     pub fn store(&mut self, addr: u64, len: u64, value: u64) -> SimResult<()> {
+        debug_assert!(len <= 8, "store of {len} bytes does not fit a u64");
         self.check(addr, len)?;
         let a = addr as usize;
         for i in 0..len as usize {
@@ -129,6 +131,7 @@ impl Memory {
     /// a guard over a result buffer must not turn read-back into a trap).
     #[inline]
     pub fn peek(&self, addr: u64, len: u64) -> SimResult<u64> {
+        debug_assert!(len <= 8, "peek of {len} bytes does not fit a u64");
         self.check_bounds(addr, len)?;
         let a = addr as usize;
         let mut v = 0u64;
@@ -142,6 +145,7 @@ impl Memory {
     /// [`Memory::peek`]).
     #[inline]
     pub fn poke(&mut self, addr: u64, len: u64, value: u64) -> SimResult<()> {
+        debug_assert!(len <= 8, "poke of {len} bytes does not fit a u64");
         self.check_bounds(addr, len)?;
         let a = addr as usize;
         for i in 0..len as usize {
