@@ -137,6 +137,14 @@ pub enum JobOutcome<T> {
         /// The exhausted budget.
         budget: u64,
     },
+    /// A failure replayed from a journal (see [`crate::journal`]): the
+    /// stored stable form of the original outcome. Successful jobs replay
+    /// as real [`JobOutcome::Ok`] values — their payloads are journaled —
+    /// but a failure's typed error is not reconstructible from its stable
+    /// text, so it replays as this variant, whose stable serialization is
+    /// the stored string *verbatim* (keeping manifests and digests
+    /// byte-identical across a crash/resume boundary).
+    Replayed(String),
 }
 
 impl<T> JobOutcome<T> {
@@ -172,7 +180,7 @@ impl<T> JobOutcome<T> {
     /// [`JobReport::stable_line`]. `Ok`/`Trapped`/`Failed` match the forms
     /// the previous `ScanResult` field produced (`ok {v:?}` / `err {e}`),
     /// so existing golden digests stay valid.
-    fn stable(&self) -> String
+    pub(crate) fn stable(&self) -> String
     where
         T: fmt::Debug,
     {
@@ -187,6 +195,7 @@ impl<T> JobOutcome<T> {
                 format!("panicked {first}")
             }
             JobOutcome::TimedOut { budget } => format!("timed-out budget={budget}"),
+            JobOutcome::Replayed(stable) => stable.clone(),
         }
     }
 }
@@ -206,6 +215,11 @@ pub struct JobReport<T> {
     /// are deterministic for deterministic jobs, but they are bookkeeping,
     /// not results.
     pub attempts: u32,
+    /// How many of this job's attempts panicked and poisoned their
+    /// environment — each one costs the pool a rebuild. Deterministic for
+    /// deterministic jobs, but bookkeeping like `attempts`: surfaced in
+    /// the degraded manifest, quarantined from [`JobReport::stable_line`].
+    pub poisoned: u32,
     /// Dynamic instructions this job retired, by class (final attempt).
     pub counters: Counters,
     /// Total dynamic instructions this job retired.
@@ -307,6 +321,7 @@ impl<T: fmt::Debug> BatchResult<T> {
                 index,
                 name: r.name.clone(),
                 outcome: r.outcome.stable(),
+                attempts: r.attempts,
             })
             .collect();
         if failed.is_empty() {
@@ -315,6 +330,12 @@ impl<T: fmt::Debug> BatchResult<T> {
             Some(DegradedSummary {
                 total: self.reports.len(),
                 failed,
+                retries: self
+                    .reports
+                    .iter()
+                    .map(|r| u64::from(r.attempts.saturating_sub(1)))
+                    .sum(),
+                poisoned: self.reports.iter().map(|r| u64::from(r.poisoned)).sum(),
             })
         }
     }
@@ -330,6 +351,9 @@ pub struct FailedJob {
     /// The stable form of the failure (`err …`, `panicked …`,
     /// `timed-out …`).
     pub outcome: String,
+    /// Attempts the job made (1 + retries consumed). Deterministic, but
+    /// bookkeeping — shown in the manifest, excluded from stable digests.
+    pub attempts: u32,
 }
 
 /// A degraded batch: the sweep completed, some jobs failed. Produced by
@@ -342,14 +366,30 @@ pub struct DegradedSummary {
     pub total: usize,
     /// The failures, in job order.
     pub failed: Vec<FailedJob>,
+    /// Retries consumed across the *whole* batch (every attempt beyond
+    /// each job's first, successful jobs included — a flaky-but-recovered
+    /// job consumed a retry too).
+    pub retries: u64,
+    /// Environments poisoned (and so rebuilt by the worker pools) across
+    /// the whole batch — one per panicking attempt.
+    pub poisoned: u64,
 }
 
 impl fmt::Display for DegradedSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} of {} jobs failed", self.failed.len(), self.total)?;
         for j in &self.failed {
-            writeln!(f, "  {:04} {}: {}", j.index, j.name, j.outcome)?;
+            writeln!(
+                f,
+                "  {:04} {}: {} [attempts={}]",
+                j.index, j.name, j.outcome, j.attempts
+            )?;
         }
+        writeln!(
+            f,
+            "retries consumed: {}, environments poisoned: {}",
+            self.retries, self.poisoned
+        )?;
         Ok(())
     }
 }

@@ -1,0 +1,331 @@
+//! Write-ahead journaling for batch sweeps: every completed job's report
+//! is appended to an on-disk journal the moment it finishes, so a sweep
+//! killed at *any* point — `kill -9` included — resumes by replaying the
+//! journal and running only the jobs that never completed. The resumed
+//! batch's [`BatchResult::stable_digest`] is byte-identical to an
+//! uninterrupted run's, at any thread count, interrupted any number of
+//! times.
+//!
+//! ## File format
+//!
+//! The journal rides on `rvv-ckpt`'s record layer: length-prefixed,
+//! FNV-1a-checksummed records with a torn-tail-tolerant reader (a record
+//! half-written at the kill point is detected and dropped, never half-
+//! applied). Record 0 is the **header** — a sealed frame binding the
+//! journal to its job list (count + a digest over every job's name,
+//! configuration, and weight). Resume refuses a journal whose header does
+//! not match the jobs being resumed: a journal is a claim about *one*
+//! specific sweep.
+//!
+//! Every data record carries one completed job: its index, name, attempt
+//! bookkeeping, per-class counters, the stable outcome text, and — for
+//! successful jobs — the measurement payload itself, encoded via
+//! [`JournalPayload`]. Successful jobs therefore replay as real
+//! [`JobOutcome::Ok`] values (decoders like table folding keep working on
+//! a resumed run); failures replay as [`JobOutcome::Replayed`] carrying
+//! their stable text verbatim, so manifests and digests survive the
+//! crash/resume boundary byte-for-byte.
+//!
+//! ## What is deliberately not journaled
+//!
+//! Trace profiles (host-side structures tied to a tracer attachment;
+//! journaled sweeps and traced sweeps are separate experiments — a traced
+//! job's *measurement* replays fine, its profile does not survive) and
+//! the scheduling fields `worker`/`wall` (replayed reports get worker 0
+//! and zero wall — both are quarantined from every stable serialization).
+
+use crate::job::{BatchJob, BatchResult, JobOutcome, JobReport};
+use crate::runner::{assemble, BatchRunner};
+use rvv_ckpt::{
+    fnv1a, open, read_journal, seal, ByteReader, ByteWriter, CodecError, JournalWriter,
+};
+use rvv_sim::Counters;
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Frame kind for the journal header record.
+const HEADER_KIND: &str = "rvv-batch-journal";
+/// Bump on any incompatible change to the header or record layout.
+const HEADER_VERSION: u16 = 1;
+
+/// A measurement type that can ride in a journal record. Implementations
+/// must round-trip exactly: `decode(encode(x)) == x`, including through
+/// the `Debug` form [`JobReport::stable_line`] prints — a decoded payload
+/// that renders differently would change the resumed digest.
+pub trait JournalPayload: Sized {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+    /// Decode a value previously written by [`JournalPayload::encode`].
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+}
+
+impl JournalPayload for u64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<u64, CodecError> {
+        r.get_u64()
+    }
+}
+
+/// Options for [`run_journaled`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalOptions {
+    /// `fsync` the journal after every N data records (0 = never fsync;
+    /// the OS page cache still makes records durable against process
+    /// death, just not against machine crash). The header record is
+    /// always fsynced.
+    pub fsync_every: u32,
+    /// Resume from an existing journal at the path (replaying completed
+    /// records and running the remainder) instead of starting fresh. With
+    /// `resume = false` any existing journal is overwritten.
+    pub resume: bool,
+    /// Crash harness: abort the process (SIGABRT, no unwinding, no
+    /// cleanup — the deterministic stand-in for `kill -9`) immediately
+    /// after this many data records have been appended *by this process*.
+    /// `None` runs to completion.
+    pub crash_after: Option<u64>,
+}
+
+impl Default for JournalOptions {
+    fn default() -> JournalOptions {
+        JournalOptions {
+            fsync_every: 1,
+            resume: false,
+            crash_after: None,
+        }
+    }
+}
+
+/// The header payload binding a journal to its job list: resume must be
+/// handed the *same* sweep (names, configurations, weights, order).
+/// Thread count and fsync granularity are deliberately excluded — a
+/// journal written at `--threads 8` resumes fine at `--threads 1`.
+fn header_bytes<T>(jobs: &[BatchJob<T>]) -> Vec<u8> {
+    let mut digest_src = ByteWriter::new();
+    for job in jobs {
+        digest_src.put_str(&job.name);
+        digest_src.put_str(&format!("{:?}", job.config));
+        digest_src.put_u64(job.weight);
+    }
+    let mut w = ByteWriter::new();
+    w.put_u64(jobs.len() as u64);
+    w.put_u64(fnv1a(&digest_src.into_bytes()));
+    seal(HEADER_KIND, HEADER_VERSION, &w.into_bytes())
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Encode one completed job as a journal record payload.
+fn encode_record<T: JournalPayload + fmt::Debug>(index: usize, report: &JobReport<T>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(index as u64);
+    w.put_str(&report.name);
+    w.put_u32(report.attempts);
+    w.put_u32(report.poisoned);
+    let counts: Vec<u64> = report.counters.iter().map(|(_, c)| c).collect();
+    w.put_u32(counts.len() as u32);
+    for c in counts {
+        w.put_u64(c);
+    }
+    w.put_str(&report.outcome.stable());
+    match report.outcome.output() {
+        Some(v) => {
+            w.put_bool(true);
+            v.encode(&mut w);
+        }
+        None => w.put_bool(false),
+    }
+    w.into_bytes()
+}
+
+/// One decoded journal record: everything needed to rebuild the report
+/// once the job list supplies the configuration.
+struct Replayed<T> {
+    index: usize,
+    name: String,
+    attempts: u32,
+    poisoned: u32,
+    counters: Counters,
+    stable: String,
+    output: Option<T>,
+}
+
+fn decode_record<T: JournalPayload>(payload: &[u8]) -> Result<Replayed<T>, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let index = r.get_u64()? as usize;
+    let name = r.get_str()?.to_string();
+    let attempts = r.get_u32()?;
+    let poisoned = r.get_u32()?;
+    let n = r.get_u32()? as usize;
+    if n != rvv_isa::InstrClass::ALL.len() {
+        return Err(CodecError::BadValue {
+            what: "counter class count",
+            value: n as u64,
+        });
+    }
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(r.get_u64()?);
+    }
+    let counters = Counters::from_class_counts(&counts);
+    let stable = r.get_str()?.to_string();
+    let output = if r.get_bool()? {
+        Some(T::decode(&mut r)?)
+    } else {
+        None
+    };
+    r.finish()?;
+    Ok(Replayed {
+        index,
+        name,
+        attempts,
+        poisoned,
+        counters,
+        stable,
+        output,
+    })
+}
+
+impl<T: fmt::Debug> Replayed<T> {
+    fn into_report(self, job: &BatchJob<T>) -> io::Result<JobReport<T>> {
+        if self.name != job.name {
+            return Err(bad(format!(
+                "journal record {} names `{}`, job list has `{}`",
+                self.index, self.name, job.name
+            )));
+        }
+        let outcome = match self.output {
+            Some(v) => {
+                let replayed = JobOutcome::Ok(v);
+                debug_assert_eq!(
+                    replayed.stable(),
+                    self.stable,
+                    "journaled payload re-renders differently (JournalPayload impl broken?)"
+                );
+                replayed
+            }
+            None => JobOutcome::Replayed(self.stable),
+        };
+        Ok(JobReport {
+            name: self.name,
+            config: job.config,
+            outcome,
+            attempts: self.attempts,
+            poisoned: self.poisoned,
+            retired: self.counters.total(),
+            counters: self.counters,
+            profile: None,
+            worker: 0,
+            wall: Duration::ZERO,
+        })
+    }
+}
+
+/// Run `jobs` under a write-ahead journal at `path`.
+///
+/// Fresh runs (`resume: false`) write the header and then one record per
+/// completed job, as jobs complete. Resumed runs (`resume: true`) read
+/// the journal back (verifying the header against `jobs` and dropping a
+/// torn tail), replay every completed record, and run **only the
+/// remainder** — appending new records to the same journal, so a resumed
+/// run that crashes again resumes again.
+///
+/// The returned [`BatchResult`] is in job order and its
+/// [`BatchResult::stable_digest`] is byte-identical to an uninterrupted
+/// (or never-journaled) run of the same jobs, at any thread count. Only
+/// the quarantined fields differ: replayed reports carry no profile,
+/// worker 0, zero wall, and `plan_compiles` counts this process only.
+pub fn run_journaled<T>(
+    runner: &BatchRunner,
+    jobs: Vec<BatchJob<T>>,
+    path: &Path,
+    opts: &JournalOptions,
+) -> io::Result<BatchResult<T>>
+where
+    T: Send + fmt::Debug + JournalPayload,
+{
+    let started = Instant::now();
+    let compiles_before = runner.plan_cache().compiles();
+    let header = header_bytes(&jobs);
+
+    // Replay phase: collect completed records and find the journal tail.
+    let mut replayed: HashMap<usize, Replayed<T>> = HashMap::new();
+    let writer = if opts.resume {
+        let journal = read_journal(path)?;
+        let on_disk = open(HEADER_KIND, HEADER_VERSION, &journal.header)
+            .map_err(|e| bad(format!("journal header: {e}")))?;
+        let expected = open(HEADER_KIND, HEADER_VERSION, &header).expect("fresh header");
+        if on_disk != expected {
+            return Err(bad(format!(
+                "journal at {} was written for a different job list ({} jobs expected)",
+                path.display(),
+                jobs.len()
+            )));
+        }
+        for record in &journal.records {
+            let rec =
+                decode_record::<T>(record).map_err(|e| bad(format!("journal record: {e}")))?;
+            if rec.index >= jobs.len() {
+                return Err(bad(format!(
+                    "journal record index {} out of range",
+                    rec.index
+                )));
+            }
+            // Last write wins; duplicates can only arise from resuming a
+            // resume that crashed, and both copies are identical anyway.
+            replayed.insert(rec.index, rec);
+        }
+        JournalWriter::resume(path, journal.valid_len, opts.fsync_every)?
+    } else {
+        JournalWriter::create(path, &header, opts.fsync_every)?
+    };
+
+    let remaining: Vec<usize> = (0..jobs.len())
+        .filter(|i| !replayed.contains_key(i))
+        .collect();
+
+    // Execute the remainder, journaling each completion as it happens.
+    // The observer runs on worker threads in completion order; the writer
+    // is a single append stream behind a mutex (append order does not
+    // matter — records are keyed by job index).
+    let writer = Mutex::new(writer);
+    let crash_after = opts.crash_after;
+    let live = runner.run_subset(&jobs, &remaining, &|index, report| {
+        let mut w = writer.lock().expect("journal writer poisoned");
+        let appended = w
+            .append(&encode_record(index, report))
+            .expect("journal append failed");
+        if crash_after.is_some_and(|n| appended >= n) {
+            // The deterministic kill -9: no unwinding, no Drop, no flush
+            // beyond what append already wrote.
+            std::process::abort();
+        }
+    });
+    drop(writer);
+
+    // Merge replayed and live reports in job order.
+    let mut live = live.into_iter().peekable();
+    let mut reports = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        if let Some(rec) = replayed.remove(&i) {
+            reports.push(rec.into_report(job)?);
+        } else {
+            let (j, report) = live.next().expect("every job replayed or run");
+            debug_assert_eq!(i, j, "live reports out of order");
+            reports.push(report);
+        }
+    }
+    Ok(assemble(
+        reports,
+        runner.threads(),
+        runner.plan_cache().compiles() - compiles_before,
+        started.elapsed(),
+    ))
+}

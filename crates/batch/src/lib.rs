@@ -45,6 +45,14 @@
 //! still completes every job; [`BatchResult::degraded`] summarizes the
 //! failures as a deterministic manifest for `--keep-going` style drivers.
 //!
+//! ## How a sweep survives its process dying
+//!
+//! [`journal::run_journaled`] wraps a run in a write-ahead journal: every
+//! completed job is persisted before the sweep moves on, and a killed
+//! process (`kill -9` included) resumes by replaying the journal and
+//! running only the remainder — with a stable digest byte-identical to an
+//! uninterrupted run's. See the [`journal`] module docs.
+//!
 //! ```
 //! use rvv_batch::{BatchJob, BatchRunner};
 //! use scanvec::EnvConfig;
@@ -71,9 +79,11 @@
 #![warn(missing_docs)]
 
 mod job;
+pub mod journal;
 mod runner;
 
 pub use job::{BatchJob, BatchResult, DegradedSummary, FailedJob, JobOutcome, JobReport};
+pub use journal::{run_journaled, JournalOptions, JournalPayload};
 pub use runner::BatchRunner;
 
 // Re-exported so bins depending on `rvv-batch` can name the shared pieces

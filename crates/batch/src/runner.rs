@@ -58,98 +58,158 @@ impl BatchRunner {
     pub fn run<T: Send + std::fmt::Debug>(&self, jobs: Vec<BatchJob<T>>) -> BatchResult<T> {
         let started = Instant::now();
         let compiles_before = self.plans.compiles();
-        let reports: Vec<JobReport<T>> = if self.threads == 1 {
+        let include: Vec<usize> = (0..jobs.len()).collect();
+        let reports = self
+            .run_subset(&jobs, &include, &|_, _| {})
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assemble(
+            reports,
+            self.threads,
+            self.plans.compiles() - compiles_before,
+            started.elapsed(),
+        )
+    }
+
+    /// Run only the jobs at `include` (job indices, any order; deduplicated
+    /// and sorted internally) and return `(index, report)` pairs **in job
+    /// order**. `observer` is called once per completed job, from the
+    /// worker thread that finished it, *in completion order* — this is the
+    /// journaling hook (see [`crate::journal`]): the observer can persist
+    /// the report before the batch moves on, so a crash loses at most the
+    /// jobs still in flight.
+    ///
+    /// Determinism: the reports depend only on `(jobs, include)` — the
+    /// subset is sharded by the same weight-LPT rule as a full run, and
+    /// every report is scheduling-independent apart from the quarantined
+    /// `worker`/`wall` fields. Observer *call order* is scheduling-
+    /// dependent by nature; anything derived from it must be
+    /// order-insensitive (a journal keyed by job index is).
+    pub fn run_subset<T: Send + std::fmt::Debug>(
+        &self,
+        jobs: &[BatchJob<T>],
+        include: &[usize],
+        observer: &(dyn Fn(usize, &JobReport<T>) + Sync),
+    ) -> Vec<(usize, JobReport<T>)> {
+        let mut include: Vec<usize> = include.to_vec();
+        include.sort_unstable();
+        include.dedup();
+        assert!(
+            include.last().is_none_or(|&i| i < jobs.len()),
+            "job index out of range"
+        );
+        if self.threads == 1 {
             // Serial reference path: caller's thread, job order, one pool.
             let mut pool = EnvPool::new(&self.plans);
-            jobs.iter().map(|job| run_one(job, &mut pool, 0)).collect()
-        } else {
-            let shards = shard(&jobs, self.threads);
-            let mut slots: Vec<Option<JobReport<T>>> = Vec::new();
-            slots.resize_with(jobs.len(), || None);
-            let jobs = &jobs;
-            // (completed reports, panicked workers). Job bodies are panic-
-            // isolated inside `run_one`, so a worker thread dying is a bug
-            // in the runner itself — but even then the batch must degrade,
-            // not abort: the dead worker's unfinished jobs are reported as
-            // panicked, naming the worker and job.
-            let (completed, dead_workers) = std::thread::scope(|s| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .cloned()
-                    .enumerate()
-                    .map(|(worker, shard)| {
-                        let plans = Arc::clone(&self.plans);
-                        s.spawn(move || {
-                            let mut pool = EnvPool::new(&plans);
-                            shard
-                                .into_iter()
-                                .map(|i| (i, run_one(&jobs[i], &mut pool, worker)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                let mut completed = Vec::new();
-                let mut dead = Vec::new();
-                for (worker, h) in handles.into_iter().enumerate() {
-                    match h.join() {
-                        Ok(pairs) => completed.extend(pairs),
-                        Err(payload) => dead.push((worker, panic_text(payload.as_ref()))),
-                    }
-                }
-                (completed, dead)
-            });
-            for (i, report) in completed {
-                debug_assert!(slots[i].is_none(), "job {i} ran twice");
-                slots[i] = Some(report);
-            }
-            for (worker, msg) in dead_workers {
-                for &i in &shards[worker] {
-                    if slots[i].is_none() {
-                        slots[i] = Some(JobReport {
-                            name: jobs[i].name.clone(),
-                            config: jobs[i].config,
-                            outcome: JobOutcome::Panicked(format!(
-                                "worker {worker} died before job {i}: {msg}"
-                            )),
-                            attempts: 0,
-                            counters: rvv_sim::Counters::new(),
-                            retired: 0,
-                            profile: None,
-                            worker,
-                            wall: Duration::ZERO,
-                        });
-                    }
-                }
-            }
-            slots
+            return include
                 .into_iter()
-                .map(|s| s.expect("job never ran"))
-                .collect()
-        };
-        // Scheduling-independent merges: fold in job order.
-        let mut counters = rvv_sim::Counters::new();
-        let mut profile: Option<TraceProfiler> = None;
-        for r in &reports {
-            counters.merge(&r.counters);
-            if let Some(p) = &r.profile {
-                match &mut profile {
-                    Some(merged) => merged.merge(p),
-                    None => {
-                        let mut merged = TraceProfiler::new(p.stack_region());
-                        merged.merge(p);
-                        profile = Some(merged);
-                    }
+                .map(|i| {
+                    let report = run_one(&jobs[i], &mut pool, 0);
+                    observer(i, &report);
+                    (i, report)
+                })
+                .collect();
+        }
+        let shards = shard(jobs, &include, self.threads);
+        let mut slots: Vec<Option<JobReport<T>>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        // (completed reports, panicked workers). Job bodies are panic-
+        // isolated inside `run_one`, so a worker thread dying is a bug
+        // in the runner itself — but even then the batch must degrade,
+        // not abort: the dead worker's unfinished jobs are reported as
+        // panicked, naming the worker and job.
+        let (completed, dead_workers) = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(worker, shard)| {
+                    let plans = Arc::clone(&self.plans);
+                    s.spawn(move || {
+                        let mut pool = EnvPool::new(&plans);
+                        shard
+                            .into_iter()
+                            .map(|i| {
+                                let report = run_one(&jobs[i], &mut pool, worker);
+                                observer(i, &report);
+                                (i, report)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut completed = Vec::new();
+            let mut dead = Vec::new();
+            for (worker, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pairs) => completed.extend(pairs),
+                    Err(payload) => dead.push((worker, panic_text(payload.as_ref()))),
+                }
+            }
+            (completed, dead)
+        });
+        for (i, report) in completed {
+            debug_assert!(slots[i].is_none(), "job {i} ran twice");
+            slots[i] = Some(report);
+        }
+        for (worker, msg) in dead_workers {
+            for &i in &shards[worker] {
+                if slots[i].is_none() {
+                    slots[i] = Some(JobReport {
+                        name: jobs[i].name.clone(),
+                        config: jobs[i].config,
+                        outcome: JobOutcome::Panicked(format!(
+                            "worker {worker} died before job {i}: {msg}"
+                        )),
+                        attempts: 0,
+                        poisoned: 0,
+                        counters: rvv_sim::Counters::new(),
+                        retired: 0,
+                        profile: None,
+                        worker,
+                        wall: Duration::ZERO,
+                    });
                 }
             }
         }
-        BatchResult {
-            reports,
-            counters,
-            profile,
-            threads: self.threads,
-            plan_compiles: self.plans.compiles() - compiles_before,
-            wall: started.elapsed(),
+        include
+            .into_iter()
+            .map(|i| (i, slots[i].take().expect("job never ran")))
+            .collect()
+    }
+}
+
+/// Fold in-order reports into a [`BatchResult`] (scheduling-independent
+/// merges: counters and profiles fold in job order).
+pub(crate) fn assemble<T>(
+    reports: Vec<JobReport<T>>,
+    threads: usize,
+    plan_compiles: u64,
+    wall: Duration,
+) -> BatchResult<T> {
+    let mut counters = rvv_sim::Counters::new();
+    let mut profile: Option<TraceProfiler> = None;
+    for r in &reports {
+        counters.merge(&r.counters);
+        if let Some(p) = &r.profile {
+            match &mut profile {
+                Some(merged) => merged.merge(p),
+                None => {
+                    let mut merged = TraceProfiler::new(p.stack_region());
+                    merged.merge(p);
+                    profile = Some(merged);
+                }
+            }
         }
+    }
+    BatchResult {
+        reports,
+        counters,
+        profile,
+        threads,
+        plan_compiles,
+        wall,
     }
 }
 
@@ -228,6 +288,7 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobRe
     let started = Instant::now();
     let max_attempts = 1 + job.retries;
     let mut attempts = 0;
+    let mut poisoned = 0;
     let (outcome, counters, profile) = loop {
         attempts += 1;
         // First try uses the pooled environment; retries get a fresh one
@@ -240,6 +301,9 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobRe
             let mut env = ScanEnv::with_cache(job.config, Arc::clone(pool.plans));
             attempt(job, &mut env)
         };
+        if matches!(result.0, JobOutcome::Panicked(_)) {
+            poisoned += 1;
+        }
         if result.0.is_ok() || attempts >= max_attempts {
             break result;
         }
@@ -249,6 +313,7 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobRe
         config: job.config,
         outcome,
         attempts,
+        poisoned,
         retired: counters.total(),
         counters,
         profile,
@@ -257,13 +322,13 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobRe
     }
 }
 
-/// Deterministic longest-processing-time sharding: jobs sorted by
-/// (weight desc, index asc) are greedily assigned to the least-loaded
-/// worker, ties broken by worker index; each worker then runs its shard in
-/// job-index order. Depends only on `(weights, threads)` — never on
-/// execution timing.
-fn shard<T>(jobs: &[BatchJob<T>], threads: usize) -> Vec<Vec<usize>> {
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
+/// Deterministic longest-processing-time sharding over the `include`d job
+/// indices: jobs sorted by (weight desc, index asc) are greedily assigned
+/// to the least-loaded worker, ties broken by worker index; each worker
+/// then runs its shard in job-index order. Depends only on
+/// `(weights, include, threads)` — never on execution timing.
+fn shard<T>(jobs: &[BatchJob<T>], include: &[usize], threads: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = include.to_vec();
     order.sort_by(|&a, &b| jobs[b].weight.cmp(&jobs[a].weight).then_with(|| a.cmp(&b)));
     let mut shards: Vec<Vec<usize>> = vec![Vec::new(); threads];
     let mut load = vec![0u64; threads];
@@ -291,8 +356,9 @@ mod tests {
     #[test]
     fn sharding_is_balanced_and_deterministic() {
         let jobs: Vec<_> = [8u64, 1, 7, 2, 6, 3, 5, 4].into_iter().map(job).collect();
-        let a = shard(&jobs, 2);
-        let b = shard(&jobs, 2);
+        let all: Vec<usize> = (0..jobs.len()).collect();
+        let a = shard(&jobs, &all, 2);
+        let b = shard(&jobs, &all, 2);
         assert_eq!(a, b, "same inputs, same shards");
         // LPT on this grid balances perfectly: 8+1+4+5 vs 7+2+3+6.
         let w = |s: &Vec<usize>| s.iter().map(|&i| jobs[i].weight).sum::<u64>();
@@ -307,7 +373,7 @@ mod tests {
     #[test]
     fn sharding_handles_more_workers_than_jobs() {
         let jobs: Vec<_> = [5u64, 3].into_iter().map(job).collect();
-        let shards = shard(&jobs, 8);
+        let shards = shard(&jobs, &[0, 1], 8);
         assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 2);
         assert_eq!(shards.len(), 8);
     }
@@ -315,7 +381,7 @@ mod tests {
     #[test]
     fn zero_weight_jobs_still_round_robin() {
         let jobs: Vec<_> = (0..6).map(|_| job(0)).collect();
-        let shards = shard(&jobs, 3);
+        let shards = shard(&jobs, &(0..6).collect::<Vec<_>>(), 3);
         assert!(shards.iter().all(|s| s.len() == 2), "{shards:?}");
     }
 }

@@ -102,6 +102,10 @@ fn main() {
                 panic!("PANIC escaped fault injection in {}: {msg}", r.name)
             }
             JobOutcome::Failed(_) => other += 1,
+            // This driver never journals, so nothing can replay here.
+            JobOutcome::Replayed(s) => {
+                panic!("replayed outcome in a live run at {}: {s}", r.name)
+            }
         }
     }
     let faulted = trapped + timed_out + other;
@@ -122,7 +126,8 @@ fn main() {
     if let Some(summary) = result.degraded() {
         manifest.push_str(&format!("{summary}"));
     }
-    std::fs::write("results/fault_manifest.txt", &manifest).expect("write fault_manifest.txt");
+    rvv_ckpt::write_atomic("results/fault_manifest.txt", &manifest)
+        .expect("write fault_manifest.txt");
 
     let json = format!(
         concat!(
@@ -140,7 +145,7 @@ fn main() {
         ),
         seed, total, ok, trapped, timed_out, other, counts, identical
     );
-    std::fs::write("results/fault_ablation.json", json).expect("write fault_ablation.json");
+    rvv_ckpt::write_atomic("results/fault_ablation.json", json).expect("write fault_ablation.json");
 
     println!("\n{ok} ok, {trapped} trapped, {timed_out} timed out, {other} host-failed, 0 panics");
     println!(

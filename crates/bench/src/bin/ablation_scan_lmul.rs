@@ -75,8 +75,8 @@ fn main() {
     for (r, lmul) in result.reports[4..].iter().zip([Lmul::M1, Lmul::M8]) {
         let p = r.profile.as_ref().expect("traced job carries a profile");
         let stem = format!("results/ablation_scan_lmul_m{}", lmul.regs());
-        std::fs::write(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
-        std::fs::write(format!("{stem}.txt"), p.text_report()).expect("write txt");
+        rvv_ckpt::write_atomic(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
+        rvv_ckpt::write_atomic(format!("{stem}.txt"), p.text_report()).expect("write txt");
         println!(
             "profile m{}: {} retired, {} spill ops -> {stem}.json/.txt",
             lmul.regs(),

@@ -183,6 +183,6 @@ fn main() {
         json_items.join(",\n")
     );
     std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/host_throughput.json", json).expect("write json");
+    rvv_ckpt::write_atomic("results/host_throughput.json", json).expect("write json");
     println!("\n-> results/host_throughput.json");
 }

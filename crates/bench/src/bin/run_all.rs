@@ -21,14 +21,33 @@
 //!   to `results/failure_manifest.txt` (deterministic — byte-identical
 //!   across thread counts and reruns), the tables are skipped, and the
 //!   binary exits nonzero.
+//!
+//! Crash-safety flags (the checkpoint/recovery subsystem):
+//!
+//! * `--journal` runs the sweep under a write-ahead journal
+//!   (`results/run_all.journal`): every completed point is persisted before
+//!   the sweep moves on, and `results/parallel_sweep.json` switches to a
+//!   deterministic variant (point counts and the batch stable digest, no
+//!   wall clocks) so interrupted-and-resumed runs can be compared byte for
+//!   byte against uninterrupted ones.
+//! * `--resume` (with `--journal`) replays the journal's completed points
+//!   and runs only the remainder.
+//! * `--fsync-every <N>` sets the journal fsync granularity (default 1).
+//! * `--crash-at <N>` aborts the process — `kill -9` semantics — after N
+//!   points have been journaled by this process; `--crash-seed <S>`
+//!   derives that ordinal deterministically via
+//!   [`rvv_fault::CrashPoint::derive`]. Both exist for the recovery tests.
 
-use rvv_batch::{BatchJob, BatchRunner};
-use rvv_fault::{ArmedFaults, FaultPlan};
+use rvv_batch::journal::{run_journaled, JournalOptions};
+use rvv_batch::{BatchJob, BatchResult, BatchRunner};
+use rvv_fault::{ArmedFaults, CrashPoint, FaultPlan};
 use scanvec::HEAP_BASE;
 use scanvec_bench::sweep::{decode_sweep, sweep_jobs, Measurement, SweepShape};
 use scanvec_bench::{
-    experiments, flag_arg, fmt_ratio, fmt_speedup, inject_seed_arg, print_table, threads_arg,
+    experiments, flag_arg, fmt_ratio, fmt_speedup, inject_seed_arg, num_arg, print_table,
+    threads_arg,
 };
+use std::path::Path;
 
 /// Instruction watchdog for injected runs: far above the largest legit
 /// sweep point (~2×10⁸ retired at n=10⁶), far below `DEFAULT_FUEL` — a
@@ -99,8 +118,120 @@ fn write_sweep_json(
         threads, jobs, retired, serial_secs, parallel, speedup, identical
     );
     std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/parallel_sweep.json", json).expect("write parallel_sweep.json");
+    rvv_ckpt::write_atomic("results/parallel_sweep.json", json).expect("write parallel_sweep.json");
     println!("-> results/parallel_sweep.json");
+}
+
+/// The `--journal` variant of `results/parallel_sweep.json`: everything
+/// wall-clock is dropped and the batch stable digest is recorded instead,
+/// so the file is byte-identical between an uninterrupted run and a
+/// crashed-then-resumed one — the crash-recovery tests and the CI smoke
+/// job `cmp` exactly this file.
+fn write_journal_sweep_json(threads: usize, result: &BatchResult<Measurement>) {
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"threads\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"retired\": {},\n",
+            "  \"stable_digest\": \"{:#018x}\"\n",
+            "}}\n"
+        ),
+        threads,
+        result.reports.len(),
+        result.retired(),
+        rvv_ckpt::fnv1a(result.stable_digest().as_bytes())
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    rvv_ckpt::write_atomic("results/parallel_sweep.json", json).expect("write parallel_sweep.json");
+    println!("-> results/parallel_sweep.json");
+}
+
+/// Format the degraded-run failure manifest (deterministic: job order,
+/// stable outcome forms, attempt/poison bookkeeping — no timing).
+fn failure_manifest(summary: &rvv_batch::DegradedSummary, inject_seed: Option<u64>) -> String {
+    format!(
+        "# run_all failure manifest\n# fault injection seed={}\n{summary}",
+        match inject_seed {
+            Some(s) => format!("{s:#x}"),
+            None => "none".to_string(),
+        }
+    )
+}
+
+/// The `--journal` code path: one journaled run at the requested thread
+/// count. There is no serial-reference double-run here — the determinism
+/// gate in journal mode is crash/resume digest identity (an interrupted
+/// and resumed sweep must reproduce the uninterrupted file byte for
+/// byte), exercised by the crash-recovery tests and the CI smoke job.
+fn journal_main(
+    threads: usize,
+    keep_going: bool,
+    inject_seed: Option<u64>,
+    shape: &SweepShape,
+    jobs: Vec<BatchJob<Measurement>>,
+) {
+    let resume = flag_arg("--resume");
+    let fsync_every = num_arg("--fsync-every").unwrap_or(1) as u32;
+    // An explicit `--crash-at` ordinal wins; otherwise `--crash-seed`
+    // derives one from the job count, the host-level analogue of
+    // `FaultPlan::derive` for the chaos suite.
+    let crash_after = num_arg("--crash-at").or_else(|| {
+        num_arg("--crash-seed").map(|s| {
+            let cp = CrashPoint::derive(s, jobs.len() as u64);
+            println!("crash point derived: {cp}");
+            cp.ordinal
+        })
+    });
+    if let Some(n) = crash_after {
+        println!("crash point armed: abort after {n} journaled point(s)");
+    }
+    let path = Path::new("results/run_all.journal");
+    println!(
+        "journal: {} ({})",
+        path.display(),
+        if resume { "resume" } else { "fresh" }
+    );
+    let result = run_journaled(
+        &BatchRunner::new(threads),
+        jobs,
+        path,
+        &JournalOptions {
+            fsync_every,
+            resume,
+            crash_after,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("ERROR: journaled sweep failed: {e}");
+        std::process::exit(1);
+    });
+
+    if let Some(summary) = result.degraded() {
+        if !keep_going {
+            eprintln!("ERROR: {summary}");
+            eprintln!("(re-run with --keep-going for a failure manifest)");
+            std::process::exit(1);
+        }
+        let manifest = failure_manifest(&summary, inject_seed);
+        std::fs::create_dir_all("results").expect("results dir");
+        rvv_ckpt::write_atomic("results/failure_manifest.txt", &manifest)
+            .expect("write failure_manifest.txt");
+        print!("{manifest}");
+        println!("-> results/failure_manifest.txt (tables skipped)");
+        write_journal_sweep_json(threads, &result);
+        std::process::exit(2);
+    }
+
+    print_tables(shape, &result);
+    println!(
+        "\n{} jobs, {} instructions simulated, {} plan compiles, {} thread(s)",
+        result.reports.len(),
+        result.retired(),
+        result.plan_compiles,
+        result.threads,
+    );
+    write_journal_sweep_json(threads, &result);
 }
 
 fn main() {
@@ -119,6 +250,10 @@ fn main() {
     };
     if let Some(seed) = inject_seed {
         println!("fault injection armed: seed={seed:#x}");
+    }
+    if flag_arg("--journal") {
+        journal_main(threads, keep_going, inject_seed, &shape, build_jobs());
+        return;
     }
 
     // Serial reference run: job order on one thread.
@@ -144,15 +279,9 @@ fn main() {
             eprintln!("(re-run with --keep-going for a failure manifest)");
             std::process::exit(1);
         }
-        let manifest = format!(
-            "# run_all failure manifest\n# fault injection seed={}\n{summary}",
-            match inject_seed {
-                Some(s) => format!("{s:#x}"),
-                None => "none".to_string(),
-            }
-        );
+        let manifest = failure_manifest(&summary, inject_seed);
         std::fs::create_dir_all("results").expect("results dir");
-        std::fs::write("results/failure_manifest.txt", &manifest)
+        rvv_ckpt::write_atomic("results/failure_manifest.txt", &manifest)
             .expect("write failure_manifest.txt");
         print!("{manifest}");
         println!("-> results/failure_manifest.txt (tables skipped)");
@@ -177,7 +306,43 @@ fn main() {
         std::process::exit(if identical { 2 } else { 1 });
     }
 
-    let tables = decode_sweep(&shape, &result.reports);
+    print_tables(&shape, &result);
+
+    println!(
+        "\n{} jobs, {} instructions simulated, {} plan compiles, {} thread(s)",
+        result.reports.len(),
+        result.retired(),
+        result.plan_compiles,
+        result.threads,
+    );
+    if let Some(p) = parallel_secs {
+        println!(
+            "serial {serial_secs:.1}s, parallel {p:.1}s -> {:.2}x",
+            serial_secs / p
+        );
+    }
+    println!(
+        "total host wall-clock: {:.1}s",
+        wall.elapsed().as_secs_f64()
+    );
+    write_sweep_json(
+        threads,
+        result.reports.len(),
+        result.retired(),
+        serial_secs,
+        parallel_secs,
+        identical,
+    );
+
+    if !identical {
+        eprintln!("ERROR: parallel sweep diverged from the serial reference");
+        std::process::exit(1);
+    }
+}
+
+/// Print every table and figure from a fully-successful sweep.
+fn print_tables(shape: &SweepShape, result: &BatchResult<Measurement>) {
+    let tables = decode_sweep(shape, &result.reports);
     pairs_table("Table 1 — split radix sort vs qsort", &tables.t1);
     pairs_table("Table 2 — p_add", &tables.t2);
     pairs_table("Table 3 — plus_scan", &tables.t3);
@@ -257,35 +422,4 @@ fn main() {
         &["LMUL", "count", "speedup"],
         &body,
     );
-
-    println!(
-        "\n{} jobs, {} instructions simulated, {} plan compiles, {} thread(s)",
-        result.reports.len(),
-        result.retired(),
-        result.plan_compiles,
-        result.threads,
-    );
-    if let Some(p) = parallel_secs {
-        println!(
-            "serial {serial_secs:.1}s, parallel {p:.1}s -> {:.2}x",
-            serial_secs / p
-        );
-    }
-    println!(
-        "total host wall-clock: {:.1}s",
-        wall.elapsed().as_secs_f64()
-    );
-    write_sweep_json(
-        threads,
-        result.reports.len(),
-        result.retired(),
-        serial_secs,
-        parallel_secs,
-        identical,
-    );
-
-    if !identical {
-        eprintln!("ERROR: parallel sweep diverged from the serial reference");
-        std::process::exit(1);
-    }
 }

@@ -135,6 +135,24 @@ pub fn flag_arg(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Parse `name <N>` (decimal or `0x…` hex) from the command line; `None`
+/// when the option is absent.
+pub fn num_arg(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == name {
+            let t = &w[1];
+            let parsed = if let Some(hex) = t.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                t.parse()
+            };
+            return Some(parsed.unwrap_or_else(|_| panic!("{name} takes an integer")));
+        }
+    }
+    None
+}
+
 /// The paper's sizes, capped by `--max-n`.
 pub fn sweep_sizes() -> Vec<usize> {
     let cap = max_n_arg();

@@ -8,7 +8,8 @@
 //! byte for byte.
 
 use crate::experiments::{self, Pair};
-use rvv_batch::BatchJob;
+use rvv_batch::{BatchJob, JournalPayload};
+use rvv_ckpt::{ByteReader, ByteWriter, CodecError};
 use rvv_isa::Lmul;
 use scanvec::{EnvConfig, ScanEnv, ScanResult};
 
@@ -59,6 +60,66 @@ pub enum Measurement {
         /// Scalar baseline count.
         base: u64,
     },
+}
+
+/// Journal encoding for sweep measurements (`run_all --journal`): one tag
+/// byte per variant, then the fields in declaration order. A decoded
+/// measurement is `==` and `Debug`-identical to the encoded one, so a
+/// crash/resume run's stable digest matches an uninterrupted run's.
+impl JournalPayload for Measurement {
+    fn encode(&self, w: &mut ByteWriter) {
+        match *self {
+            Measurement::Pair(Pair { n, ours, baseline }) => {
+                w.put_u8(0);
+                w.put_u64(n as u64);
+                w.put_u64(ours);
+                w.put_u64(baseline);
+            }
+            Measurement::Seg { count, checksum } => {
+                w.put_u8(1);
+                w.put_u64(count);
+                w.put_u64(checksum);
+            }
+            Measurement::Vlen { seg, padd } => {
+                w.put_u8(2);
+                w.put_u64(seg);
+                w.put_u64(padd);
+            }
+            Measurement::Scan { ours, base } => {
+                w.put_u8(3);
+                w.put_u64(ours);
+                w.put_u64(base);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Measurement, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => Measurement::Pair(Pair {
+                n: r.get_u64()? as usize,
+                ours: r.get_u64()?,
+                baseline: r.get_u64()?,
+            }),
+            1 => Measurement::Seg {
+                count: r.get_u64()?,
+                checksum: r.get_u64()?,
+            },
+            2 => Measurement::Vlen {
+                seg: r.get_u64()?,
+                padd: r.get_u64()?,
+            },
+            3 => Measurement::Scan {
+                ours: r.get_u64()?,
+                base: r.get_u64()?,
+            },
+            tag => {
+                return Err(CodecError::BadValue {
+                    what: "measurement tag",
+                    value: u64::from(tag),
+                })
+            }
+        })
+    }
 }
 
 /// The decoded sweep, one field per printed table (Table 6 and Figure 5
@@ -258,6 +319,33 @@ mod tests {
         assert_eq!(tables.t5, experiments::table5(&shape.sizes));
         assert_eq!(tables.t7, experiments::table7(shape.n7));
         assert_eq!(tables.scan_lmul, experiments::scan_lmul_sweep(shape.n7));
+    }
+
+    #[test]
+    fn measurements_round_trip_through_the_journal_codec() {
+        let samples = [
+            Measurement::Pair(Pair {
+                n: 1_000_000,
+                ours: 7,
+                baseline: 42,
+            }),
+            Measurement::Seg {
+                count: 1,
+                checksum: u64::MAX,
+            },
+            Measurement::Vlen { seg: 3, padd: 4 },
+            Measurement::Scan { ours: 5, base: 6 },
+        ];
+        for m in samples {
+            let mut w = ByteWriter::new();
+            m.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(Measurement::decode(&mut r).unwrap(), m);
+            r.finish().unwrap();
+        }
+        let mut r = ByteReader::new(&[9]);
+        assert!(Measurement::decode(&mut r).is_err(), "bad tag must error");
     }
 
     #[test]

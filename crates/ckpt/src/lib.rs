@@ -1,0 +1,720 @@
+//! Checkpoint record formats for the scan-vector workspace.
+//!
+//! Everything here is dependency-free and hand-rolled, in the same spirit
+//! as `FaultPlan`'s Display/FromStr round-trip: a little-endian byte codec
+//! ([`ByteWriter`]/[`ByteReader`]), a versioned digest-stamped frame
+//! ([`seal`]/[`open`]) used by machine and environment snapshots, a
+//! length-prefixed FNV-checksummed write-ahead journal
+//! ([`JournalWriter`]/[`read_journal`]) whose reader tolerates a torn
+//! tail, and [`write_atomic`] (write-temp-then-rename) so a crash never
+//! leaves a truncated manifest.
+//!
+//! The design contract shared by all four pieces: **a reader either
+//! reproduces exactly what the writer recorded or reports why it cannot**
+//! — never a silently corrupt value.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash — the same function (and constants) the batch
+/// engine's stable digests are built on.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a decode failed. Every variant names what was being read, so the
+/// error is actionable without a hex dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remained than the field needs.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes the field needs.
+        need: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// The frame does not start with the `RVCK` magic.
+    BadMagic,
+    /// The frame's kind tag differs from the expected one.
+    WrongKind {
+        /// Kind the caller asked for.
+        expected: String,
+        /// Kind found in the frame.
+        found: String,
+    },
+    /// The frame's layout version differs from the expected one.
+    WrongVersion {
+        /// Version the caller understands.
+        expected: u16,
+        /// Version found in the frame.
+        found: u16,
+    },
+    /// The payload's FNV-1a digest does not match the stamped one.
+    DigestMismatch {
+        /// Digest stamped in the frame.
+        expected: u64,
+        /// Digest of the payload actually read.
+        found: u64,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// A decoded discriminant or field value is outside its domain.
+    BadValue {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending raw value.
+        value: u64,
+    },
+    /// Bytes remained after the decoder consumed the full structure.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            CodecError::BadMagic => write!(f, "bad frame magic (not an RVCK frame)"),
+            CodecError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "wrong frame kind: expected {expected:?}, found {found:?}"
+                )
+            }
+            CodecError::WrongVersion { expected, found } => {
+                write!(f, "wrong frame version: expected {expected}, found {found}")
+            }
+            CodecError::DigestMismatch { expected, found } => write!(
+                f,
+                "payload digest mismatch: stamped {expected:#018x}, computed {found:#018x}"
+            ),
+            CodecError::BadUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+            CodecError::BadValue { what, value } => {
+                write!(f, "bad value for {what}: {value}")
+            }
+            CodecError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for io::Error {
+    fn from(e: CodecError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Append-only little-endian encoder. All multi-byte integers are LE;
+/// byte strings are `u32` length-prefixed.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append raw bytes with no length prefix (fixed-size fields).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u32` length prefix followed by the bytes.
+    ///
+    /// # Panics
+    /// If `bytes.len()` exceeds `u32::MAX` (no checkpoint field does).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(u32::try_from(bytes.len()).expect("field under 4 GiB"));
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Cursor over an encoded byte slice; the mirror of [`ByteWriter`].
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, what: &'static str, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                what,
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take("u8", 1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take("u16", 2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take("u32", 4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take("u64", 8)?.try_into().unwrap()))
+    }
+
+    /// Read a bool byte, rejecting anything other than 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CodecError::BadValue {
+                what: "bool",
+                value: u64::from(v),
+            }),
+        }
+    }
+
+    /// Read `n` raw bytes (fixed-size fields).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take("raw bytes", n)
+    }
+
+    /// Read a `u32` length prefix followed by that many bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_u32()? as usize;
+        self.take("length-prefixed bytes", n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Assert every byte was consumed — catches layout drift between
+    /// writer and reader versions.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Frame magic: every sealed snapshot starts with these four bytes.
+pub const FRAME_MAGIC: &[u8; 4] = b"RVCK";
+
+/// Wrap `payload` in a versioned, digest-stamped frame:
+///
+/// ```text
+/// [magic "RVCK"][kind: str][version: u16][digest: u64][payload: bytes]
+/// ```
+///
+/// `kind` names the payload layout (e.g. `"rvv-env-snapshot"`); `version`
+/// is bumped on any layout change; the digest is FNV-1a over the payload
+/// so bit rot is detected before a corrupt snapshot is restored.
+pub fn seal(kind: &str, version: u16, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_raw(FRAME_MAGIC);
+    w.put_str(kind);
+    w.put_u16(version);
+    w.put_u64(fnv1a(payload));
+    w.put_bytes(payload);
+    w.into_bytes()
+}
+
+/// Unwrap a frame produced by [`seal`], verifying magic, kind, version,
+/// and digest. Returns the payload slice.
+pub fn open<'a>(kind: &str, version: u16, bytes: &'a [u8]) -> Result<&'a [u8], CodecError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_raw(4)? != FRAME_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let found_kind = r.get_str()?;
+    if found_kind != kind {
+        return Err(CodecError::WrongKind {
+            expected: kind.to_owned(),
+            found: found_kind,
+        });
+    }
+    let found_version = r.get_u16()?;
+    if found_version != version {
+        return Err(CodecError::WrongVersion {
+            expected: version,
+            found: found_version,
+        });
+    }
+    let stamped = r.get_u64()?;
+    let payload = r.get_bytes()?;
+    r.finish()?;
+    let computed = fnv1a(payload);
+    if computed != stamped {
+        return Err(CodecError::DigestMismatch {
+            expected: stamped,
+            found: computed,
+        });
+    }
+    Ok(payload)
+}
+
+/// One journal record on disk: `[len: u32][digest: u64][payload: len bytes]`,
+/// all little-endian, digest = FNV-1a over the payload.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// A write-ahead journal file read back from disk.
+///
+/// The first record is the caller's header (typically a [`seal`]ed
+/// description of the job list); the rest are data records in append
+/// order. `valid_len` is the byte length of the well-formed prefix — a
+/// torn or corrupt tail (the expected result of killing a writer
+/// mid-append) is dropped, and a resuming writer truncates to
+/// `valid_len` before appending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journal {
+    /// Payload of the header record.
+    pub header: Vec<u8>,
+    /// Data-record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix of the file.
+    pub valid_len: u64,
+}
+
+/// Read a journal file, tolerating a torn tail.
+///
+/// Errors only on I/O failure or when even the header record is absent
+/// or corrupt (the file is not a journal / was killed before the header
+/// fsync completed — nothing can be resumed from it).
+pub fn read_journal(path: &Path) -> io::Result<Journal> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < RECORD_HEADER {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        let stamped = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+        let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
+            break; // torn tail: length prefix outruns the file
+        };
+        if fnv1a(payload) != stamped {
+            break; // torn or corrupt tail
+        }
+        records.push(payload.to_vec());
+        pos += RECORD_HEADER + len;
+    }
+    if records.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: no valid journal header record", path.display()),
+        ));
+    }
+    let header = records.remove(0);
+    Ok(Journal {
+        header,
+        records,
+        valid_len: pos as u64,
+    })
+}
+
+/// Appending side of the write-ahead journal.
+///
+/// `fsync_every = K` syncs the file after every Kth appended record
+/// (K = 1, the default in callers, makes every record durable before the
+/// append returns); `K = 0` never syncs except in [`JournalWriter::sync`].
+/// The header record is always synced immediately so a resumable file
+/// exists from the first instant.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    fsync_every: u32,
+    unsynced: u32,
+    appended: u64,
+}
+
+impl JournalWriter {
+    /// Create (truncate) `path` and write + fsync the header record.
+    pub fn create(path: &Path, header: &[u8], fsync_every: u32) -> io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(path)?;
+        let mut w = Self {
+            file,
+            fsync_every,
+            unsynced: 0,
+            appended: 0,
+        };
+        w.write_record(header)?;
+        w.file.sync_all()?;
+        w.unsynced = 0;
+        w.appended = 0; // the header is not a data record
+        Ok(w)
+    }
+
+    /// Reopen an existing journal for appending, truncating the torn
+    /// tail first: `valid_len` comes from [`read_journal`].
+    pub fn resume(path: &Path, valid_len: u64, fsync_every: u32) -> io::Result<Self> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut w = Self {
+            file,
+            fsync_every,
+            unsynced: 0,
+            appended: 0,
+        };
+        w.file.seek(SeekFrom::Start(valid_len))?;
+        Ok(w)
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "record over 4 GiB"))?;
+        let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)
+    }
+
+    /// Append one data record, honouring the fsync granularity. Returns
+    /// the number of data records appended through this writer.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        self.write_record(payload)?;
+        self.appended += 1;
+        self.unsynced += 1;
+        if self.fsync_every != 0 && self.unsynced >= self.fsync_every {
+            self.file.sync_all()?;
+            self.unsynced = 0;
+        }
+        Ok(self.appended)
+    }
+
+    /// Data records appended through this writer (excludes replayed ones).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Force everything written so far to disk.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// Write `bytes` to `path` atomically: write a temp file in the same
+/// directory, fsync it, then rename over the target. A crash at any
+/// point leaves either the old file or the new one — never a truncated
+/// hybrid.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes.as_ref())?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "rvv-ckpt-{tag}-{}-{:p}",
+            std::process::id(),
+            &tag as *const _
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn codec_round_trips_every_field_kind() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0xbeef);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_bytes(b"hello");
+        w.put_str("scan-vector \u{2714}");
+        w.put_raw(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "scan-vector \u{2714}");
+        assert_eq!(r.get_raw(3).unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_reports_truncation_not_garbage() {
+        let mut w = ByteWriter::new();
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert_eq!(
+            r.get_u64(),
+            Err(CodecError::Truncated {
+                what: "u64",
+                need: 8,
+                have: 5
+            })
+        );
+    }
+
+    #[test]
+    fn bool_rejects_out_of_domain_bytes() {
+        let mut r = ByteReader::new(&[2]);
+        assert_eq!(
+            r.get_bool(),
+            Err(CodecError::BadValue {
+                what: "bool",
+                value: 2
+            })
+        );
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let r = ByteReader::new(&[0, 0]);
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes { count: 2 }));
+    }
+
+    #[test]
+    fn frame_seal_open_round_trip() {
+        let sealed = seal("test-kind", 3, b"payload bytes");
+        assert_eq!(open("test-kind", 3, &sealed).unwrap(), b"payload bytes");
+    }
+
+    #[test]
+    fn frame_rejects_wrong_kind_version_magic_and_corruption() {
+        let sealed = seal("test-kind", 3, b"payload bytes");
+        assert!(matches!(
+            open("other", 3, &sealed),
+            Err(CodecError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            open("test-kind", 4, &sealed),
+            Err(CodecError::WrongVersion {
+                expected: 4,
+                found: 3
+            })
+        ));
+        let mut bad_magic = sealed.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(open("test-kind", 3, &bad_magic), Err(CodecError::BadMagic));
+        // Flip each payload byte in turn: every corruption is caught.
+        for i in sealed.len() - b"payload bytes".len()..sealed.len() {
+            let mut corrupt = sealed.clone();
+            corrupt[i] ^= 0x01;
+            assert!(matches!(
+                open("test-kind", 3, &corrupt),
+                Err(CodecError::DigestMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn journal_round_trip_and_torn_tail_recovery() {
+        let dir = tmpdir("journal");
+        let path = dir.join("t.journal");
+        let records: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 3 + i as usize]).collect();
+        {
+            let mut w = JournalWriter::create(&path, b"HDR", 1).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            assert_eq!(w.appended(), 5);
+        }
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.header, b"HDR");
+        assert_eq!(j.records, records);
+        assert_eq!(j.valid_len, fs::metadata(&path).unwrap().len());
+
+        // Tear the tail mid-record: the valid prefix survives.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 2]).unwrap();
+        let torn = read_journal(&path).unwrap();
+        assert_eq!(torn.records, records[..4].to_vec());
+
+        // Resume truncates the tear and appends cleanly.
+        {
+            let mut w = JournalWriter::resume(&path, torn.valid_len, 1).unwrap();
+            w.append(&records[4]).unwrap();
+        }
+        let healed = read_journal(&path).unwrap();
+        assert_eq!(healed.records, records);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_with_corrupt_record_keeps_the_prefix() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("t.journal");
+        {
+            let mut w = JournalWriter::create(&path, b"H", 0).unwrap();
+            w.append(b"first").unwrap();
+            w.append(b"second").unwrap();
+            w.sync().unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff; // corrupt the last record's payload
+        fs::write(&path, &bytes).unwrap();
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.records, vec![b"first".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_without_header_is_an_error() {
+        let dir = tmpdir("nohdr");
+        let path = dir.join("t.journal");
+        fs::write(&path, [0u8; 7]).unwrap();
+        assert!(read_journal(&path).is_err());
+        fs::write(&path, b"").unwrap();
+        assert!(read_journal(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("out.txt");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,6 +21,7 @@
 
 use crate::error::{ScanError, ScanResult};
 use crate::plan_cache::PlanCache;
+use crate::snapshot::EnvSnapshot;
 use rvv_asm::SpillProfile;
 use rvv_isa::{KernelConfig, Lmul, Sew, XReg};
 use rvv_sim::{
@@ -239,6 +240,62 @@ impl ScanEnv {
         self.fault = None;
         self.fuel_budget = None;
         self.engine = ExecEngine::default();
+    }
+
+    // ---------------------------------------------------------- snapshots --
+
+    /// Capture a complete, restorable checkpoint of this environment: the
+    /// full architectural machine state (registers, `vtype`/`vl`,
+    /// counters, dirty memory pages, guards — see
+    /// [`rvv_sim::MachineSnapshot`]) plus the host-side state the machine
+    /// cannot see (configuration, allocator position, engine selection,
+    /// poison flag, and the plan-cache key inventory).
+    ///
+    /// Snapshot cost is `O(state actually written)`, not `O(mem_bytes)`:
+    /// the machine tracks dirty pages, so an environment with a 192 MiB
+    /// device memory that has touched three pages snapshots three pages.
+    ///
+    /// Tracers, fault hooks, and the fuel budget are **not** captured
+    /// (they hold host-side resources that cannot survive a process
+    /// boundary); [`ScanEnv::restore`] leaves them detached.
+    pub fn snapshot(&self) -> EnvSnapshot {
+        EnvSnapshot {
+            cfg: self.cfg,
+            heap: self.heap,
+            engine: self.engine,
+            poisoned: self.poisoned,
+            plan_keys: self.plans.keys(),
+            machine: self.machine.snapshot(),
+        }
+    }
+
+    /// Restore this environment to a [`ScanEnv::snapshot`]ed state.
+    ///
+    /// The snapshot's configuration must equal this environment's — a
+    /// snapshot taken at one `(VLEN, LMUL, spill profile, mem_bytes)` is
+    /// meaningless under another, so a mismatch is refused with
+    /// [`ScanError::Snapshot`] before anything is modified. On success the
+    /// machine, heap position, engine selection, and poison flag are
+    /// exactly as captured; tracer, fault hook, and fuel budget are
+    /// detached (see [`ScanEnv::snapshot`]). Cached plans are untouched —
+    /// they are keyed by configuration and recompile on demand, so a
+    /// fresh process restoring a snapshot simply warms its cache as the
+    /// resumed run launches kernels.
+    pub fn restore(&mut self, snap: &EnvSnapshot) -> ScanResult<()> {
+        if snap.cfg != self.cfg {
+            return Err(ScanError::Snapshot(format!(
+                "config mismatch: snapshot {:?}, environment {:?}",
+                snap.cfg, self.cfg
+            )));
+        }
+        self.machine.restore(&snap.machine);
+        self.heap = snap.heap;
+        self.engine = snap.engine;
+        self.poisoned = snap.poisoned;
+        self.tracer = None;
+        self.fault = None;
+        self.fuel_budget = None;
+        Ok(())
     }
 
     /// Mark this environment as unusable. The batch runner poisons an
@@ -618,6 +675,40 @@ impl ScanEnv {
             (e, _) => e,
         })?;
         Ok((report, self.machine.xreg(XReg::arg(0))))
+    }
+
+    /// [`ScanEnv::run`], but transactional: on a trap the machine state
+    /// and heap position are rolled back to what they were at entry, so
+    /// the failed launch leaves no trace — no dirty `vl`/`vtype`, no
+    /// half-written output buffer, no leaked temporaries. The error is
+    /// still returned; only the *state damage* is undone.
+    ///
+    /// This is the checkpoint-grade alternative to
+    /// [`ScanEnv::reset`]-after-trap: reset wipes everything (all staged
+    /// vectors included), while `run_atomic` surgically reverts just the
+    /// failed launch, so a caller holding live device vectors can handle
+    /// the error and continue. Costs one machine snapshot (`O(dirty
+    /// pages)`) per launch; hot loops that never expect traps should keep
+    /// using [`ScanEnv::run`].
+    ///
+    /// Retired-instruction counters are part of the rollback: a rolled
+    /// back launch retires nothing, keeping [`ScanEnv::retired`]
+    /// deterministic across trap-and-retry schedules.
+    pub fn run_atomic(
+        &mut self,
+        plan: &CompiledPlan,
+        args: &[u64],
+    ) -> ScanResult<(RunReport, u64)> {
+        let before = self.machine.snapshot();
+        let heap = self.heap;
+        match self.run(plan, args) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.machine.restore(&before);
+                self.heap = heap;
+                Err(e)
+            }
+        }
     }
 
     /// [`ScanEnv::run`] for an ad-hoc [`Program`]: compiles a throwaway

@@ -34,6 +34,10 @@ pub enum ScanError {
     Sim(SimError),
     /// A segment descriptor is malformed (see [`crate::segment`]).
     BadSegmentDescriptor(&'static str),
+    /// An environment snapshot could not be decoded or applied
+    /// (corrupt/truncated bytes, wrong version, or a configuration
+    /// mismatch between the snapshot and the target environment).
+    Snapshot(String),
 }
 
 impl fmt::Display for ScanError {
@@ -55,6 +59,7 @@ impl fmt::Display for ScanError {
             ScanError::Assembly(e) => write!(f, "kernel assembly failed: {e}"),
             ScanError::Sim(e) => write!(f, "simulator trap: {e}"),
             ScanError::BadSegmentDescriptor(m) => write!(f, "bad segment descriptor: {m}"),
+            ScanError::Snapshot(m) => write!(f, "snapshot error: {m}"),
         }
     }
 }

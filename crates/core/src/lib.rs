@@ -58,6 +58,7 @@ pub mod paper;
 pub mod plan_cache;
 pub mod primitives;
 pub mod segment;
+pub mod snapshot;
 pub mod typed;
 
 pub use env::{EnvConfig, ExecEngine, ScanEnv, SvVector, HEAP_BASE};
@@ -66,4 +67,5 @@ pub use ops::ScanOp;
 pub use plan_cache::PlanCache;
 pub use primitives::ScanKind;
 pub use segment::Segments;
+pub use snapshot::EnvSnapshot;
 pub use typed::{DeviceVec, SvElement};

@@ -79,6 +79,35 @@ impl PlanCache {
         self.compiles.load(Ordering::Relaxed)
     }
 
+    /// The cached plan keys, formatted
+    /// `name@vlen<V>/<SEW>/<LMUL>/<profile>` and sorted — a deterministic,
+    /// human-readable inventory of what has been compiled. Environment
+    /// snapshots embed this list so a resumed run can see (and log) which
+    /// kernels the interrupted process had built; plans themselves are
+    /// never serialized — they are pure functions of the kernel source and
+    /// recompile on demand.
+    pub fn keys(&self) -> Vec<String> {
+        let plans = self.plans.lock().expect("plan cache poisoned");
+        let mut keys: Vec<String> = plans
+            .keys()
+            .map(|(name, cfg, profile)| {
+                format!(
+                    "{name}@vlen{}/{:?}/{:?}/{}",
+                    cfg.vlen,
+                    cfg.sew,
+                    cfg.lmul,
+                    if profile.conservative_frame {
+                        "llvm14"
+                    } else {
+                        "ideal"
+                    }
+                )
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
     /// Number of plans currently cached.
     pub fn len(&self) -> usize {
         self.plans.lock().expect("plan cache poisoned").len()

@@ -367,6 +367,64 @@ impl FromStr for FaultPlan {
     }
 }
 
+// -------------------------------------------------------- crash points --
+
+/// A process-level fault: abort the whole process after the `ordinal`-th
+/// journal record is written (1-based). This is the crash-recovery
+/// harness's deterministic stand-in for `kill -9` — the sweep dies at a
+/// seeded, reproducible point mid-run, and the recovery test resumes the
+/// journal and asserts byte-identical results.
+///
+/// Deliberately **not** a [`Fault`] variant: every `Fault` fires inside
+/// the simulator and is handled by the run loop; a `CrashPoint` fires in
+/// the *host* process and is handled by nobody — that asymmetry is the
+/// whole point, and keeping the types separate keeps [`ArmedFaults`]'s
+/// exhaustive match honest about what a hook can see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Abort after this many journal records have been written (1-based;
+    /// `1` means "crash after the first completed job is durable").
+    pub ordinal: u64,
+}
+
+impl CrashPoint {
+    /// Derive a crash point for a sweep of `jobs` jobs under `seed`: the
+    /// ordinal is drawn uniformly from `[1, jobs]`, so the crash lands
+    /// after at least one record and before (or exactly at) the last —
+    /// always somewhere a resume has real work left or real work done.
+    /// Pure function of `(seed, jobs)`, like [`FaultPlan::derive`].
+    pub fn derive(seed: u64, jobs: u64) -> CrashPoint {
+        debug_assert!(jobs > 0);
+        let mut rng = XorShift64::from_pair(seed, 0xc5a5_4e0d);
+        CrashPoint {
+            ordinal: 1 + rng.below(jobs),
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crash@{}", self.ordinal)
+    }
+}
+
+impl FromStr for CrashPoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CrashPoint, String> {
+        let rest = s
+            .strip_prefix("crash@")
+            .ok_or_else(|| format!("crash point `{s}`: expected crash@ordinal"))?;
+        let ordinal: u64 = rest
+            .parse()
+            .map_err(|e| format!("crash point `{s}`: bad ordinal `{rest}`: {e}"))?;
+        if ordinal == 0 {
+            return Err(format!("crash point `{s}`: ordinal must be >= 1"));
+        }
+        Ok(CrashPoint { ordinal })
+    }
+}
+
 // ---------------------------------------------------------------- hook --
 
 /// A [`FaultHook`] firing the faults of one [`FaultPlan`].
@@ -540,6 +598,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn crash_points_derive_in_range_and_roundtrip() {
+        for seed in 0..64u64 {
+            for jobs in [1u64, 2, 24, 40] {
+                let cp = CrashPoint::derive(seed, jobs);
+                assert_eq!(cp, CrashPoint::derive(seed, jobs), "pure function");
+                assert!((1..=jobs).contains(&cp.ordinal), "{cp} out of [1, {jobs}]");
+                assert_eq!(cp.to_string().parse::<CrashPoint>().unwrap(), cp);
+            }
+        }
+        // Different seeds spread over the range.
+        let distinct: std::collections::HashSet<u64> =
+            (0..64).map(|s| CrashPoint::derive(s, 40).ordinal).collect();
+        assert!(
+            distinct.len() > 8,
+            "only {} distinct ordinals",
+            distinct.len()
+        );
+        assert!("crash@0".parse::<CrashPoint>().is_err());
+        assert!("crash@".parse::<CrashPoint>().is_err());
+        assert!("kaboom@3".parse::<CrashPoint>().is_err());
+        assert_eq!(
+            "crash@17".parse::<CrashPoint>().unwrap(),
+            CrashPoint { ordinal: 17 }
+        );
     }
 
     #[test]

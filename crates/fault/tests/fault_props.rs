@@ -1,0 +1,76 @@
+//! Property tests for the fault-injection wire formats: every `Fault`,
+//! `FaultPlan`, and `CrashPoint` round-trips through its `Display` form,
+//! and parsing arbitrary garbage never panics — these strings live in
+//! manifests and journals, so the codec has to be total.
+
+use proptest::prelude::*;
+use rvv_fault::{CrashPoint, Fault, FaultPlan};
+use std::str::FromStr;
+
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (1u64..=1 << 16).prop_map(|nth| Fault::ReadFault { nth }),
+        (1u64..=1 << 16).prop_map(|nth| Fault::WriteFault { nth }),
+        (1u64..=1 << 16).prop_map(|after| Fault::FuelCut { after }),
+        ((1u64..=1 << 16), 0u8..32).prop_map(|(nth, bit)| Fault::BitFlip { nth, bit }),
+        ((1u64..=1 << 16), any::<u32>())
+            .prop_map(|(nth, encoding)| Fault::Reserved { nth, encoding }),
+        (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| Fault::GuardRegion { offset, len }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_fault_roundtrips_through_display(fault in arb_fault()) {
+        let text = fault.to_string();
+        let back = Fault::from_str(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(back, fault);
+    }
+
+    #[test]
+    fn every_plan_roundtrips_through_display(
+        faults in proptest::collection::vec(arb_fault(), 0..6)
+    ) {
+        let plan = FaultPlan { faults };
+        let text = plan.to_string();
+        let back: FaultPlan = text.parse()
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn derived_plans_roundtrip(seed in any::<u64>(), job in 0u64..4096) {
+        let plan = FaultPlan::derive(seed, job);
+        prop_assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn crash_points_roundtrip(ordinal in 1u64..=u64::MAX) {
+        let cp = CrashPoint { ordinal };
+        prop_assert_eq!(cp.to_string().parse::<CrashPoint>().unwrap(), cp);
+    }
+
+    #[test]
+    fn parsing_arbitrary_strings_never_panics(
+        prefix in prop_oneof![
+            Just(""), Just("read@"), Just("write@"), Just("fuel@"),
+            Just("bitflip@"), Just("reserved@"), Just("guard@"), Just("crash@"),
+        ],
+        chars in proptest::collection::vec(any::<char>(), 0..24),
+    ) {
+        let s: String = prefix.chars().chain(chars).collect();
+        // Totality: garbage must yield Err, not a panic. (A string that
+        // happens to parse must re-render to something that parses to the
+        // same value — Display/FromStr agree on the canonical form.)
+        if let Ok(f) = Fault::from_str(&s) {
+            prop_assert_eq!(Fault::from_str(&f.to_string()).unwrap(), f);
+        }
+        if let Ok(p) = s.parse::<FaultPlan>() {
+            prop_assert_eq!(p.to_string().parse::<FaultPlan>().unwrap(), p);
+        }
+        if let Ok(c) = s.parse::<CrashPoint>() {
+            prop_assert_eq!(c.to_string().parse::<CrashPoint>().unwrap(), c);
+        }
+    }
+}

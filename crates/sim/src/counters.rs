@@ -102,6 +102,27 @@ impl Counters {
         s
     }
 
+    /// Rebuild counters from a per-class histogram in [`InstrClass::ALL`]
+    /// order (the shape [`Counters::iter`] yields). The total is derived
+    /// from the classes — an invariant `retire_class` maintains — so a
+    /// deserialized counter set cannot carry an inconsistent total.
+    ///
+    /// # Panics
+    /// If `counts` does not have one entry per class.
+    pub fn from_class_counts(counts: &[u64]) -> Counters {
+        assert_eq!(
+            counts.len(),
+            InstrClass::ALL.len(),
+            "one count per instruction class"
+        );
+        let mut by_class = [0u64; InstrClass::ALL.len()];
+        by_class.copy_from_slice(counts);
+        Counters {
+            total: counts.iter().sum(),
+            by_class,
+        }
+    }
+
     /// Reset to zero.
     pub fn reset(&mut self) {
         *self = Counters::default();

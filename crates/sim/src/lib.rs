@@ -60,6 +60,7 @@ mod machine;
 mod memory;
 mod plan;
 mod program;
+mod snapshot;
 mod trace;
 
 pub use counters::Counters;
@@ -67,7 +68,8 @@ pub use error::{SimError, SimResult};
 pub use exec::Control;
 pub use fault::{FaultAction, FaultHook};
 pub use machine::{Machine, MachineConfig};
-pub use memory::Memory;
+pub use memory::{MemSnapshot, Memory, PAGE_BYTES};
 pub use plan::CompiledPlan;
 pub use program::{Program, RunReport, DEFAULT_FUEL};
+pub use snapshot::MachineSnapshot;
 pub use trace::{MemAccess, RetireEvent, TraceSink};

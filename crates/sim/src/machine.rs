@@ -14,6 +14,7 @@
 use crate::counters::Counters;
 use crate::error::{SimError, SimResult};
 use crate::memory::Memory;
+use crate::snapshot::MachineSnapshot;
 use rvv_isa::{Lmul, Sew, VReg, VType, XReg};
 
 /// Simulator configuration.
@@ -68,6 +69,10 @@ pub struct Machine {
     /// bitsets). Not architectural state — only here so the hot path never
     /// allocates.
     pub(crate) cmp_scratch: Vec<u64>,
+    /// PC at which the last run loop paused with
+    /// [`SimError::FuelExhausted`] — the precise resume point for
+    /// `run_plan_from`/`run_legacy_from`. Captured by snapshots.
+    pub(crate) stop_pc: u64,
 }
 
 impl Machine {
@@ -90,7 +95,16 @@ impl Machine {
             mem: Memory::new(cfg.mem_bytes),
             counters: Counters::new(),
             cmp_scratch: Vec::new(),
+            stop_pc: 0,
         }
+    }
+
+    /// PC at which the last run loop paused with fuel exhaustion — pass
+    /// it to `run_plan_from`/`run_legacy_from` to continue exactly where
+    /// the run stopped. Zero until a run has paused.
+    #[inline]
+    pub fn stop_pc(&self) -> u64 {
+        self.stop_pc
     }
 
     /// VLEN in bits.
@@ -308,6 +322,52 @@ impl Machine {
         self.vtype = None;
         self.vl = 0;
         self.counters.reset();
+        self.stop_pc = 0;
+    }
+
+    /// Capture the complete architectural state. Memory cost is
+    /// O(dirty pages) — see [`Memory::snapshot`].
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            vlen: self.vlen,
+            xregs: self.xregs,
+            vregs: self.vregs.clone(),
+            vtype: self.vtype,
+            vl: self.vl,
+            counters: self.counters.clone(),
+            stop_pc: self.stop_pc,
+            mem: self.mem.snapshot(),
+        }
+    }
+
+    /// Restore the state captured by [`Machine::snapshot`]: afterwards
+    /// this machine is bit-for-bit indistinguishable from the
+    /// snapshotted one (`cmp_scratch` excepted — it is not architectural
+    /// and is rebuilt on demand).
+    ///
+    /// # Panics
+    /// If the snapshot came from a machine with a different VLEN or
+    /// memory size — restoring across shapes would silently corrupt
+    /// state, so it is a harness bug.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        assert_eq!(
+            snap.vlen, self.vlen,
+            "snapshot is from a VLEN={} machine, this one is VLEN={}",
+            snap.vlen, self.vlen
+        );
+        assert_eq!(
+            snap.vregs.len(),
+            self.vregs.len(),
+            "vector register file size mismatch"
+        );
+        self.xregs = snap.xregs;
+        self.vregs.copy_from_slice(&snap.vregs);
+        self.vtype = snap.vtype;
+        self.vl = snap.vl;
+        self.counters = snap.counters.clone();
+        self.stop_pc = snap.stop_pc;
+        self.mem.restore(&snap.mem);
+        self.cmp_scratch.clear();
     }
 }
 

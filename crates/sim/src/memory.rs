@@ -10,20 +10,125 @@
 use crate::error::{SimError, SimResult};
 use std::ops::Range;
 
+/// Dirty-page granularity for snapshots: 4 KiB, so a snapshot copies
+/// O(pages written) bytes, not O(memory size).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A copy of every page written since the memory was created (or since
+/// the last [`Memory::restore`]), plus the guard regions. Because fresh
+/// memory is all-zero, the dirty pages fully determine the contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSnapshot {
+    /// Memory size in bytes (restore requires an identical size).
+    pub size: u64,
+    /// Guard regions armed at snapshot time (disarmed slots included, so
+    /// guard handles stay valid across restore).
+    pub guards: Vec<Range<u64>>,
+    /// `(page index, page bytes)` for every dirty page, ascending. The
+    /// final page of a non-page-multiple memory may be short.
+    pub pages: Vec<(u64, Box<[u8]>)>,
+}
+
 /// Byte-addressable little-endian memory.
 #[derive(Debug, Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
     guards: Vec<Range<u64>>,
+    /// One bit per [`PAGE_BYTES`] page, set on any write (simulated or
+    /// host-side). Never cleared except by [`Memory::restore`], whose
+    /// correctness depends on "not dirty ⇒ still zero".
+    dirty: Vec<u64>,
 }
 
 impl Memory {
     /// Create a zeroed memory of `size` bytes.
     pub fn new(size: usize) -> Memory {
+        let pages = (size as u64).div_ceil(PAGE_BYTES) as usize;
         Memory {
             bytes: vec![0; size],
             guards: Vec::new(),
+            dirty: vec![0; pages.div_ceil(64)],
         }
+    }
+
+    /// Mark every page intersecting `[addr, addr+len)` dirty. Callers
+    /// pass already-bounds-checked ranges.
+    #[inline]
+    fn mark_dirty(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / PAGE_BYTES;
+        let last = (addr + len - 1) / PAGE_BYTES;
+        for p in first..=last {
+            self.dirty[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    fn dirty_page_indices(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (w, &word) in self.dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as u64;
+                out.push(w as u64 * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of pages written so far — snapshots copy exactly this many
+    /// pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Capture the written pages and guard regions. Cost is
+    /// O(dirty pages), independent of total memory size.
+    pub fn snapshot(&self) -> MemSnapshot {
+        let pages = self
+            .dirty_page_indices()
+            .into_iter()
+            .map(|p| {
+                let start = (p * PAGE_BYTES) as usize;
+                let end = ((p + 1) * PAGE_BYTES).min(self.size()) as usize;
+                (p, self.bytes[start..end].to_vec().into_boxed_slice())
+            })
+            .collect();
+        MemSnapshot {
+            size: self.size(),
+            guards: self.guards.clone(),
+            pages,
+        }
+    }
+
+    /// Restore memory to exactly the snapshotted contents: pages dirty
+    /// now but clean at snapshot time are re-zeroed, snapshotted pages
+    /// are copied back, and the dirty set becomes the snapshot's.
+    ///
+    /// # Panics
+    /// If the snapshot was taken from a memory of a different size.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        assert_eq!(
+            snap.size,
+            self.size(),
+            "snapshot is from a {}-byte memory, this one is {} bytes",
+            snap.size,
+            self.size()
+        );
+        for p in self.dirty_page_indices() {
+            let start = (p * PAGE_BYTES) as usize;
+            let end = ((p + 1) * PAGE_BYTES).min(self.size()) as usize;
+            self.bytes[start..end].fill(0);
+        }
+        self.dirty.fill(0);
+        for (p, data) in &snap.pages {
+            let start = (*p * PAGE_BYTES) as usize;
+            self.bytes[start..start + data.len()].copy_from_slice(data);
+            self.dirty[(*p / 64) as usize] |= 1u64 << (*p % 64);
+        }
+        self.guards = snap.guards.clone();
     }
 
     /// Memory size in bytes.
@@ -104,6 +209,7 @@ impl Memory {
     pub fn store(&mut self, addr: u64, len: u64, value: u64) -> SimResult<()> {
         debug_assert!(len <= 8, "store of {len} bytes does not fit a u64");
         self.check(addr, len)?;
+        self.mark_dirty(addr, len);
         let a = addr as usize;
         for i in 0..len as usize {
             self.bytes[a + i] = (value >> (8 * i)) as u8;
@@ -120,6 +226,7 @@ impl Memory {
     /// Write a byte slice (bounds- and guard-checked).
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> SimResult<()> {
         self.check(addr, data.len() as u64)?;
+        self.mark_dirty(addr, data.len() as u64);
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -147,6 +254,7 @@ impl Memory {
     pub fn poke(&mut self, addr: u64, len: u64, value: u64) -> SimResult<()> {
         debug_assert!(len <= 8, "poke of {len} bytes does not fit a u64");
         self.check_bounds(addr, len)?;
+        self.mark_dirty(addr, len);
         let a = addr as usize;
         for i in 0..len as usize {
             self.bytes[a + i] = (value >> (8 * i)) as u8;
@@ -159,6 +267,7 @@ impl Memory {
     /// inside the heap cannot make allocation itself trap.
     pub fn fill(&mut self, addr: u64, len: u64, byte: u8) -> SimResult<()> {
         self.check_bounds(addr, len)?;
+        self.mark_dirty(addr, len);
         self.bytes[addr as usize..(addr + len) as usize].fill(byte);
         Ok(())
     }
@@ -166,6 +275,7 @@ impl Memory {
     /// Host-side convenience: copy a `u32` slice into memory (no guard check
     /// — this is test/driver setup, not simulated execution).
     pub fn write_u32_slice(&mut self, addr: u64, data: &[u32]) {
+        self.mark_dirty(addr, 4 * data.len() as u64);
         let a = addr as usize;
         for (i, v) in data.iter().enumerate() {
             self.bytes[a + 4 * i..a + 4 * i + 4].copy_from_slice(&v.to_le_bytes());
@@ -182,6 +292,7 @@ impl Memory {
 
     /// Host-side convenience: copy a `u64` slice into memory.
     pub fn write_u64_slice(&mut self, addr: u64, data: &[u64]) {
+        self.mark_dirty(addr, 8 * data.len() as u64);
         let a = addr as usize;
         for (i, v) in data.iter().enumerate() {
             self.bytes[a + 8 * i..a + 8 * i + 8].copy_from_slice(&v.to_le_bytes());

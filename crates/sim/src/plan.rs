@@ -1646,14 +1646,30 @@ impl Machine {
     /// or `fuel` retired instructions. Architecturally identical to
     /// [`Machine::run_legacy`] on the plan's source program.
     pub fn run_plan(&mut self, plan: &CompiledPlan, fuel: u64) -> SimResult<RunReport> {
+        self.run_plan_from(plan, fuel, 0)
+    }
+
+    /// [`Machine::run_plan`] starting at byte address `start_pc` — the
+    /// resume half of checkpointing, mirroring
+    /// [`Machine::run_legacy_from`]. A misaligned `start_pc` (a pause
+    /// that landed on a pending bad jump) reproduces the
+    /// [`SimError::BadControlFlow`] trap the uninterrupted run would have
+    /// raised.
+    pub fn run_plan_from(
+        &mut self,
+        plan: &CompiledPlan,
+        fuel: u64,
+        start_pc: u64,
+    ) -> SimResult<RunReport> {
         let before = self.counters.total();
         let mut key = vtype_key(self);
-        let mut at: usize = 0;
+        let mut at: usize = (start_pc / 4) as usize;
         // A retired jump to an invalid target traps on the *next* iteration,
         // after the fuel check — exactly the legacy loop's ordering.
-        let mut bad: Option<u64> = None;
+        let mut bad: Option<u64> = (!start_pc.is_multiple_of(4)).then_some(start_pc);
         loop {
             if self.counters.total() - before >= fuel {
+                self.stop_pc = bad.unwrap_or((at as u64) * 4);
                 return Err(SimError::FuelExhausted { fuel });
             }
             if let Some(target) = bad {
@@ -1707,6 +1723,7 @@ impl Machine {
         loop {
             let seq = self.counters.total() - before;
             if seq >= fuel {
+                self.stop_pc = bad.unwrap_or((at as u64) * 4);
                 return Err(SimError::FuelExhausted { fuel });
             }
             if let Some(target) = bad {
@@ -1762,6 +1779,7 @@ impl Machine {
         let mut bad: Option<u64> = None;
         loop {
             if self.counters.total() - before >= fuel {
+                self.stop_pc = bad.unwrap_or((at as u64) * 4);
                 return Err(SimError::FuelExhausted { fuel });
             }
             if let Some(target) = bad {
@@ -1811,6 +1829,7 @@ impl Machine {
         let mut bad: Option<u64> = None;
         loop {
             if self.counters.total() - before >= fuel {
+                self.stop_pc = bad.unwrap_or((at as u64) * 4);
                 return Err(SimError::FuelExhausted { fuel });
             }
             if let Some(target) = bad {

@@ -183,11 +183,27 @@ impl Machine {
     /// indistinguishable from this loop, and the host-throughput harness
     /// measures both in one process.
     pub fn run_legacy(&mut self, program: &Program, fuel: u64) -> SimResult<RunReport> {
+        self.run_legacy_from(program, fuel, 0)
+    }
+
+    /// [`Machine::run_legacy`] starting at byte address `start_pc` instead
+    /// of 0 — the resume half of checkpointing. A run that paused with
+    /// [`SimError::FuelExhausted`] records the pause point in
+    /// [`Machine::stop_pc`]; continuing from it with fresh fuel retires
+    /// exactly the instructions an uninterrupted run would have, including
+    /// reproducing a pending bad-jump trap if the pause landed on one.
+    pub fn run_legacy_from(
+        &mut self,
+        program: &Program,
+        fuel: u64,
+        start_pc: u64,
+    ) -> SimResult<RunReport> {
         let before = self.counters.total();
         let len = program.instrs.len() as u64;
-        let mut pc: u64 = 0;
+        let mut pc: u64 = start_pc;
         loop {
             if self.counters.total() - before >= fuel {
+                self.stop_pc = pc;
                 return Err(SimError::FuelExhausted { fuel });
             }
             if !pc.is_multiple_of(4) || pc / 4 >= len {
@@ -225,6 +241,7 @@ impl Machine {
         loop {
             let seq = self.counters.total() - before;
             if seq >= fuel {
+                self.stop_pc = pc;
                 return Err(SimError::FuelExhausted { fuel });
             }
             if !pc.is_multiple_of(4) || pc / 4 >= len {
@@ -271,6 +288,7 @@ impl Machine {
         let mut pc: u64 = 0;
         loop {
             if self.counters.total() - before >= fuel {
+                self.stop_pc = pc;
                 return Err(SimError::FuelExhausted { fuel });
             }
             if !pc.is_multiple_of(4) || pc / 4 >= len {
