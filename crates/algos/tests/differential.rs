@@ -9,13 +9,18 @@
 //! strip-mined loop shape, and every host-glue path gets exercised.
 
 use rand::prelude::*;
+use rvv_cost::{CostModel, CycleEstimator};
 use rvv_isa::Sew;
 use scanvec::env::{ExecEngine, ScanEnv};
 use scanvec::{ScanError, ScanResult};
 use scanvec_algos as algos;
 
 /// Run the same measurement on a fresh environment per engine and require
-/// identical results (outputs *or* errors) and identical retired counts.
+/// identical results (outputs *or* errors), identical retired counts, and —
+/// with a cost model listening on both retire streams — identical modeled
+/// cycle totals. The cycle estimate is a pure function of the retire
+/// stream, so any engine divergence in instruction *sequence* (not just
+/// count) shows up here as a cycle mismatch.
 /// Returns the (shared) result for further reference checks.
 fn differential<T: PartialEq + std::fmt::Debug>(
     name: &str,
@@ -25,6 +30,12 @@ fn differential<T: PartialEq + std::fmt::Debug>(
     assert_eq!(plan_env.engine(), ExecEngine::Plan, "Plan is the default");
     let mut legacy_env = ScanEnv::paper_default();
     legacy_env.set_engine(ExecEngine::Legacy);
+    let attach = |env: &mut ScanEnv| {
+        let est = CycleEstimator::new(CostModel::ara_like(), env.stack_region());
+        env.attach_tracer(Box::new(est));
+    };
+    attach(&mut plan_env);
+    attach(&mut legacy_env);
     let a = run(&mut plan_env);
     let b = run(&mut legacy_env);
     assert_eq!(a, b, "{name}: engines disagree");
@@ -32,6 +43,17 @@ fn differential<T: PartialEq + std::fmt::Debug>(
         plan_env.retired(),
         legacy_env.retired(),
         "{name}: engines retired different dynamic instruction counts"
+    );
+    let cycles = |env: &mut ScanEnv| {
+        CycleEstimator::from_sink(env.detach_tracer().expect("sink attached"))
+            .expect("sink is a CycleEstimator")
+            .counters()
+    };
+    let (ca, cb) = (cycles(&mut plan_env), cycles(&mut legacy_env));
+    assert_eq!(ca, cb, "{name}: engines disagree on modeled cycles");
+    assert!(
+        ca.total() >= plan_env.retired(),
+        "{name}: ara-like cycles below dynamic instruction count"
     );
     a
 }

@@ -1,5 +1,6 @@
 //! Jobs and reports: the units the runner shards and the records it emits.
 
+use rvv_cost::{CostModel, CycleCounters};
 use rvv_sim::{Counters, SimError};
 use rvv_trace::TraceProfiler;
 use scanvec::{EnvConfig, ScanEnv, ScanError, ScanResult};
@@ -27,6 +28,10 @@ pub struct BatchJob<T> {
     pub weight: u64,
     /// Attach a [`TraceProfiler`] for this job's run?
     pub trace: bool,
+    /// Estimate cycles for this job's run under a cost model? Composes
+    /// with `trace`: a traced+costed job gets per-phase cycle
+    /// attribution, a costed-only job a bare estimator sink.
+    pub cost: Option<CostModel>,
     /// How many times a failed attempt is retried (0 = run once). Retries
     /// run in a **fresh** environment — not the pooled one — so an attempt
     /// that corrupted its environment cannot contaminate the next.
@@ -51,6 +56,7 @@ impl<T> BatchJob<T> {
             config,
             weight: 1,
             trace: false,
+            cost: None,
             retries: 0,
             watchdog: None,
             run: Box::new(run),
@@ -66,6 +72,15 @@ impl<T> BatchJob<T> {
     /// Request a per-job trace profile (builder style).
     pub fn traced(mut self, trace: bool) -> BatchJob<T> {
         self.trace = trace;
+        self
+    }
+
+    /// Estimate cycles for this job under `model` (builder style). The
+    /// estimate rides the retire-event stream, so it is deterministic at
+    /// any thread count and identical across engines; uncosted jobs pay
+    /// nothing.
+    pub fn costed(mut self, model: CostModel) -> BatchJob<T> {
+        self.cost = Some(model);
         self
     }
 
@@ -111,6 +126,7 @@ impl<T> fmt::Debug for BatchJob<T> {
             .field("config", &self.config)
             .field("weight", &self.weight)
             .field("trace", &self.trace)
+            .field("cost", &self.cost.as_ref().map(CostModel::name))
             .finish_non_exhaustive()
     }
 }
@@ -224,6 +240,11 @@ pub struct JobReport<T> {
     pub counters: Counters,
     /// Total dynamic instructions this job retired.
     pub retired: u64,
+    /// Estimated cycles (final attempt), when the job was created with
+    /// [`BatchJob::costed`]. Part of [`JobReport::stable_line`] — the
+    /// estimate is a pure function of the retire stream, so it is as
+    /// scheduling-independent as the counters.
+    pub cycles: Option<CycleCounters>,
     /// The job's trace profile, when it was created with
     /// [`BatchJob::traced`].
     pub profile: Option<TraceProfiler>,
@@ -250,8 +271,14 @@ impl<T: fmt::Debug> JobReport<T> {
     /// count) is excluded, so serial and parallel runs of the same jobs
     /// produce byte-identical lines.
     pub fn stable_line(&self) -> String {
+        // The cycles field rides between counters and output, but only
+        // for costed jobs — uncosted sweeps keep their recorded digests.
+        let cycles = match &self.cycles {
+            Some(c) => format!(" cycles={}", c.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{} cfg=vlen{}/{:?}/{:?} retired={} counters={} output={}",
+            "{} cfg=vlen{}/{:?}/{:?} retired={} counters={}{cycles} output={}",
             self.name,
             self.config.vlen,
             self.config.lmul,
@@ -270,6 +297,8 @@ pub struct BatchResult<T> {
     pub reports: Vec<JobReport<T>>,
     /// All job counters merged (commutative fold, scheduling-independent).
     pub counters: Counters,
+    /// All per-job cycle estimates merged (`None` when no job was costed).
+    pub cycles: Option<CycleCounters>,
     /// All per-job profiles merged in job order (`None` when no job traced).
     pub profile: Option<TraceProfiler>,
     /// Worker threads the batch ran with.
@@ -294,6 +323,9 @@ impl<T: fmt::Debug> BatchResult<T> {
             s.push('\n');
         }
         s.push_str(&format!("merged={}\n", self.counters.to_json()));
+        if let Some(c) = &self.cycles {
+            s.push_str(&format!("cycles={}\n", c.to_json()));
+        }
         s
     }
 

@@ -39,6 +39,7 @@ use crate::runner::{assemble, BatchRunner};
 use rvv_ckpt::{
     fnv1a, open, read_journal, seal, ByteReader, ByteWriter, CodecError, JournalWriter,
 };
+use rvv_cost::CycleCounters;
 use rvv_sim::Counters;
 use std::collections::HashMap;
 use std::fmt;
@@ -50,7 +51,8 @@ use std::time::{Duration, Instant};
 /// Frame kind for the journal header record.
 const HEADER_KIND: &str = "rvv-batch-journal";
 /// Bump on any incompatible change to the header or record layout.
-const HEADER_VERSION: u16 = 1;
+/// v2: records carry an optional cycle-estimate block (costed sweeps).
+const HEADER_VERSION: u16 = 2;
 
 /// A measurement type that can ride in a journal record. Implementations
 /// must round-trip exactly: `decode(encode(x)) == x`, including through
@@ -134,6 +136,19 @@ fn encode_record<T: JournalPayload + fmt::Debug>(index: usize, report: &JobRepor
     for c in counts {
         w.put_u64(c);
     }
+    // Cycle estimates are not derivable from the counters (the modeled
+    // total reflects unit overlap), so costed reports persist the whole
+    // block: total plus per-class busy cycles.
+    match &report.cycles {
+        Some(cy) => {
+            w.put_bool(true);
+            w.put_u64(cy.total());
+            for (_, c) in cy.iter() {
+                w.put_u64(c);
+            }
+        }
+        None => w.put_bool(false),
+    }
     w.put_str(&report.outcome.stable());
     match report.outcome.output() {
         Some(v) => {
@@ -153,6 +168,7 @@ struct Replayed<T> {
     attempts: u32,
     poisoned: u32,
     counters: Counters,
+    cycles: Option<CycleCounters>,
     stable: String,
     output: Option<T>,
 }
@@ -175,6 +191,16 @@ fn decode_record<T: JournalPayload>(payload: &[u8]) -> Result<Replayed<T>, Codec
         counts.push(r.get_u64()?);
     }
     let counters = Counters::from_class_counts(&counts);
+    let cycles = if r.get_bool()? {
+        let total = r.get_u64()?;
+        let mut by_class = Vec::with_capacity(rvv_isa::InstrClass::ALL.len());
+        for _ in 0..rvv_isa::InstrClass::ALL.len() {
+            by_class.push(r.get_u64()?);
+        }
+        Some(CycleCounters::from_parts(total, &by_class))
+    } else {
+        None
+    };
     let stable = r.get_str()?.to_string();
     let output = if r.get_bool()? {
         Some(T::decode(&mut r)?)
@@ -188,6 +214,7 @@ fn decode_record<T: JournalPayload>(payload: &[u8]) -> Result<Replayed<T>, Codec
         attempts,
         poisoned,
         counters,
+        cycles,
         stable,
         output,
     })
@@ -221,6 +248,7 @@ impl<T: fmt::Debug> Replayed<T> {
             poisoned: self.poisoned,
             retired: self.counters.total(),
             counters: self.counters,
+            cycles: self.cycles,
             profile: None,
             worker: 0,
             wall: Duration::ZERO,

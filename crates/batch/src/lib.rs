@@ -88,4 +88,5 @@ pub use runner::BatchRunner;
 
 // Re-exported so bins depending on `rvv-batch` can name the shared pieces
 // without importing the crates behind them.
+pub use rvv_cost::{CostModel, CycleCounters};
 pub use scanvec::{EnvConfig, PlanCache, ScanEnv};

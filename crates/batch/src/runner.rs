@@ -2,6 +2,8 @@
 //! panic-isolated and retrying job execution.
 
 use crate::job::{BatchJob, BatchResult, JobOutcome, JobReport};
+use rvv_cost::{CycleCounters, CycleEstimator};
+use rvv_sim::TraceSink;
 use rvv_trace::TraceProfiler;
 use scanvec::{EnvConfig, PlanCache, ScanEnv};
 use std::collections::HashMap;
@@ -166,6 +168,7 @@ impl BatchRunner {
                         poisoned: 0,
                         counters: rvv_sim::Counters::new(),
                         retired: 0,
+                        cycles: None,
                         profile: None,
                         worker,
                         wall: Duration::ZERO,
@@ -189,9 +192,13 @@ pub(crate) fn assemble<T>(
     wall: Duration,
 ) -> BatchResult<T> {
     let mut counters = rvv_sim::Counters::new();
+    let mut cycles: Option<CycleCounters> = None;
     let mut profile: Option<TraceProfiler> = None;
     for r in &reports {
         counters.merge(&r.counters);
+        if let Some(c) = &r.cycles {
+            cycles.get_or_insert_with(CycleCounters::new).merge(c);
+        }
         if let Some(p) = &r.profile {
             match &mut profile {
                 Some(merged) => merged.merge(p),
@@ -206,6 +213,7 @@ pub(crate) fn assemble<T>(
     BatchResult {
         reports,
         counters,
+        cycles,
         profile,
         threads,
         plan_compiles,
@@ -261,9 +269,30 @@ fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
 fn attempt<T>(
     job: &BatchJob<T>,
     env: &mut ScanEnv,
-) -> (JobOutcome<T>, rvv_sim::Counters, Option<TraceProfiler>) {
-    if job.trace {
-        env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
+) -> (
+    JobOutcome<T>,
+    rvv_sim::Counters,
+    Option<TraceProfiler>,
+    Option<CycleCounters>,
+) {
+    // One tracer slot, three instrumented shapes: traced jobs get the
+    // profiler (carrying the estimator too when also costed, for
+    // per-phase cycle attribution); costed-only jobs get the bare
+    // estimator sink, which skips all phase/hotspot bookkeeping.
+    match (job.trace, &job.cost) {
+        (true, Some(m)) => {
+            env.attach_tracer(Box::new(TraceProfiler::with_cost(
+                env.stack_region(),
+                m.clone(),
+            )));
+        }
+        (true, None) => {
+            env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
+        }
+        (false, Some(m)) => {
+            env.attach_tracer(Box::new(CycleEstimator::new(m.clone(), env.stack_region())));
+        }
+        (false, None) => {}
     }
     if let Some(fuel) = job.watchdog {
         env.set_fuel_budget(Some(fuel));
@@ -280,8 +309,27 @@ fn attempt<T>(
         }
     };
     let counters = env.machine().counters.since(&before);
-    let profile = env.detach_tracer().and_then(TraceProfiler::from_sink);
-    (outcome, counters, profile)
+    let (profile, cycles) = match env.detach_tracer() {
+        Some(sink) => recover(sink),
+        None => (None, None),
+    };
+    (outcome, counters, profile, cycles)
+}
+
+/// Recover the concrete sink a job ran under: a profiler (whose estimate,
+/// if costed, is extracted alongside) or a bare estimator.
+fn recover(sink: Box<dyn TraceSink>) -> (Option<TraceProfiler>, Option<CycleCounters>) {
+    let any: Box<dyn std::any::Any> = sink;
+    match any.downcast::<TraceProfiler>() {
+        Ok(p) => {
+            let cycles = p.cycles();
+            (Some(*p), cycles)
+        }
+        Err(any) => match any.downcast::<CycleEstimator>() {
+            Ok(e) => (None, Some(e.counters())),
+            Err(_) => (None, None),
+        },
+    }
 }
 
 fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobReport<T> {
@@ -289,7 +337,7 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobRe
     let max_attempts = 1 + job.retries;
     let mut attempts = 0;
     let mut poisoned = 0;
-    let (outcome, counters, profile) = loop {
+    let (outcome, counters, profile, cycles) = loop {
         attempts += 1;
         // First try uses the pooled environment; retries get a fresh one
         // (the pool discards poisoned envs, and `env_for` resets between
@@ -316,6 +364,7 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobRe
         poisoned,
         retired: counters.total(),
         counters,
+        cycles,
         profile,
         worker,
         wall: started.elapsed(),

@@ -119,6 +119,53 @@ fn merged_profiles_are_thread_count_invariant() {
     }
 }
 
+/// The same sweep with every job costed (and one point traced+costed):
+/// cycle totals must fold into the stable digest byte-identically at
+/// threads {1,2,4} — the cost-model half of the determinism contract.
+#[test]
+fn costed_sweep_digest_is_thread_count_invariant() {
+    let costed = || {
+        jobs()
+            .into_iter()
+            .map(|j| j.costed(rvv_cost::CostModel::ara_like()))
+            .collect::<Vec<_>>()
+    };
+    let runs: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|t| BatchRunner::new(t).run(costed()))
+        .collect();
+    assert!(runs[0].all_ok());
+    let reference = runs[0].stable_digest();
+    // Costed lines actually carry cycles, and so does the digest tail.
+    assert!(reference.contains(" cycles={\"cycles\":"), "{reference}");
+    assert!(reference.contains("\ncycles={\"cycles\":"), "{reference}");
+    for run in &runs {
+        assert_eq!(
+            run.stable_digest(),
+            reference,
+            "thread count changed the costed sweep output"
+        );
+        assert_eq!(run.cycles, runs[0].cycles);
+        for r in &run.reports {
+            let c = r.cycles.as_ref().expect("every job was costed");
+            assert!(
+                c.total() >= r.retired,
+                "{}: modeled cycles {} below retired {} under ara-like",
+                r.name,
+                c.total(),
+                r.retired
+            );
+        }
+    }
+    // The merged profile (traced+costed points) carries cycles too.
+    let p = runs[0].profile.as_ref().expect("traced jobs");
+    assert!(p.cycles().expect("costed profile").total() > 0);
+    // An uncosted run of the same jobs keeps the original digest shape.
+    let plain = BatchRunner::new(2).run(jobs());
+    assert!(!plain.stable_digest().contains("cycles="));
+    assert!(plain.cycles.is_none());
+}
+
 #[test]
 fn shared_registry_compiles_each_config_once() {
     let cache = PlanCache::shared();

@@ -10,10 +10,11 @@ use rvv_isa::Lmul;
 use scanvec::env::EnvConfig;
 use scanvec::primitives::plus_scan;
 use scanvec::ScanEnv;
-use scanvec_bench::{experiments, print_table, threads_arg};
+use scanvec_bench::{cost_preset_arg, experiments, print_table, threads_arg};
 
 fn main() {
     let n = scanvec_bench::max_n_arg().min(1_000_000);
+    let cost = cost_preset_arg().unwrap_or_else(rvv_batch::CostModel::ara_like);
     const PROFILE_N: usize = 4096;
 
     let mut jobs = Vec::new();
@@ -28,7 +29,8 @@ fn main() {
         );
     }
     // The no-spill counterpart to `ablation_spill`'s profiles (the
-    // detector should find zero stack traffic at every LMUL).
+    // detector should find zero stack traffic at every LMUL). Traced *and*
+    // costed: the written profile carries per-phase cycle attribution.
     for lmul in [Lmul::M1, Lmul::M8] {
         jobs.push(
             rvv_batch::BatchJob::new(
@@ -42,6 +44,7 @@ fn main() {
                 },
             )
             .traced(true)
+            .costed(cost.clone())
             .weight(PROFILE_N as u64),
         );
     }
@@ -78,9 +81,11 @@ fn main() {
         rvv_ckpt::write_atomic(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
         rvv_ckpt::write_atomic(format!("{stem}.txt"), p.text_report()).expect("write txt");
         println!(
-            "profile m{}: {} retired, {} spill ops -> {stem}.json/.txt",
+            "profile m{}: {} retired, {} est. cycles ({}), {} spill ops -> {stem}.json/.txt",
             lmul.regs(),
             p.total_retired(),
+            p.cycles().expect("costed profile").total(),
+            cost.name(),
             p.spill().total_ops(),
         );
     }

@@ -12,7 +12,7 @@ use rvv_isa::Lmul;
 use scanvec::env::EnvConfig;
 use scanvec::primitives::seg_plus_scan;
 use scanvec::ScanEnv;
-use scanvec_bench::{experiments, print_table, sweep_sizes, threads_arg};
+use scanvec_bench::{cost_preset_arg, experiments, print_table, sweep_sizes, threads_arg};
 
 /// What one job of this ablation produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +56,9 @@ fn main() {
         }
     }
     // The instruction-level profiles: one small-N launch at each LMUL
-    // endpoint under the spill detector, traced by the engine.
+    // endpoint under the spill detector, traced by the engine and costed
+    // so the written reports price the spill traffic in cycles too.
+    let cost = cost_preset_arg().unwrap_or_else(rvv_batch::CostModel::ara_like);
     const PROFILE_N: usize = 4096;
     for lmul in [Lmul::M1, Lmul::M8] {
         jobs.push(
@@ -73,6 +75,7 @@ fn main() {
                 },
             )
             .traced(true)
+            .costed(cost.clone())
             .weight(PROFILE_N as u64),
         );
     }
@@ -151,9 +154,11 @@ fn main() {
         rvv_ckpt::write_atomic(format!("{stem}.json"), p.chrome_trace_json()).expect("write json");
         rvv_ckpt::write_atomic(format!("{stem}.txt"), p.text_report()).expect("write txt");
         println!(
-            "profile m{}: {} retired, {} vector spill ops ({} bytes) -> {stem}.json/.txt",
+            "profile m{}: {} retired, {} est. cycles ({}), {} vector spill ops ({} bytes) -> {stem}.json/.txt",
             lmul.regs(),
             p.total_retired(),
+            p.cycles().expect("costed profile").total(),
+            cost.name(),
             p.spill().vector_ops(),
             p.spill().vector_bytes,
         );

@@ -88,6 +88,10 @@ fn main() {
     ];
 
     // One job per (workload, engine, rep); job wall clock is the sample.
+    // Each (workload, engine) gets one extra *costed* rep after its timing
+    // reps: the cost model rides the trace-sink path, so it must never be
+    // attached to the jobs whose wall clocks we report.
+    let cost = scanvec_bench::cost_preset_arg().unwrap_or_else(rvv_batch::CostModel::ara_like);
     let engines = [("legacy", ExecEngine::Legacy), ("plan", ExecEngine::Plan)];
     let mut jobs: Vec<BatchJob<()>> = Vec::new();
     for (wname, work) in &workloads {
@@ -106,15 +110,29 @@ fn main() {
                     .weight(n as u64),
                 );
             }
+            let work = Arc::clone(work);
+            jobs.push(
+                BatchJob::new(
+                    format!("{wname}/{ename}/cycles"),
+                    EnvConfig::paper_default(),
+                    move |env: &mut ScanEnv| {
+                        env.set_engine(engine);
+                        work(env)
+                    },
+                )
+                .costed(cost.clone())
+                .weight(n as u64),
+            );
         }
     }
     let result = BatchRunner::new(threads_arg()).run(jobs);
     assert!(result.all_ok(), "throughput job failed");
 
-    // Best-of-reps per (workload, engine), in job order.
+    // Best-of-reps per (workload, engine), in job order; each engine's
+    // reps are followed by its single costed rep carrying the cycles.
     let mut it = result.reports.iter();
-    let mut best = |what: &str| -> Sample {
-        (0..reps)
+    let mut best = |what: &str| -> (Sample, u64) {
+        let sample = (0..reps)
             .map(|_| {
                 let r = it.next().unwrap_or_else(|| panic!("missing {what} rep"));
                 Sample {
@@ -123,63 +141,86 @@ fn main() {
                 }
             })
             .min_by(|a, b| a.secs.total_cmp(&b.secs))
-            .expect("at least one rep")
+            .expect("at least one rep");
+        let costed = it.next().unwrap_or_else(|| panic!("missing {what} cycles"));
+        let cycles = costed.cycles.as_ref().expect("costed rep").total();
+        (sample, cycles)
     };
 
     let mut rows = Vec::new();
     let mut json_items = Vec::new();
     for (name, _) in &workloads {
-        let legacy = best(name);
-        let plan = best(name);
+        let (legacy, legacy_cycles) = best(name);
+        let (plan, plan_cycles) = best(name);
         assert_eq!(
             legacy.retired, plan.retired,
             "{name}: engines retired different instruction counts"
         );
+        // The estimate is a pure function of the retire stream, so both
+        // engines must model the exact same cycle total.
+        assert_eq!(
+            legacy_cycles, plan_cycles,
+            "{name}: engines disagree on modeled cycles"
+        );
         let speedup = plan.instrs_per_sec() / legacy.instrs_per_sec();
+        let cyc_per_sec = |s: &Sample| legacy_cycles as f64 / s.secs;
         rows.push(vec![
             name.to_string(),
             legacy.retired.to_string(),
+            legacy_cycles.to_string(),
             format!("{:.1}", legacy.ns_per_instr()),
             format!("{:.1}", plan.ns_per_instr()),
             format!("{:.1}M", legacy.instrs_per_sec() / 1e6),
             format!("{:.1}M", plan.instrs_per_sec() / 1e6),
+            format!("{:.1}M", cyc_per_sec(&legacy) / 1e6),
+            format!("{:.1}M", cyc_per_sec(&plan) / 1e6),
             format!("{speedup:.2}x"),
         ]);
         json_items.push(format!(
             concat!(
-                "    {{\"workload\": \"{}\", \"retired\": {},\n",
-                "     \"legacy\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}}},\n",
-                "     \"plan\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}}},\n",
+                "    {{\"workload\": \"{}\", \"retired\": {}, \"cycles\": {},\n",
+                "     \"legacy\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}},\n",
+                "     \"plan\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}},\n",
                 "     \"speedup\": {:.3}}}"
             ),
             name,
             legacy.retired,
+            legacy_cycles,
             legacy.secs,
             legacy.ns_per_instr(),
             legacy.instrs_per_sec(),
+            cyc_per_sec(&legacy),
             plan.secs,
             plan.ns_per_instr(),
             plan.instrs_per_sec(),
+            cyc_per_sec(&plan),
             speedup,
         ));
     }
 
     print_table(
-        &format!("Host throughput, N = {n} (best of {reps})"),
+        &format!(
+            "Host throughput, N = {n} (best of {reps}; cycles: {})",
+            cost.name()
+        ),
         &[
             "workload",
             "retired",
+            "cycles",
             "legacy ns/instr",
             "plan ns/instr",
             "legacy instrs/s",
             "plan instrs/s",
+            "legacy cyc/s",
+            "plan cyc/s",
             "speedup",
         ],
         &rows,
     );
 
     let json = format!(
-        "{{\n  \"n\": {n},\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"n\": {n},\n  \"reps\": {reps},\n  \"cost_model\": \"{}\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        cost.name(),
         json_items.join(",\n")
     );
     std::fs::create_dir_all("results").expect("results dir");

@@ -44,8 +44,8 @@ use rvv_fault::{ArmedFaults, CrashPoint, FaultPlan};
 use scanvec::HEAP_BASE;
 use scanvec_bench::sweep::{decode_sweep, sweep_jobs, Measurement, SweepShape};
 use scanvec_bench::{
-    experiments, flag_arg, fmt_ratio, fmt_speedup, inject_seed_arg, num_arg, print_table,
-    threads_arg,
+    cost_preset_arg, experiments, flag_arg, fmt_ratio, fmt_speedup, inject_seed_arg, num_arg,
+    print_table, threads_arg,
 };
 use std::path::Path;
 
@@ -231,6 +231,9 @@ fn journal_main(
         result.plan_compiles,
         result.threads,
     );
+    if let Some(c) = &result.cycles {
+        print!("modeled {c}");
+    }
     write_journal_sweep_json(threads, &result);
 }
 
@@ -238,18 +241,30 @@ fn main() {
     let threads = threads_arg();
     let keep_going = flag_arg("--keep-going");
     let inject_seed = inject_seed_arg();
+    let cost = cost_preset_arg();
     let shape = SweepShape::from_args();
     let wall = std::time::Instant::now();
 
     let build_jobs = || {
         let jobs = sweep_jobs(&shape);
-        match inject_seed {
+        let jobs = match inject_seed {
             Some(seed) => arm_injection(jobs, seed),
+            None => jobs,
+        };
+        // With a cost preset the whole sweep is costed: cycles fold into
+        // every stable line and the merged digest, so the serial-vs-
+        // parallel comparison below (and the crash/resume comparison in
+        // journal mode) gates the cycle metric's determinism too.
+        match &cost {
+            Some(model) => jobs.into_iter().map(|j| j.costed(model.clone())).collect(),
             None => jobs,
         }
     };
     if let Some(seed) = inject_seed {
         println!("fault injection armed: seed={seed:#x}");
+    }
+    if let Some(model) = &cost {
+        println!("cost model armed: {}", model.name());
     }
     if flag_arg("--journal") {
         journal_main(threads, keep_going, inject_seed, &shape, build_jobs());
@@ -315,6 +330,9 @@ fn main() {
         result.plan_compiles,
         result.threads,
     );
+    if let Some(c) = &result.cycles {
+        print!("modeled {c}");
+    }
     if let Some(p) = parallel_secs {
         println!(
             "serial {serial_secs:.1}s, parallel {p:.1}s -> {:.2}x",

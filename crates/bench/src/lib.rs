@@ -129,6 +129,26 @@ pub fn inject_seed_arg() -> Option<u64> {
     None
 }
 
+/// Parse `--cost-preset <name>` from the command line: the cycle-model
+/// preset (`unit`, `ara-like`, `vitruvius-like`) to attach to the sweep's
+/// jobs. `None` when absent — cost modeling is strictly opt-in, so the
+/// default run stays count-only and byte-identical to earlier releases.
+pub fn cost_preset_arg() -> Option<rvv_cost::CostModel> {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--cost-preset" {
+            return Some(rvv_cost::CostModel::preset(&w[1]).unwrap_or_else(|| {
+                panic!(
+                    "--cost-preset takes one of {:?}, got {:?}",
+                    rvv_cost::CostModel::PRESETS,
+                    w[1]
+                )
+            }));
+        }
+    }
+    None
+}
+
 /// Is the bare flag `name` (e.g. `--keep-going`) present on the command
 /// line?
 pub fn flag_arg(name: &str) -> bool {

@@ -11,6 +11,7 @@
 //! `GOLDEN_REGEN=1 cargo test -p scanvec-bench --test golden` — then
 //! review the fixture diff like any other code change.
 
+use rvv_cost::{CostModel, CycleEstimator};
 use rvv_isa::Lmul;
 use scanvec::{ScanEnv, ScanResult};
 use scanvec_bench::experiments::{table2_point, table3_point, table4_point, table5_point, Pair};
@@ -48,6 +49,28 @@ fn measured() -> String {
     for lmul in Lmul::ALL {
         let (count, _) = table5_point(&mut env_with(1024, lmul), N).expect("table5");
         writeln!(s, "table5_seg_scan/n={N}/m{} = {count}", lmul.regs()).unwrap();
+    }
+    // The second metric, pinned just as exactly: modeled cycles under the
+    // `ara-like` preset for the same LMUL sweep. The estimate is a pure
+    // function of the retire stream and the preset, so drift here means
+    // either the generated code or the timing model changed.
+    for lmul in Lmul::ALL {
+        let mut e = env_with(1024, lmul);
+        e.attach_tracer(Box::new(CycleEstimator::new(
+            CostModel::ara_like(),
+            e.stack_region(),
+        )));
+        table5_point(&mut e, N).expect("table5");
+        let cycles = CycleEstimator::from_sink(e.detach_tracer().expect("sink attached"))
+            .expect("sink is a CycleEstimator")
+            .counters();
+        writeln!(
+            s,
+            "table5_seg_scan_cycles[ara-like]/n={N}/m{} = {}",
+            lmul.regs(),
+            cycles.total()
+        )
+        .unwrap();
     }
     // The paper's headline ratios at this configuration (its Table 3/4
     // analogues report 2.85x for the scan and 4.29x for the segmented scan

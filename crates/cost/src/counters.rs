@@ -1,0 +1,198 @@
+//! Cycle counters — the cycle-metric mirror of [`rvv_sim::Counters`].
+
+use rvv_isa::InstrClass;
+use std::fmt;
+
+/// Accumulated cycle estimates: a modeled end-to-end total plus a
+/// per-class busy-cycle attribution.
+///
+/// The shape deliberately mirrors [`rvv_sim::Counters`] — merge, iter,
+/// JSON, stable text — so everything built for the count metric (batch
+/// stable lines, journals, report tables) folds cycles in the same way.
+/// One semantic difference: the per-class cycles are *busy* cycles of the
+/// unit that executed the class, and units overlap (chaining, memory
+/// running under compute), so `total` is at most — not exactly — the sum
+/// of the classes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleCounters {
+    total: u64,
+    by_class: [u64; InstrClass::ALL.len()],
+}
+
+impl CycleCounters {
+    /// Fresh, zeroed counters (the identity of [`CycleCounters::merge`]).
+    pub fn new() -> CycleCounters {
+        CycleCounters::default()
+    }
+
+    /// Build from a modeled total and a per-class busy histogram in
+    /// [`InstrClass::ALL`] order. Unlike counts, the total is *not*
+    /// derivable from the classes (units overlap), so it is carried
+    /// explicitly.
+    ///
+    /// # Panics
+    /// If `by_class` does not have one entry per class.
+    pub fn from_parts(total: u64, by_class: &[u64]) -> CycleCounters {
+        assert_eq!(
+            by_class.len(),
+            InstrClass::ALL.len(),
+            "one busy-cycle entry per instruction class"
+        );
+        let mut classes = [0u64; InstrClass::ALL.len()];
+        classes.copy_from_slice(by_class);
+        CycleCounters {
+            total,
+            by_class: classes,
+        }
+    }
+
+    /// Modeled end-to-end cycles.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Busy cycles attributed to one class.
+    #[inline]
+    pub fn class(&self, c: InstrClass) -> u64 {
+        self.by_class[c.index()]
+    }
+
+    /// Busy cycles across all vector classes.
+    pub fn vector_total(&self) -> u64 {
+        [
+            InstrClass::VectorCfg,
+            InstrClass::VectorAlu,
+            InstrClass::VectorMem,
+            InstrClass::VectorMask,
+            InstrClass::VectorPerm,
+            InstrClass::VectorRed,
+        ]
+        .iter()
+        .map(|&c| self.class(c))
+        .sum()
+    }
+
+    /// Busy cycles across all scalar classes.
+    pub fn scalar_total(&self) -> u64 {
+        [
+            InstrClass::ScalarAlu,
+            InstrClass::ScalarMem,
+            InstrClass::ScalarCtrl,
+        ]
+        .iter()
+        .map(|&c| self.class(c))
+        .sum()
+    }
+
+    /// Iterate over `(class, busy cycles)` for every class, zero entries
+    /// included, in [`InstrClass::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrClass, u64)> + '_ {
+        InstrClass::ALL.iter().map(|&c| (c, self.class(c)))
+    }
+
+    /// Serialize as a JSON object:
+    /// `{"cycles":N,"scalar":N,"vector":N,"classes":{"<label>":N,...}}`.
+    /// The leading key is `"cycles"` (not `"total"`) so a cycle object is
+    /// never mistaken for a count object; otherwise the shape matches
+    /// [`rvv_sim::Counters::to_json`], class keys in [`InstrClass::ALL`]
+    /// order. Field order is pinned by a golden test.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"cycles\":{},\"scalar\":{},\"vector\":{},\"classes\":{{",
+            self.total(),
+            self.scalar_total(),
+            self.vector_total()
+        );
+        for (i, (c, n)) in self.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", c.label(), n));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Accumulate another counter set: totals and classes add. Addition
+    /// is associative and commutative with [`CycleCounters::new`] as
+    /// identity (property-tested), so merged results are independent of
+    /// worker scheduling; the batch engine still merges in job order for
+    /// uniformity with every other aggregate. Adding totals models the
+    /// merged runs as sequential — no overlap is assumed across jobs.
+    pub fn merge(&mut self, other: &CycleCounters) {
+        self.total += other.total;
+        for (a, b) in self.by_class.iter_mut().zip(other.by_class.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl fmt::Display for CycleCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles: {}", self.total)?;
+        for c in InstrClass::ALL {
+            let n = self.class(c);
+            if n > 0 {
+                writeln!(f, "  {:12} {}", c.label(), n)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_total_and_classes() {
+        let mut a = CycleCounters::from_parts(10, &[1, 0, 2, 0, 3, 4, 0, 0, 0]);
+        let b = CycleCounters::from_parts(7, &[0, 1, 0, 0, 2, 4, 0, 0, 0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 17);
+        assert_eq!(a.class(InstrClass::ScalarAlu), 1);
+        assert_eq!(a.class(InstrClass::VectorAlu), 5);
+        assert_eq!(a.class(InstrClass::VectorMem), 8);
+    }
+
+    #[test]
+    fn scalar_vector_split() {
+        let c = CycleCounters::from_parts(100, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(c.scalar_total(), 6);
+        assert_eq!(c.vector_total(), 39);
+        assert_eq!(c.iter().count(), InstrClass::ALL.len());
+    }
+
+    /// Golden: the exact serialized form, pinning field order alongside
+    /// the Counters JSON golden. Batch stable lines embed this string —
+    /// changing it invalidates recorded digests, so change it knowingly.
+    #[test]
+    fn golden_json_field_order() {
+        let c = CycleCounters::from_parts(42, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(
+            c.to_json(),
+            "{\"cycles\":42,\"scalar\":6,\"vector\":39,\"classes\":{\
+             \"scalar-alu\":1,\"scalar-mem\":2,\"scalar-ctrl\":3,\
+             \"vector-cfg\":4,\"vector-alu\":5,\"vector-mem\":6,\
+             \"vector-mask\":7,\"vector-perm\":8,\"vector-red\":9}}"
+        );
+        // Zeroed counters serialize with every class present.
+        assert_eq!(
+            CycleCounters::new().to_json(),
+            "{\"cycles\":0,\"scalar\":0,\"vector\":0,\"classes\":{\
+             \"scalar-alu\":0,\"scalar-mem\":0,\"scalar-ctrl\":0,\
+             \"vector-cfg\":0,\"vector-alu\":0,\"vector-mem\":0,\
+             \"vector-mask\":0,\"vector-perm\":0,\"vector-red\":0}}"
+        );
+    }
+
+    #[test]
+    fn display_skips_zero_classes() {
+        let c = CycleCounters::from_parts(9, &[0, 0, 0, 0, 9, 0, 0, 0, 0]);
+        let s = c.to_string();
+        assert!(s.contains("cycles: 9"), "{s}");
+        assert!(s.contains("vector-alu"), "{s}");
+        assert!(!s.contains("scalar-mem"), "{s}");
+    }
+}

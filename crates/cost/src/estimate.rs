@@ -1,0 +1,466 @@
+//! The cycle estimator: a [`TraceSink`] that folds a retire-event stream
+//! through the cost model's integer timeline.
+
+use crate::counters::CycleCounters;
+use crate::model::CostModel;
+use rvv_isa::{Instr, InstrClass};
+use rvv_sim::{RetireEvent, TraceSink};
+use std::ops::Range;
+
+/// How a memory instruction exercises the memory port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemClass {
+    /// Scalar load/store: one element.
+    Scalar,
+    /// Unit-stride vector access: a contiguous burst.
+    Unit,
+    /// Strided vector access: one port transaction per element.
+    Strided,
+    /// Indexed (gather/scatter) access: per-element address generation.
+    Indexed,
+    /// Whole-register access (`vlNr.v`/`vsNr.v`): a contiguous burst of
+    /// `nregs × VLENB` bytes — the spill-code workhorse.
+    Whole,
+    /// Mask load/store: a `ceil(vl/8)`-byte burst.
+    Mask,
+}
+
+impl MemClass {
+    /// Classify an instruction's memory behaviour (`None` for
+    /// non-memory instructions).
+    pub fn of(instr: &Instr) -> Option<MemClass> {
+        use Instr::*;
+        match instr {
+            Load { .. } | Store { .. } => Some(MemClass::Scalar),
+            VLoad { .. } | VStore { .. } => Some(MemClass::Unit),
+            VLoadStrided { .. } | VStoreStrided { .. } => Some(MemClass::Strided),
+            VLoadIndexed { .. } | VStoreIndexed { .. } => Some(MemClass::Indexed),
+            VLoadWhole { .. } | VStoreWhole { .. } => Some(MemClass::Whole),
+            VLoadMask { .. } | VStoreMask { .. } => Some(MemClass::Mask),
+            _ => None,
+        }
+    }
+}
+
+/// A [`TraceSink`] that estimates cycles from the retire stream.
+///
+/// The timeline is three saturating integer clocks — the front end
+/// (`issue_width` instructions per cycle), the vector compute unit, and
+/// the memory port — advanced deterministically per event:
+///
+/// * every instruction takes one issue slot;
+/// * a vector op starts after its operands chain (or, without chaining,
+///   after the previous vector op drains), runs `class_latency - 1 +
+///   beats` cycles, `beats = ceil(vl × class_elem_cost / lanes)` — the
+///   LMUL-proportional occupancy, since `vl` scales with LMUL;
+/// * a memory op also waits for the port and holds it for a
+///   [`MemClass`]-dependent beat count, plus the spill penalty when its
+///   effective address falls in the device stack region.
+///
+/// The modeled total is the maximum of the three clocks; per-class busy
+/// cycles accumulate into a [`CycleCounters`]. Everything is a pure
+/// function of the event stream, so two runs that retire identical
+/// streams — the Plan/Legacy engine contract — estimate identical
+/// cycles, on any host, at any thread count.
+#[derive(Debug, Clone)]
+pub struct CycleEstimator {
+    model: CostModel,
+    stack_region: Range<u64>,
+    /// Whole front-end cycles consumed.
+    now: u64,
+    /// Issue slots consumed within the current front-end cycle.
+    slots: u32,
+    /// When the latest vector op's first results exist (chaining target).
+    vec_ready: u64,
+    /// When the vector unit fully drains.
+    vec_busy: u64,
+    /// When the memory port frees up.
+    mem_busy: u64,
+    by_class: [u64; InstrClass::ALL.len()],
+    /// Counters absorbed from merged (quiescent) estimators.
+    merged: CycleCounters,
+}
+
+impl CycleEstimator {
+    /// An estimator for `model`, classifying accesses into `stack_region`
+    /// as spill traffic (pass `ScanEnv::stack_region()`; an empty range
+    /// disables the spill penalty).
+    pub fn new(model: CostModel, stack_region: Range<u64>) -> CycleEstimator {
+        CycleEstimator {
+            model,
+            stack_region,
+            now: 0,
+            slots: 0,
+            vec_ready: 0,
+            vec_busy: 0,
+            mem_busy: 0,
+            by_class: [0; InstrClass::ALL.len()],
+            merged: CycleCounters::new(),
+        }
+    }
+
+    /// Recover a concrete estimator from a detached sink (`None` if the
+    /// box holds some other sink type).
+    pub fn from_sink(sink: Box<dyn TraceSink>) -> Option<CycleEstimator> {
+        let any: Box<dyn std::any::Any> = sink;
+        any.downcast::<CycleEstimator>().ok().map(|b| *b)
+    }
+
+    /// The model this estimator runs.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Front-end time: whole cycles plus one for a partially filled
+    /// issue group.
+    fn front_end(&self) -> u64 {
+        self.now + u64::from(self.slots > 0)
+    }
+
+    /// The modeled end-to-end cycle count so far: the slowest clock.
+    fn timeline_end(&self) -> u64 {
+        self.front_end().max(self.vec_busy).max(self.mem_busy)
+    }
+
+    /// Accumulated cycle counters (including anything absorbed via
+    /// [`CycleEstimator::absorb`]).
+    pub fn counters(&self) -> CycleCounters {
+        let mut c = self.merged.clone();
+        c.merge(&CycleCounters::from_parts(
+            self.timeline_end(),
+            &self.by_class,
+        ));
+        c
+    }
+
+    /// Fold another (quiescent) estimator's cycles into this one, as if
+    /// its run happened after this one's — totals add, exactly like
+    /// [`CycleCounters::merge`].
+    pub fn absorb(&mut self, other: &CycleEstimator) {
+        self.merged.merge(&other.counters());
+    }
+
+    /// Advance the timeline by one retired instruction and return the
+    /// busy-cycle charge attributed to its class (what per-phase
+    /// attribution adds up).
+    pub fn observe(&mut self, event: &RetireEvent<'_>) -> u64 {
+        let spec = self.model.spec();
+        // Issue: every instruction consumes one front-end slot.
+        let issue_slot = self.now;
+        self.slots += 1;
+        if self.slots >= spec.issue_width {
+            self.now += 1;
+            self.slots = 0;
+        }
+        let lat = spec.class_latency[event.class.index()];
+        let vl = event.elems();
+        let spill = if event
+            .mem
+            .is_some_and(|m| self.stack_region.contains(&m.addr))
+        {
+            spec.spill_penalty
+        } else {
+            0
+        };
+        let charge = match event.class {
+            InstrClass::ScalarAlu | InstrClass::ScalarCtrl | InstrClass::VectorCfg => lat,
+            InstrClass::ScalarMem => {
+                // Scalar accesses are pipelined through the port at one
+                // beat each; latency models the (in-order) use stall.
+                let start = issue_slot.max(self.mem_busy);
+                let done = start + lat + spill;
+                self.mem_busy = done;
+                done - start
+            }
+            InstrClass::VectorAlu
+            | InstrClass::VectorMask
+            | InstrClass::VectorPerm
+            | InstrClass::VectorRed => {
+                let beats = (vl * spec.class_elem_cost[event.class.index()])
+                    .div_ceil(u64::from(spec.lanes))
+                    .max(1);
+                let chain_from = if spec.chaining {
+                    self.vec_ready
+                } else {
+                    self.vec_busy
+                };
+                let start = issue_slot.max(chain_from);
+                let done = start + lat - 1 + beats;
+                self.vec_ready = start + lat - 1;
+                self.vec_busy = done;
+                done - start
+            }
+            InstrClass::VectorMem => {
+                let bytes = event.mem.map_or(0, |m| m.bytes);
+                let burst = bytes.div_ceil(spec.mem.port_bytes).max(1);
+                let beats = match MemClass::of(event.instr) {
+                    Some(MemClass::Strided) => burst.max(vl * spec.mem.stride_elem_cycles),
+                    Some(MemClass::Indexed) => burst.max(vl * spec.mem.index_elem_cycles),
+                    // Unit, whole-register, and mask accesses are
+                    // contiguous bursts; scalar cannot classify here.
+                    _ => burst,
+                };
+                let lat = lat + spec.mem.latency - 1;
+                let chain_from = if spec.chaining {
+                    self.vec_ready
+                } else {
+                    self.vec_busy
+                };
+                let start = issue_slot.max(chain_from).max(self.mem_busy);
+                let done = start + lat - 1 + beats + spill;
+                self.vec_ready = start + lat - 1;
+                self.vec_busy = done;
+                self.mem_busy = done;
+                done - start
+            }
+        };
+        self.by_class[event.class.index()] += charge;
+        charge
+    }
+}
+
+impl TraceSink for CycleEstimator {
+    fn retire(&mut self, event: &RetireEvent<'_>) {
+        self.observe(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvv_isa::{MemWidth, Sew, VAluOp, VReg, XReg};
+    use rvv_sim::MemAccess;
+
+    fn ev<'a>(instr: &'a Instr, vl: u32, mem: Option<MemAccess>) -> RetireEvent<'a> {
+        RetireEvent {
+            pc: 0,
+            instr,
+            class: InstrClass::of(instr),
+            vl,
+            vtype: None,
+            mem,
+            seq: 0,
+        }
+    }
+
+    fn vadd() -> Instr {
+        Instr::VOpVV {
+            op: VAluOp::Add,
+            vd: VReg::new(8),
+            vs2: VReg::new(9),
+            vs1: VReg::new(10),
+            vm: true,
+        }
+    }
+
+    fn vload(addr: u64, bytes: u64) -> (Instr, MemAccess) {
+        (
+            Instr::VLoad {
+                eew: Sew::E32,
+                vd: VReg::new(8),
+                rs1: XReg::new(10),
+                vm: true,
+            },
+            MemAccess {
+                addr,
+                bytes,
+                store: false,
+            },
+        )
+    }
+
+    #[test]
+    fn mem_classes_cover_the_memory_ops() {
+        let scalar = Instr::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd: XReg::new(5),
+            rs1: XReg::new(10),
+            offset: 0,
+        };
+        assert_eq!(MemClass::of(&scalar), Some(MemClass::Scalar));
+        assert_eq!(MemClass::of(&vload(0, 4).0), Some(MemClass::Unit));
+        let strided = Instr::VLoadStrided {
+            eew: Sew::E32,
+            vd: VReg::new(8),
+            rs1: XReg::new(10),
+            rs2: XReg::new(11),
+            vm: true,
+        };
+        assert_eq!(MemClass::of(&strided), Some(MemClass::Strided));
+        let indexed = Instr::VStoreIndexed {
+            eew: Sew::E32,
+            ordered: false,
+            vs3: VReg::new(8),
+            rs1: XReg::new(10),
+            vs2: VReg::new(12),
+            vm: true,
+        };
+        assert_eq!(MemClass::of(&indexed), Some(MemClass::Indexed));
+        let whole = Instr::VLoadWhole {
+            nregs: 8,
+            vd: VReg::new(8),
+            rs1: XReg::new(10),
+        };
+        assert_eq!(MemClass::of(&whole), Some(MemClass::Whole));
+        let mask = Instr::VStoreMask {
+            vs3: VReg::V0,
+            rs1: XReg::new(10),
+        };
+        assert_eq!(MemClass::of(&mask), Some(MemClass::Mask));
+        assert_eq!(MemClass::of(&Instr::Ecall), None);
+    }
+
+    /// The anchor property: under the `unit` preset every instruction
+    /// costs exactly one cycle, so cycles == dynamic instruction count
+    /// for any event mix.
+    #[test]
+    fn unit_preset_equals_instruction_count() {
+        let mut e = CycleEstimator::new(CostModel::unit(), 100..200);
+        let add = vadd();
+        let (ld, acc) = vload(150, 1024); // spilling address: still 1 cycle
+        let scalar = Instr::Ecall;
+        let mut n = 0u64;
+        for _ in 0..5 {
+            e.observe(&ev(&add, 256, None));
+            e.observe(&ev(&ld, 256, Some(acc)));
+            e.observe(&ev(&scalar, 0, None));
+            n += 3;
+        }
+        let c = e.counters();
+        assert_eq!(c.total(), n);
+        assert_eq!(c.iter().map(|(_, x)| x).sum::<u64>(), n);
+    }
+
+    /// LMUL-proportional occupancy: `vl` scales with LMUL, and the charge
+    /// scales with `vl / lanes`.
+    #[test]
+    fn vector_occupancy_scales_with_vl() {
+        let model = CostModel::ara_like();
+        let lanes = u64::from(model.spec().lanes);
+        let lat = model.spec().class_latency[InstrClass::VectorAlu.index()];
+        let add = vadd();
+        let charge_at = |vl: u32| {
+            let mut e = CycleEstimator::new(model.clone(), 0..0);
+            e.observe(&ev(&add, vl, None))
+        };
+        // m1 at VLEN=1024/e32 -> vl=32; m8 -> vl=256.
+        assert_eq!(charge_at(32), lat - 1 + 32 / lanes);
+        assert_eq!(charge_at(256), lat - 1 + 256 / lanes);
+        assert_eq!(charge_at(256) - charge_at(32), (256 - 32) / lanes);
+    }
+
+    /// Chaining lets a dependent vector op start at the producer's first
+    /// result; without chaining it waits for the drain.
+    #[test]
+    fn chaining_overlaps_dependent_vector_ops() {
+        let chained = CostModel::ara_like();
+        let mut spec = *chained.spec();
+        spec.chaining = false;
+        let unchained = CostModel::new("ara-unchained", spec).unwrap();
+        let add = vadd();
+        let total = |m: CostModel| {
+            let mut e = CycleEstimator::new(m, 0..0);
+            for _ in 0..8 {
+                e.observe(&ev(&add, 256, None));
+            }
+            e.counters().total()
+        };
+        let (with, without) = (total(chained), total(unchained));
+        assert!(
+            with < without,
+            "chaining should shorten the timeline: {with} vs {without}"
+        );
+    }
+
+    /// The port makes strided and indexed accesses cost more than a
+    /// unit-stride access of the same data volume.
+    #[test]
+    fn port_contention_orders_the_memory_classes() {
+        let model = CostModel::ara_like();
+        let charge_of = |instr: &Instr| {
+            let mut e = CycleEstimator::new(model.clone(), 0..0);
+            e.observe(&ev(
+                instr,
+                256,
+                Some(MemAccess {
+                    addr: 0x1000,
+                    bytes: 1024,
+                    store: false,
+                }),
+            ))
+        };
+        let unit = charge_of(&vload(0, 0).0);
+        let strided = charge_of(&Instr::VLoadStrided {
+            eew: Sew::E32,
+            vd: VReg::new(8),
+            rs1: XReg::new(10),
+            rs2: XReg::new(11),
+            vm: true,
+        });
+        let indexed = charge_of(&Instr::VLoadIndexed {
+            eew: Sew::E32,
+            ordered: false,
+            vd: VReg::new(8),
+            rs1: XReg::new(10),
+            vs2: VReg::new(12),
+            vm: true,
+        });
+        assert!(unit < strided, "unit {unit} !< strided {strided}");
+        assert!(strided < indexed, "strided {strided} !< indexed {indexed}");
+    }
+
+    /// An access into the stack region is charged the spill penalty; the
+    /// same access elsewhere is not.
+    #[test]
+    fn spill_penalty_applies_inside_the_stack_region() {
+        let model = CostModel::ara_like();
+        let penalty = model.spec().spill_penalty;
+        assert!(penalty > 0, "preset must model a spill penalty");
+        let (ld, _) = vload(0, 0);
+        let charge_at = |addr: u64| {
+            let mut e = CycleEstimator::new(model.clone(), 0x8000..0x9000);
+            e.observe(&ev(
+                &ld,
+                256,
+                Some(MemAccess {
+                    addr,
+                    bytes: 1024,
+                    store: false,
+                }),
+            ))
+        };
+        assert_eq!(charge_at(0x8100) - charge_at(0x1000), penalty);
+    }
+
+    #[test]
+    fn absorb_composes_like_sequential_runs() {
+        let add = vadd();
+        let run = |n: usize| {
+            let mut e = CycleEstimator::new(CostModel::ara_like(), 0..0);
+            for _ in 0..n {
+                e.observe(&ev(&add, 128, None));
+            }
+            e
+        };
+        let (mut a, b) = (run(3), run(5));
+        let (ta, tb) = (a.counters().total(), b.counters().total());
+        a.absorb(&b);
+        assert_eq!(a.counters().total(), ta + tb);
+        assert_eq!(
+            a.counters().class(InstrClass::VectorAlu),
+            run(3).counters().class(InstrClass::VectorAlu)
+                + run(5).counters().class(InstrClass::VectorAlu)
+        );
+    }
+
+    #[test]
+    fn from_sink_roundtrips() {
+        let mut e = CycleEstimator::new(CostModel::unit(), 0..0);
+        e.observe(&ev(&Instr::Ecall, 0, None));
+        let boxed: Box<dyn TraceSink> = Box::new(e);
+        let back = CycleEstimator::from_sink(boxed).unwrap();
+        assert_eq!(back.counters().total(), 1);
+        assert_eq!(back.model().name(), "unit");
+    }
+}

@@ -1,0 +1,50 @@
+//! # rvv-cost — a cycle-approximate timing model for the scan-vector stack
+//!
+//! The workspace's primary metric is the paper's: dynamic instruction
+//! count, as Spike reports it. That metric is exactly reproducible but
+//! blind to latency — an LMUL=8 `vadd.vv` counts one instruction whether
+//! it occupies a vector unit for 8 beats or 64, and a spilled register
+//! group counts two instructions no matter how far away the stack is.
+//! This crate adds the second metric ROADMAP item 5 calls for: an
+//! **estimated cycle count** under a configurable microarchitecture
+//! model, fed from the same retire-event stream the tracing profiler
+//! consumes.
+//!
+//! * [`CostModel`] / [`CostSpec`] — the parameters: issue width, lane
+//!   count, chaining, per-class latencies and per-element costs, memory
+//!   port width and latency, per-class strided/indexed surcharges, and a
+//!   spill penalty. Degenerate configurations (zero issue width,
+//!   zero-latency memory) are rejected at construction with a
+//!   descriptive [`CostError`].
+//! * Presets: [`CostModel::unit`] (cycles ≡ instruction counts — the
+//!   anchor), [`CostModel::ara_like`] (a 4-lane coupled unit in the
+//!   style of "A New Ara"), and [`CostModel::vitruvius_like`] (an
+//!   8-lane decoupled long-vector machine in the style of the Vitruvius
+//!   simulator paper). See DESIGN §11 for the derivations.
+//! * [`CycleEstimator`] — a [`rvv_sim::TraceSink`]: attach it to a
+//!   `ScanEnv` (or let `rvv-batch`'s `costed` jobs do it) and every
+//!   retired instruction advances a deterministic integer timeline.
+//!   Untraced runs pay nothing; the estimate is a pure function of the
+//!   retire stream, so it is byte-identical across engines, hosts, and
+//!   thread counts.
+//! * [`CycleCounters`] — the accumulated result, mirroring
+//!   [`rvv_sim::Counters`] (merge / iter / `to_json` / stable text) so
+//!   the batch engine folds cycles into stable digests the same way it
+//!   folds counts.
+//!
+//! What is deliberately **not** modeled: caches (the paper's workloads
+//! are streaming), branch prediction, scalar out-of-order execution, and
+//! DRAM banking. The model is cycle-*approximate*: good enough to rank
+//! configurations by latency behaviour (its purpose), not to predict
+//! absolute cycle counts of silicon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod estimate;
+mod model;
+
+pub use counters::CycleCounters;
+pub use estimate::{CycleEstimator, MemClass};
+pub use model::{CostError, CostModel, CostSpec, MemCosts};

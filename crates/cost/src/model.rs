@@ -1,0 +1,350 @@
+//! The cost model: parameters, validation, and named presets.
+
+use rvv_isa::InstrClass;
+use std::fmt;
+
+/// Memory-system cost parameters (see [`CostSpec::mem`]).
+///
+/// All costs are in cycles or bytes-per-cycle; everything is an integer so
+/// cycle totals stay exactly reproducible across platforms and thread
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCosts {
+    /// Cycles from issue of a memory instruction to its first data beat
+    /// (the memory-system latency a long vector access exposes once).
+    /// Must be at least 1.
+    pub latency: u64,
+    /// Bytes the memory port moves per cycle for unit-stride,
+    /// whole-register, and mask accesses. Must be at least 1.
+    pub port_bytes: u64,
+    /// Extra port cycles per element for strided accesses (0 = strided
+    /// runs at unit-stride speed).
+    pub stride_elem_cycles: u64,
+    /// Extra port cycles per element for indexed (gather/scatter)
+    /// accesses (0 = indexed runs at unit-stride speed).
+    pub index_elem_cycles: u64,
+}
+
+/// The raw, user-editable parameter set of a cost model. Validated into a
+/// [`CostModel`] by [`CostModel::new`]; degenerate values (zero issue
+/// width, zero-latency memory) are rejected there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostSpec {
+    /// Instructions the front end issues per cycle. Must be at least 1.
+    pub issue_width: u32,
+    /// Vector elements processed per cycle by the compute units (the
+    /// "lane count"). LMUL-proportional occupancy falls out of this:
+    /// a vector op over `vl` elements occupies its unit for
+    /// `ceil(vl / lanes)` beats. Must be at least 1.
+    pub lanes: u32,
+    /// May a dependent vector instruction start once the producer's first
+    /// results exist (`true`, chaining), or must it wait for the producer
+    /// to drain completely (`false`)?
+    pub chaining: bool,
+    /// Startup latency (cycles to first result) per instruction class,
+    /// indexed like [`InstrClass::ALL`]. For scalar classes this is the
+    /// whole per-instruction cost; for vector memory it is the
+    /// address-generation latency *in addition to* [`MemCosts::latency`].
+    /// Every entry must be at least 1.
+    pub class_latency: [u64; InstrClass::ALL.len()],
+    /// Per-element beat multiplier per class, indexed like
+    /// [`InstrClass::ALL`]. A vector compute op over `vl` elements takes
+    /// `ceil(vl * class_elem_cost / lanes)` beats (clamped to at least
+    /// one); 0 models an infinitely wide unit (always one beat). Ignored
+    /// for scalar classes and vector memory (which uses [`MemCosts`]).
+    pub class_elem_cost: [u64; InstrClass::ALL.len()],
+    /// Memory-system costs.
+    pub mem: MemCosts,
+    /// Extra cycles charged to any load/store whose effective address
+    /// falls in the device stack region — the latency cost of spill
+    /// traffic beyond its port occupancy (0 disables the penalty).
+    pub spill_penalty: u64,
+}
+
+/// Why a [`CostSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostError {
+    /// `issue_width` was 0: the front end could never issue anything and
+    /// every run would take infinitely long (or, naively, 0 cycles).
+    ZeroIssueWidth,
+    /// `lanes` was 0: vector occupancy would divide by zero.
+    ZeroLanes,
+    /// A class latency was 0: instructions of this class would retire in
+    /// no time and the run would under-count to a 0-cycle result.
+    ZeroClassLatency(InstrClass),
+    /// `mem.latency` was 0: a zero-latency memory class silently erases
+    /// the entire memory system from the model.
+    ZeroMemLatency,
+    /// `mem.port_bytes` was 0: port occupancy would divide by zero.
+    ZeroPortBytes,
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::ZeroIssueWidth => {
+                write!(f, "cost model rejected: issue_width must be at least 1")
+            }
+            CostError::ZeroLanes => {
+                write!(f, "cost model rejected: lanes must be at least 1")
+            }
+            CostError::ZeroClassLatency(c) => write!(
+                f,
+                "cost model rejected: class_latency[{c}] must be at least 1 \
+                 (zero-latency classes produce 0-cycle runs)"
+            ),
+            CostError::ZeroMemLatency => write!(
+                f,
+                "cost model rejected: mem.latency must be at least 1 \
+                 (a zero-latency memory class erases the memory system)"
+            ),
+            CostError::ZeroPortBytes => {
+                write!(f, "cost model rejected: mem.port_bytes must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// A validated cost model: a name plus a [`CostSpec`] that passed
+/// [`CostModel::new`]'s degeneracy checks. The estimator only accepts
+/// this type, so a 0-cycle configuration cannot reach the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    name: String,
+    spec: CostSpec,
+}
+
+impl CostModel {
+    /// The preset names [`CostModel::preset`] accepts.
+    pub const PRESETS: [&'static str; 3] = ["unit", "ara-like", "vitruvius-like"];
+
+    /// Validate `spec` into a usable model, rejecting degenerate
+    /// configurations with a descriptive [`CostError`].
+    pub fn new(name: impl Into<String>, spec: CostSpec) -> Result<CostModel, CostError> {
+        if spec.issue_width == 0 {
+            return Err(CostError::ZeroIssueWidth);
+        }
+        if spec.lanes == 0 {
+            return Err(CostError::ZeroLanes);
+        }
+        for (i, &lat) in spec.class_latency.iter().enumerate() {
+            if lat == 0 {
+                return Err(CostError::ZeroClassLatency(InstrClass::ALL[i]));
+            }
+        }
+        if spec.mem.latency == 0 {
+            return Err(CostError::ZeroMemLatency);
+        }
+        if spec.mem.port_bytes == 0 {
+            return Err(CostError::ZeroPortBytes);
+        }
+        Ok(CostModel {
+            name: name.into(),
+            spec,
+        })
+    }
+
+    /// Look up a named preset (see [`CostModel::PRESETS`]).
+    pub fn preset(name: &str) -> Option<CostModel> {
+        match name {
+            "unit" => Some(CostModel::unit()),
+            "ara-like" => Some(CostModel::ara_like()),
+            "vitruvius-like" => Some(CostModel::vitruvius_like()),
+            _ => None,
+        }
+    }
+
+    /// The identity preset: every instruction costs exactly one cycle, so
+    /// the cycle total equals the dynamic instruction count. This anchors
+    /// the new metric to the old one — any divergence under another
+    /// preset is attributable to that preset's latency structure, not to
+    /// the estimator plumbing.
+    pub fn unit() -> CostModel {
+        CostModel::new(
+            "unit",
+            CostSpec {
+                issue_width: 1,
+                lanes: u32::MAX,
+                chaining: true,
+                class_latency: [1; InstrClass::ALL.len()],
+                class_elem_cost: [0; InstrClass::ALL.len()],
+                mem: MemCosts {
+                    latency: 1,
+                    port_bytes: u64::MAX,
+                    stride_elem_cycles: 0,
+                    index_elem_cycles: 0,
+                },
+                spill_penalty: 0,
+            },
+        )
+        .expect("unit preset is valid")
+    }
+
+    /// Derived from "A New Ara for Vector Computing" (PAPERS.md): a
+    /// 4-lane (4×64-bit) vector unit coupled to a single-issue in-order
+    /// CVA6-class scalar core, with chaining between vector units and an
+    /// AXI memory path a few cycles deep. Latencies are order-of-magnitude
+    /// approximations of that microarchitecture, not published figures:
+    /// short ALU pipelines, slow gathers (the paper motivates its
+    /// permutation rework with vrgather's element-serial cost), and a
+    /// spill penalty at L2-latency scale since spilled register groups
+    /// thrash past the L1.
+    pub fn ara_like() -> CostModel {
+        let mut class_latency = [1; InstrClass::ALL.len()];
+        class_latency[InstrClass::VectorCfg.index()] = 1;
+        class_latency[InstrClass::VectorAlu.index()] = 4;
+        class_latency[InstrClass::VectorMem.index()] = 3;
+        class_latency[InstrClass::VectorMask.index()] = 4;
+        class_latency[InstrClass::VectorPerm.index()] = 6;
+        class_latency[InstrClass::VectorRed.index()] = 8;
+        let mut class_elem_cost = [0; InstrClass::ALL.len()];
+        class_elem_cost[InstrClass::VectorAlu.index()] = 1;
+        class_elem_cost[InstrClass::VectorMask.index()] = 1;
+        class_elem_cost[InstrClass::VectorPerm.index()] = 2;
+        class_elem_cost[InstrClass::VectorRed.index()] = 1;
+        CostModel::new(
+            "ara-like",
+            CostSpec {
+                issue_width: 1,
+                lanes: 4,
+                chaining: true,
+                class_latency,
+                class_elem_cost,
+                mem: MemCosts {
+                    latency: 12,
+                    port_bytes: 32,
+                    stride_elem_cycles: 2,
+                    index_elem_cycles: 4,
+                },
+                spill_penalty: 24,
+            },
+        )
+        .expect("ara-like preset is valid")
+    }
+
+    /// Derived from the Vitruvius+ simulator paper (PAPERS.md): a
+    /// long-vector decoupled accelerator — eight lanes, a dual-issue
+    /// front end, deeper pipelines, and a much deeper memory system whose
+    /// latency the long vectors are designed to tolerate. As with
+    /// `ara-like`, the structure (lanes, chaining, decoupled deep
+    /// memory) follows the paper; the numbers are approximations.
+    pub fn vitruvius_like() -> CostModel {
+        let mut class_latency = [1; InstrClass::ALL.len()];
+        class_latency[InstrClass::VectorCfg.index()] = 1;
+        class_latency[InstrClass::VectorAlu.index()] = 6;
+        class_latency[InstrClass::VectorMem.index()] = 4;
+        class_latency[InstrClass::VectorMask.index()] = 6;
+        class_latency[InstrClass::VectorPerm.index()] = 8;
+        class_latency[InstrClass::VectorRed.index()] = 10;
+        let mut class_elem_cost = [0; InstrClass::ALL.len()];
+        class_elem_cost[InstrClass::VectorAlu.index()] = 1;
+        class_elem_cost[InstrClass::VectorMask.index()] = 1;
+        class_elem_cost[InstrClass::VectorPerm.index()] = 2;
+        class_elem_cost[InstrClass::VectorRed.index()] = 1;
+        CostModel::new(
+            "vitruvius-like",
+            CostSpec {
+                issue_width: 2,
+                lanes: 8,
+                chaining: true,
+                class_latency,
+                class_elem_cost,
+                mem: MemCosts {
+                    latency: 30,
+                    port_bytes: 64,
+                    stride_elem_cycles: 4,
+                    index_elem_cycles: 8,
+                },
+                spill_penalty: 40,
+            },
+        )
+        .expect("vitruvius-like preset is valid")
+    }
+
+    /// The model's name (preset name, or whatever [`CostModel::new`] was
+    /// given).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated parameters.
+    pub fn spec(&self) -> &CostSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_spec() -> CostSpec {
+        *CostModel::ara_like().spec()
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in CostModel::PRESETS {
+            let m = CostModel::preset(name).expect(name);
+            assert_eq!(m.name(), name);
+        }
+        assert!(CostModel::preset("warp9").is_none());
+    }
+
+    #[test]
+    fn zero_issue_width_is_rejected() {
+        let mut s = valid_spec();
+        s.issue_width = 0;
+        let err = CostModel::new("bad", s).unwrap_err();
+        assert_eq!(err, CostError::ZeroIssueWidth);
+        assert!(err.to_string().contains("issue_width"), "{err}");
+    }
+
+    #[test]
+    fn zero_lanes_is_rejected() {
+        let mut s = valid_spec();
+        s.lanes = 0;
+        assert_eq!(CostModel::new("bad", s).unwrap_err(), CostError::ZeroLanes);
+    }
+
+    #[test]
+    fn zero_class_latency_is_rejected_naming_the_class() {
+        let mut s = valid_spec();
+        s.class_latency[InstrClass::VectorPerm.index()] = 0;
+        let err = CostModel::new("bad", s).unwrap_err();
+        assert_eq!(err, CostError::ZeroClassLatency(InstrClass::VectorPerm));
+        assert!(err.to_string().contains("vector-perm"), "{err}");
+    }
+
+    #[test]
+    fn zero_memory_latency_is_rejected() {
+        let mut s = valid_spec();
+        s.mem.latency = 0;
+        let err = CostModel::new("bad", s).unwrap_err();
+        assert_eq!(err, CostError::ZeroMemLatency);
+        assert!(err.to_string().contains("memory"), "{err}");
+    }
+
+    #[test]
+    fn zero_port_bytes_is_rejected() {
+        let mut s = valid_spec();
+        s.mem.port_bytes = 0;
+        assert_eq!(
+            CostModel::new("bad", s).unwrap_err(),
+            CostError::ZeroPortBytes
+        );
+    }
+
+    #[test]
+    fn zero_elem_costs_are_legal() {
+        // 0 per-element cost means "infinitely wide unit", not a
+        // degenerate model: beats clamp to one.
+        let mut s = valid_spec();
+        s.class_elem_cost = [0; InstrClass::ALL.len()];
+        s.mem.stride_elem_cycles = 0;
+        s.mem.index_elem_cycles = 0;
+        s.spill_penalty = 0;
+        assert!(CostModel::new("wide", s).is_ok());
+    }
+}

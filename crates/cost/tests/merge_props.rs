@@ -1,0 +1,54 @@
+//! Property tests for [`CycleCounters::merge`]: the algebra the batch
+//! engine's determinism contract rests on. Merging per-job cycles must be
+//! associative and commutative with the zero counters as identity —
+//! otherwise the merged sweep total would depend on worker scheduling.
+
+use proptest::prelude::*;
+use rvv_cost::CycleCounters;
+use rvv_isa::InstrClass;
+
+fn counters() -> impl Strategy<Value = CycleCounters> {
+    (
+        0u64..1 << 40,
+        proptest::collection::vec(0u64..1 << 40, InstrClass::ALL.len()),
+    )
+        .prop_map(|(total, classes)| CycleCounters::from_parts(total, &classes))
+}
+
+fn merged(a: &CycleCounters, b: &CycleCounters) -> CycleCounters {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in counters(), b in counters()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in counters(), b in counters(), c in counters()) {
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn zero_is_the_identity(a in counters()) {
+        let zero = CycleCounters::new();
+        prop_assert_eq!(merged(&a, &zero), a.clone());
+        prop_assert_eq!(merged(&zero, &a), a);
+    }
+
+    #[test]
+    fn json_roundtrips_structurally(a in counters(), b in counters()) {
+        // The serialized form of a merge is determined by the operands
+        // alone (no hidden state), and stays structurally sound.
+        let j = merged(&a, &b).to_json();
+        prop_assert_eq!(j.matches('{').count(), j.matches('}').count());
+        prop_assert!(j.starts_with(&format!("{{\"cycles\":{}", a.total() + b.total())));
+        prop_assert!(!j.contains(",}"));
+    }
+}

@@ -59,6 +59,28 @@ pub struct RetireEvent<'a> {
     pub seq: u64,
 }
 
+impl RetireEvent<'_> {
+    /// SEW the instruction executed under (`None` while `vill`).
+    pub fn sew(&self) -> Option<rvv_isa::Sew> {
+        self.vtype.map(|t| t.sew)
+    }
+
+    /// LMUL the instruction executed under (`None` while `vill`).
+    ///
+    /// Together with [`RetireEvent::vl`] this is what makes a cost model
+    /// LMUL-aware: `vl` scales with LMUL, so element-proportional
+    /// occupancy charges grow with the register-group size.
+    pub fn lmul(&self) -> Option<rvv_isa::Lmul> {
+        self.vtype.map(|t| t.lmul)
+    }
+
+    /// Elements the instruction operated on (its `vl`, at least 1 — an
+    /// instruction retiring under `vl=0` still issues and occupies).
+    pub fn elems(&self) -> u64 {
+        u64::from(self.vl.max(1))
+    }
+}
+
 /// Observer of a traced run. All methods except [`TraceSink::retire`] have
 /// no-op defaults, so simple sinks implement one method.
 ///

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! trace-run [--workload scan|seg_scan|radix] [--lmul 1|2|4|8] [--vlen N]
-//!           [--n N] [--seg-len N] [--bits N] [--out DIR | --no-out]
+//!           [--n N] [--seg-len N] [--bits N] [--cost-preset NAME]
+//!           [--out DIR | --no-out]
 //! ```
 //!
 //! Outputs `<out>/trace_<workload>_m<lmul>.json` (open in
@@ -11,6 +12,11 @@
 //! also printed to stdout. The defaults reproduce the paper's headline
 //! configuration (VLEN=1024) on a small input, where the LMUL=8 segmented
 //! scan's spill traffic is plainly visible in the report.
+//!
+//! `--cost-preset unit|ara-like|vitruvius-like` additionally runs the
+//! `rvv-cost` timing model on the same retire stream: the report gains an
+//! estimated-cycles header, a per-phase cycles column, and the per-class
+//! busy-cycle breakdown.
 
 use rvv_asm::SpillProfile;
 use rvv_trace::TraceProfiler;
@@ -21,7 +27,8 @@ use scanvec_algos::radix_sort::split_radix_sort;
 fn usage() -> ! {
     eprintln!(
         "usage: trace-run [--workload scan|seg_scan|radix] [--lmul 1|2|4|8] \
-         [--vlen N] [--n N] [--seg-len N] [--bits N] [--out DIR | --no-out]"
+         [--vlen N] [--n N] [--seg-len N] [--bits N] [--cost-preset NAME] \
+         [--out DIR | --no-out]"
     );
     std::process::exit(2);
 }
@@ -33,6 +40,7 @@ struct Opts {
     n: usize,
     seg_len: usize,
     bits: u32,
+    cost: Option<rvv_cost::CostModel>,
     out: Option<String>,
 }
 
@@ -44,6 +52,7 @@ fn parse() -> Opts {
         n: 4096,
         seg_len: 64,
         bits: 8,
+        cost: None,
         out: Some("results".to_string()),
     };
     let mut args = std::env::args().skip(1);
@@ -64,6 +73,9 @@ fn parse() -> Opts {
             "--n" => o.n = val().parse().unwrap_or_else(|_| usage()),
             "--seg-len" => o.seg_len = val().parse().unwrap_or_else(|_| usage()),
             "--bits" => o.bits = val().parse().unwrap_or_else(|_| usage()),
+            "--cost-preset" => {
+                o.cost = Some(rvv_cost::CostModel::preset(&val()).unwrap_or_else(|| usage()))
+            }
             "--out" => o.out = Some(val()),
             "--no-out" => o.out = None,
             "--help" | "-h" => usage(),
@@ -81,7 +93,11 @@ fn main() {
         spill_profile: SpillProfile::llvm14(),
         mem_bytes: 192 << 20,
     });
-    env.attach_tracer(Box::new(TraceProfiler::new(env.stack_region())));
+    let profiler = match &o.cost {
+        Some(model) => TraceProfiler::with_cost(env.stack_region(), model.clone()),
+        None => TraceProfiler::new(env.stack_region()),
+    };
+    env.attach_tracer(Box::new(profiler));
 
     let data: Vec<u32> = (0..o.n as u32)
         .map(|i| i.wrapping_mul(2654435761) % 997)

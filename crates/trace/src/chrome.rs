@@ -55,10 +55,20 @@ impl TraceProfiler {
             ));
         }
         let s = self.spill();
+        // Cycle fields are appended only when a cost model was attached,
+        // keeping the no-cost document (and its golden) byte-identical.
+        let cost = match (self.cycles(), self.cost_model()) {
+            (Some(c), Some(m)) => format!(
+                ",\"costModel\":\"{}\",\"totalCycles\":{}",
+                escape(m.name()),
+                c.total()
+            ),
+            _ => String::new(),
+        };
         format!(
             "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{\
              \"totalRetired\":{},\"spillVectorOps\":{},\"spillVectorBytes\":{},\
-             \"spillScalarOps\":{},\"spillScalarBytes\":{}}}}}",
+             \"spillScalarOps\":{},\"spillScalarBytes\":{}{cost}}}}}",
             events.join(","),
             self.total_retired(),
             s.vector_ops(),
@@ -107,6 +117,33 @@ mod tests {
             "\"spillScalarOps\":0,\"spillScalarBytes\":0}}",
         );
         assert_eq!(p.chrome_trace_json(), want);
+    }
+
+    /// A costed profiler appends exactly two fields to `otherData`; the
+    /// `unit` preset pins `totalCycles` to the retired count.
+    #[test]
+    fn golden_chrome_trace_with_cost() {
+        let mut p = TraceProfiler::with_cost(0..0, rvv_cost::CostModel::unit());
+        let i = Instr::Ecall;
+        let ev = RetireEvent {
+            pc: 0,
+            instr: &i,
+            class: InstrClass::of(&i),
+            vl: 0,
+            vtype: None,
+            mem: None,
+            seq: 0,
+        };
+        p.retire(&ev);
+        p.retire(&ev);
+        let json = p.chrome_trace_json();
+        assert!(
+            json.ends_with(
+                "\"spillScalarOps\":0,\"spillScalarBytes\":0,\
+                 \"costModel\":\"unit\",\"totalCycles\":2}}"
+            ),
+            "{json}"
+        );
     }
 
     #[test]

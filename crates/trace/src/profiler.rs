@@ -1,5 +1,6 @@
 //! The aggregating profiler: phase attribution, hotspots, spill detection.
 
+use rvv_cost::{CostModel, CycleCounters, CycleEstimator};
 use rvv_isa::InstrClass;
 use rvv_sim::{Program, RetireEvent, TraceSink};
 use std::collections::HashMap;
@@ -68,6 +69,9 @@ pub struct PhaseStats {
     pub by_class: [u64; InstrClass::ALL.len()],
     /// Stack-region traffic attributed to this phase.
     pub spill: SpillStats,
+    /// Estimated busy cycles attributed to this phase — 0 unless the
+    /// profiler was built with [`TraceProfiler::with_cost`].
+    pub cycles: u64,
 }
 
 impl PhaseStats {
@@ -78,6 +82,7 @@ impl PhaseStats {
             retired: 0,
             by_class: [0; InstrClass::ALL.len()],
             spill: SpillStats::default(),
+            cycles: 0,
         }
     }
 
@@ -93,6 +98,7 @@ impl PhaseStats {
             *a += *b;
         }
         self.spill.add(&other.spill);
+        self.cycles += other.cycles;
     }
 }
 
@@ -158,6 +164,7 @@ pub struct TraceProfiler {
     current_program: Option<usize>,
     pc_counts: HashMap<(usize, u64), u64>,
     events: Vec<PhaseEvent>,
+    cost: Option<CycleEstimator>,
 }
 
 impl TraceProfiler {
@@ -177,7 +184,19 @@ impl TraceProfiler {
             current_program: None,
             pc_counts: HashMap::new(),
             events: Vec::new(),
+            cost: None,
         }
+    }
+
+    /// A profiler that additionally runs a [`CycleEstimator`] over the
+    /// retire stream: per-phase busy cycles land in
+    /// [`PhaseStats::cycles`], totals in [`TraceProfiler::cycles`], and
+    /// the exporters gain cycle columns. Profilers built with
+    /// [`TraceProfiler::new`] pay nothing for any of it.
+    pub fn with_cost(stack_region: Range<u64>, model: CostModel) -> TraceProfiler {
+        let mut p = TraceProfiler::new(stack_region.clone());
+        p.cost = Some(CycleEstimator::new(model, stack_region));
+        p
     }
 
     /// Recover a concrete profiler from a detached sink (`None` if the box
@@ -200,6 +219,17 @@ impl TraceProfiler {
     /// Aggregate spill statistics for the whole run.
     pub fn spill(&self) -> &SpillStats {
         &self.total.spill
+    }
+
+    /// Accumulated cycle estimate — `None` unless this profiler was
+    /// built with [`TraceProfiler::with_cost`].
+    pub fn cycles(&self) -> Option<CycleCounters> {
+        self.cost.as_ref().map(CycleEstimator::counters)
+    }
+
+    /// The cost model driving the cycle estimate, if any.
+    pub fn cost_model(&self) -> Option<&CostModel> {
+        self.cost.as_ref().map(CycleEstimator::model)
     }
 
     /// The stack region this profiler classifies against.
@@ -317,6 +347,15 @@ impl TraceProfiler {
         }));
         self.clock += other.clock;
         self.current_program = None;
+        // Cycle estimates compose sequentially, like the timeline: the
+        // merged estimate reads as self's run followed by other's. A
+        // costless profiler adopts the other's estimator so batch merges
+        // don't silently drop cycles when only some jobs were costed.
+        match (&mut self.cost, &other.cost) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (None, Some(theirs)) => self.cost = Some(theirs.clone()),
+            _ => {}
+        }
     }
 }
 
@@ -347,9 +386,11 @@ impl TraceSink for TraceProfiler {
                 s
             })
         });
+        let charge = self.cost.as_mut().map_or(0, |c| c.observe(event));
         let bump = |stats: &mut PhaseStats| {
             stats.retired += 1;
             stats.by_class[event.class.index()] += 1;
+            stats.cycles += charge;
             if let Some(s) = &spill {
                 stats.spill.add(s);
             }
@@ -567,6 +608,47 @@ mod tests {
             "timeline not monotonic"
         );
         assert_eq!(a.events().len(), 3 + 3 + 3);
+    }
+
+    #[test]
+    fn cost_attaches_per_phase_cycle_attribution() {
+        let mut p = TraceProfiler::with_cost(0..0, rvv_cost::CostModel::unit());
+        let i = Instr::Ecall;
+        p.phase_begin("scan");
+        p.retire(&retire_event(&i, None));
+        p.retire(&retire_event(&i, None));
+        p.phase_end("scan");
+        p.retire(&retire_event(&i, None));
+        // Unit preset: one cycle per instruction, phase charges included.
+        assert_eq!(p.cycles().unwrap().total(), 3);
+        assert_eq!(p.phase("scan").unwrap().cycles, 2);
+        assert_eq!(p.totals().cycles, 3);
+        assert_eq!(p.cost_model().unwrap().name(), "unit");
+        // Costless profilers report no cycles at all.
+        let plain = TraceProfiler::new(0..0);
+        assert!(plain.cycles().is_none());
+    }
+
+    #[test]
+    fn merge_folds_cycles_sequentially() {
+        let mk = |n: usize| {
+            let mut p = TraceProfiler::with_cost(0..0, rvv_cost::CostModel::unit());
+            p.phase_begin("w");
+            for _ in 0..n {
+                p.retire(&retire_event(&Instr::Ecall, None));
+            }
+            p.phase_end("w");
+            p
+        };
+        let mut a = mk(2);
+        a.merge(&mk(5));
+        assert_eq!(a.cycles().unwrap().total(), 7);
+        assert_eq!(a.phase("w").unwrap().cycles, 7);
+        // A costless accumulator adopts the costed profile's estimate
+        // (batch merges start from a fresh profiler).
+        let mut base = TraceProfiler::new(0..0);
+        base.merge(&a);
+        assert_eq!(base.cycles().unwrap().total(), 7);
     }
 
     #[test]

@@ -18,29 +18,54 @@ impl TraceProfiler {
                 100.0 * n as f64 / total as f64
             }
         };
+        let cycles = self.cycles();
         writeln!(out, "rvv-trace profile").unwrap();
         writeln!(out, "=================").unwrap();
         writeln!(out, "total retired: {total}").unwrap();
+        if let (Some(c), Some(m)) = (&cycles, self.cost_model()) {
+            writeln!(
+                out,
+                "est. cycles:   {} (cost model: {})",
+                c.total(),
+                m.name()
+            )
+            .unwrap();
+        }
         let r = self.stack_region();
         writeln!(out, "stack region:  {:#x}..{:#x}", r.start, r.end).unwrap();
 
         writeln!(out, "\nphases (attributed to innermost):").unwrap();
         writeln!(
             out,
-            "  {:<16} {:>8} {:>12} {:>7} {:>10} {:>12}",
-            "phase", "enters", "retired", "%", "spill ops", "spill bytes"
+            "  {:<16} {:>8} {:>12} {:>7} {:>10} {:>12}{}",
+            "phase",
+            "enters",
+            "retired",
+            "%",
+            "spill ops",
+            "spill bytes",
+            if cycles.is_some() {
+                format!(" {:>12}", "busy cyc")
+            } else {
+                String::new()
+            }
         )
         .unwrap();
         for p in self.phases() {
             writeln!(
                 out,
-                "  {:<16} {:>8} {:>12} {:>6.1}% {:>10} {:>12}",
+                "  {:<16} {:>8} {:>12} {:>6.1}% {:>10} {:>12}{}",
                 p.name,
                 p.enters,
                 p.retired,
                 pct(p.retired),
                 p.spill.total_ops(),
-                p.spill.total_bytes()
+                p.spill.total_bytes(),
+                if cycles.is_some() {
+                    format!(" {:>12}", p.cycles)
+                } else {
+                    String::new()
+                }
             )
             .unwrap();
         }
@@ -77,6 +102,15 @@ impl TraceProfiler {
             let n = t.class(c);
             if n > 0 {
                 writeln!(out, "  {:<12} {:>12} {:>6.1}%", c.label(), n, pct(n)).unwrap();
+            }
+        }
+
+        if let Some(cy) = &cycles {
+            writeln!(out, "\nbusy cycles by class (units overlap):").unwrap();
+            for (c, n) in cy.iter() {
+                if n > 0 {
+                    writeln!(out, "  {:<12} {:>12}", c.label(), n).unwrap();
+                }
             }
         }
 
