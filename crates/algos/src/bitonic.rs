@@ -13,9 +13,9 @@
 //! which sort to the tail and are discarded.
 
 use rvv_isa::{Sew, VAluOp, VCmp};
-use scanvec::env::{ScanEnv, SvVector};
 use scanvec::primitives::{cmp_flags, copy, elem_vv, elem_vx, gather, iota, select};
 use scanvec::ScanResult;
+use scanvec::{ScanEnv, SvVector};
 
 /// In-place bitonic sort (ascending) of a `u32` device vector.
 /// Returns the dynamic instruction count.
@@ -84,12 +84,7 @@ mod tests {
     use rand::prelude::*;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(scanvec::EnvConfig {
-            vlen: 256,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 32 << 20,
-        })
+        crate::testutil::test_session(256)
     }
 
     fn check(data: Vec<u32>) {

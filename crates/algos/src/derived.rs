@@ -6,8 +6,8 @@
 //! quicksort and the sparse matrix-vector product.
 
 use rvv_isa::VAluOp;
-use scanvec::env::{ScanEnv, SvVector};
 use scanvec::primitives::{copy, elem_vv, reverse, seg_scan};
+use scanvec::{ScanEnv, SvVector};
 use scanvec::{ScanOp, ScanResult};
 
 /// Distribute each segment's **first** element to every element of the
@@ -167,12 +167,7 @@ mod tests {
     use scanvec::Segments;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(scanvec::EnvConfig {
-            vlen: 128,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 8 << 20,
-        })
+        crate::testutil::test_session(128)
     }
 
     #[test]

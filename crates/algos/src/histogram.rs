@@ -5,7 +5,7 @@
 
 use crate::radix_sort::split_radix_sort;
 use crate::rle::rle_encode;
-use scanvec::env::ScanEnv;
+use scanvec::ScanEnv;
 use scanvec::ScanResult;
 
 /// Count occurrences of each value in `data`, which must be bucket ids
@@ -41,12 +41,7 @@ mod tests {
     use rand::prelude::*;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(scanvec::EnvConfig {
-            vlen: 512,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 32 << 20,
-        })
+        crate::testutil::test_session(512)
     }
 
     #[test]

@@ -6,20 +6,20 @@
 //!
 //! * [`radix_sort`] — the paper's running example (§4.4): split radix
 //!   sort from `get_flags` + `split`. Table 1's subject.
-//! * [`qsort_baseline`] — a complete scalar quicksort in the EDSL,
+//! * [`mod@qsort_baseline`] — a complete scalar quicksort in the EDSL,
 //!   standing in for the paper's stdlib `qsort()` (Table 1's baseline).
-//! * [`seg_quicksort`] — Blelloch's flat segmented quicksort, the
+//! * [`mod@seg_quicksort`] — Blelloch's flat segmented quicksort, the
 //!   algorithm §5 cites as the motivation for segmented scans.
 //! * [`derived`] — derived segmented operations (distribute-first,
 //!   segmented exclusive scan, per-segment totals) composed from
 //!   primitives.
-//! * [`spmv`] — sparse matrix-vector product via gather + segmented sum.
+//! * [`mod@spmv`] — sparse matrix-vector product via gather + segmented sum.
 //! * [`rle`] — run-length encode/decode as pure scan pipelines.
-//! * [`quickhull`] — convex hull with data-parallel farthest-point splits.
+//! * [`mod@quickhull`] — convex hull with data-parallel farthest-point splits.
 //! * [`bitonic`] — the oblivious O(n·lg²n) sorting network, for comparison.
-//! * [`histogram`] — counting by sort + run-length encode (no scatter-add
+//! * [`mod@histogram`] — counting by sort + run-length encode (no scatter-add
 //!   exists in the model).
-//! * [`line_of_sight`] — visibility along a ray via exclusive max-scan.
+//! * [`mod@line_of_sight`] — visibility along a ray via exclusive max-scan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,3 +44,28 @@ pub use radix_sort::{split_radix_sort, split_radix_sort_pairs};
 pub use rle::{rle_decode, rle_encode, Rle};
 pub use seg_quicksort::seg_quicksort;
 pub use spmv::{random_csr, spmv, CsrMatrix};
+
+/// Shared unit-test support: one session constructor instead of a
+/// hand-rolled [`scanvec::EnvConfig`] literal per algorithm module.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use scanvec::{Engine, EnvConfig, ScanEnv};
+
+    /// A session for unit tests: `vlen` bits, LMUL=1, LLVM-14 spill
+    /// profile, and a heap large enough for every algorithm's test data.
+    pub(crate) fn test_session(vlen: u32) -> ScanEnv {
+        test_session_lmul(vlen, rvv_isa::Lmul::M1)
+    }
+
+    /// [`test_session`] with an explicit LMUL, for the grouping tests.
+    pub(crate) fn test_session_lmul(vlen: u32, lmul: rvv_isa::Lmul) -> ScanEnv {
+        Engine::new()
+            .session(EnvConfig {
+                vlen,
+                lmul,
+                spill_profile: rvv_asm::SpillProfile::llvm14(),
+                mem_bytes: 64 << 20,
+            })
+            .expect("test config passes Engine::validate")
+    }
+}

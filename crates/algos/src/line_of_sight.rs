@@ -9,8 +9,8 @@
 //! order-preserving `i32 → u32` trick (`x ^ 0x8000_0000`).
 
 use rvv_isa::{VAluOp, VCmp};
-use scanvec::env::ScanEnv;
 use scanvec::primitives::{cmp_flags, copy, elem_vv, elem_vx, iota, scan, ScanKind};
+use scanvec::ScanEnv;
 use scanvec::{ScanOp, ScanResult};
 
 /// Fixed-point fraction bits for the angle ratio.
@@ -77,12 +77,7 @@ mod tests {
     use rand::prelude::*;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(scanvec::EnvConfig {
-            vlen: 256,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 16 << 20,
-        })
+        crate::testutil::test_session(256)
     }
 
     #[test]

@@ -22,8 +22,8 @@
 use rvv_asm::ProgramBuilder;
 use rvv_isa::{MemWidth, Sew, XReg};
 use rvv_sim::Program;
-use scanvec::env::{ScanEnv, SvVector};
 use scanvec::ScanResult;
+use scanvec::{ScanEnv, SvVector};
 
 fn mem_width(sew: Sew) -> MemWidth {
     match sew {

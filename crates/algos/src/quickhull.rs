@@ -14,8 +14,8 @@
 //! *is* exact signed arithmetic. `quickhull` validates this.
 
 use rvv_isa::{Sew, VAluOp, VCmp};
-use scanvec::env::{ScanEnv, SvVector};
 use scanvec::primitives::{cmp_flags, elem_vv, elem_vx, iota, pack, reduce};
+use scanvec::{ScanEnv, SvVector};
 use scanvec::{ScanOp, ScanResult};
 
 /// Order-preserving i64 → u64 bias.
@@ -215,12 +215,7 @@ mod tests {
     use rand::prelude::*;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(scanvec::EnvConfig {
-            vlen: 256,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 64 << 20,
-        })
+        crate::testutil::test_session(256)
     }
 
     fn normalize(mut h: Vec<Point>) -> Vec<Point> {

@@ -6,9 +6,9 @@
 //! primitives** — `get_flags`, `enumerate`, `p_add`, `select`, `permute` —
 //! with no knowledge of RVV, which is the paper's whole point.
 
-use scanvec::env::{ScanEnv, SvVector};
 use scanvec::primitives::{copy, get_flags, split, split_pairs};
 use scanvec::ScanResult;
+use scanvec::{ScanEnv, SvVector};
 
 /// In-place split radix sort over the low `bits` bits of each element.
 /// Returns the total dynamic instruction count of all launched kernels.
@@ -92,17 +92,10 @@ pub fn split_radix_sort_pairs(
 mod tests {
     use super::*;
     use rand::prelude::*;
-    use rvv_asm::SpillProfile;
     use rvv_isa::{Lmul, Sew};
-    use scanvec::env::EnvConfig;
 
     fn env(vlen: u32, lmul: Lmul) -> ScanEnv {
-        ScanEnv::new(EnvConfig {
-            vlen,
-            lmul,
-            spill_profile: SpillProfile::llvm14(),
-            mem_bytes: 32 << 20,
-        })
+        crate::testutil::test_session_lmul(vlen, lmul)
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! segment, so the plus-scan is a copy-scan).
 
 use rvv_isa::{VAluOp, VCmp};
-use scanvec::env::{ScanEnv, SvVector};
 use scanvec::primitives::{
     cmp_flags, copy, elem_vv, iota, p_add, pack, permute, scan, seg_scan, ScanKind,
 };
+use scanvec::{ScanEnv, SvVector};
 use scanvec::{ScanError, ScanOp, ScanResult};
 
 /// A run-length encoded vector.
@@ -170,12 +170,7 @@ mod tests {
     use rvv_isa::Sew;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(scanvec::EnvConfig {
-            vlen: 256,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 32 << 20,
-        })
+        crate::testutil::test_session(256)
     }
 
     #[test]

@@ -24,8 +24,8 @@
 
 use crate::derived::{seg_copy_first, seg_exclusive_plus, seg_total};
 use rvv_isa::{VAluOp, VCmp};
-use scanvec::env::{ScanEnv, SvVector};
 use scanvec::primitives::{cmp_flags, copy, elem_vv, iota, permute, reduce, select};
+use scanvec::{ScanEnv, SvVector};
 use scanvec::{ScanOp, ScanResult};
 
 /// One quicksort round over every live segment. Returns retired
@@ -141,15 +141,9 @@ pub fn seg_quicksort(env: &mut ScanEnv, v: &SvVector) -> ScanResult<u64> {
 mod tests {
     use super::*;
     use rand::prelude::*;
-    use scanvec::EnvConfig;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(EnvConfig {
-            vlen: 256,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 64 << 20,
-        })
+        crate::testutil::test_session(256)
     }
 
     fn check_sorts(data: Vec<u32>) {

@@ -10,9 +10,9 @@
 use crate::derived::seg_reduce;
 use rand::RngExt;
 use rvv_isa::VAluOp;
-use scanvec::env::ScanEnv;
 use scanvec::primitives::{elem_vv, gather};
 use scanvec::segment::Segments;
+use scanvec::ScanEnv;
 use scanvec::{ScanError, ScanOp, ScanResult};
 
 /// A sparse matrix in CSR form over `u32` values (mod-2³² arithmetic, like
@@ -146,12 +146,7 @@ mod tests {
     use rand::prelude::*;
 
     fn env() -> ScanEnv {
-        ScanEnv::new(scanvec::EnvConfig {
-            vlen: 256,
-            lmul: rvv_isa::Lmul::M1,
-            spill_profile: rvv_asm::SpillProfile::llvm14(),
-            mem_bytes: 32 << 20,
-        })
+        crate::testutil::test_session(256)
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use rand::prelude::*;
 use rvv_cost::{CostModel, CycleEstimator};
 use rvv_isa::Sew;
-use scanvec::env::{ExecEngine, ScanEnv};
+use scanvec::{ExecEngine, ScanEnv};
 use scanvec::{ScanError, ScanResult};
 use scanvec_algos as algos;
 
@@ -27,9 +27,13 @@ fn differential<T: PartialEq + std::fmt::Debug>(
     run: impl Fn(&mut ScanEnv) -> ScanResult<T>,
 ) -> ScanResult<T> {
     let mut plan_env = ScanEnv::paper_default();
-    assert_eq!(plan_env.engine(), ExecEngine::Plan, "Plan is the default");
+    assert_eq!(
+        plan_env.exec_engine(),
+        ExecEngine::Plan,
+        "Plan is the default"
+    );
     let mut legacy_env = ScanEnv::paper_default();
-    legacy_env.set_engine(ExecEngine::Legacy);
+    legacy_env.set_exec_engine(ExecEngine::Legacy);
     let attach = |env: &mut ScanEnv| {
         let est = CycleEstimator::new(CostModel::ara_like(), env.stack_region());
         env.attach_tracer(Box::new(est));

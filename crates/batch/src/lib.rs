@@ -16,20 +16,25 @@
 //!   all ties broken by job index. Scheduling jitter cannot move a job
 //!   between workers.
 //! * **Results are emitted in job order**, not completion order: each
-//!   report is placed into its job's slot, and merged [`Counters`] /
-//!   [`TraceProfiler`] aggregates fold in job order too.
-//! * **Workers share one [`PlanCache`]**, so a kernel configuration is
-//!   compiled exactly once per process no matter which worker touches it
-//!   first — and compiled code is immutable ([`rvv_sim::CompiledPlan`] is
-//!   `Send + Sync`), so sharing cannot perturb execution.
+//!   report is placed into its job's slot, and merged [`rvv_sim::Counters`]
+//!   / [`rvv_trace::TraceProfiler`] aggregates fold in job order too.
+//! * **Workers share one [`Engine`]**, so a kernel configuration is
+//!   compiled exactly once per process into its [`PlanCache`] no matter
+//!   which worker touches it first — and compiled code is immutable
+//!   ([`rvv_sim::CompiledPlan`] is `Send + Sync`), so sharing cannot
+//!   perturb execution. The engine also carries the policy defaults every
+//!   job inherits: its cost model (unless the job is [`BatchJob::costed`]
+//!   itself) and its fuel budget (unless the job sets a
+//!   [`BatchJob::watchdog`]).
 //! * **Wall-clock timing is quarantined.** [`JobReport`] carries timing for
 //!   the speedup tables, but the [`JobReport::stable_line`] /
 //!   [`BatchResult::stable_digest`] serialization — what the determinism
 //!   tests and the CI serial-vs-parallel comparison hash — excludes it.
 //!
-//! Worker environments are pooled per [`EnvConfig`] and recycled with
-//! [`ScanEnv::reset`] between jobs, so a 40-point sweep at 4 configurations
-//! allocates 4 machines, not 40.
+//! Each worker keeps a session pool: one [`Session`] per distinct
+//! [`EnvConfig`], created from the shared engine and recycled with
+//! [`Session::reset`] between jobs, so a 40-point sweep at 4
+//! configurations allocates 4 machines, not 40.
 //!
 //! ## How failure stays contained
 //!
@@ -89,4 +94,4 @@ pub use runner::BatchRunner;
 // Re-exported so bins depending on `rvv-batch` can name the shared pieces
 // without importing the crates behind them.
 pub use rvv_cost::{CostModel, CycleCounters};
-pub use scanvec::{EnvConfig, PlanCache, ScanEnv};
+pub use scanvec::{Engine, EngineBuilder, EnvConfig, PlanCache, ScanEnv, Session};

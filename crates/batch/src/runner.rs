@@ -2,10 +2,10 @@
 //! panic-isolated and retrying job execution.
 
 use crate::job::{BatchJob, BatchResult, JobOutcome, JobReport};
-use rvv_cost::{CycleCounters, CycleEstimator};
+use rvv_cost::{CostModel, CycleCounters, CycleEstimator};
 use rvv_sim::TraceSink;
 use rvv_trace::TraceProfiler;
-use scanvec::{EnvConfig, PlanCache, ScanEnv};
+use scanvec::{Engine, EnvConfig, PlanCache, ScanEnv, Session};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -13,32 +13,49 @@ use std::time::{Duration, Instant};
 
 /// Runs batches of [`BatchJob`]s across `threads` scoped worker threads
 /// (serially on the calling thread for `threads == 1`), all workers
-/// compiling into one shared [`PlanCache`].
+/// creating sessions from one shared [`Engine`].
 ///
 /// The runner is reusable: every [`BatchRunner::run`] call shards its own
-/// jobs, but the plan registry persists across calls, so a warm-up batch
-/// pays the compiles and later batches launch cached plans only.
+/// jobs, but the engine (and its plan registry) persists across calls, so
+/// a warm-up batch pays the compiles and later batches launch cached plans
+/// only. The engine's policy defaults apply to every job: a job without
+/// its own [`BatchJob::costed`] model inherits [`Engine::cost_model`], and
+/// one without its own [`BatchJob::watchdog`] inherits
+/// [`Engine::default_fuel_budget`].
 #[derive(Debug)]
 pub struct BatchRunner {
     threads: usize,
-    plans: Arc<PlanCache>,
+    engine: Arc<Engine>,
 }
 
 impl BatchRunner {
-    /// A runner with `threads` workers (clamped to at least 1) and a fresh
-    /// plan registry.
+    /// A runner with `threads` workers (clamped to at least 1) over a
+    /// private default [`Engine`] (fresh plan registry, no policy).
     pub fn new(threads: usize) -> BatchRunner {
-        BatchRunner::with_cache(threads, PlanCache::shared())
+        BatchRunner::with_engine(threads, Arc::new(Engine::new()))
     }
 
-    /// A runner whose workers compile into an existing registry — share one
-    /// across runners (or with serial [`ScanEnv::with_cache`] environments)
-    /// and a configuration is compiled once process-wide.
-    pub fn with_cache(threads: usize, plans: Arc<PlanCache>) -> BatchRunner {
+    /// A runner whose workers create their sessions from an existing
+    /// engine — share one `Arc<Engine>` across runners, serial sessions,
+    /// and harnesses, and a kernel configuration is compiled once
+    /// process-wide while every consumer inherits the same policy
+    /// defaults.
+    pub fn with_engine(threads: usize, engine: Arc<Engine>) -> BatchRunner {
         BatchRunner {
             threads: threads.max(1),
-            plans,
+            engine,
         }
+    }
+
+    /// A runner over a private engine that compiles into an existing
+    /// registry. Compatibility shim from before the engine/session split;
+    /// prefer [`BatchRunner::with_engine`], which shares policy as well as
+    /// plans.
+    pub fn with_cache(threads: usize, plans: Arc<PlanCache>) -> BatchRunner {
+        BatchRunner::with_engine(
+            threads,
+            Arc::new(Engine::builder().plan_cache(plans).build()),
+        )
     }
 
     /// Worker count.
@@ -46,9 +63,14 @@ impl BatchRunner {
         self.threads
     }
 
-    /// The shared plan registry.
+    /// The shared engine workers create their sessions from.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The shared plan registry (the engine's).
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
-        &self.plans
+        self.engine.plan_cache()
     }
 
     /// Run every job and emit reports **in job order**, with merged
@@ -59,7 +81,7 @@ impl BatchRunner {
     /// reflect the actual execution.
     pub fn run<T: Send + std::fmt::Debug>(&self, jobs: Vec<BatchJob<T>>) -> BatchResult<T> {
         let started = Instant::now();
-        let compiles_before = self.plans.compiles();
+        let compiles_before = self.plan_cache().compiles();
         let include: Vec<usize> = (0..jobs.len()).collect();
         let reports = self
             .run_subset(&jobs, &include, &|_, _| {})
@@ -69,7 +91,7 @@ impl BatchRunner {
         assemble(
             reports,
             self.threads,
-            self.plans.compiles() - compiles_before,
+            self.plan_cache().compiles() - compiles_before,
             started.elapsed(),
         )
     }
@@ -103,7 +125,7 @@ impl BatchRunner {
         );
         if self.threads == 1 {
             // Serial reference path: caller's thread, job order, one pool.
-            let mut pool = EnvPool::new(&self.plans);
+            let mut pool = SessionPool::new(&self.engine);
             return include
                 .into_iter()
                 .map(|i| {
@@ -127,9 +149,9 @@ impl BatchRunner {
                 .cloned()
                 .enumerate()
                 .map(|(worker, shard)| {
-                    let plans = Arc::clone(&self.plans);
+                    let engine = Arc::clone(&self.engine);
                     s.spawn(move || {
-                        let mut pool = EnvPool::new(&plans);
+                        let mut pool = SessionPool::new(&engine);
                         shard
                             .into_iter()
                             .map(|i| {
@@ -221,35 +243,38 @@ pub(crate) fn assemble<T>(
     }
 }
 
-/// Per-worker environment pool: one reusable [`ScanEnv`] per distinct
-/// configuration, reset between jobs, all compiling into the shared
-/// registry.
-struct EnvPool<'a> {
-    plans: &'a Arc<PlanCache>,
-    envs: HashMap<EnvConfig, ScanEnv>,
+/// Per-worker session pool: one reusable [`Session`] per distinct
+/// configuration, reset between jobs, all created from the shared
+/// [`Engine`].
+struct SessionPool<'a> {
+    engine: &'a Arc<Engine>,
+    sessions: HashMap<EnvConfig, Session>,
 }
 
-impl<'a> EnvPool<'a> {
-    fn new(plans: &'a Arc<PlanCache>) -> EnvPool<'a> {
-        EnvPool {
-            plans,
-            envs: HashMap::new(),
+impl<'a> SessionPool<'a> {
+    fn new(engine: &'a Arc<Engine>) -> SessionPool<'a> {
+        SessionPool {
+            engine,
+            sessions: HashMap::new(),
         }
     }
 
-    fn env_for(&mut self, cfg: EnvConfig) -> &mut ScanEnv {
-        let env = self
-            .envs
-            .entry(cfg)
-            .or_insert_with(|| ScanEnv::with_cache(cfg, Arc::clone(self.plans)));
-        // A poisoned environment (a previous job panicked inside it) is
+    fn session_for(&mut self, cfg: &EnvConfig) -> &mut Session {
+        // A poisoned session (a previous job panicked inside it) is
         // discarded, not reset — the unwind may have left host-side state
-        // inconsistent in ways reset cannot repair.
-        if env.is_poisoned() {
-            *env = ScanEnv::with_cache(cfg, Arc::clone(self.plans));
+        // inconsistent in ways reset cannot repair. Checking first keeps
+        // the hot hit path a single borrow-keyed lookup: the key is only
+        // materialized on a miss or a rebuild.
+        if self.sessions.get(cfg).is_none_or(|s| s.is_poisoned()) {
+            let fresh = self
+                .engine
+                .session(*cfg)
+                .expect("job config rejected by Engine::validate");
+            self.sessions.insert(*cfg, fresh);
         }
-        env.reset();
-        env
+        let session = self.sessions.get_mut(cfg).expect("present by construction");
+        session.reset();
+        session
     }
 }
 
@@ -275,11 +300,19 @@ fn attempt<T>(
     Option<TraceProfiler>,
     Option<CycleCounters>,
 ) {
+    // The job's own instrumentation wins; absent that, the engine's
+    // defaults apply — so one engine configured with a cost model or a
+    // fuel policy governs every job of every runner sharing it.
+    let cost: Option<CostModel> = job
+        .cost
+        .clone()
+        .or_else(|| env.engine().cost_model().cloned());
+    let watchdog = job.watchdog.or_else(|| env.engine().default_fuel_budget());
     // One tracer slot, three instrumented shapes: traced jobs get the
     // profiler (carrying the estimator too when also costed, for
     // per-phase cycle attribution); costed-only jobs get the bare
     // estimator sink, which skips all phase/hotspot bookkeeping.
-    match (job.trace, &job.cost) {
+    match (job.trace, &cost) {
         (true, Some(m)) => {
             env.attach_tracer(Box::new(TraceProfiler::with_cost(
                 env.stack_region(),
@@ -294,15 +327,13 @@ fn attempt<T>(
         }
         (false, None) => {}
     }
-    if let Some(fuel) = job.watchdog {
-        env.set_fuel_budget(Some(fuel));
-    }
+    env.set_fuel_budget(watchdog);
     let before = env.machine().counters.clone();
     // `&mut ScanEnv` is not unwind-safe by type, which is exactly the
     // point: on panic we poison it and never run a job in it again.
     let result = catch_unwind(AssertUnwindSafe(|| job.execute(env)));
     let outcome = match result {
-        Ok(r) => JobOutcome::classify(r, job.watchdog),
+        Ok(r) => JobOutcome::classify(r, watchdog),
         Err(payload) => {
             env.poison();
             JobOutcome::Panicked(panic_text(payload.as_ref()))
@@ -332,21 +363,24 @@ fn recover(sink: Box<dyn TraceSink>) -> (Option<TraceProfiler>, Option<CycleCoun
     }
 }
 
-fn run_one<T>(job: &BatchJob<T>, pool: &mut EnvPool<'_>, worker: usize) -> JobReport<T> {
+fn run_one<T>(job: &BatchJob<T>, pool: &mut SessionPool<'_>, worker: usize) -> JobReport<T> {
     let started = Instant::now();
     let max_attempts = 1 + job.retries;
     let mut attempts = 0;
     let mut poisoned = 0;
     let (outcome, counters, profile, cycles) = loop {
         attempts += 1;
-        // First try uses the pooled environment; retries get a fresh one
-        // (the pool discards poisoned envs, and `env_for` resets between
-        // uses, but a *retry* must not trust even a reset environment —
-        // the failed attempt is evidence something is off).
+        // First try uses the pooled session; retries get a fresh one
+        // (the pool discards poisoned sessions, and `session_for` resets
+        // between uses, but a *retry* must not trust even a reset session
+        // — the failed attempt is evidence something is off).
         let result = if attempts == 1 {
-            attempt(job, pool.env_for(job.config))
+            attempt(job, pool.session_for(&job.config))
         } else {
-            let mut env = ScanEnv::with_cache(job.config, Arc::clone(pool.plans));
+            let mut env = pool
+                .engine
+                .session(job.config)
+                .expect("job config rejected by Engine::validate");
             attempt(job, &mut env)
         };
         if matches!(result.0, JobOutcome::Panicked(_)) {

@@ -6,7 +6,7 @@
 //! compile each kernel configuration exactly once no matter how many
 //! workers race for it.
 
-use rvv_batch::{BatchJob, BatchRunner, EnvConfig, PlanCache, ScanEnv};
+use rvv_batch::{BatchJob, BatchRunner, Engine, EnvConfig, PlanCache, ScanEnv};
 use rvv_isa::Lmul;
 use scanvec::primitives::{p_add, plus_scan, seg_plus_scan};
 use std::sync::Arc;
@@ -188,6 +188,40 @@ fn shared_registry_compiles_each_config_once() {
     let again = runner.run(jobs());
     assert_eq!(again.plan_compiles, 0, "warm registry must not recompile");
     assert_eq!(again.stable_digest(), result.stable_digest());
+}
+
+/// The engine half of the sharing contract, without the batch runner in
+/// the loop: `Engine` is `Send + Sync` (checked at compile time), and N
+/// threads creating their own sessions from one engine still compile each
+/// kernel configuration exactly once.
+#[test]
+fn threads_sessioning_one_engine_compile_each_config_once() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Arc<Engine>>();
+
+    let engine = Arc::new(Engine::new());
+    let configs = [Lmul::M1, Lmul::M4].map(|lmul| EnvConfig {
+        lmul,
+        mem_bytes: 1 << 24,
+        ..EnvConfig::paper_default()
+    });
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                let cfg = configs[t % configs.len()];
+                let mut env = engine.session(cfg).expect("valid test config");
+                let data: Vec<u32> = (0..257).collect();
+                let v = env.from_u32(&data).expect("alloc");
+                plus_scan(&mut env, &v).expect("scan");
+            });
+        }
+    });
+    // 8 racing sessions, 2 configurations, 1 kernel: 2 compiles, and both
+    // live in the one registry every session shares.
+    assert_eq!(engine.plan_cache().compiles(), configs.len() as u64);
+    assert_eq!(engine.plan_cache().len(), configs.len());
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! table-1-style experiment takes on the host per input element.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use scanvec::env::ScanEnv;
+use scanvec::ScanEnv;
 use scanvec_algos::{qsort_baseline, seg_quicksort, split_radix_sort};
 use std::hint::black_box;
 

@@ -5,8 +5,8 @@
 //! comparison over time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use scanvec::env::{ExecEngine, ScanEnv};
 use scanvec::primitives::{plus_scan, seg_plus_scan};
+use scanvec::{ExecEngine, ScanEnv};
 use scanvec_bench::random_head_flags;
 use std::hint::black_box;
 
@@ -25,7 +25,7 @@ fn bench_engines(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("plus_scan", label), |b| {
             b.iter(|| {
                 let mut e = ScanEnv::paper_default();
-                e.set_engine(engine);
+                e.set_exec_engine(engine);
                 let v = e.from_u32(black_box(&data)).unwrap();
                 black_box(plus_scan(&mut e, &v).unwrap())
             })
@@ -33,7 +33,7 @@ fn bench_engines(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("seg_plus_scan", label), |b| {
             b.iter(|| {
                 let mut e = ScanEnv::paper_default();
-                e.set_engine(engine);
+                e.set_exec_engine(engine);
                 let v = e.from_u32(black_box(&data)).unwrap();
                 let f = e.from_u32(black_box(&flags)).unwrap();
                 black_box(seg_plus_scan(&mut e, &v, &f).unwrap())

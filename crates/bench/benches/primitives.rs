@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rvv_isa::Sew;
-use scanvec::env::ScanEnv;
 use scanvec::primitives as p;
+use scanvec::ScanEnv;
 use std::hint::black_box;
 
 fn bench_primitives(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 //! which bounds how large an N the experiment harness can sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use scanvec::env::{EnvConfig, ScanEnv};
 use scanvec::primitives::{baseline, plus_scan, seg_plus_scan};
+use scanvec::{EnvConfig, ScanEnv};
 use std::hint::black_box;
 
 fn bench_sim(c: &mut Criterion) {

@@ -17,12 +17,13 @@
 //!
 //! Writes `results/cost_lmul_ablation.json` / `.txt`.
 
-use rvv_batch::{BatchJob, BatchRunner, CostModel};
+use rvv_batch::{BatchJob, BatchRunner, CostModel, Engine};
 use rvv_isa::Lmul;
-use scanvec::env::EnvConfig;
 use scanvec::primitives::{plus_scan, seg_plus_scan};
+use scanvec::EnvConfig;
 use scanvec::ScanEnv;
 use scanvec_bench::{experiments, print_table, random_head_flags, random_u32s, threads_arg};
+use std::sync::Arc;
 
 /// One `(algorithm, n)` grid line: per-LMUL counts and cycles.
 struct Line {
@@ -70,9 +71,11 @@ fn main() {
     let sizes = scanvec_bench::sweep_sizes();
     let cost = scanvec_bench::cost_preset_arg().unwrap_or_else(CostModel::ara_like);
 
-    // The grid: (algorithm, n, LMUL), every point costed. The closures
+    // The grid: (algorithm, n, LMUL), every point costed — the cost model
+    // rides on the shared engine, so no job carries its own. The closures
     // return (retired, checksum) so cross-LMUL result equality is asserted
     // below — the metrics may disagree, the answers may not.
+    let engine = Arc::new(Engine::builder().cost_model(cost.clone()).build());
     let mut jobs: Vec<BatchJob<(u64, u64)>> = Vec::new();
     for &n in &sizes {
         for lmul in Lmul::ALL {
@@ -87,7 +90,6 @@ fn main() {
                         Ok((retired, experiments::checksum(&env.to_u32(&v))))
                     },
                 )
-                .costed(cost.clone())
                 .weight(n as u64),
             );
         }
@@ -105,13 +107,12 @@ fn main() {
                         Ok((retired, experiments::checksum(&env.to_u32(&v))))
                     },
                 )
-                .costed(cost.clone())
                 .weight(n as u64),
             );
         }
     }
 
-    let result = BatchRunner::new(threads_arg()).run(jobs);
+    let result = BatchRunner::with_engine(threads_arg(), engine).run(jobs);
     assert!(result.all_ok(), "cost ablation job failed");
 
     // Fold the job-ordered reports back into grid lines.

@@ -16,11 +16,12 @@
 //! `--inject-seed <S>` picks the fault seed (default below); any seed must
 //! satisfy the same contract — zero panics, identical digests.
 
-use rvv_batch::{BatchJob, BatchRunner, JobOutcome};
+use rvv_batch::{BatchJob, BatchRunner, Engine, JobOutcome};
 use rvv_fault::chaos::{chaos_config, run_algo, ChaosAlgo, CHAOS_FUEL};
 use rvv_fault::{ArmedFaults, FaultPlan};
 use scanvec::{ScanEnv, HEAP_BASE};
 use scanvec_bench::{inject_seed_arg, threads_arg};
+use std::sync::Arc;
 
 /// Default fault seed: the chaos suite's, so CI exercises a fixed grid.
 const DEFAULT_SEED: u64 = 0x5eed_fa17_2026_0807;
@@ -44,7 +45,6 @@ fn scenario_jobs(seed: u64) -> Vec<BatchJob<String>> {
                     chaos_config(),
                     move |env: &mut ScanEnv| run_algo(env, algo, data_seed, n),
                 )
-                .watchdog(CHAOS_FUEL)
                 // One retry: the plan re-arms each attempt (setup runs per
                 // attempt), so a faulted job fails identically twice —
                 // exercising the retry path without changing the outcome.
@@ -68,7 +68,10 @@ fn main() {
     println!("fault ablation: seed={seed:#x}, {total} scenarios, 8 algorithms");
 
     // The same grid at every worker count; digests must agree byte for
-    // byte — that's the determinism-under-injection claim.
+    // byte — that's the determinism-under-injection claim. Every run
+    // shares one engine, whose default fuel budget is the chaos
+    // watchdog: each scenario inherits it instead of carrying its own.
+    let engine = Arc::new(Engine::builder().default_fuel_budget(CHAOS_FUEL).build());
     let mut counts: Vec<usize> = vec![1, 2];
     if max_threads > 2 {
         counts.push(max_threads);
@@ -76,7 +79,7 @@ fn main() {
     let runs: Vec<_> = counts
         .iter()
         .map(|&t| {
-            let r = BatchRunner::new(t).run(scenario_jobs(seed));
+            let r = BatchRunner::with_engine(t, Arc::clone(&engine)).run(scenario_jobs(seed));
             println!(
                 "  threads={t}: {} scenarios, {} retired, {:.2}s",
                 r.reports.len(),

@@ -7,14 +7,22 @@
 //! jobs; `--threads <N>` fans them out with identical output.
 
 use rvv_isa::Lmul;
-use scanvec::env::EnvConfig;
 use scanvec::primitives::plus_scan;
+use scanvec::EnvConfig;
 use scanvec::ScanEnv;
 use scanvec_bench::{cost_preset_arg, experiments, print_table, threads_arg};
+use std::sync::Arc;
 
 fn main() {
     let n = scanvec_bench::max_n_arg().min(1_000_000);
     let cost = cost_preset_arg().unwrap_or_else(rvv_batch::CostModel::ara_like);
+    // Every job inherits the cost model from the shared engine; the
+    // measurement jobs stay count-driven in the printed table either way.
+    let engine = Arc::new(
+        rvv_batch::Engine::builder()
+            .cost_model(cost.clone())
+            .build(),
+    );
     const PROFILE_N: usize = 4096;
 
     let mut jobs = Vec::new();
@@ -29,8 +37,9 @@ fn main() {
         );
     }
     // The no-spill counterpart to `ablation_spill`'s profiles (the
-    // detector should find zero stack traffic at every LMUL). Traced *and*
-    // costed: the written profile carries per-phase cycle attribution.
+    // detector should find zero stack traffic at every LMUL). Traced, and
+    // costed via the engine: the written profile carries per-phase cycle
+    // attribution.
     for lmul in [Lmul::M1, Lmul::M8] {
         jobs.push(
             rvv_batch::BatchJob::new(
@@ -44,12 +53,11 @@ fn main() {
                 },
             )
             .traced(true)
-            .costed(cost.clone())
             .weight(PROFILE_N as u64),
         );
     }
 
-    let result = rvv_batch::BatchRunner::new(threads_arg()).run(jobs);
+    let result = rvv_batch::BatchRunner::with_engine(threads_arg(), engine).run(jobs);
     assert!(result.all_ok(), "ablation job failed");
 
     let rows: Vec<Vec<String>> = result.reports[..4]

@@ -9,8 +9,8 @@
 
 use rvv_asm::SpillProfile;
 use rvv_isa::Lmul;
-use scanvec::env::EnvConfig;
 use scanvec::primitives::seg_plus_scan;
+use scanvec::EnvConfig;
 use scanvec::ScanEnv;
 use scanvec_bench::{cost_preset_arg, experiments, print_table, sweep_sizes, threads_arg};
 
@@ -30,6 +30,8 @@ fn profile_cfg(profile: SpillProfile, lmul: Lmul) -> EnvConfig {
         ..EnvConfig::paper_default()
     }
 }
+
+use std::sync::Arc;
 
 fn main() {
     let sizes = sweep_sizes();
@@ -80,7 +82,9 @@ fn main() {
         );
     }
 
-    let result = rvv_batch::BatchRunner::new(threads_arg()).run(jobs);
+    let result =
+        rvv_batch::BatchRunner::with_engine(threads_arg(), Arc::new(rvv_batch::Engine::new()))
+            .run(jobs);
     assert!(result.all_ok(), "ablation job failed");
 
     // Decode: profiles × sizes × LMULs, in job order, checking the

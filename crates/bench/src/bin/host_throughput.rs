@@ -10,9 +10,9 @@
 //! paid once, by whichever job runs first.
 
 use rvv_batch::{BatchJob, BatchRunner};
-use scanvec::env::{EnvConfig, ExecEngine, ScanEnv};
 use scanvec::primitives::{plus_scan, seg_plus_scan};
 use scanvec::ScanResult;
+use scanvec::{Engine, EnvConfig, ExecEngine, ScanEnv};
 use scanvec_algos::split_radix_sort;
 use scanvec_bench::{print_table, random_head_flags, threads_arg};
 use std::sync::Arc;
@@ -95,7 +95,7 @@ fn main() {
     let engines = [("legacy", ExecEngine::Legacy), ("plan", ExecEngine::Plan)];
     let mut jobs: Vec<BatchJob<()>> = Vec::new();
     for (wname, work) in &workloads {
-        for (ename, engine) in engines {
+        for (ename, exec) in engines {
             for rep in 0..reps {
                 let work = Arc::clone(work);
                 jobs.push(
@@ -103,7 +103,7 @@ fn main() {
                         format!("{wname}/{ename}/rep{rep}"),
                         EnvConfig::paper_default(),
                         move |env: &mut ScanEnv| {
-                            env.set_engine(engine);
+                            env.set_exec_engine(exec);
                             work(env)
                         },
                     )
@@ -116,7 +116,7 @@ fn main() {
                     format!("{wname}/{ename}/cycles"),
                     EnvConfig::paper_default(),
                     move |env: &mut ScanEnv| {
-                        env.set_engine(engine);
+                        env.set_exec_engine(exec);
                         work(env)
                     },
                 )
@@ -125,7 +125,10 @@ fn main() {
             );
         }
     }
-    let result = BatchRunner::new(threads_arg()).run(jobs);
+    // A deliberately plain engine: the cost model stays per-job (`costed`
+    // reps only) so timing reps never carry a trace sink.
+    let engine = Arc::new(Engine::new());
+    let result = BatchRunner::with_engine(threads_arg(), engine).run(jobs);
     assert!(result.all_ok(), "throughput job failed");
 
     // Best-of-reps per (workload, engine), in job order; each engine's

@@ -39,7 +39,7 @@
 //!   [`rvv_fault::CrashPoint::derive`]. Both exist for the recovery tests.
 
 use rvv_batch::journal::{run_journaled, JournalOptions};
-use rvv_batch::{BatchJob, BatchResult, BatchRunner};
+use rvv_batch::{BatchJob, BatchResult, BatchRunner, Engine};
 use rvv_fault::{ArmedFaults, CrashPoint, FaultPlan};
 use scanvec::HEAP_BASE;
 use scanvec_bench::sweep::{decode_sweep, sweep_jobs, Measurement, SweepShape};
@@ -48,21 +48,24 @@ use scanvec_bench::{
     print_table, threads_arg,
 };
 use std::path::Path;
+use std::sync::Arc;
 
 /// Instruction watchdog for injected runs: far above the largest legit
 /// sweep point (~2×10⁸ retired at n=10⁶), far below `DEFAULT_FUEL` — a
 /// fault that turns a loop infinite burns 10⁹ instructions, not 4×10⁹.
+/// Installed as the engine's default fuel budget, not per job.
 const INJECT_WATCHDOG: u64 = 1_000_000_000;
 
 /// Arm `FaultPlan::derive(seed, index)` on every job: guard regions on the
 /// device heap plus the [`ArmedFaults`] hook, installed by a per-attempt
-/// setup closure (the environment reset between jobs clears both).
+/// setup closure (the environment reset between jobs clears both). The
+/// matching instruction watchdog is the engine's default fuel budget.
 fn arm_injection(jobs: Vec<BatchJob<Measurement>>, seed: u64) -> Vec<BatchJob<Measurement>> {
     jobs.into_iter()
         .enumerate()
         .map(|(i, job)| {
             let plan = FaultPlan::derive(seed, i as u64);
-            job.watchdog(INJECT_WATCHDOG).with_setup(move |env| {
+            job.with_setup(move |env| {
                 for r in plan.guard_ranges(HEAP_BASE) {
                     env.machine_mut().mem.add_guard(r);
                 }
@@ -165,6 +168,7 @@ fn failure_manifest(summary: &rvv_batch::DegradedSummary, inject_seed: Option<u6
 /// and resumed sweep must reproduce the uninterrupted file byte for
 /// byte), exercised by the crash-recovery tests and the CI smoke job.
 fn journal_main(
+    engine: Arc<Engine>,
     threads: usize,
     keep_going: bool,
     inject_seed: Option<u64>,
@@ -193,7 +197,7 @@ fn journal_main(
         if resume { "resume" } else { "fresh" }
     );
     let result = run_journaled(
-        &BatchRunner::new(threads),
+        &BatchRunner::with_engine(threads, engine),
         jobs,
         path,
         &JournalOptions {
@@ -245,18 +249,28 @@ fn main() {
     let shape = SweepShape::from_args();
     let wall = std::time::Instant::now();
 
+    // One engine for the whole evaluation — serial reference, parallel
+    // sweep, and journal mode all share its plan registry and inherit its
+    // policy defaults. With a cost preset the whole sweep is costed:
+    // cycles fold into every stable line and the merged digest, so the
+    // serial-vs-parallel comparison below (and the crash/resume comparison
+    // in journal mode) gates the cycle metric's determinism too. With
+    // fault injection armed, every job inherits the watchdog budget.
+    let engine = {
+        let mut b = Engine::builder();
+        if let Some(model) = &cost {
+            b = b.cost_model(model.clone());
+        }
+        if inject_seed.is_some() {
+            b = b.default_fuel_budget(INJECT_WATCHDOG);
+        }
+        Arc::new(b.build())
+    };
+
     let build_jobs = || {
         let jobs = sweep_jobs(&shape);
-        let jobs = match inject_seed {
+        match inject_seed {
             Some(seed) => arm_injection(jobs, seed),
-            None => jobs,
-        };
-        // With a cost preset the whole sweep is costed: cycles fold into
-        // every stable line and the merged digest, so the serial-vs-
-        // parallel comparison below (and the crash/resume comparison in
-        // journal mode) gates the cycle metric's determinism too.
-        match &cost {
-            Some(model) => jobs.into_iter().map(|j| j.costed(model.clone())).collect(),
             None => jobs,
         }
     };
@@ -267,17 +281,26 @@ fn main() {
         println!("cost model armed: {}", model.name());
     }
     if flag_arg("--journal") {
-        journal_main(threads, keep_going, inject_seed, &shape, build_jobs());
+        journal_main(
+            engine,
+            threads,
+            keep_going,
+            inject_seed,
+            &shape,
+            build_jobs(),
+        );
         return;
     }
 
     // Serial reference run: job order on one thread.
-    let serial = BatchRunner::new(1).run(build_jobs());
+    let serial = BatchRunner::with_engine(1, Arc::clone(&engine)).run(build_jobs());
     let serial_secs = serial.wall.as_secs_f64();
 
-    // Parallel run of the *same* jobs, then the byte-for-byte comparison.
+    // Parallel run of the *same* jobs — same shared engine, so every plan
+    // compiled by the reference run is reused — then the byte-for-byte
+    // comparison.
     let (result, parallel_secs, identical) = if threads > 1 {
-        let parallel = BatchRunner::new(threads).run(build_jobs());
+        let parallel = BatchRunner::with_engine(threads, Arc::clone(&engine)).run(build_jobs());
         let identical = parallel.stable_digest() == serial.stable_digest();
         let secs = parallel.wall.as_secs_f64();
         (parallel, Some(secs), identical)

@@ -38,6 +38,10 @@ pub enum ScanError {
     /// (corrupt/truncated bytes, wrong version, or a configuration
     /// mismatch between the snapshot and the target environment).
     Snapshot(String),
+    /// An [`crate::EnvConfig`] failed validation (see
+    /// [`crate::Engine::validate`]): VLEN outside the architectural
+    /// range, or a device memory size too small for the reserved stack.
+    Config(String),
 }
 
 impl fmt::Display for ScanError {
@@ -60,6 +64,7 @@ impl fmt::Display for ScanError {
             ScanError::Sim(e) => write!(f, "simulator trap: {e}"),
             ScanError::BadSegmentDescriptor(m) => write!(f, "bad segment descriptor: {m}"),
             ScanError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            ScanError::Config(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }

@@ -10,9 +10,9 @@
 //! 9–10 — matching the paper's observed `6N + c` / `11N + c` asymptotics.
 
 use super::{T_CARRY, T_TMP, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
 use crate::ops::ScanOp;
+use crate::session::EnvConfig;
 use rvv_asm::ProgramBuilder;
 use rvv_isa::{AluOp, MemWidth, Sew, XReg};
 use rvv_sim::Program;
@@ -220,13 +220,13 @@ pub fn build_permute_baseline(_cfg: &EnvConfig, sew: Sew) -> ScanResult<Program>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::ScanEnv;
     use crate::native;
+    use crate::session::ScanEnv;
     use rvv_isa::InstrClass;
 
     #[test]
     fn baselines_are_purely_scalar() {
-        let cfg = crate::env::EnvConfig::paper_default();
+        let cfg = crate::session::EnvConfig::paper_default();
         for p in [
             build_elem_baseline(&cfg, Sew::E32, ScanOp::Plus).unwrap(),
             build_scan_baseline(&cfg, Sew::E32, ScanOp::Plus).unwrap(),

@@ -6,8 +6,8 @@
 //! (segmented quicksort, sparse matvec, line-of-sight).
 
 use super::{advance_and_loop, kb, vtype_of, T_CARRY, T_TMP, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
+use crate::session::EnvConfig;
 use rvv_isa::{Instr, Sew, VAluOp, VCmp, VReg, XReg};
 use rvv_sim::Program;
 
@@ -289,7 +289,7 @@ pub fn build_interleave_lane(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::{EnvConfig, ScanEnv};
+    use crate::session::{EnvConfig, ScanEnv};
     use rvv_asm::SpillProfile;
     use rvv_isa::Lmul;
 

@@ -4,8 +4,8 @@
 //! operate, store, advance.
 
 use super::{advance_and_loop, kb, vtype_of, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
+use crate::session::EnvConfig;
 use rvv_isa::{Sew, VAluOp, VCmp, VReg, XReg};
 use rvv_sim::Program;
 

@@ -4,8 +4,8 @@
 //! target (`build_enumerate_via_scan`).
 
 use super::{advance_and_loop, kb, vtype_of, T_CARRY, T_TMP, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
+use crate::session::EnvConfig;
 use rvv_isa::{Sew, VCmp, VReg, XReg};
 use rvv_sim::Program;
 
@@ -139,8 +139,8 @@ pub fn build_enumerate_via_scan(cfg: &EnvConfig, sew: Sew) -> ScanResult<Program
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::{EnvConfig, ScanEnv};
     use crate::native;
+    use crate::session::{EnvConfig, ScanEnv};
     use rvv_asm::SpillProfile;
     use rvv_isa::Lmul;
 

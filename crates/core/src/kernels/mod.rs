@@ -35,7 +35,7 @@ pub use scan::*;
 pub use segscan::*;
 pub use vls::*;
 
-use crate::env::EnvConfig;
+use crate::session::EnvConfig;
 use rvv_asm::{KernelBuilder, ProgramBuilder};
 use rvv_isa::{Sew, VType, XReg};
 

@@ -1,9 +1,9 @@
 //! Reduction kernel: `⊕` over a whole device vector via `vred<op>.vs`.
 
 use super::{advance_and_loop, kb, vtype_of, T_TMP, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
 use crate::ops::ScanOp;
+use crate::session::EnvConfig;
 use rvv_isa::{Sew, XReg};
 use rvv_sim::Program;
 
@@ -56,8 +56,8 @@ pub fn build_reduce(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Program
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::{EnvConfig, ScanEnv};
     use crate::native;
+    use crate::session::{EnvConfig, ScanEnv};
     use rvv_asm::SpillProfile;
     use rvv_isa::Lmul;
 

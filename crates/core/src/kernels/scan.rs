@@ -8,9 +8,9 @@
 //! variants cost the same per strip.
 
 use super::{advance_and_loop, kb, vtype_of, T_CARRY, T_OFF, T_TMP, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
 use crate::ops::ScanOp;
+use crate::session::EnvConfig;
 use rvv_isa::{Sew, XReg};
 use rvv_sim::Program;
 
@@ -137,8 +137,8 @@ pub fn build_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp, kind: ScanKind) -> Scan
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::{EnvConfig, ScanEnv};
     use crate::native;
+    use crate::session::{EnvConfig, ScanEnv};
     use rvv_asm::SpillProfile;
     use rvv_isa::Lmul;
 

@@ -21,9 +21,9 @@
 //! from the allocator rather than from a hand-tuned constant.
 
 use super::{advance_and_loop, kb, vtype_of, T_CARRY, T_OFF, T_TMP, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
 use crate::ops::ScanOp;
+use crate::session::EnvConfig;
 use rvv_isa::{Instr, MaskOp, Sew, VCmp, VReg, XReg};
 use rvv_sim::Program;
 
@@ -155,8 +155,8 @@ pub fn build_seg_scan(cfg: &EnvConfig, sew: Sew, op: ScanOp) -> ScanResult<Progr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::{EnvConfig, ScanEnv};
     use crate::native;
+    use crate::session::{EnvConfig, ScanEnv};
     use rvv_asm::SpillProfile;
     use rvv_isa::Lmul;
 

@@ -13,8 +13,8 @@
 //! short vectors.
 
 use super::{kb, vtype_of, T_OFF, T_TMP, T_VL};
-use crate::env::EnvConfig;
 use crate::error::ScanResult;
+use crate::session::EnvConfig;
 use rvv_isa::{MemWidth, Sew, VAluOp, XReg};
 use rvv_sim::Program;
 
@@ -91,8 +91,8 @@ pub fn build_elem_vx_vls(cfg: &EnvConfig, sew: Sew, op: VAluOp) -> ScanResult<Pr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::{EnvConfig, ScanEnv};
     use crate::primitives;
+    use crate::session::{EnvConfig, ScanEnv};
 
     fn env() -> ScanEnv {
         ScanEnv::new(EnvConfig {

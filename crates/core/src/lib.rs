@@ -9,11 +9,16 @@
 //!
 //! ## Layers
 //!
-//! * [`env`] — [`env::ScanEnv`] owns the simulated machine, stages device
-//!   vectors, caches kernels per `(VLEN, SEW, LMUL, spill profile)`.
-//! * [`plan_cache`] — the thread-safe [`PlanCache`] registry behind that
-//!   caching: `Arc`-shared compiled plans, one compile per configuration
-//!   even across a worker pool (the `rvv-batch` sweep engine builds on it).
+//! * [`Engine`] — the immutable, `Arc`-shareable execution context: the
+//!   plan registry, default run-loop tier, optional cost model, and fault
+//!   policy defaults, shared by every session created from it.
+//! * [`Session`] (alias [`ScanEnv`]) — per-run state created with
+//!   [`Engine::session`]: the simulated machine, staged device vectors,
+//!   tracer/fault-hook/fuel attachments, and the poison flag.
+//! * [`plan_cache`] — the thread-safe [`PlanCache`] registry behind the
+//!   engine's kernel caching: `Arc`-shared compiled plans, one compile per
+//!   configuration even across a worker pool (the `rvv-batch` sweep engine
+//!   builds on it).
 //! * [`primitives`] — the public operations over device vectors, each
 //!   returning the dynamic instruction count of its launch, plus the
 //!   [`primitives::baseline`] scalar counterparts the paper compares with.
@@ -31,7 +36,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use scanvec::env::ScanEnv;
+//! use scanvec::ScanEnv;
 //! use scanvec::primitives::{plus_scan, baseline};
 //!
 //! let mut env = ScanEnv::paper_default(); // VLEN=1024, LMUL=1
@@ -49,7 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod env;
+mod engine;
 mod error;
 pub mod kernels;
 pub mod native;
@@ -58,14 +63,16 @@ pub mod paper;
 pub mod plan_cache;
 pub mod primitives;
 pub mod segment;
+mod session;
 pub mod snapshot;
 pub mod typed;
 
-pub use env::{EnvConfig, ExecEngine, ScanEnv, SvVector, HEAP_BASE};
+pub use engine::{Engine, EngineBuilder};
 pub use error::{ScanError, ScanResult};
 pub use ops::ScanOp;
 pub use plan_cache::PlanCache;
 pub use primitives::ScanKind;
 pub use segment::Segments;
+pub use session::{EnvConfig, ExecEngine, HeapMark, ScanEnv, Session, SvVector, HEAP_BASE};
 pub use snapshot::EnvSnapshot;
 pub use typed::{DeviceVec, SvElement};

@@ -18,11 +18,11 @@
 //! Listing 7. The [`baseline`] module mirrors the API with the sequential
 //! scalar implementations the paper compares against.
 
-use crate::env::{ScanEnv, SvVector};
 use crate::error::{ScanError, ScanResult};
 use crate::kernels;
 pub use crate::kernels::ScanKind;
 use crate::ops::ScanOp;
+use crate::session::{ScanEnv, SvVector};
 use rvv_isa::VAluOp;
 
 fn check_same(what: &'static str, a: &SvVector, b: &SvVector) -> ScanResult<()> {

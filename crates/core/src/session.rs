@@ -1,14 +1,19 @@
-//! The execution environment: a simulated RVV machine plus device-memory
-//! management and a kernel cache.
+//! The per-run execution environment: a simulated RVV machine plus
+//! device-memory management, created from a shared [`Engine`].
 //!
-//! [`ScanEnv`] plays the role the C runtime plays in the paper: it owns the
+//! [`Session`] plays the role the C runtime plays in the paper: it owns the
 //! simulated machine, stages input vectors into simulated memory, launches
 //! compiled kernels with a simple calling convention, and reads results
 //! back. Kernels are generated per `(name, SEW, LMUL)` under the
-//! environment's fixed `(VLEN, spill profile)` — exactly like compiling a C
+//! session's fixed `(VLEN, spill profile)` — exactly like compiling a C
 //! file per target configuration — and cached as pre-decoded
-//! [`CompiledPlan`]s, so repeated launches skip instruction classification
-//! entirely (see [`ExecEngine`]).
+//! [`CompiledPlan`]s in the engine's [`crate::PlanCache`], so repeated
+//! launches (from this session or any sibling of the same engine) skip
+//! instruction classification entirely (see [`ExecEngine`]).
+//!
+//! [`ScanEnv`] is the historical name for [`Session`] and remains a type
+//! alias: `ScanEnv::new(cfg)` builds a session over a private default
+//! engine, which is exactly the old behavior.
 //!
 //! ## Calling convention
 //!
@@ -19,6 +24,7 @@
 //!   spill frames push/pop below it.
 //! * Kernels end with `ecall`.
 
+use crate::engine::Engine;
 use crate::error::{ScanError, ScanResult};
 use crate::plan_cache::PlanCache;
 use crate::snapshot::EnvSnapshot;
@@ -32,7 +38,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 /// Stack reservation at the top of device memory.
-const STACK_BYTES: u64 = 1 << 20;
+pub(crate) const STACK_BYTES: u64 = 1 << 20;
 /// The device heap base: the first page is never allocated, so null-ish
 /// pointers trap. Public so fault plans and tests can compute guard
 /// offsets relative to the heap without re-declaring the constant.
@@ -135,7 +141,7 @@ impl SvVector {
 }
 
 /// A heap mark for stack-disciplined temporary allocation
-/// (see [`ScanEnv::heap_mark`] / [`ScanEnv::release_to`]).
+/// (see [`Session::heap_mark`] / [`Session::release_to`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeapMark(u64);
 
@@ -156,81 +162,144 @@ pub enum ExecEngine {
     Legacy,
 }
 
-/// The scan-vector-model execution environment.
-pub struct ScanEnv {
+/// The scan-vector-model execution session: per-run state over a shared
+/// [`Engine`].
+///
+/// A session owns what one run needs in isolation — the simulated machine,
+/// the device-heap cursor, any attached tracer or fault hook, the armed
+/// fuel budget, and the poison flag — while everything shareable (the plan
+/// registry, the default run-loop tier, cost-model and fault-policy
+/// defaults) lives on the engine it was created from
+/// ([`Engine::session`]).
+pub struct Session {
+    engine: Engine,
     machine: Machine,
     cfg: EnvConfig,
     heap: u64,
     heap_limit: u64,
-    plans: Arc<PlanCache>,
     tracer: Option<Box<dyn TraceSink>>,
-    engine: ExecEngine,
+    exec: ExecEngine,
     fault: Option<Box<dyn FaultHook + Send>>,
     /// `(budget, retired-at-arming)`: a deterministic watchdog. While armed,
     /// kernel launches get `min(DEFAULT_FUEL, budget - spent)` fuel, so a
     /// job cannot retire more than `budget` instructions across all its
-    /// launches (see [`ScanEnv::set_fuel_budget`]).
+    /// launches (see [`Session::set_fuel_budget`]).
     fuel_budget: Option<(u64, u64)>,
     poisoned: bool,
 }
 
-impl ScanEnv {
-    /// Build an environment with a private plan registry.
-    pub fn new(cfg: EnvConfig) -> ScanEnv {
-        ScanEnv::with_cache(cfg, PlanCache::shared())
+/// The historical name for [`Session`], kept so the whole pre-split API
+/// surface (`ScanEnv::new`, `ScanEnv::with_cache`, every consumer
+/// signature) continues to compile unchanged.
+pub type ScanEnv = Session;
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("cfg", &self.cfg)
+            .field("heap", &self.heap)
+            .field("exec", &self.exec)
+            .field("tracer", &self.tracer.is_some())
+            .field("fault", &self.fault.is_some())
+            .field("fuel_budget", &self.fuel_budget)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Build a session over a private default engine (fresh plan registry,
+    /// default run-loop tier, no cost model, no fuel budget). This is the
+    /// pre-split `ScanEnv::new` behavior, kept as a compatibility shim;
+    /// code that shares compiled plans or policy should build an
+    /// [`Engine`] and call [`Engine::session`] instead.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration ([`Engine::validate`]) — exactly where
+    /// the machine constructor asserted before the split. Fallible
+    /// construction goes through [`Engine::session`].
+    pub fn new(cfg: EnvConfig) -> Session {
+        Engine::new()
+            .session(cfg)
+            .expect("invalid EnvConfig (see Engine::validate)")
     }
 
-    /// Build an environment that compiles kernels into (and launches them
-    /// from) a shared [`PlanCache`]. Environments sharing a registry never
-    /// recompile a kernel another one already built for the same
-    /// `(name, VLEN, SEW, LMUL, spill profile)` — the batch engine gives
-    /// every pooled worker environment one process-wide registry.
-    pub fn with_cache(cfg: EnvConfig, plans: Arc<PlanCache>) -> ScanEnv {
+    /// Build a session whose private engine compiles kernels into (and
+    /// launches them from) an existing shared [`PlanCache`]. Sessions
+    /// sharing a registry never recompile a kernel another one already
+    /// built for the same `(name, VLEN, SEW, LMUL, spill profile)`.
+    /// Compatibility shim over `Engine::builder().plan_cache(..)`; panics
+    /// on an invalid configuration like [`Session::new`].
+    pub fn with_cache(cfg: EnvConfig, plans: Arc<PlanCache>) -> Session {
+        Engine::builder()
+            .plan_cache(plans)
+            .build()
+            .session(cfg)
+            .expect("invalid EnvConfig (see Engine::validate)")
+    }
+
+    /// Construct the per-run half after the engine validated `cfg`
+    /// ([`Engine::session`] is the public entry point).
+    pub(crate) fn from_engine(engine: Engine, cfg: EnvConfig) -> Session {
         let machine = Machine::new(MachineConfig {
             vlen: cfg.vlen,
             mem_bytes: cfg.mem_bytes,
         });
         let heap_limit = cfg.mem_bytes as u64 - STACK_BYTES;
-        ScanEnv {
+        let exec = engine.default_exec_engine();
+        let default_fuel = engine.default_fuel_budget();
+        let mut session = Session {
+            engine,
             machine,
             cfg,
             heap: HEAP_BASE,
             heap_limit,
-            plans,
             tracer: None,
-            engine: ExecEngine::default(),
+            exec,
             fault: None,
             fuel_budget: None,
             poisoned: false,
-        }
+        };
+        session.set_fuel_budget(default_fuel);
+        session
     }
 
-    /// Environment with the paper's headline configuration.
-    pub fn paper_default() -> ScanEnv {
-        ScanEnv::new(EnvConfig::paper_default())
+    /// Session with the paper's headline configuration (over a private
+    /// default engine).
+    pub fn paper_default() -> Session {
+        Session::new(EnvConfig::paper_default())
     }
 
-    /// The plan registry this environment compiles into.
+    /// The engine this session was created from: the shared context
+    /// holding the plan registry and policy defaults.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The plan registry this session compiles into (the engine's).
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
-        &self.plans
+        self.engine.plan_cache()
     }
 
-    /// Reset the environment for reuse: zero the CPU (scalar/vector
+    /// Reset the session for reuse: zero the CPU (scalar/vector
     /// registers, `vtype`, counters), release every heap allocation, disarm
-    /// all memory guards, detach any tracer and fault hook, disarm the fuel
-    /// budget, and restore the default [`ExecEngine`]. Cached plans are
-    /// **not** dropped — they live in the (possibly shared) registry — so a
-    /// pooled worker that resets between jobs relaunches kernels with zero
-    /// recompilation. Memory contents are not scrubbed; [`ScanEnv::alloc`]
-    /// zeroes every allocation it hands out, so a reset environment is
-    /// observationally identical to a fresh one — *including after a trap*:
-    /// a kernel aborted mid-flight leaves `vl`/`vtype`/registers dirty, and
-    /// `reset` restores all of it (the reset-after-trap regression test
-    /// pins this).
+    /// all memory guards, detach any tracer and fault hook, and restore
+    /// the engine's defaults (run-loop tier and fuel budget — for a
+    /// default engine that means [`ExecEngine::Plan`] and no budget, the
+    /// pre-split behavior). Cached plans are **not** dropped — they live
+    /// in the engine's (possibly shared) registry — so a pooled worker
+    /// that resets between jobs relaunches kernels with zero
+    /// recompilation. Memory contents are not scrubbed; [`Session::alloc`]
+    /// zeroes every allocation it hands out, so a reset session is
+    /// observationally identical to a fresh [`Engine::session`] — *including
+    /// after a trap*: a kernel aborted mid-flight leaves
+    /// `vl`/`vtype`/registers dirty, and `reset` restores all of it (the
+    /// reset-after-trap regression test pins this).
     ///
-    /// The poison flag ([`ScanEnv::poison`]) is deliberately **not**
+    /// The poison flag ([`Session::poison`]) is deliberately **not**
     /// cleared: a panic may have interrupted host-side bookkeeping at an
-    /// arbitrary point, so a poisoned environment must be discarded, not
+    /// arbitrary point, so a poisoned session must be discarded, not
     /// reset.
     pub fn reset(&mut self) {
         self.machine.reset_cpu();
@@ -238,76 +307,78 @@ impl ScanEnv {
         self.heap = HEAP_BASE;
         self.tracer = None;
         self.fault = None;
-        self.fuel_budget = None;
-        self.engine = ExecEngine::default();
+        self.exec = self.engine.default_exec_engine();
+        self.set_fuel_budget(self.engine.default_fuel_budget());
     }
 
     // ---------------------------------------------------------- snapshots --
 
-    /// Capture a complete, restorable checkpoint of this environment: the
+    /// Capture a complete, restorable checkpoint of this session: the
     /// full architectural machine state (registers, `vtype`/`vl`,
     /// counters, dirty memory pages, guards — see
     /// [`rvv_sim::MachineSnapshot`]) plus the host-side state the machine
-    /// cannot see (configuration, allocator position, engine selection,
-    /// poison flag, and the plan-cache key inventory).
+    /// cannot see (configuration, allocator position, run-loop tier
+    /// selection, poison flag, and the plan-cache key inventory).
     ///
     /// Snapshot cost is `O(state actually written)`, not `O(mem_bytes)`:
-    /// the machine tracks dirty pages, so an environment with a 192 MiB
+    /// the machine tracks dirty pages, so a session with a 192 MiB
     /// device memory that has touched three pages snapshots three pages.
     ///
     /// Tracers, fault hooks, and the fuel budget are **not** captured
     /// (they hold host-side resources that cannot survive a process
-    /// boundary); [`ScanEnv::restore`] leaves them detached.
+    /// boundary); [`Session::restore`] leaves the first two detached and
+    /// re-arms the engine's default budget.
     pub fn snapshot(&self) -> EnvSnapshot {
         EnvSnapshot {
             cfg: self.cfg,
             heap: self.heap,
-            engine: self.engine,
+            engine: self.exec,
             poisoned: self.poisoned,
-            plan_keys: self.plans.keys(),
+            plan_keys: self.engine.plan_cache().keys(),
             machine: self.machine.snapshot(),
         }
     }
 
-    /// Restore this environment to a [`ScanEnv::snapshot`]ed state.
+    /// Restore this session to a [`Session::snapshot`]ed state.
     ///
-    /// The snapshot's configuration must equal this environment's — a
+    /// The snapshot's configuration must equal this session's — a
     /// snapshot taken at one `(VLEN, LMUL, spill profile, mem_bytes)` is
     /// meaningless under another, so a mismatch is refused with
     /// [`ScanError::Snapshot`] before anything is modified. On success the
-    /// machine, heap position, engine selection, and poison flag are
-    /// exactly as captured; tracer, fault hook, and fuel budget are
-    /// detached (see [`ScanEnv::snapshot`]). Cached plans are untouched —
-    /// they are keyed by configuration and recompile on demand, so a
-    /// fresh process restoring a snapshot simply warms its cache as the
-    /// resumed run launches kernels.
+    /// machine, heap position, run-loop tier selection, and poison flag
+    /// are exactly as captured; tracer and fault hook are detached and
+    /// the fuel budget is re-armed to the engine's default — disarmed for
+    /// a default engine (see [`Session::snapshot`]). Cached plans are
+    /// untouched — they are keyed by configuration and recompile on
+    /// demand, so a fresh process restoring a snapshot simply warms its
+    /// cache as the resumed run launches kernels.
     pub fn restore(&mut self, snap: &EnvSnapshot) -> ScanResult<()> {
         if snap.cfg != self.cfg {
             return Err(ScanError::Snapshot(format!(
-                "config mismatch: snapshot {:?}, environment {:?}",
+                "config mismatch: snapshot {:?}, session {:?}",
                 snap.cfg, self.cfg
             )));
         }
         self.machine.restore(&snap.machine);
         self.heap = snap.heap;
-        self.engine = snap.engine;
+        self.exec = snap.engine;
         self.poisoned = snap.poisoned;
         self.tracer = None;
         self.fault = None;
-        self.fuel_budget = None;
+        self.set_fuel_budget(self.engine.default_fuel_budget());
         Ok(())
     }
 
-    /// Mark this environment as unusable. The batch runner poisons an
-    /// environment when a job body panics inside it — the unwind may have
+    /// Mark this session as unusable. The batch runner poisons a
+    /// session when a job body panics inside it — the unwind may have
     /// left host-side state (allocator bookkeeping, partially staged
-    /// buffers) inconsistent in ways [`ScanEnv::reset`] cannot see, so the
-    /// pool rebuilds a fresh environment instead of reusing this one.
+    /// buffers) inconsistent in ways [`Session::reset`] cannot see, so the
+    /// pool rebuilds a fresh session instead of reusing this one.
     pub fn poison(&mut self) {
         self.poisoned = true;
     }
 
-    /// Has this environment been [`ScanEnv::poison`]ed?
+    /// Has this session been [`Session::poison`]ed?
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
@@ -357,16 +428,18 @@ impl ScanEnv {
         self.cfg
     }
 
-    /// The run loop kernel launches use (see [`ExecEngine`]).
-    pub fn engine(&self) -> ExecEngine {
-        self.engine
+    /// The run loop kernel launches use (see [`ExecEngine`]). Not to be
+    /// confused with [`Session::engine`], the shared context this session
+    /// was created from.
+    pub fn exec_engine(&self) -> ExecEngine {
+        self.exec
     }
 
     /// Select the run loop for subsequent launches. Cached kernels stay
-    /// valid — a plan carries its source program, so either engine can run
-    /// it.
-    pub fn set_engine(&mut self, engine: ExecEngine) {
-        self.engine = engine;
+    /// valid — a plan carries its source program, so either run loop can
+    /// execute it. [`Session::reset`] reverts to the engine's default.
+    pub fn set_exec_engine(&mut self, exec: ExecEngine) {
+        self.exec = exec;
     }
 
     /// Borrow the machine (counters, memory inspection).
@@ -379,7 +452,7 @@ impl ScanEnv {
         &mut self.machine
     }
 
-    /// Total dynamic instructions retired in this environment so far.
+    /// Total dynamic instructions retired in this session so far.
     pub fn retired(&self) -> u64 {
         self.machine.counters.total()
     }
@@ -395,7 +468,7 @@ impl ScanEnv {
 
     /// Attach a [`TraceSink`]: every subsequent kernel launch runs through
     /// [`Machine::run_traced`] and every phase entered via
-    /// [`ScanEnv::phase`] is forwarded to the sink. Replaces (and returns)
+    /// [`Session::phase`] is forwarded to the sink. Replaces (and returns)
     /// any previously attached sink.
     pub fn attach_tracer(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
         self.tracer.replace(sink)
@@ -460,7 +533,7 @@ impl ScanEnv {
     /// under- or overruns the buffer traps with
     /// [`rvv_sim::SimError::GuardHit`] instead of corrupting a neighbour.
     /// Returns the vector and the two guard handles (disarm with
-    /// [`rvv_sim::Memory::remove_guard`] via [`ScanEnv::machine_mut`]).
+    /// [`rvv_sim::Memory::remove_guard`] via [`Session::machine_mut`]).
     pub fn alloc_guarded(&mut self, sew: Sew, len: usize) -> ScanResult<(SvVector, usize, usize)> {
         const GUARD: usize = 64;
         let lo = self.alloc(Sew::E8, GUARD)?;
@@ -599,10 +672,10 @@ impl ScanEnv {
 
     /// Fetch or build a kernel, pre-compiled to a [`CompiledPlan`]. `name`
     /// must uniquely identify the generated code together with the
-    /// environment's full architectural configuration — the registry key is
+    /// session's full architectural configuration — the registry key is
     /// `(name, VLEN, SEW, LMUL, spill profile)` ([`EnvConfig::kernel_config`]
     /// plus the profile), so kernels built under one configuration are never
-    /// served to an environment with another, even when many environments
+    /// served to a session with another, even when many sessions
     /// share one registry.
     pub fn kernel(
         &mut self,
@@ -610,7 +683,7 @@ impl ScanEnv {
         sew: Sew,
         build: impl FnOnce(&EnvConfig, Sew) -> ScanResult<Program>,
     ) -> ScanResult<Arc<CompiledPlan>> {
-        self.plans.get_or_compile(
+        self.engine.plan_cache().get_or_compile(
             name,
             self.cfg.kernel_config(sew),
             self.cfg.spill_profile,
@@ -647,7 +720,7 @@ impl ScanEnv {
             None => (DEFAULT_FUEL, None),
         };
         let report = match (
-            self.engine,
+            self.exec,
             self.fault.as_deref_mut(),
             self.tracer.as_deref_mut(),
         ) {
@@ -677,22 +750,22 @@ impl ScanEnv {
         Ok((report, self.machine.xreg(XReg::arg(0))))
     }
 
-    /// [`ScanEnv::run`], but transactional: on a trap the machine state
+    /// [`Session::run`], but transactional: on a trap the machine state
     /// and heap position are rolled back to what they were at entry, so
     /// the failed launch leaves no trace — no dirty `vl`/`vtype`, no
     /// half-written output buffer, no leaked temporaries. The error is
     /// still returned; only the *state damage* is undone.
     ///
     /// This is the checkpoint-grade alternative to
-    /// [`ScanEnv::reset`]-after-trap: reset wipes everything (all staged
+    /// [`Session::reset`]-after-trap: reset wipes everything (all staged
     /// vectors included), while `run_atomic` surgically reverts just the
     /// failed launch, so a caller holding live device vectors can handle
     /// the error and continue. Costs one machine snapshot (`O(dirty
     /// pages)`) per launch; hot loops that never expect traps should keep
-    /// using [`ScanEnv::run`].
+    /// using [`Session::run`].
     ///
     /// Retired-instruction counters are part of the rollback: a rolled
-    /// back launch retires nothing, keeping [`ScanEnv::retired`]
+    /// back launch retires nothing, keeping [`Session::retired`]
     /// deterministic across trap-and-retry schedules.
     pub fn run_atomic(
         &mut self,
@@ -711,9 +784,9 @@ impl ScanEnv {
         }
     }
 
-    /// [`ScanEnv::run`] for an ad-hoc [`Program`]: compiles a throwaway
+    /// [`Session::run`] for an ad-hoc [`Program`]: compiles a throwaway
     /// plan and launches it. Tests and one-shot glue use this; hot paths
-    /// should go through the [`ScanEnv::kernel`] cache.
+    /// should go through the [`Session::kernel`] cache.
     pub fn run_program(&mut self, program: &Program, args: &[u64]) -> ScanResult<(RunReport, u64)> {
         let plan = CompiledPlan::compile(program.clone());
         self.run(&plan, args)
@@ -841,9 +914,9 @@ mod tests {
         use crate::primitives::p_add;
         let mut plan_env = ScanEnv::paper_default();
         let mut legacy_env = ScanEnv::paper_default();
-        legacy_env.set_engine(ExecEngine::Legacy);
-        assert_eq!(plan_env.engine(), ExecEngine::Plan);
-        assert_eq!(legacy_env.engine(), ExecEngine::Legacy);
+        legacy_env.set_exec_engine(ExecEngine::Legacy);
+        assert_eq!(plan_env.exec_engine(), ExecEngine::Plan);
+        assert_eq!(legacy_env.exec_engine(), ExecEngine::Legacy);
         let data: Vec<u32> = (0..137).map(|i| i * 3 + 1).collect();
         let a = plan_env.from_u32(&data).unwrap();
         let b = legacy_env.from_u32(&data).unwrap();
@@ -852,7 +925,7 @@ mod tests {
         assert_eq!(plan_env.to_u32(&a), legacy_env.to_u32(&b));
         assert_eq!(plan_env.retired(), legacy_env.retired());
         // Switching engines reuses the cached plan (its source rides along).
-        legacy_env.set_engine(ExecEngine::Plan);
+        legacy_env.set_exec_engine(ExecEngine::Plan);
         p_add(&mut legacy_env, &b, 1).unwrap();
     }
 }

@@ -1,5 +1,5 @@
 //! Environment checkpoints: a serializable, digest-stamped capture of
-//! everything a [`crate::env::ScanEnv`] needs to be reconstructed
+//! everything a [`crate::Session`] needs to be reconstructed
 //! bit-for-bit in another process.
 //!
 //! An [`EnvSnapshot`] wraps the machine-level [`MachineSnapshot`] (vector
@@ -16,8 +16,8 @@
 //! What is deliberately *not* captured: tracers, fault hooks, and the fuel
 //! budget. All three are per-experiment attachments with host-side state
 //! (boxed closures, open sinks) that cannot meaningfully survive a process
-//! boundary; [`crate::env::ScanEnv::restore`] detaches them, exactly like
-//! [`crate::env::ScanEnv::reset`] does.
+//! boundary; [`crate::Session::restore`] detaches them, exactly like
+//! [`crate::Session::reset`] does.
 //!
 //! The wire format rides on `rvv-ckpt`'s framed codec: a
 //! `"rvv-env-snapshot"` frame (version-checked, FNV-1a digest over the
@@ -25,8 +25,8 @@
 //! corruption anywhere, in either layer, is detected before a single byte
 //! is applied.
 
-use crate::env::{EnvConfig, ExecEngine};
 use crate::error::{ScanError, ScanResult};
+use crate::session::{EnvConfig, ExecEngine};
 use rvv_asm::SpillProfile;
 use rvv_ckpt::{open, seal, ByteReader, ByteWriter, CodecError};
 use rvv_isa::Lmul;
@@ -37,15 +37,15 @@ const FRAME_KIND: &str = "rvv-env-snapshot";
 /// Bump on any incompatible change to the payload layout below.
 const FRAME_VERSION: u16 = 1;
 
-/// A complete, restorable capture of a [`crate::env::ScanEnv`].
+/// A complete, restorable capture of a [`crate::Session`].
 ///
-/// Produced by [`crate::env::ScanEnv::snapshot`], applied by
-/// [`crate::env::ScanEnv::restore`], and serialized with
+/// Produced by [`crate::Session::snapshot`], applied by
+/// [`crate::Session::restore`], and serialized with
 /// [`EnvSnapshot::to_bytes`] / [`EnvSnapshot::from_bytes`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnvSnapshot {
     /// The environment configuration the snapshot was taken under.
-    /// [`crate::env::ScanEnv::restore`] refuses a mismatching target.
+    /// [`crate::Session::restore`] refuses a mismatching target.
     pub cfg: EnvConfig,
     /// Bump-allocator position (next free device byte).
     pub heap: u64,

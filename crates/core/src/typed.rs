@@ -7,7 +7,7 @@
 //! with the data.
 //!
 //! ```
-//! use scanvec::env::ScanEnv;
+//! use scanvec::ScanEnv;
 //! use scanvec::typed::DeviceVec;
 //! use scanvec::{primitives, ScanKind, ScanOp};
 //!
@@ -17,8 +17,8 @@
 //! assert_eq!(v.download(&env), vec![1u16, 3, 6, 10]);
 //! ```
 
-use crate::env::{ScanEnv, SvVector};
 use crate::error::ScanResult;
+use crate::session::{ScanEnv, SvVector};
 use rvv_isa::Sew;
 use std::marker::PhantomData;
 

@@ -6,8 +6,8 @@
 
 use rvv_asm::SpillProfile;
 use rvv_isa::{Lmul, Sew};
-use scanvec::env::{EnvConfig, ScanEnv};
 use scanvec::primitives::{p_add, plus_scan};
+use scanvec::{EnvConfig, ScanEnv};
 use scanvec::{EnvSnapshot, ExecEngine, ScanError};
 
 fn small_cfg() -> EnvConfig {
@@ -26,14 +26,14 @@ fn observe(env: &ScanEnv, v: &scanvec::SvVector) -> (Vec<u32>, u64, u64, bool, E
         env.retired(),
         env.snapshot().heap,
         env.is_poisoned(),
-        env.engine(),
+        env.exec_engine(),
     )
 }
 
 #[test]
 fn snapshot_roundtrips_through_bytes_and_restores_into_a_fresh_env() {
     let mut env = ScanEnv::new(small_cfg());
-    env.set_engine(ExecEngine::Legacy);
+    env.set_exec_engine(ExecEngine::Legacy);
     let data: Vec<u32> = (0..200).map(|i| i * 7 + 3).collect();
     let v = env.from_u32(&data).unwrap();
     p_add(&mut env, &v, 11).unwrap();

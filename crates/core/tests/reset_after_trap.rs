@@ -38,11 +38,11 @@ fn golden(env: &mut ScanEnv) -> Golden {
 
 fn check_engine(engine: ExecEngine, trap: impl Fn(&mut ScanEnv) -> ScanError) {
     let mut env = ScanEnv::new(EnvConfig::paper_default());
-    env.set_engine(engine);
+    env.set_exec_engine(engine);
     let reference = golden(&mut env);
 
     env.reset();
-    env.set_engine(engine);
+    env.set_exec_engine(engine);
     let err = trap(&mut env);
     assert!(
         matches!(err, ScanError::Sim(_)),
@@ -50,7 +50,7 @@ fn check_engine(engine: ExecEngine, trap: impl Fn(&mut ScanEnv) -> ScanError) {
     );
 
     env.reset();
-    env.set_engine(engine);
+    env.set_exec_engine(engine);
     let recovered = golden(&mut env);
     assert_eq!(
         recovered, reference,

@@ -16,7 +16,7 @@
 
 use crate::{ArmedFaults, FaultPlan, XorShift64};
 use rvv_isa::Sew;
-use scanvec::{EnvConfig, ExecEngine, PlanCache, ScanEnv, ScanResult, HEAP_BASE};
+use scanvec::{Engine, EnvConfig, ExecEngine, ScanEnv, ScanResult, HEAP_BASE};
 use scanvec_algos as algos;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -217,14 +217,16 @@ impl ScenarioOutcome {
     }
 }
 
-/// Run one seeded fault scenario for `algo` on **both** engines and check
-/// the full robustness contract. `Ok` carries the engine-agreed outcome;
-/// `Err` carries a description of the contract violation (panic, engine
-/// divergence, or failed recovery) — the chaos test asserts no scenario
-/// returns `Err`.
+/// Run one seeded fault scenario for `algo` on **both** run-loop tiers
+/// and check the full robustness contract. Every session is created from
+/// the shared `engine` — one engine serves the whole chaos sweep, so the
+/// kernel cache is warmed once across hundreds of scenarios. `Ok` carries
+/// the tier-agreed outcome; `Err` carries a description of the contract
+/// violation (panic, engine divergence, or failed recovery) — the chaos
+/// test asserts no scenario returns `Err`.
 pub fn run_scenario(
     cfg: EnvConfig,
-    plans: &Arc<PlanCache>,
+    engine: &Arc<Engine>,
     algo: ChaosAlgo,
     seed: u64,
     index: u64,
@@ -237,18 +239,21 @@ pub fn run_scenario(
     let data_seed = mix_data_seed(seed, algo);
 
     let mut agreed: Option<(String, bool)> = None;
-    for engine in [ExecEngine::Plan, ExecEngine::Legacy] {
-        let mut env = ScanEnv::with_cache(cfg, Arc::clone(plans));
-        env.set_engine(engine);
+    for exec in [ExecEngine::Plan, ExecEngine::Legacy] {
+        let mut env = engine
+            .session(cfg)
+            .map_err(|e| format!("chaos config rejected: {e}"))?;
+        env.set_exec_engine(exec);
 
-        // Golden: unfaulted run in this very environment (also warms the
+        // Golden: unfaulted run in this very session (also warms the
         // kernel cache so the faulted attempt can't fail inside `kernel`).
         let golden = run_algo(&mut env, algo, data_seed, n)
-            .map_err(|e| format!("{} unfaulted run failed on {engine:?}: {e}", algo.name()))?;
-        // `reset()` reverts to the default engine — re-select, or the
-        // Legacy iteration would silently run (and compare) Plan vs Plan.
+            .map_err(|e| format!("{} unfaulted run failed on {exec:?}: {e}", algo.name()))?;
+        // `reset()` reverts to the engine's default tier — re-select, or
+        // the Legacy iteration would silently run (and compare) Plan vs
+        // Plan.
         env.reset();
-        env.set_engine(engine);
+        env.set_exec_engine(exec);
 
         // Arm the plan: guards on memory, everything else via the hook.
         for r in fault_plan.guard_ranges(HEAP_BASE) {
@@ -258,11 +263,11 @@ pub fn run_scenario(
         env.set_fuel_budget(Some(CHAOS_FUEL));
 
         // Contract 1: no panic escapes.
-        assert_eq!(env.engine(), engine, "faulted run must use {engine:?}");
+        assert_eq!(env.exec_engine(), exec, "faulted run must use {exec:?}");
         let outcome = catch_unwind(AssertUnwindSafe(|| run_algo(&mut env, algo, data_seed, n)))
             .map_err(|p| {
                 format!(
-                    "PANIC on {engine:?} {} scenario {index} plan=[{fault_plan}]: {}",
+                    "PANIC on {exec:?} {} scenario {index} plan=[{fault_plan}]: {}",
                     algo.name(),
                     panic_text(&p),
                 )
@@ -276,23 +281,23 @@ pub fn run_scenario(
         // Contract 3: reset() after the (possibly trapped) run restores a
         // state that reproduces the golden fingerprint bit-exactly.
         env.reset();
-        env.set_engine(engine);
-        assert_eq!(env.engine(), engine, "recovery run must use {engine:?}");
+        env.set_exec_engine(exec);
+        assert_eq!(env.exec_engine(), exec, "recovery run must use {exec:?}");
         let recovered = run_algo(&mut env, algo, data_seed, n).map_err(|e| {
             format!(
-                "post-reset run failed on {engine:?} {} scenario {index} plan=[{fault_plan}]: {e}",
+                "post-reset run failed on {exec:?} {} scenario {index} plan=[{fault_plan}]: {e}",
                 algo.name()
             )
         })?;
         if recovered != golden {
             return Err(format!(
-                "SILENT CORRUPTION on {engine:?} {} scenario {index} plan=[{fault_plan}]: \
+                "SILENT CORRUPTION on {exec:?} {} scenario {index} plan=[{fault_plan}]: \
                  recovered `{recovered}` != golden `{golden}`",
                 algo.name()
             ));
         }
 
-        // Contract 2: both engines agree on the faulted outcome.
+        // Contract 2: both run-loop tiers agree on the faulted outcome.
         match &agreed {
             None => agreed = Some((result, faulted)),
             Some((first, _)) if *first != result => {
@@ -306,7 +311,7 @@ pub fn run_scenario(
         }
     }
 
-    let (result, faulted) = agreed.expect("two engines ran");
+    let (result, faulted) = agreed.expect("two run-loop tiers ran");
     Ok(ScenarioOutcome {
         plan: fault_plan.to_string(),
         result,

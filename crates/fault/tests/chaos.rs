@@ -9,7 +9,8 @@
 //! exact same instructions.
 
 use rvv_fault::chaos::{chaos_config, run_scenario, ChaosAlgo};
-use scanvec::PlanCache;
+use scanvec::Engine;
+use std::sync::Arc;
 
 /// Fixed suite seed. Changing it is a (deliberate) change to which faults
 /// the suite exercises.
@@ -20,7 +21,7 @@ const PER_ALGO: u64 = 25;
 
 fn chaos(algo: ChaosAlgo, algo_index: u64) {
     let cfg = chaos_config();
-    let plans = PlanCache::shared();
+    let engine = Arc::new(Engine::new());
     let mut fired = 0;
     for i in 0..PER_ALGO {
         // Globally unique scenario index → unique fault plan per scenario.
@@ -28,7 +29,7 @@ fn chaos(algo: ChaosAlgo, algo_index: u64) {
         // Vary problem size with the scenario so fault ordinals land in
         // different phases of each algorithm.
         let n = 64 + (index as usize % 4) * 32;
-        let outcome = run_scenario(cfg, &plans, algo, CHAOS_SEED, index, n)
+        let outcome = run_scenario(cfg, &engine, algo, CHAOS_SEED, index, n)
             .unwrap_or_else(|violation| panic!("{violation}"));
         if outcome.faulted {
             fired += 1;
@@ -88,11 +89,11 @@ fn chaos_quickhull() {
 #[test]
 fn scenarios_are_reproducible() {
     let cfg = chaos_config();
-    let plans = PlanCache::shared();
+    let engine = Arc::new(Engine::new());
     for index in [0u64, 17, 99, 163] {
         let algo = ChaosAlgo::ALL[(index % 8) as usize];
-        let a = run_scenario(cfg, &plans, algo, CHAOS_SEED, index, 96).unwrap();
-        let b = run_scenario(cfg, &plans, algo, CHAOS_SEED, index, 96).unwrap();
+        let a = run_scenario(cfg, &engine, algo, CHAOS_SEED, index, 96).unwrap();
+        let b = run_scenario(cfg, &engine, algo, CHAOS_SEED, index, 96).unwrap();
         assert_eq!(a, b, "scenario {index} not reproducible");
     }
 }

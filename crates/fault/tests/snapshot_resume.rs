@@ -7,31 +7,31 @@
 //! line" is engine-independent).
 
 use rvv_fault::chaos::{chaos_config, run_algo, ChaosAlgo};
-use scanvec::{EnvSnapshot, ExecEngine, PlanCache, ScanEnv, ScanError};
+use scanvec::{Engine, EnvSnapshot, ExecEngine, ScanError};
 use std::sync::Arc;
 
 const N: usize = 64;
 const DATA_SEED: u64 = 0xfeed_beef;
 
 /// Instructions a full, unfaulted run of `algo` retires.
-fn golden_retired(plans: &Arc<PlanCache>, algo: ChaosAlgo) -> u64 {
-    let mut env = ScanEnv::with_cache(chaos_config(), Arc::clone(plans));
+fn golden_retired(engine: &Arc<Engine>, algo: ChaosAlgo) -> u64 {
+    let mut env = engine.session(chaos_config()).unwrap();
     run_algo(&mut env, algo, DATA_SEED, N).expect("unfaulted run succeeds");
     env.retired()
 }
 
 #[test]
 fn every_algorithm_snapshots_exactly_mid_program_on_both_engines() {
-    let plans = PlanCache::shared();
+    let shared = Arc::new(Engine::new());
     for algo in ChaosAlgo::ALL {
-        let total = golden_retired(&plans, algo);
+        let total = golden_retired(&shared, algo);
         let budget = (total / 2).max(1);
         let mut mid_states: Vec<rvv_sim::MachineSnapshot> = Vec::new();
 
         for engine in [ExecEngine::Plan, ExecEngine::Legacy] {
             // Pause the algorithm at the budget line.
-            let mut env = ScanEnv::with_cache(chaos_config(), Arc::clone(&plans));
-            env.set_engine(engine);
+            let mut env = shared.session(chaos_config()).unwrap();
+            env.set_exec_engine(engine);
             env.set_fuel_budget(Some(budget));
             let err = run_algo(&mut env, algo, DATA_SEED, N)
                 .expect_err("half the golden budget must interrupt the run");
@@ -54,7 +54,7 @@ fn every_algorithm_snapshots_exactly_mid_program_on_both_engines() {
             // fresh env has an empty plan cache, so compare everything a
             // restore is contracted to reproduce — the key inventory is
             // informational and rebuilt on demand.)
-            let mut fresh = ScanEnv::with_cache(chaos_config(), PlanCache::shared());
+            let mut fresh = Engine::new().session(chaos_config()).unwrap();
             fresh.restore(&decoded).unwrap();
             let restored = fresh.snapshot();
             assert_eq!(restored.machine, snap.machine, "{}/{engine:?}", algo.name());
@@ -68,11 +68,11 @@ fn every_algorithm_snapshots_exactly_mid_program_on_both_engines() {
             // A restored environment recovers like a reset one: wipe and
             // rerun, and the golden fingerprint comes back exactly.
             let golden = {
-                let mut g = ScanEnv::with_cache(chaos_config(), Arc::clone(&plans));
+                let mut g = shared.session(chaos_config()).unwrap();
                 run_algo(&mut g, algo, DATA_SEED, N).unwrap()
             };
             fresh.reset();
-            fresh.set_engine(engine);
+            fresh.set_exec_engine(engine);
             let rerun = run_algo(&mut fresh, algo, DATA_SEED, N)
                 .unwrap_or_else(|e| panic!("{}/{engine:?}: post-restore rerun: {e}", algo.name()));
             assert_eq!(rerun, golden, "{}/{engine:?}", algo.name());

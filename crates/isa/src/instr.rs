@@ -219,11 +219,11 @@ pub enum VAluOp {
     Or,
     /// `vxor` (vv, vx, vi).
     Xor,
-    /// `vsll` — logical left shift (vv, vx, vi[uimm]).
+    /// `vsll` — logical left shift (vv, vx, vi\[uimm\]).
     Sll,
-    /// `vsrl` — logical right shift (vv, vx, vi[uimm]).
+    /// `vsrl` — logical right shift (vv, vx, vi\[uimm\]).
     Srl,
-    /// `vsra` — arithmetic right shift (vv, vx, vi[uimm]).
+    /// `vsra` — arithmetic right shift (vv, vx, vi\[uimm\]).
     Sra,
     /// `vmul` — low SEW bits of product (vv, vx; OPM funct3).
     Mul,

@@ -20,8 +20,8 @@
 
 use rvv_asm::SpillProfile;
 use rvv_trace::TraceProfiler;
-use scanvec::env::{EnvConfig, ScanEnv};
 use scanvec::primitives::{plus_scan, seg_plus_scan};
+use scanvec::{Engine, EnvConfig};
 use scanvec_algos::radix_sort::split_radix_sort;
 
 fn usage() -> ! {
@@ -87,13 +87,26 @@ fn parse() -> Opts {
 
 fn main() {
     let o = parse();
-    let mut env = ScanEnv::new(EnvConfig {
-        vlen: o.vlen,
-        lmul: o.lmul,
-        spill_profile: SpillProfile::llvm14(),
-        mem_bytes: 192 << 20,
-    });
-    let profiler = match &o.cost {
+    // One engine up front: CLI-selected cost preset becomes the engine's
+    // default cost model, and `--vlen` typos are rejected by validation
+    // instead of tripping a simulator assert.
+    let mut builder = Engine::builder();
+    if let Some(model) = &o.cost {
+        builder = builder.cost_model(model.clone());
+    }
+    let engine = builder.build();
+    let mut env = engine
+        .session(EnvConfig {
+            vlen: o.vlen,
+            lmul: o.lmul,
+            spill_profile: SpillProfile::llvm14(),
+            mem_bytes: 192 << 20,
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("trace-run: {e}");
+            std::process::exit(2);
+        });
+    let profiler = match engine.cost_model() {
         Some(model) => TraceProfiler::with_cost(env.stack_region(), model.clone()),
         None => TraceProfiler::new(env.stack_region()),
     };

@@ -29,7 +29,7 @@
 //!
 //! ```
 //! use rvv_trace::TraceProfiler;
-//! use scanvec::env::ScanEnv;
+//! use scanvec::ScanEnv;
 //! use scanvec::primitives::plus_scan;
 //!
 //! let mut env = ScanEnv::paper_default();

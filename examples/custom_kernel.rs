@@ -8,7 +8,7 @@
 //! Run: `cargo run --release --example custom_kernel`
 
 use scan_vector_rvv::asm::{KernelBuilder, SpillProfile};
-use scan_vector_rvv::core::env::ScanEnv;
+use scan_vector_rvv::core::ScanEnv;
 use scan_vector_rvv::isa::{Sew, VAluOp, VType, XReg};
 use scan_vector_rvv::sim::Program;
 

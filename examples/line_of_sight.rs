@@ -3,7 +3,7 @@
 //! Run: `cargo run --release --example line_of_sight`
 
 use scan_vector_rvv::algos::{line_of_sight, line_of_sight_reference};
-use scan_vector_rvv::core::env::ScanEnv;
+use scan_vector_rvv::core::ScanEnv;
 
 fn main() {
     // A little mountain profile; observer stands at height 12.

@@ -12,8 +12,8 @@
 //!
 //! Run: `cargo run --release --example lmul_tuning`
 
-use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::primitives::{plus_scan, seg_plus_scan};
+use scan_vector_rvv::core::{EnvConfig, ScanEnv};
 use scan_vector_rvv::isa::Lmul;
 use scan_vector_rvv::trace::TraceProfiler;
 

@@ -7,10 +7,10 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use scan_vector_rvv::core::env::ScanEnv;
 use scan_vector_rvv::core::primitives::{
     baseline, enumerate, p_add, permute, plus_scan, seg_plus_scan,
 };
+use scan_vector_rvv::core::ScanEnv;
 use scan_vector_rvv::isa::Sew;
 
 fn main() {

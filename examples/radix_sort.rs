@@ -8,7 +8,7 @@
 
 use rand::prelude::*;
 use scan_vector_rvv::algos::{qsort_baseline, split_radix_sort};
-use scan_vector_rvv::core::env::ScanEnv;
+use scan_vector_rvv::core::ScanEnv;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2022);

@@ -6,7 +6,7 @@
 
 use rand::prelude::*;
 use scan_vector_rvv::algos::{random_csr, spmv};
-use scan_vector_rvv::core::env::ScanEnv;
+use scan_vector_rvv::core::ScanEnv;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);

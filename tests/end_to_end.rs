@@ -7,7 +7,7 @@ use scan_vector_rvv::algos::{
     line_of_sight, line_of_sight_reference, qsort_baseline, random_csr, seg_quicksort,
     split_radix_sort, spmv,
 };
-use scan_vector_rvv::core::env::ScanEnv;
+use scan_vector_rvv::core::ScanEnv;
 
 #[test]
 fn three_sorters_agree() {

@@ -132,8 +132,8 @@ fn fuel_exhaustion_reports_budget() {
 
 #[test]
 fn device_oom_is_typed() {
-    use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
     use scan_vector_rvv::core::ScanError;
+    use scan_vector_rvv::core::{EnvConfig, ScanEnv};
     let mut e = ScanEnv::new(EnvConfig {
         vlen: 128,
         lmul: Lmul::M1,
@@ -146,8 +146,8 @@ fn device_oom_is_typed() {
 
 #[test]
 fn shape_errors_are_typed() {
-    use scan_vector_rvv::core::env::ScanEnv;
     use scan_vector_rvv::core::primitives as p;
+    use scan_vector_rvv::core::ScanEnv;
     use scan_vector_rvv::core::{ScanError, ScanOp};
     let mut e = ScanEnv::paper_default();
     let a = e.from_u32(&[1, 2, 3]).unwrap();

@@ -5,8 +5,8 @@
 //! paper's headline configuration. A failure here means codegen changed —
 //! re-derive the formula and regenerate EXPERIMENTS.md, deliberately.
 
-use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::primitives::{self as p, baseline};
+use scan_vector_rvv::core::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::{ScanKind, ScanOp};
 use scan_vector_rvv::isa::Lmul;
 

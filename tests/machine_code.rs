@@ -3,8 +3,8 @@
 //! every primitive across every configuration.
 
 use scan_vector_rvv::asm::SpillProfile;
-use scan_vector_rvv::core::env::EnvConfig;
 use scan_vector_rvv::core::kernels;
+use scan_vector_rvv::core::EnvConfig;
 use scan_vector_rvv::core::{ScanKind, ScanOp};
 use scan_vector_rvv::isa::{decode, Lmul, Sew};
 use scan_vector_rvv::sim::Program;

@@ -6,9 +6,9 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use scan_vector_rvv::asm::SpillProfile;
-use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::native;
 use scan_vector_rvv::core::primitives as p;
+use scan_vector_rvv::core::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::{ScanKind, ScanOp};
 use scan_vector_rvv::isa::{Lmul, Sew};
 

@@ -2,8 +2,8 @@
 //! satisfy, checked on the *simulated* results (not just the oracle).
 
 use proptest::prelude::*;
-use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::primitives as p;
+use scan_vector_rvv::core::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::{ScanKind, ScanOp, Segments};
 use scan_vector_rvv::isa::{Lmul, Sew};
 

@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use scan_vector_rvv::asm::SpillProfile;
-use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::primitives as p;
+use scan_vector_rvv::core::{EnvConfig, ScanEnv};
 use scan_vector_rvv::isa::Lmul;
 use scan_vector_rvv::trace::TraceProfiler;
 

@@ -2,9 +2,9 @@
 //! agree with the oracle (which models per-width truncation exactly).
 
 use proptest::prelude::*;
-use scan_vector_rvv::core::env::{EnvConfig, ScanEnv};
 use scan_vector_rvv::core::typed::DeviceVec;
 use scan_vector_rvv::core::{native, primitives as p, ScanKind, ScanOp};
+use scan_vector_rvv::core::{EnvConfig, ScanEnv};
 use scan_vector_rvv::isa::{Lmul, Sew};
 
 fn env(vlen: u32) -> ScanEnv {
