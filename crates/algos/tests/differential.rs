@@ -1,9 +1,11 @@
 //! Engine differential tests: every algorithm in this crate, end-to-end,
-//! on `ExecEngine::Plan` vs `ExecEngine::Legacy`.
+//! on `ExecEngine::Plan` vs `ExecEngine::Legacy` vs `ExecEngine::Fused`.
 //!
-//! The two run loops are required to be architecturally indistinguishable —
-//! same outputs, same dynamic instruction counts, same traps. The plan
-//! engine is the default everywhere, so any divergence the unit tests miss
+//! The three run loops are required to be architecturally
+//! indistinguishable — same outputs, same dynamic instruction counts, same
+//! traps, and (with a cost model listening) same modeled cycles. The plan
+//! engine is the default everywhere and the fused tier is the fast path
+//! for exactly these kernel shapes, so any divergence the unit tests miss
 //! would silently corrupt the paper's tables; these tests pin the
 //! equivalence at the full-algorithm level where every kernel, every
 //! strip-mined loop shape, and every host-glue path gets exercised.
@@ -34,27 +36,42 @@ fn differential<T: PartialEq + std::fmt::Debug>(
     );
     let mut legacy_env = ScanEnv::paper_default();
     legacy_env.set_exec_engine(ExecEngine::Legacy);
+    let mut fused_env = ScanEnv::paper_default();
+    fused_env.set_exec_engine(ExecEngine::Fused);
     let attach = |env: &mut ScanEnv| {
         let est = CycleEstimator::new(CostModel::ara_like(), env.stack_region());
         env.attach_tracer(Box::new(est));
     };
     attach(&mut plan_env);
     attach(&mut legacy_env);
+    attach(&mut fused_env);
     let a = run(&mut plan_env);
     let b = run(&mut legacy_env);
-    assert_eq!(a, b, "{name}: engines disagree");
+    let c = run(&mut fused_env);
+    assert_eq!(a, b, "{name}: plan vs legacy disagree");
+    assert_eq!(c, b, "{name}: fused vs legacy disagree");
     assert_eq!(
         plan_env.retired(),
         legacy_env.retired(),
         "{name}: engines retired different dynamic instruction counts"
+    );
+    assert_eq!(
+        fused_env.retired(),
+        legacy_env.retired(),
+        "{name}: fused tier retired a different dynamic instruction count"
     );
     let cycles = |env: &mut ScanEnv| {
         CycleEstimator::from_sink(env.detach_tracer().expect("sink attached"))
             .expect("sink is a CycleEstimator")
             .counters()
     };
-    let (ca, cb) = (cycles(&mut plan_env), cycles(&mut legacy_env));
-    assert_eq!(ca, cb, "{name}: engines disagree on modeled cycles");
+    let (ca, cb, cc) = (
+        cycles(&mut plan_env),
+        cycles(&mut legacy_env),
+        cycles(&mut fused_env),
+    );
+    assert_eq!(ca, cb, "{name}: plan vs legacy disagree on modeled cycles");
+    assert_eq!(cc, cb, "{name}: fused vs legacy disagree on modeled cycles");
     assert!(
         ca.total() >= plan_env.retired(),
         "{name}: ara-like cycles below dynamic instruction count"

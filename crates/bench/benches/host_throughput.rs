@@ -17,11 +17,8 @@ fn bench_engines(c: &mut Criterion) {
     let data: Vec<u32> = (0..n as u32).collect();
     let flags = random_head_flags(n, 42);
     g.throughput(Throughput::Elements(n as u64));
-    for engine in [ExecEngine::Legacy, ExecEngine::Plan] {
-        let label = match engine {
-            ExecEngine::Legacy => "legacy",
-            ExecEngine::Plan => "plan",
-        };
+    for engine in [ExecEngine::Legacy, ExecEngine::Plan, ExecEngine::Fused] {
+        let label = engine.name();
         g.bench_function(BenchmarkId::new("plus_scan", label), |b| {
             b.iter(|| {
                 let mut e = ScanEnv::paper_default();

@@ -1,7 +1,8 @@
-//! Host throughput of the two run loops: wall-clock ns per simulated
-//! instruction for the legacy single-step interpreter vs the pre-decoded
-//! execution-plan engine, measured in the same process on the same
-//! workloads. Writes `results/host_throughput.json` and prints a table.
+//! Host throughput of the three run loops: wall-clock ns per simulated
+//! instruction for the legacy single-step interpreter, the pre-decoded
+//! execution-plan engine, and the fused superinstruction tier, measured in
+//! the same process on the same workloads. Writes
+//! `results/host_throughput.json` and prints a table.
 //!
 //! Run: `cargo run --release --bin host_throughput [--max-n N] [--reps R]
 //! [--threads T]`. Every `(workload, engine, rep)` is an `rvv-batch` job;
@@ -92,7 +93,11 @@ fn main() {
     // reps: the cost model rides the trace-sink path, so it must never be
     // attached to the jobs whose wall clocks we report.
     let cost = scanvec_bench::cost_preset_arg().unwrap_or_else(rvv_batch::CostModel::ara_like);
-    let engines = [("legacy", ExecEngine::Legacy), ("plan", ExecEngine::Plan)];
+    let engines = [
+        ("legacy", ExecEngine::Legacy),
+        ("plan", ExecEngine::Plan),
+        ("fused", ExecEngine::Fused),
+    ];
     let mut jobs: Vec<BatchJob<()>> = Vec::new();
     for (wname, work) in &workloads {
         for (ename, exec) in engines {
@@ -155,49 +160,65 @@ fn main() {
     for (name, _) in &workloads {
         let (legacy, legacy_cycles) = best(name);
         let (plan, plan_cycles) = best(name);
+        let (fused, fused_cycles) = best(name);
         assert_eq!(
             legacy.retired, plan.retired,
             "{name}: engines retired different instruction counts"
         );
-        // The estimate is a pure function of the retire stream, so both
-        // engines must model the exact same cycle total.
+        assert_eq!(
+            legacy.retired, fused.retired,
+            "{name}: fused tier retired a different instruction count"
+        );
+        // The estimate is a pure function of the retire stream, so every
+        // engine must model the exact same cycle total.
         assert_eq!(
             legacy_cycles, plan_cycles,
             "{name}: engines disagree on modeled cycles"
         );
+        assert_eq!(
+            legacy_cycles, fused_cycles,
+            "{name}: fused tier disagrees on modeled cycles"
+        );
         let speedup = plan.instrs_per_sec() / legacy.instrs_per_sec();
-        let cyc_per_sec = |s: &Sample| legacy_cycles as f64 / s.secs;
+        let fused_speedup = fused.instrs_per_sec() / plan.instrs_per_sec();
         rows.push(vec![
             name.to_string(),
             legacy.retired.to_string(),
             legacy_cycles.to_string(),
             format!("{:.1}", legacy.ns_per_instr()),
             format!("{:.1}", plan.ns_per_instr()),
+            format!("{:.1}", fused.ns_per_instr()),
             format!("{:.1}M", legacy.instrs_per_sec() / 1e6),
             format!("{:.1}M", plan.instrs_per_sec() / 1e6),
-            format!("{:.1}M", cyc_per_sec(&legacy) / 1e6),
-            format!("{:.1}M", cyc_per_sec(&plan) / 1e6),
+            format!("{:.1}M", fused.instrs_per_sec() / 1e6),
             format!("{speedup:.2}x"),
+            format!("{fused_speedup:.2}x"),
         ]);
+        let engine_json = |s: &Sample| {
+            format!(
+                "{{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}",
+                s.secs,
+                s.ns_per_instr(),
+                s.instrs_per_sec(),
+                legacy_cycles as f64 / s.secs,
+            )
+        };
         json_items.push(format!(
             concat!(
                 "    {{\"workload\": \"{}\", \"retired\": {}, \"cycles\": {},\n",
-                "     \"legacy\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}},\n",
-                "     \"plan\": {{\"secs\": {:.6}, \"ns_per_instr\": {:.3}, \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}},\n",
-                "     \"speedup\": {:.3}}}"
+                "     \"legacy\": {},\n",
+                "     \"plan\": {},\n",
+                "     \"fused\": {},\n",
+                "     \"speedup\": {:.3}, \"fused_speedup\": {:.3}}}"
             ),
             name,
             legacy.retired,
             legacy_cycles,
-            legacy.secs,
-            legacy.ns_per_instr(),
-            legacy.instrs_per_sec(),
-            cyc_per_sec(&legacy),
-            plan.secs,
-            plan.ns_per_instr(),
-            plan.instrs_per_sec(),
-            cyc_per_sec(&plan),
+            engine_json(&legacy),
+            engine_json(&plan),
+            engine_json(&fused),
             speedup,
+            fused_speedup,
         ));
     }
 
@@ -212,11 +233,12 @@ fn main() {
             "cycles",
             "legacy ns/instr",
             "plan ns/instr",
+            "fused ns/instr",
             "legacy instrs/s",
             "plan instrs/s",
-            "legacy cyc/s",
-            "plan cyc/s",
-            "speedup",
+            "fused instrs/s",
+            "plan/legacy",
+            "fused/plan",
         ],
         &rows,
     );

@@ -1,8 +1,10 @@
 //! Run every table, figure, and ablation in sequence — regenerates the
 //! full evaluation (`results/full_run.txt` in the repository was produced
-//! by this). Accepts `--max-n` like the individual binaries and
+//! by this). Accepts `--max-n` like the individual binaries,
 //! `--threads <N>` to run the sweep through the `rvv-batch` parallel
-//! engine.
+//! engine, and `--exec-engine <plan|legacy|fused>` to select the run-loop
+//! tier for every job (the tiers are architecturally indistinguishable, so
+//! every table and digest must be identical whichever is selected).
 //!
 //! With `--threads N > 1` the sweep runs **twice** — once serially as the
 //! reference, once across N workers — and the two runs' stable digests
@@ -44,8 +46,8 @@ use rvv_fault::{ArmedFaults, CrashPoint, FaultPlan};
 use scanvec::HEAP_BASE;
 use scanvec_bench::sweep::{decode_sweep, sweep_jobs, Measurement, SweepShape};
 use scanvec_bench::{
-    cost_preset_arg, experiments, flag_arg, fmt_ratio, fmt_speedup, inject_seed_arg, num_arg,
-    print_table, threads_arg,
+    cost_preset_arg, exec_engine_arg, experiments, flag_arg, fmt_ratio, fmt_speedup,
+    inject_seed_arg, num_arg, print_table, threads_arg,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -256,6 +258,7 @@ fn main() {
     // serial-vs-parallel comparison below (and the crash/resume comparison
     // in journal mode) gates the cycle metric's determinism too. With
     // fault injection armed, every job inherits the watchdog budget.
+    let exec = exec_engine_arg();
     let engine = {
         let mut b = Engine::builder();
         if let Some(model) = &cost {
@@ -263,6 +266,14 @@ fn main() {
         }
         if inject_seed.is_some() {
             b = b.default_fuel_budget(INJECT_WATCHDOG);
+        }
+        // `--exec-engine` selects the run-loop tier for every sweep job
+        // (sessions inherit the engine default, and `reset()` reverts to
+        // it). All tiers are architecturally indistinguishable, so the
+        // stable digest must not change — the CI parity job compares a
+        // fused sweep's digest against a plan sweep's byte for byte.
+        if let Some(exec) = exec {
+            b = b.default_exec_engine(exec);
         }
         Arc::new(b.build())
     };
@@ -279,6 +290,9 @@ fn main() {
     }
     if let Some(model) = &cost {
         println!("cost model armed: {}", model.name());
+    }
+    if let Some(exec) = exec {
+        println!("exec engine: {}", exec.name());
     }
     if flag_arg("--journal") {
         journal_main(

@@ -155,6 +155,23 @@ pub fn flag_arg(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Parse `--exec-engine <plan|legacy|fused>`; `None` when the option is
+/// absent (the engine default, `plan`, applies).
+pub fn exec_engine_arg() -> Option<scanvec::ExecEngine> {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--exec-engine" {
+            return Some(scanvec::ExecEngine::parse(&w[1]).unwrap_or_else(|| {
+                panic!(
+                    "--exec-engine takes one of plan|legacy|fused, got {:?}",
+                    w[1]
+                )
+            }));
+        }
+    }
+    None
+}
+
 /// Parse `name <N>` (decimal or `0x…` hex) from the command line; `None`
 /// when the option is absent.
 pub fn num_arg(name: &str) -> Option<u64> {

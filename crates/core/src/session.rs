@@ -147,10 +147,11 @@ pub struct HeapMark(u64);
 
 /// Which run loop kernel launches go through.
 ///
-/// Both engines are architecturally indistinguishable — same results, same
+/// All engines are architecturally indistinguishable — same results, same
 /// counters, same trace events — so switching engines is purely a host
 /// performance choice. `Legacy` exists for differential testing and for
-/// honest before/after host-throughput measurement.
+/// honest before/after host-throughput measurement; `Fused` is the fastest
+/// tier when programs contain the recognized kernel-shaped windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
     /// Pre-decoded execution plan with SEW-specialized dispatch
@@ -160,6 +161,31 @@ pub enum ExecEngine {
     /// The reference decode-classify-dispatch interpreter
     /// ([`Machine::run_legacy`]).
     Legacy,
+    /// The plan engine plus peephole-fused superinstruction windows
+    /// ([`Machine::run_fused`]): strip-mine bodies, `vv` maps, scan steps,
+    /// and whole-register chains execute as single bulk kernels.
+    Fused,
+}
+
+impl ExecEngine {
+    /// Parse the CLI/CI spelling (`plan`, `legacy`, `fused`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "plan" => Some(ExecEngine::Plan),
+            "legacy" => Some(ExecEngine::Legacy),
+            "fused" => Some(ExecEngine::Fused),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case name, inverse of [`ExecEngine::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Plan => "plan",
+            ExecEngine::Legacy => "legacy",
+            ExecEngine::Fused => "fused",
+        }
+    }
 }
 
 /// The scan-vector-model execution session: per-run state over a shared
@@ -440,6 +466,14 @@ impl Session {
     /// execute it. [`Session::reset`] reverts to the engine's default.
     pub fn set_exec_engine(&mut self, exec: ExecEngine) {
         self.exec = exec;
+    }
+
+    /// Fusion activity (windows committed, ops retired through fused
+    /// kernels) accumulated by [`ExecEngine::Fused`] launches on this
+    /// session's machine. Diagnostic only — never part of [`Counters`] or
+    /// snapshots, so it cannot perturb cross-engine equality.
+    pub fn fused_stats(&self) -> rvv_sim::FusedStats {
+        self.machine.fused_stats
     }
 
     /// Borrow the machine (counters, memory inspection).
@@ -725,11 +759,16 @@ impl Session {
             self.tracer.as_deref_mut(),
         ) {
             (ExecEngine::Plan, Some(hook), _) => self.machine.run_plan_faulted(plan, fuel, hook),
+            (ExecEngine::Fused, Some(hook), _) => self.machine.run_fused_faulted(plan, fuel, hook),
             (ExecEngine::Legacy, Some(hook), _) => {
                 self.machine.run_legacy_faulted(plan.program(), fuel, hook)
             }
             (ExecEngine::Plan, None, Some(sink)) => self.machine.run_plan_traced(plan, fuel, sink),
             (ExecEngine::Plan, None, None) => self.machine.run_plan(plan, fuel),
+            (ExecEngine::Fused, None, Some(sink)) => {
+                self.machine.run_fused_traced(plan, fuel, sink)
+            }
+            (ExecEngine::Fused, None, None) => self.machine.run_fused(plan, fuel),
             (ExecEngine::Legacy, None, Some(sink)) => {
                 self.machine.run_legacy_traced(plan.program(), fuel, sink)
             }

@@ -78,6 +78,7 @@ impl EnvSnapshot {
         w.put_u8(match self.engine {
             ExecEngine::Plan => 0,
             ExecEngine::Legacy => 1,
+            ExecEngine::Fused => 2,
         });
         w.put_bool(self.poisoned);
         w.put_u32(self.plan_keys.len() as u32);
@@ -124,6 +125,7 @@ impl EnvSnapshot {
         let engine = match r.get_u8()? {
             0 => ExecEngine::Plan,
             1 => ExecEngine::Legacy,
+            2 => ExecEngine::Fused,
             v => {
                 return Err(CodecError::BadValue {
                     what: "exec engine",

@@ -65,6 +65,20 @@ fn snapshot_roundtrips_through_bytes_and_restores_into_a_fresh_env() {
 }
 
 #[test]
+fn every_engine_tier_roundtrips_through_the_snapshot_wire_format() {
+    // The selected engine travels as a wire byte; each tier (including the
+    // fused one, encoded as 2) must decode back to itself.
+    for engine in [ExecEngine::Plan, ExecEngine::Legacy, ExecEngine::Fused] {
+        let mut env = ScanEnv::new(small_cfg());
+        env.set_exec_engine(engine);
+        let snap = EnvSnapshot::from_bytes(&env.snapshot().to_bytes()).unwrap();
+        let mut fresh = ScanEnv::new(small_cfg());
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.exec_engine(), engine, "{engine:?} lost in transit");
+    }
+}
+
+#[test]
 fn corrupt_or_mismatched_snapshots_are_refused() {
     let mut env = ScanEnv::new(small_cfg());
     let v = env.from_u32(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();

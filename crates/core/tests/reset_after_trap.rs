@@ -97,14 +97,14 @@ fn fuel_trap(env: &mut ScanEnv) -> ScanError {
 
 #[test]
 fn reset_after_guard_hit_restores_golden_counts() {
-    for engine in [ExecEngine::Plan, ExecEngine::Legacy] {
+    for engine in [ExecEngine::Plan, ExecEngine::Legacy, ExecEngine::Fused] {
         check_engine(engine, guard_trap);
     }
 }
 
 #[test]
 fn reset_after_fuel_exhaustion_restores_golden_counts() {
-    for engine in [ExecEngine::Plan, ExecEngine::Legacy] {
+    for engine in [ExecEngine::Plan, ExecEngine::Legacy, ExecEngine::Fused] {
         check_engine(engine, fuel_trap);
     }
 }

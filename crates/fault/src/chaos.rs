@@ -217,8 +217,8 @@ impl ScenarioOutcome {
     }
 }
 
-/// Run one seeded fault scenario for `algo` on **both** run-loop tiers
-/// and check the full robustness contract. Every session is created from
+/// Run one seeded fault scenario for `algo` on **every** run-loop tier
+/// (plan, legacy, fused) and check the full robustness contract. Every session is created from
 /// the shared `engine` — one engine serves the whole chaos sweep, so the
 /// kernel cache is warmed once across hundreds of scenarios. `Ok` carries
 /// the tier-agreed outcome; `Err` carries a description of the contract
@@ -239,7 +239,7 @@ pub fn run_scenario(
     let data_seed = mix_data_seed(seed, algo);
 
     let mut agreed: Option<(String, bool)> = None;
-    for exec in [ExecEngine::Plan, ExecEngine::Legacy] {
+    for exec in [ExecEngine::Plan, ExecEngine::Legacy, ExecEngine::Fused] {
         let mut env = engine
             .session(cfg)
             .map_err(|e| format!("chaos config rejected: {e}"))?;
@@ -297,13 +297,13 @@ pub fn run_scenario(
             ));
         }
 
-        // Contract 2: both run-loop tiers agree on the faulted outcome.
+        // Contract 2: every run-loop tier agrees on the faulted outcome.
         match &agreed {
             None => agreed = Some((result, faulted)),
             Some((first, _)) if *first != result => {
                 return Err(format!(
                     "ENGINE DIVERGENCE {} scenario {index} plan=[{fault_plan}]: \
-                     Plan `{first}` vs Legacy `{result}`",
+                     Plan `{first}` vs {exec:?} `{result}`",
                     algo.name()
                 ));
             }
@@ -311,7 +311,7 @@ pub fn run_scenario(
         }
     }
 
-    let (result, faulted) = agreed.expect("two run-loop tiers ran");
+    let (result, faulted) = agreed.expect("all run-loop tiers ran");
     Ok(ScenarioOutcome {
         plan: fault_plan.to_string(),
         result,

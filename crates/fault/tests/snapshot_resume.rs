@@ -1,10 +1,10 @@
 //! Mid-program checkpoint exactness over the differential suite: every
 //! one of the eight scan-vector algorithms, paused mid-run by the
-//! deterministic fuel watchdog on **both** engines, snapshots to bytes
-//! and restores into a fresh environment bit-for-bit — and the paused
-//! machine state is identical across engines (the watchdog fires at the
-//! same instruction everywhere, so a checkpoint taken "at the budget
-//! line" is engine-independent).
+//! deterministic fuel watchdog on **every** engine tier, snapshots to
+//! bytes and restores into a fresh environment bit-for-bit — and the
+//! paused machine state is identical across engines (the watchdog fires
+//! at the same instruction everywhere, so a checkpoint taken "at the
+//! budget line" is engine-independent, fused windows included).
 
 use rvv_fault::chaos::{chaos_config, run_algo, ChaosAlgo};
 use scanvec::{Engine, EnvSnapshot, ExecEngine, ScanError};
@@ -21,14 +21,14 @@ fn golden_retired(engine: &Arc<Engine>, algo: ChaosAlgo) -> u64 {
 }
 
 #[test]
-fn every_algorithm_snapshots_exactly_mid_program_on_both_engines() {
+fn every_algorithm_snapshots_exactly_mid_program_on_every_engine() {
     let shared = Arc::new(Engine::new());
     for algo in ChaosAlgo::ALL {
         let total = golden_retired(&shared, algo);
         let budget = (total / 2).max(1);
         let mut mid_states: Vec<rvv_sim::MachineSnapshot> = Vec::new();
 
-        for engine in [ExecEngine::Plan, ExecEngine::Legacy] {
+        for engine in [ExecEngine::Plan, ExecEngine::Legacy, ExecEngine::Fused] {
             // Pause the algorithm at the budget line.
             let mut env = shared.session(chaos_config()).unwrap();
             env.set_exec_engine(engine);
@@ -81,11 +81,18 @@ fn every_algorithm_snapshots_exactly_mid_program_on_both_engines() {
         }
 
         // The watchdog is engine-independent, so the checkpoint is too:
-        // both engines paused in the *identical* architectural state.
+        // all engines paused in the *identical* architectural state — a
+        // snapshot taken mid-program on one tier resumes on any other.
         assert_eq!(
             mid_states[0],
             mid_states[1],
             "{}: Plan and Legacy mid-program checkpoints differ",
+            algo.name()
+        );
+        assert_eq!(
+            mid_states[0],
+            mid_states[2],
+            "{}: Plan and Fused mid-program checkpoints differ",
             algo.name()
         );
     }

@@ -67,7 +67,7 @@ pub use counters::Counters;
 pub use error::{SimError, SimResult};
 pub use exec::Control;
 pub use fault::{FaultAction, FaultHook};
-pub use machine::{Machine, MachineConfig};
+pub use machine::{FusedStats, Machine, MachineConfig};
 pub use memory::{MemSnapshot, Memory, PAGE_BYTES};
 pub use plan::CompiledPlan;
 pub use program::{Program, RunReport, DEFAULT_FUEL};

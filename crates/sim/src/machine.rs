@@ -51,6 +51,21 @@ impl Default for MachineConfig {
     }
 }
 
+/// Diagnostic tally of fused-tier activity ([`Machine::run_fused`]).
+///
+/// Deliberately **not** part of [`Counters`] or [`MachineSnapshot`]: the
+/// dispatch-independence invariant requires counters, traces, and snapshots
+/// to be bit-identical across engines, and fusion activity necessarily
+/// differs (it is zero on the other two tiers). These numbers exist for
+/// coverage goldens and perf forensics only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedStats {
+    /// Fused windows entered (superinstruction fast path taken).
+    pub windows: u64,
+    /// Instructions retired through fused kernels (sum of window lengths).
+    pub ops: u64,
+}
+
 /// The complete architectural state of the simulated hart.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -65,6 +80,9 @@ pub struct Machine {
     pub mem: Memory,
     /// Dynamic instruction counters (public: benches snapshot and diff).
     pub counters: Counters,
+    /// Fused-tier activity tally (see [`FusedStats`]). Zeroed by
+    /// [`Machine::reset_cpu`] and [`Machine::restore`]; never snapshotted.
+    pub fused_stats: FusedStats,
     /// Reusable staging buffer for compare-to-mask kernels (two packed
     /// bitsets). Not architectural state — only here so the hot path never
     /// allocates.
@@ -94,6 +112,7 @@ impl Machine {
             vl: 0,
             mem: Memory::new(cfg.mem_bytes),
             counters: Counters::new(),
+            fused_stats: FusedStats::default(),
             cmp_scratch: Vec::new(),
             stop_pc: 0,
         }
@@ -274,6 +293,15 @@ impl Machine {
         &mut self.vregs
     }
 
+    /// Split borrow: memory and the vector register file at once, so a
+    /// fused kernel can bulk-copy between them without an intermediate
+    /// buffer. The two are disjoint fields; the borrow checker just cannot
+    /// see that through two `&mut self` method calls.
+    #[inline]
+    pub(crate) fn mem_and_vregs(&mut self) -> (&mut Memory, &mut [u8]) {
+        (&mut self.mem, &mut self.vregs)
+    }
+
     /// Whole-register load (`vl<nregs>r.v`) without the per-register
     /// `to_vec` copy of the legacy interpreter: memory and the register file
     /// are disjoint fields, so bytes move in one `copy_from_slice` per
@@ -322,6 +350,7 @@ impl Machine {
         self.vtype = None;
         self.vl = 0;
         self.counters.reset();
+        self.fused_stats = FusedStats::default();
         self.stop_pc = 0;
     }
 
@@ -365,6 +394,7 @@ impl Machine {
         self.vtype = snap.vtype;
         self.vl = snap.vl;
         self.counters = snap.counters.clone();
+        self.fused_stats = FusedStats::default();
         self.stop_pc = snap.stop_pc;
         self.mem.restore(&snap.mem);
         self.cmp_scratch.clear();

@@ -55,6 +55,9 @@ use std::sync::OnceLock;
 pub struct CompiledPlan {
     source: Program,
     ops: Vec<MicroOp>,
+    /// Fusion window index, built lazily on the first fused-tier run (the
+    /// other two engines never pay for it).
+    fused: OnceLock<fused::FusionTable>,
 }
 
 // Compile-time proof that a plan can be shared read-only across worker
@@ -85,7 +88,21 @@ impl CompiledPlan {
         CompiledPlan {
             source: program,
             ops,
+            fused: OnceLock::new(),
         }
+    }
+
+    /// The fusion window index for [`Machine::run_fused`], built on first
+    /// use and cached for the plan's lifetime (plans are immutable).
+    pub(crate) fn fusion(&self) -> &fused::FusionTable {
+        self.fused.get_or_init(|| fused::FusionTable::build(self))
+    }
+
+    /// Number of *static* fusion windows the fused tier recognized in this
+    /// plan. Diagnostic: coverage goldens pin it so a refactor that
+    /// silently de-fuses a hot loop fails loudly.
+    pub fn fused_window_count(&self) -> usize {
+        self.fusion().window_count()
     }
 
     /// The source program (instructions, name, symbol marks).
@@ -295,6 +312,12 @@ trait Elem: Copy {
     fn set(m: &mut Machine, base: VReg, i: u32, v: u64);
     /// Sign-extend a SEW-truncated value to `i64`.
     fn sext(v: u64) -> i64;
+    /// Read one element from a `BYTES`-long little-endian chunk — the
+    /// slice-iterator counterpart of [`Elem::get`] for fused kernels.
+    fn ld(b: &[u8]) -> u64;
+    /// Write one element into a `BYTES`-long little-endian chunk
+    /// (truncating).
+    fn st(b: &mut [u8], v: u64);
 }
 
 macro_rules! elem {
@@ -323,6 +346,16 @@ macro_rules! elem {
             #[inline(always)]
             fn sext(v: u64) -> i64 {
                 v as $u as $s as i64
+            }
+
+            #[inline(always)]
+            fn ld(b: &[u8]) -> u64 {
+                <$u>::from_le_bytes(b.try_into().expect("chunk is BYTES long")) as u64
+            }
+
+            #[inline(always)]
+            fn st(b: &mut [u8], v: u64) {
+                b.copy_from_slice(&(v as $u).to_le_bytes());
             }
         }
     };
@@ -1882,5 +1915,9 @@ impl Machine {
         }
     }
 }
+
+// Declared *after* the `by_sew!`/`binop!` macro definitions so the child
+// module sees them through textual macro scoping.
+pub(crate) mod fused;
 
 // PLAN_TESTS

@@ -92,12 +92,13 @@ proptest! {
         prop_assert!(m.run(&ok, 10).is_ok());
     }
 
-    /// Differential: the execution-plan engine must be architecturally
-    /// indistinguishable from the legacy single-step interpreter on
-    /// arbitrary decoded soup — same result (report or trap), same final
+    /// Three-engine differential: the plan engine *and* the fused engine
+    /// must be architecturally indistinguishable from the legacy
+    /// single-step interpreter on arbitrary decoded soup — same result
+    /// (report or trap, including trap byte addresses), same final
     /// registers, vector state, counters, and memory.
     #[test]
-    fn plan_engine_matches_legacy_on_soup(
+    fn plan_and_fused_match_legacy_on_soup(
         words in prop::collection::vec(any::<u32>(), 0..200),
         vlen_shift in 7u32..11,
         seed_regs in prop::collection::vec(any::<u64>(), 8),
@@ -112,20 +113,26 @@ proptest! {
         let plan = CompiledPlan::compile(p.clone());
         let mut m1 = Machine::new(cfg);
         let mut m2 = Machine::new(cfg);
+        let mut m3 = Machine::new(cfg);
         for (i, &s) in seed_regs.iter().enumerate() {
             m1.set_xreg(XReg::arg(i as u8), s % (1 << 16));
             m2.set_xreg(XReg::arg(i as u8), s % (1 << 16));
+            m3.set_xreg(XReg::arg(i as u8), s % (1 << 16));
         }
         let r1 = m1.run_plan(&plan, 50_000);
         let r2 = m2.run_legacy(&p, 50_000);
-        prop_assert_eq!(r1, r2);
+        let r3 = m3.run_fused(&plan, 50_000);
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(&r3, &r2);
         assert_same_state(&m1, &m2);
+        assert_same_state(&m3, &m2);
     }
 
     /// Differential soup with a legal vtype primed first, so the vector
-    /// kernels (the SEW-specialized fast paths) actually execute.
+    /// kernels (the SEW-specialized fast paths and the fused windows)
+    /// actually execute.
     #[test]
-    fn plan_engine_matches_legacy_on_vector_soup(
+    fn plan_and_fused_match_legacy_on_vector_soup(
         words in prop::collection::vec(any::<u32>(), 0..200),
         avl in 1u64..64,
         sew_pick in 0u8..4,
@@ -145,11 +152,16 @@ proptest! {
         let plan = CompiledPlan::compile(p.clone());
         let mut m1 = Machine::new(cfg);
         let mut m2 = Machine::new(cfg);
+        let mut m3 = Machine::new(cfg);
         m1.set_xreg(XReg::new(10), avl);
         m2.set_xreg(XReg::new(10), avl);
+        m3.set_xreg(XReg::new(10), avl);
         let r1 = m1.run_plan(&plan, 50_000);
         let r2 = m2.run_legacy(&p, 50_000);
-        prop_assert_eq!(r1, r2);
+        let r3 = m3.run_fused(&plan, 50_000);
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(&r3, &r2);
         assert_same_state(&m1, &m2);
+        assert_same_state(&m3, &m2);
     }
 }
