@@ -3,7 +3,7 @@
 use rvv_cost::{CostModel, CycleCounters};
 use rvv_sim::{Counters, SimError};
 use rvv_trace::TraceProfiler;
-use scanvec::{EnvConfig, ScanEnv, ScanError, ScanResult};
+use scanvec::{CancelToken, EnvConfig, ScanEnv, ScanError, ScanResult};
 use std::fmt;
 use std::time::Duration;
 
@@ -41,6 +41,12 @@ pub struct BatchJob<T> {
     /// timeout — fires at the same instruction on every run). Exhausting it
     /// reports [`JobOutcome::TimedOut`].
     pub watchdog: Option<u64>,
+    /// Cooperative cancellation: when set, the token is attached to the
+    /// session for every attempt, and a launch that observes it cancelled
+    /// reports [`JobOutcome::Cancelled`]. Cancellation is terminal — a
+    /// cancelled job is never retried (the supervisor asked it to stop;
+    /// re-running would defeat the deadline).
+    pub cancel: Option<CancelToken>,
     run: JobFn<T>,
 }
 
@@ -59,6 +65,7 @@ impl<T> BatchJob<T> {
             cost: None,
             retries: 0,
             watchdog: None,
+            cancel: None,
             run: Box::new(run),
         }
     }
@@ -94,6 +101,14 @@ impl<T> BatchJob<T> {
     /// Arm the deterministic instruction-budget watchdog (builder style).
     pub fn watchdog(mut self, fuel: u64) -> BatchJob<T> {
         self.watchdog = Some(fuel);
+        self
+    }
+
+    /// Attach a [`CancelToken`] every attempt runs under (builder style).
+    /// A supervisor holding a clone can stop the job mid-flight — see
+    /// [`JobOutcome::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> BatchJob<T> {
+        self.cancel = Some(token);
         self
     }
 
@@ -153,6 +168,19 @@ pub enum JobOutcome<T> {
         /// The exhausted budget.
         budget: u64,
     },
+    /// The job's [`BatchJob::cancel`] token tripped mid-run: a supervisor
+    /// (deadline, shutdown, client disconnect) asked it to stop. Terminal —
+    /// never retried. For a deterministic trip point
+    /// ([`CancelToken::after_checks`]) the boundary ordinal and the
+    /// partial counters are identical on every engine tier; wall-clock
+    /// cancels are inherently timing-dependent, so digests over
+    /// deadline-cancelled sweeps are not replay-comparable.
+    Cancelled {
+        /// The instruction-boundary ordinal where the token was observed
+        /// (1-based within the launch that stopped; 0 when the token was
+        /// observed between attempts, before any launch started).
+        at: u64,
+    },
     /// A failure replayed from a journal (see [`crate::journal`]): the
     /// stored stable form of the original outcome. Successful jobs replay
     /// as real [`JobOutcome::Ok`] values — their payloads are journaled —
@@ -187,9 +215,17 @@ impl<T> JobOutcome<T> {
             Err(ScanError::Sim(SimError::FuelExhausted { fuel })) if watchdog == Some(fuel) => {
                 JobOutcome::TimedOut { budget: fuel }
             }
+            Err(ScanError::Sim(SimError::Cancelled { seq })) => JobOutcome::Cancelled { at: seq },
             Err(ScanError::Sim(e)) => JobOutcome::Trapped(e),
             Err(e) => JobOutcome::Failed(e),
         }
+    }
+
+    /// Is this outcome one retries cannot improve? Success needs no retry;
+    /// a cancellation must not be retried (the supervisor asked the job to
+    /// stop — re-running would defeat the deadline or the shutdown).
+    pub(crate) fn is_terminal(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_) | JobOutcome::Cancelled { .. })
     }
 
     /// The stable, scheduling-independent serialization used by
@@ -211,6 +247,7 @@ impl<T> JobOutcome<T> {
                 format!("panicked {first}")
             }
             JobOutcome::TimedOut { budget } => format!("timed-out budget={budget}"),
+            JobOutcome::Cancelled { at } => format!("cancelled at={at}"),
             JobOutcome::Replayed(stable) => stable.clone(),
         }
     }
@@ -255,6 +292,11 @@ pub struct JobReport<T> {
     /// Host wall-clock time of the closure. Timing only — excluded from
     /// the stable serialization.
     pub wall: Duration,
+    /// Total retry backoff this job slept (see
+    /// [`crate::BackoffPolicy`]). The *delays* are deterministic for a
+    /// fixed policy, but like `attempts` this is bookkeeping, not results —
+    /// quarantined from [`JobReport::stable_line`].
+    pub backoff: Duration,
 }
 
 impl<T> JobReport<T> {

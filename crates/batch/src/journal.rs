@@ -252,6 +252,7 @@ impl<T: fmt::Debug> Replayed<T> {
             profile: None,
             worker: 0,
             wall: Duration::ZERO,
+            backoff: Duration::ZERO,
         })
     }
 }

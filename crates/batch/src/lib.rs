@@ -83,15 +83,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod job;
 pub mod journal;
+mod queue;
 mod runner;
 
+pub use backoff::BackoffPolicy;
 pub use job::{BatchJob, BatchResult, DegradedSummary, FailedJob, JobOutcome, JobReport};
 pub use journal::{run_journaled, JournalOptions, JournalPayload};
-pub use runner::BatchRunner;
+pub use queue::AdmissionGate;
+pub use runner::{execute_job, BatchRunner, SessionPool};
 
 // Re-exported so bins depending on `rvv-batch` can name the shared pieces
 // without importing the crates behind them.
 pub use rvv_cost::{CostModel, CycleCounters};
-pub use scanvec::{Engine, EngineBuilder, EnvConfig, PlanCache, ScanEnv, Session};
+pub use scanvec::{CancelToken, Engine, EngineBuilder, EnvConfig, PlanCache, ScanEnv, Session};

@@ -1,0 +1,141 @@
+//! Bounded-queue admission control.
+//!
+//! A long-running service must not let its job queue grow without bound:
+//! past some depth, accepting more work only converts memory into latency.
+//! [`AdmissionGate`] is the accounting half of load shedding — a
+//! thread-safe depth counter with a hard capacity, an all-or-nothing
+//! reservation operation, and shed/high-water counters for the stats
+//! surface. It holds no jobs itself; the owner pairs it with whatever
+//! queue structure it drains (the serve layer pairs it with the durable
+//! journal-backed queue and answers `429 Retry-After` on a refused
+//! reservation).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Admission accounting for a bounded queue (see the module docs).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    capacity: usize,
+    depth: AtomicUsize,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    high_water: AtomicUsize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `capacity` queued jobs at once
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> AdmissionGate {
+        AdmissionGate {
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reserve room for `n` jobs, all or nothing: either the whole group
+    /// is admitted (a multi-job sweep must never be half-accepted) or the
+    /// depth is untouched and the group counts as shed. `n = 0` always
+    /// succeeds.
+    pub fn try_admit(&self, n: usize) -> bool {
+        let mut depth = self.depth.load(Ordering::Relaxed);
+        loop {
+            if depth + n > self.capacity {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.depth.compare_exchange_weak(
+                depth,
+                depth + n,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.admitted.fetch_add(n as u64, Ordering::Relaxed);
+                    self.high_water.fetch_max(depth + n, Ordering::Relaxed);
+                    return true;
+                }
+                Err(now) => depth = now,
+            }
+        }
+    }
+
+    /// Return `n` slots to the gate (jobs completed or abandoned).
+    pub fn release(&self, n: usize) {
+        let before = self.depth.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(before >= n, "released more than admitted");
+    }
+
+    /// The hard depth limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently admitted and not yet released.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Jobs ever admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Admission groups refused because they would have exceeded capacity.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_to_capacity_then_sheds() {
+        let g = AdmissionGate::new(10);
+        assert!(g.try_admit(6));
+        assert!(g.try_admit(4));
+        assert!(!g.try_admit(1), "full queue sheds");
+        assert_eq!(g.depth(), 10);
+        assert_eq!(g.shed(), 1);
+        assert_eq!(g.high_water(), 10);
+        g.release(5);
+        assert!(g.try_admit(5));
+        assert_eq!(g.admitted(), 15);
+    }
+
+    #[test]
+    fn group_admission_is_all_or_nothing() {
+        let g = AdmissionGate::new(8);
+        assert!(g.try_admit(5));
+        assert!(!g.try_admit(5), "5 + 5 > 8 refused as a unit");
+        assert_eq!(g.depth(), 5, "refused group left no residue");
+        assert!(g.try_admit(3));
+    }
+
+    #[test]
+    fn concurrent_admissions_never_exceed_capacity() {
+        let g = AdmissionGate::new(64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        if g.try_admit(2) {
+                            assert!(g.depth() <= 64);
+                            g.release(2);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(g.depth(), 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The runner: up-front sharding, scoped workers, in-order emission,
 //! panic-isolated and retrying job execution.
 
+use crate::backoff::BackoffPolicy;
 use crate::job::{BatchJob, BatchResult, JobOutcome, JobReport};
 use rvv_cost::{CostModel, CycleCounters, CycleEstimator};
 use rvv_sim::TraceSink;
@@ -26,6 +27,7 @@ use std::time::{Duration, Instant};
 pub struct BatchRunner {
     threads: usize,
     engine: Arc<Engine>,
+    backoff: BackoffPolicy,
 }
 
 impl BatchRunner {
@@ -44,7 +46,22 @@ impl BatchRunner {
         BatchRunner {
             threads: threads.max(1),
             engine,
+            backoff: BackoffPolicy::default(),
         }
+    }
+
+    /// Replace the retry backoff schedule (builder style). The default is
+    /// [`BackoffPolicy::default`] — a 2 ms doubling schedule with
+    /// seed-0 jitter; [`BackoffPolicy::none`] restores the historical
+    /// retry-immediately behavior.
+    pub fn backoff(mut self, policy: BackoffPolicy) -> BatchRunner {
+        self.backoff = policy;
+        self
+    }
+
+    /// The retry backoff schedule retries are spaced by.
+    pub fn backoff_policy(&self) -> &BackoffPolicy {
+        &self.backoff
     }
 
     /// A runner over a private engine that compiles into an existing
@@ -129,7 +146,7 @@ impl BatchRunner {
             return include
                 .into_iter()
                 .map(|i| {
-                    let report = run_one(&jobs[i], &mut pool, 0);
+                    let report = execute_job(&jobs[i], i as u64, &mut pool, 0, &self.backoff);
                     observer(i, &report);
                     (i, report)
                 })
@@ -150,12 +167,14 @@ impl BatchRunner {
                 .enumerate()
                 .map(|(worker, shard)| {
                     let engine = Arc::clone(&self.engine);
+                    let backoff = &self.backoff;
                     s.spawn(move || {
                         let mut pool = SessionPool::new(&engine);
                         shard
                             .into_iter()
                             .map(|i| {
-                                let report = run_one(&jobs[i], &mut pool, worker);
+                                let report =
+                                    execute_job(&jobs[i], i as u64, &mut pool, worker, backoff);
                                 observer(i, &report);
                                 (i, report)
                             })
@@ -194,6 +213,7 @@ impl BatchRunner {
                         profile: None,
                         worker,
                         wall: Duration::ZERO,
+                        backoff: Duration::ZERO,
                     });
                 }
             }
@@ -245,21 +265,38 @@ pub(crate) fn assemble<T>(
 
 /// Per-worker session pool: one reusable [`Session`] per distinct
 /// configuration, reset between jobs, all created from the shared
-/// [`Engine`].
-struct SessionPool<'a> {
+/// [`Engine`]. Public so long-running consumers (the serve layer's
+/// workers) can drain jobs through [`execute_job`] with the same pooling,
+/// poisoning, and reset discipline the batch runner uses.
+pub struct SessionPool<'a> {
     engine: &'a Arc<Engine>,
     sessions: HashMap<EnvConfig, Session>,
 }
 
 impl<'a> SessionPool<'a> {
-    fn new(engine: &'a Arc<Engine>) -> SessionPool<'a> {
+    /// An empty pool over `engine`.
+    pub fn new(engine: &'a Arc<Engine>) -> SessionPool<'a> {
         SessionPool {
             engine,
             sessions: HashMap::new(),
         }
     }
 
-    fn session_for(&mut self, cfg: &EnvConfig) -> &mut Session {
+    /// The engine sessions are created from.
+    pub fn engine(&self) -> &Arc<Engine> {
+        self.engine
+    }
+
+    /// The pooled session for `cfg`, reset and ready to run a job: reused
+    /// when one exists and is healthy, rebuilt when the last job in it
+    /// panicked.
+    ///
+    /// # Panics
+    ///
+    /// When `cfg` fails [`Engine::validate`] — batch callers construct
+    /// jobs from validated configurations; service layers must validate at
+    /// admission.
+    pub fn session_for(&mut self, cfg: &EnvConfig) -> &mut Session {
         // A poisoned session (a previous job panicked inside it) is
         // discarded, not reset — the unwind may have left host-side state
         // inconsistent in ways reset cannot repair. Checking first keeps
@@ -328,6 +365,9 @@ fn attempt<T>(
         (false, None) => {}
     }
     env.set_fuel_budget(watchdog);
+    if let Some(token) = &job.cancel {
+        env.attach_cancel_token(token.clone());
+    }
     let before = env.machine().counters.clone();
     // `&mut ScanEnv` is not unwind-safe by type, which is exactly the
     // point: on panic we poison it and never run a job in it again.
@@ -340,6 +380,7 @@ fn attempt<T>(
         }
     };
     let counters = env.machine().counters.since(&before);
+    env.detach_cancel_token();
     let (profile, cycles) = match env.detach_tracer() {
         Some(sink) => recover(sink),
         None => (None, None),
@@ -363,11 +404,24 @@ fn recover(sink: Box<dyn TraceSink>) -> (Option<TraceProfiler>, Option<CycleCoun
     }
 }
 
-fn run_one<T>(job: &BatchJob<T>, pool: &mut SessionPool<'_>, worker: usize) -> JobReport<T> {
+/// Run one job to completion — attempts, retries with backoff, panic
+/// isolation — inside `pool`, exactly as a [`BatchRunner`] worker would.
+/// Public for long-running consumers (the serve layer) that drain jobs
+/// one at a time instead of in sharded batches; `index` keys the backoff
+/// jitter (the runner passes the job's batch index, a service its queue
+/// ordinal) and `worker` only labels the report.
+pub fn execute_job<T>(
+    job: &BatchJob<T>,
+    index: u64,
+    pool: &mut SessionPool<'_>,
+    worker: usize,
+    backoff: &BackoffPolicy,
+) -> JobReport<T> {
     let started = Instant::now();
     let max_attempts = 1 + job.retries;
     let mut attempts = 0;
     let mut poisoned = 0;
+    let mut slept = Duration::ZERO;
     let (outcome, counters, profile, cycles) = loop {
         attempts += 1;
         // First try uses the pooled session; retries get a fresh one
@@ -386,8 +440,29 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut SessionPool<'_>, worker: usize) -> J
         if matches!(result.0, JobOutcome::Panicked(_)) {
             poisoned += 1;
         }
-        if result.0.is_ok() || attempts >= max_attempts {
+        if result.0.is_terminal() || attempts >= max_attempts {
             break result;
+        }
+        // A retry is coming: space it out by the deterministic schedule.
+        // A cancellable job keeps watching its token while it waits — a
+        // supervisor cancelling a job that is between attempts should not
+        // have to wait out the backoff.
+        let delay = backoff.delay(index, attempts);
+        if !delay.is_zero() {
+            match &job.cancel {
+                Some(token) if token.is_cancelled() => {
+                    break (
+                        JobOutcome::Cancelled { at: 0 },
+                        result.1,
+                        result.2,
+                        result.3,
+                    );
+                }
+                _ => {
+                    slept += delay;
+                    std::thread::sleep(delay);
+                }
+            }
         }
     };
     JobReport {
@@ -402,6 +477,7 @@ fn run_one<T>(job: &BatchJob<T>, pool: &mut SessionPool<'_>, worker: usize) -> J
         profile,
         worker,
         wall: started.elapsed(),
+        backoff: slept,
     }
 }
 

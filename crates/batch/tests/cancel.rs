@@ -1,0 +1,60 @@
+//! Cross-tier cancellation parity: a deterministically-tripped
+//! [`CancelToken`] must stop a job at the *same* instruction boundary on
+//! every execution tier, reporting `JobOutcome::Cancelled` with identical
+//! partial counters — the contract that makes deadline supervision
+//! tier-agnostic.
+
+use rvv_batch::{BatchJob, BatchRunner};
+use scanvec::primitives::plus_scan;
+use scanvec::{CancelToken, Engine, EnvConfig, ExecEngine};
+use std::sync::Arc;
+
+fn cancelled_report(exec: ExecEngine, trip_at: u64) -> (String, u64) {
+    let engine = Arc::new(Engine::builder().default_exec_engine(exec).build());
+    let token = CancelToken::after_checks(trip_at);
+    let job = BatchJob::new("cancel-parity", EnvConfig::paper_default(), |env| {
+        let v = env.from_u32(&[7u32; 512])?;
+        plus_scan(env, &v)
+    })
+    .cancel_token(token);
+    let result = BatchRunner::with_engine(1, engine).run(vec![job]);
+    let report = &result.reports[0];
+    (report.stable_line(), report.retired)
+}
+
+#[test]
+fn cancellation_trips_at_the_same_boundary_on_every_tier() {
+    let reports: Vec<(String, u64)> = ExecEngine::ALL
+        .iter()
+        .map(|&exec| cancelled_report(exec, 50))
+        .collect();
+    let (line, retired) = &reports[0];
+    assert!(line.contains("cancelled at=50"), "{line}");
+    // 49 boundaries passed the check before the 50th tripped it.
+    assert_eq!(*retired, 49, "{line}");
+    for (other, _) in &reports[1..] {
+        assert_eq!(line, other, "tiers disagree on the cancelled report");
+    }
+}
+
+#[test]
+fn a_pre_cancelled_token_retires_nothing_on_any_tier() {
+    for &exec in &ExecEngine::ALL {
+        let engine = Arc::new(Engine::builder().default_exec_engine(exec).build());
+        let token = CancelToken::new();
+        token.cancel();
+        let job = BatchJob::new("pre-cancelled", EnvConfig::paper_default(), |env| {
+            let v = env.from_u32(&[1u32; 64])?;
+            plus_scan(env, &v)
+        })
+        .cancel_token(token);
+        let result = BatchRunner::with_engine(1, engine).run(vec![job]);
+        let report = &result.reports[0];
+        assert!(
+            report.stable_line().contains("cancelled at=1"),
+            "{exec:?}: {}",
+            report.stable_line()
+        );
+        assert_eq!(report.retired, 0, "{exec:?} retired work after cancel");
+    }
+}

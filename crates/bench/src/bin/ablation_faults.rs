@@ -109,6 +109,10 @@ fn main() {
             JobOutcome::Replayed(s) => {
                 panic!("replayed outcome in a live run at {}: {s}", r.name)
             }
+            // And it attaches no cancel tokens, so nothing can cancel.
+            JobOutcome::Cancelled { at } => {
+                panic!("cancelled outcome without a token at {}: at={at}", r.name)
+            }
         }
     }
     let faulted = trapped + timed_out + other;

@@ -1,0 +1,151 @@
+//! Load client for a running `rvv-serve` instance: submit a mixed sweep,
+//! poll it to completion, verify the served digest against an in-process
+//! serial reference, and report throughput. The CI `serve-smoke` job
+//! drives this against a server it kills and restarts mid-drain — the
+//! digest check is what proves the crash changed nothing.
+//!
+//! ```text
+//! serve_load --addr 127.0.0.1:7190 --jobs 40 [--submit-only] [--verify-only]
+//! ```
+//!
+//! `--submit-only` submits and exits (the smoke job kills the server
+//! while the sweep is draining); `--verify-only` skips submission and
+//! polls sweep 1 (after the restart). The default does both.
+
+use rvv_batch::BatchRunner;
+use rvv_ckpt::fnv1a;
+use rvv_serve::http::request;
+use rvv_serve::JobSpec;
+use scanvec::Engine;
+use scanvec_bench::{flag_arg, num_arg};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn addr_arg() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--addr" {
+            return w[1].clone();
+        }
+    }
+    "127.0.0.1:7190".to_string()
+}
+
+/// The smoke sweep: `jobs` small mixed-workload specs, pure function of
+/// the count so client and reference always agree.
+fn specs(jobs: u64) -> Vec<JobSpec> {
+    let workloads = ["p_add", "plus_scan", "seg_scan", "radix_sort"];
+    let vlens = [128u32, 256, 512];
+    let lmuls = ["m1", "m2", "m4"];
+    (0..jobs)
+        .map(|i| {
+            format!(
+                "{} n={} vlen={} lmul={} seed={i}",
+                workloads[(i % 4) as usize],
+                50 + i * 13,
+                vlens[(i % 3) as usize],
+                lmuls[(i % 3) as usize],
+            )
+            .parse()
+            .expect("generated spec")
+        })
+        .collect()
+}
+
+/// What the server must serve for sweep 1: the same jobs through the
+/// serial batch runner, formatted like `GET /sweeps/<id>`.
+fn serial_reference(specs: &[JobSpec]) -> String {
+    let engine = Arc::new(Engine::builder().default_fuel_budget(1_000_000_000).build());
+    let jobs = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.to_job(format!("job-{}", i + 1)))
+        .collect();
+    let result = BatchRunner::with_engine(1, engine).run(jobs);
+    let mut body = String::new();
+    for r in &result.reports {
+        body.push_str(&r.stable_line());
+        body.push('\n');
+    }
+    format!(
+        "complete jobs={}\ndigest={:#018x}\n{body}",
+        result.reports.len(),
+        fnv1a(body.as_bytes())
+    )
+}
+
+fn main() {
+    let addr = addr_arg();
+    let jobs = num_arg("--jobs").unwrap_or(40);
+    let specs = specs(jobs);
+    let started = Instant::now();
+
+    let sweep = if flag_arg("--verify-only") {
+        1
+    } else {
+        let body: String = specs.iter().map(|s| format!("{s}\n")).collect();
+        let (status, reply) = match request(&addr, "POST", "/sweeps", &body) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve_load: cannot reach {addr}: {e}");
+                std::process::exit(1)
+            }
+        };
+        if status != 202 {
+            eprintln!("serve_load: submission refused ({status}): {reply}");
+            std::process::exit(1)
+        }
+        let sweep: u64 = reply
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("sweep "))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("serve_load: unparseable acknowledgment: {reply}");
+                std::process::exit(1)
+            });
+        println!("submitted sweep {sweep} ({jobs} jobs) to {addr}");
+        if flag_arg("--submit-only") {
+            return;
+        }
+        sweep
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let body = loop {
+        match request(&addr, "GET", &format!("/sweeps/{sweep}"), "") {
+            Ok((200, body)) if body.starts_with("complete") => break body,
+            Ok((200, _)) => {}
+            Ok((status, body)) => {
+                eprintln!("serve_load: poll failed ({status}): {body}");
+                std::process::exit(1)
+            }
+            Err(e) => {
+                eprintln!("serve_load: poll failed: {e}");
+                std::process::exit(1)
+            }
+        }
+        if Instant::now() > deadline {
+            eprintln!("serve_load: sweep {sweep} never completed");
+            std::process::exit(1)
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let elapsed = started.elapsed();
+
+    let expected = serial_reference(&specs);
+    if body != expected {
+        eprintln!(
+            "serve_load: DIGEST MISMATCH\n--- served ---\n{body}\n--- expected ---\n{expected}"
+        );
+        std::process::exit(1)
+    }
+    let digest = body.lines().nth(1).unwrap_or("");
+    println!(
+        "verified {jobs} jobs, {digest}, {:.0} jobs/min",
+        jobs as f64 * 60.0 / elapsed.as_secs_f64().max(1e-9)
+    );
+    if let Ok((200, stats)) = request(&addr, "GET", "/stats", "") {
+        print!("{stats}");
+    }
+}

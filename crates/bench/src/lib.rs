@@ -137,12 +137,16 @@ pub fn cost_preset_arg() -> Option<rvv_cost::CostModel> {
     let args: Vec<String> = std::env::args().collect();
     for w in args.windows(2) {
         if w[0] == "--cost-preset" {
+            // Usage errors exit 2 (the usage-error convention) instead of
+            // panicking: a typo'd preset is the operator's mistake, not a
+            // harness bug, and scripts key on the exit code.
             return Some(rvv_cost::CostModel::preset(&w[1]).unwrap_or_else(|| {
-                panic!(
-                    "--cost-preset takes one of {:?}, got {:?}",
-                    rvv_cost::CostModel::PRESETS,
-                    w[1]
-                )
+                eprintln!(
+                    "unknown --cost-preset `{}` (expected one of: {})",
+                    w[1],
+                    rvv_cost::CostModel::PRESETS.join(", ")
+                );
+                std::process::exit(2)
             }));
         }
     }
@@ -161,11 +165,19 @@ pub fn exec_engine_arg() -> Option<scanvec::ExecEngine> {
     let args: Vec<String> = std::env::args().collect();
     for w in args.windows(2) {
         if w[0] == "--exec-engine" {
+            // Case-insensitive (`ExecEngine::parse` lowercases); unknown
+            // names exit 2 listing the valid set, like `--cost-preset`.
             return Some(scanvec::ExecEngine::parse(&w[1]).unwrap_or_else(|| {
-                panic!(
-                    "--exec-engine takes one of plan|legacy|fused, got {:?}",
-                    w[1]
-                )
+                let valid: Vec<String> = scanvec::ExecEngine::ALL
+                    .iter()
+                    .map(|e| format!("{e:?}").to_ascii_lowercase())
+                    .collect();
+                eprintln!(
+                    "unknown --exec-engine `{}` (expected one of: {})",
+                    w[1],
+                    valid.join(", ")
+                );
+                std::process::exit(2)
             }));
         }
     }

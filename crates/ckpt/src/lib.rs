@@ -20,6 +20,25 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+pub mod queue;
+
+/// Directory-entry syncs performed (test observability for the
+/// rename-durability contract — see [`sync_dir`]).
+#[cfg(test)]
+pub(crate) static DIR_SYNCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Fsync a directory so metadata operations inside it — a rename, a file
+/// creation — survive power loss. POSIX makes renames atomic but not
+/// durable: until the directory entry itself is synced, a crash can
+/// resurrect the old name even though the renamed file's *contents* were
+/// fsynced. Called after [`write_atomic`]'s rename and after
+/// [`JournalWriter::create`] materializes a new journal.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(test)]
+    DIR_SYNCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    File::open(dir)?.sync_all()
+}
+
 /// FNV-1a 64-bit hash — the same function (and constants) the batch
 /// engine's stable digests are built on.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -445,6 +464,15 @@ impl JournalWriter {
         };
         w.write_record(header)?;
         w.file.sync_all()?;
+        // The journal's directory entry must be durable too, or a crash
+        // right after create could lose the whole (fsynced) file.
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                sync_dir(dir)?;
+            } else {
+                sync_dir(Path::new("."))?;
+            }
+        }
         w.unsynced = 0;
         w.appended = 0; // the header is not a data record
         Ok(w)
@@ -521,7 +549,11 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Resu
         let mut f = File::create(&tmp)?;
         f.write_all(bytes.as_ref())?;
         f.sync_all()?;
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path)?;
+        // The rename is atomic but not durable until the directory entry
+        // is synced — without this, power loss after `write_atomic`
+        // returns could resurrect the old file.
+        sync_dir(&dir)
     })();
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
@@ -715,6 +747,30 @@ mod tests {
             .filter(|n| n.to_string_lossy().contains("tmp"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_syncs_the_directory_entry() {
+        use std::sync::atomic::Ordering;
+        // The file was always fsynced; the *rename* wasn't durable until
+        // the parent directory fd was synced too. Pin that every
+        // write_atomic performs the dir sync (JournalWriter::create pins
+        // the same contract for journal creation).
+        let dir = tmpdir("dirsync");
+        let path = dir.join("out.txt");
+        let before = DIR_SYNCS.load(Ordering::Relaxed);
+        write_atomic(&path, b"payload").unwrap();
+        let after_write = DIR_SYNCS.load(Ordering::Relaxed);
+        assert!(
+            after_write > before,
+            "write_atomic must fsync the parent directory after the rename"
+        );
+        JournalWriter::create(&dir.join("t.journal"), b"H", 1).unwrap();
+        assert!(
+            DIR_SYNCS.load(Ordering::Relaxed) > after_write,
+            "JournalWriter::create must fsync the parent directory"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -20,6 +20,7 @@ use crate::error::{ScanError, ScanResult};
 use crate::plan_cache::PlanCache;
 use crate::session::{EnvConfig, ExecEngine, Session, HEAP_BASE, STACK_BYTES};
 use rvv_cost::CostModel;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The immutable, shareable execution context (see the module docs).
@@ -35,6 +36,39 @@ pub struct Engine {
     default_exec: ExecEngine,
     cost: Option<CostModel>,
     default_fuel_budget: Option<u64>,
+    health: Arc<EngineHealth>,
+}
+
+/// Engine-lifetime health counters, shared by every clone of an
+/// [`Engine`] and bumped by the sessions created from it. Monitoring
+/// surfaces (the serve layer's `/stats`, ops dashboards) read these;
+/// nothing in the execution path ever branches on them, so they cannot
+/// perturb results.
+#[derive(Debug, Default)]
+pub struct EngineHealth {
+    sessions_created: AtomicU64,
+    sessions_poisoned: AtomicU64,
+}
+
+impl EngineHealth {
+    /// Sessions ever created from this engine (or any clone of it).
+    pub fn sessions_created(&self) -> u64 {
+        self.sessions_created.load(Ordering::Relaxed)
+    }
+
+    /// Sessions ever [`Session::poison`]ed — each poisoning means a job
+    /// body panicked inside it and the session was discarded.
+    pub fn sessions_poisoned(&self) -> u64 {
+        self.sessions_poisoned.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_session_created(&self) {
+        self.sessions_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_session_poisoned(&self) {
+        self.sessions_poisoned.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl Engine {
@@ -108,7 +142,14 @@ impl Engine {
     /// invalid ([`Engine::validate`]).
     pub fn session(&self, cfg: EnvConfig) -> ScanResult<Session> {
         self.validate(&cfg)?;
+        self.health.note_session_created();
         Ok(Session::from_engine(self.clone(), cfg))
+    }
+
+    /// The health counters shared by every clone of this engine (see
+    /// [`EngineHealth`]).
+    pub fn health(&self) -> &Arc<EngineHealth> {
+        &self.health
     }
 }
 
@@ -165,6 +206,7 @@ impl EngineBuilder {
             default_exec: self.default_exec,
             cost: self.cost,
             default_fuel_budget: self.default_fuel_budget,
+            health: Arc::new(EngineHealth::default()),
         }
     }
 }

@@ -67,11 +67,12 @@ mod session;
 pub mod snapshot;
 pub mod typed;
 
-pub use engine::{Engine, EngineBuilder};
+pub use engine::{Engine, EngineBuilder, EngineHealth};
 pub use error::{ScanError, ScanResult};
 pub use ops::ScanOp;
 pub use plan_cache::PlanCache;
 pub use primitives::ScanKind;
+pub use rvv_sim::CancelToken;
 pub use segment::Segments;
 pub use session::{EnvConfig, ExecEngine, HeapMark, ScanEnv, Session, SvVector, HEAP_BASE};
 pub use snapshot::EnvSnapshot;

@@ -29,10 +29,11 @@ use crate::error::{ScanError, ScanResult};
 use crate::plan_cache::PlanCache;
 use crate::snapshot::EnvSnapshot;
 use rvv_asm::SpillProfile;
+use rvv_isa::Instr;
 use rvv_isa::{KernelConfig, Lmul, Sew, XReg};
 use rvv_sim::{
-    CompiledPlan, FaultHook, Machine, MachineConfig, Program, RunReport, SimError, TraceSink,
-    DEFAULT_FUEL,
+    CancelToken, CompiledPlan, FaultAction, FaultHook, Machine, MachineConfig, MemAccess, Program,
+    RunReport, SimError, TraceSink, DEFAULT_FUEL,
 };
 use std::ops::Range;
 use std::sync::Arc;
@@ -168,15 +169,21 @@ pub enum ExecEngine {
 }
 
 impl ExecEngine {
-    /// Parse the CLI/CI spelling (`plan`, `legacy`, `fused`).
+    /// Parse the CLI/CI spelling (`plan`, `legacy`, `fused`),
+    /// case-insensitively — `PLAN`, `Fused`, … all resolve, so shell
+    /// variables and config files don't need exact casing.
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "plan" => Some(ExecEngine::Plan),
             "legacy" => Some(ExecEngine::Legacy),
             "fused" => Some(ExecEngine::Fused),
             _ => None,
         }
     }
+
+    /// Every engine tier, in canonical order — the valid set CLI error
+    /// messages list.
+    pub const ALL: [ExecEngine; 3] = [ExecEngine::Plan, ExecEngine::Legacy, ExecEngine::Fused];
 
     /// The canonical lower-case name, inverse of [`ExecEngine::parse`].
     pub fn name(self) -> &'static str {
@@ -206,6 +213,9 @@ pub struct Session {
     tracer: Option<Box<dyn TraceSink>>,
     exec: ExecEngine,
     fault: Option<Box<dyn FaultHook + Send>>,
+    /// Cooperative cancellation flag consulted before every instruction
+    /// while attached (see [`Session::attach_cancel_token`]).
+    cancel: Option<CancelToken>,
     /// `(budget, retired-at-arming)`: a deterministic watchdog. While armed,
     /// kernel launches get `min(DEFAULT_FUEL, budget - spent)` fuel, so a
     /// job cannot retire more than `budget` instructions across all its
@@ -219,6 +229,30 @@ pub struct Session {
 /// signature) continues to compile unchanged.
 pub type ScanEnv = Session;
 
+/// The cancellation shim [`Session::run`] wraps launches in while a
+/// [`CancelToken`] is attached: consults the token before each instruction
+/// (counting boundaries so the trap carries the ordinal), then delegates
+/// to any attached fault hook. Trapping *before* the instruction means a
+/// cancelled launch retires nothing past the observed boundary.
+struct CancelCheck<'a> {
+    token: CancelToken,
+    seq: u64,
+    inner: Option<&'a mut (dyn FaultHook + Send + 'static)>,
+}
+
+impl FaultHook for CancelCheck<'_> {
+    fn before(&mut self, pc: u64, instr: &Instr, mem: Option<&MemAccess>) -> FaultAction {
+        self.seq += 1;
+        if self.token.check() {
+            return FaultAction::Trap(SimError::Cancelled { seq: self.seq });
+        }
+        match &mut self.inner {
+            Some(h) => h.before(pc, instr, mem),
+            None => FaultAction::Pass,
+        }
+    }
+}
+
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
@@ -227,6 +261,7 @@ impl std::fmt::Debug for Session {
             .field("exec", &self.exec)
             .field("tracer", &self.tracer.is_some())
             .field("fault", &self.fault.is_some())
+            .field("cancel", &self.cancel.is_some())
             .field("fuel_budget", &self.fuel_budget)
             .field("poisoned", &self.poisoned)
             .finish_non_exhaustive()
@@ -284,6 +319,7 @@ impl Session {
             tracer: None,
             exec,
             fault: None,
+            cancel: None,
             fuel_budget: None,
             poisoned: false,
         };
@@ -333,6 +369,7 @@ impl Session {
         self.heap = HEAP_BASE;
         self.tracer = None;
         self.fault = None;
+        self.cancel = None;
         self.exec = self.engine.default_exec_engine();
         self.set_fuel_budget(self.engine.default_fuel_budget());
     }
@@ -391,6 +428,7 @@ impl Session {
         self.poisoned = snap.poisoned;
         self.tracer = None;
         self.fault = None;
+        self.cancel = None;
         self.set_fuel_budget(self.engine.default_fuel_budget());
         Ok(())
     }
@@ -401,6 +439,9 @@ impl Session {
     /// buffers) inconsistent in ways [`Session::reset`] cannot see, so the
     /// pool rebuilds a fresh session instead of reusing this one.
     pub fn poison(&mut self) {
+        if !self.poisoned {
+            self.engine.health().note_session_poisoned();
+        }
         self.poisoned = true;
     }
 
@@ -449,6 +490,33 @@ impl Session {
         self.fault.is_some()
     }
 
+    /// Attach a [`CancelToken`]: every subsequent kernel launch consults
+    /// the token before each instruction, at the same retirement-order
+    /// boundary a [`FaultHook`] runs at, in every [`ExecEngine`] tier. A
+    /// launch that observes the token cancelled traps with
+    /// [`SimError::Cancelled`] carrying the boundary ordinal and retires
+    /// nothing past it, so partial counters are deterministic for a
+    /// deterministic trip point ([`CancelToken::after_checks`]). Composes
+    /// with an attached fault hook (the token is consulted first) and with
+    /// the fuel watchdog (whichever line is crossed first wins). Like a
+    /// fault hook, an attached token suppresses tracing, and
+    /// [`Session::reset`] / [`Session::restore`] detach it. Replaces (and
+    /// returns) any previously attached token.
+    pub fn attach_cancel_token(&mut self, token: CancelToken) -> Option<CancelToken> {
+        self.cancel.replace(token)
+    }
+
+    /// Detach and return the current cancel token. Subsequent launches no
+    /// longer consult it.
+    pub fn detach_cancel_token(&mut self) -> Option<CancelToken> {
+        self.cancel.take()
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The configuration.
     pub fn config(&self) -> EnvConfig {
         self.cfg
@@ -470,7 +538,8 @@ impl Session {
 
     /// Fusion activity (windows committed, ops retired through fused
     /// kernels) accumulated by [`ExecEngine::Fused`] launches on this
-    /// session's machine. Diagnostic only — never part of [`Counters`] or
+    /// session's machine. Diagnostic only — never part of
+    /// [`rvv_sim::Counters`] or
     /// snapshots, so it cannot perturb cross-engine equality.
     pub fn fused_stats(&self) -> rvv_sim::FusedStats {
         self.machine.fused_stats
@@ -753,11 +822,27 @@ impl Session {
             }
             None => (DEFAULT_FUEL, None),
         };
-        let report = match (
-            self.exec,
-            self.fault.as_deref_mut(),
-            self.tracer.as_deref_mut(),
-        ) {
+        // An attached cancel token routes the launch through the faulted
+        // drivers behind a shim that consults the token first and then
+        // delegates to any attached fault hook — the same per-instruction
+        // boundary in every tier, so a deterministic trip point cancels at
+        // the same ordinal with the same partial counters on Plan, Legacy,
+        // and Fused alike.
+        let mut shim;
+        let hook: Option<&mut (dyn FaultHook + '_)> =
+            match (&self.cancel, self.fault.as_deref_mut()) {
+                (Some(token), inner) => {
+                    shim = CancelCheck {
+                        token: token.clone(),
+                        seq: 0,
+                        inner,
+                    };
+                    Some(&mut shim)
+                }
+                (None, Some(h)) => Some(h),
+                (None, None) => None,
+            };
+        let report = match (self.exec, hook, self.tracer.as_deref_mut()) {
             (ExecEngine::Plan, Some(hook), _) => self.machine.run_plan_faulted(plan, fuel, hook),
             (ExecEngine::Fused, Some(hook), _) => self.machine.run_fused_faulted(plan, fuel, hook),
             (ExecEngine::Legacy, Some(hook), _) => {

@@ -425,6 +425,66 @@ impl FromStr for CrashPoint {
     }
 }
 
+// ---------------------------------------------------------- serve chaos --
+
+/// One submission's chaos decisions for the serve loop, derived like
+/// everything else here as a pure function of `(seed, ordinal)`.
+///
+/// The serve layer's load-shedding, latency, and failure handling are all
+/// timing-sensitive paths that genuine load exercises only racily; a
+/// seeded `ServeFault` per accepted job drives them deterministically
+/// instead — the same seed sheds the same submissions, delays the same
+/// jobs, and injects the same machine faults on every run, so chaos-run
+/// shed/retry counts are exactly reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeFault {
+    /// Refuse this submission as if the queue were full (~1 in 8): the
+    /// client sees the same 429 + Retry-After path genuine overload takes.
+    pub shed: bool,
+    /// Milliseconds of artificial service delay before the job runs
+    /// (~1 in 4 draws 1..=20 ms, the rest 0): exercises deadline and
+    /// drain paths.
+    pub latency_ms: u64,
+    /// Machine-level faults injected into the job itself (~1 in 6 get a
+    /// non-empty plan): exercises the retry/backoff and failure-reporting
+    /// paths.
+    pub plan: FaultPlan,
+}
+
+impl ServeFault {
+    /// No chaos at all.
+    pub fn none() -> ServeFault {
+        ServeFault {
+            shed: false,
+            latency_ms: 0,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// The chaos decisions for the `ordinal`th accepted submission under
+    /// `seed`. Pure function of its arguments, keyed like
+    /// [`FaultPlan::derive`].
+    pub fn derive(seed: u64, ordinal: u64) -> ServeFault {
+        let mut rng = XorShift64::from_pair(seed ^ 0x5e7e_fa11, ordinal);
+        let shed = rng.below(8) == 0;
+        let latency_ms = if rng.below(4) == 0 {
+            1 + rng.below(20)
+        } else {
+            0
+        };
+        let plan = if rng.below(6) == 0 {
+            FaultPlan::derive(seed, ordinal)
+        } else {
+            FaultPlan::none()
+        };
+        ServeFault {
+            shed,
+            latency_ms,
+            plan,
+        }
+    }
+}
+
 // ---------------------------------------------------------------- hook --
 
 /// A [`FaultHook`] firing the faults of one [`FaultPlan`].
@@ -625,6 +685,29 @@ mod tests {
             "crash@17".parse::<CrashPoint>().unwrap(),
             CrashPoint { ordinal: 17 }
         );
+    }
+
+    #[test]
+    fn serve_faults_are_deterministic_and_mixed() {
+        for ordinal in 0..32 {
+            assert_eq!(
+                ServeFault::derive(11, ordinal),
+                ServeFault::derive(11, ordinal)
+            );
+        }
+        let draws: Vec<ServeFault> = (0..256).map(|o| ServeFault::derive(3, o)).collect();
+        let sheds = draws.iter().filter(|f| f.shed).count();
+        let delayed = draws.iter().filter(|f| f.latency_ms > 0).count();
+        let faulted = draws.iter().filter(|f| !f.plan.faults.is_empty()).count();
+        // Loose distribution checks: each knob fires sometimes, none
+        // dominates. (Exact rates are the PRNG's business.)
+        assert!((8..=80).contains(&sheds), "sheds={sheds}");
+        assert!((20..=140).contains(&delayed), "delayed={delayed}");
+        assert!(faulted >= 8, "faulted={faulted}");
+        assert!(draws.iter().all(|f| f.latency_ms <= 20));
+        let other: Vec<ServeFault> = (0..256).map(|o| ServeFault::derive(4, o)).collect();
+        assert_ne!(draws, other, "seed must matter");
+        assert_eq!(ServeFault::none(), ServeFault::none());
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net`.
+//!
+//! The build environment has no network stack beyond the standard
+//! library, so the service speaks just enough HTTP for `curl` and the
+//! load client: one request per connection, `Content-Length` bodies only
+//! (no chunked encoding, no keep-alive, no TLS), hard caps on header and
+//! body sizes so a malicious peer cannot balloon memory. Anything outside
+//! that envelope gets a clean 4xx and a closed connection — never a
+//! panic, never an unbounded read.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 256 * 1024;
+/// Per-connection socket timeout: a stalled peer cannot pin a handler
+/// thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client already; matched verbatim).
+    pub method: String,
+    /// The path, query string included (the service uses none).
+    pub path: String,
+    /// The body, if a `Content-Length` was present.
+    pub body: String,
+}
+
+/// Read and parse one request from `stream`, enforcing the size caps.
+/// Returns `Ok(None)` for a malformed or oversized request *after* writing
+/// the 4xx response — the caller just closes the connection.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut head = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            // Peer closed before a full head: nothing to answer.
+            return Ok(None);
+        }
+        if head.len() + line.len() > MAX_HEAD_BYTES {
+            respond(stream, 431, "request head too large\n")?;
+            return Ok(None);
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            respond(stream, 400, "malformed request line\n")?;
+            return Ok(None);
+        }
+    };
+    let mut content_length = 0usize;
+    for header in lines {
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                    _ => {
+                        respond(stream, 413, "body too large\n")?;
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = match String::from_utf8(body) {
+        Ok(s) => s,
+        Err(_) => {
+            respond(stream, 400, "body must be utf-8\n")?;
+            return Ok(None);
+        }
+    };
+    Ok(Some(Request { method, path, body }))
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a plain-text response with extra headers (already formatted as
+/// `Name: value` lines, no trailing CRLF).
+pub fn respond_with(
+    stream: &mut TcpStream,
+    code: u16,
+    extra_headers: &[String],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status_text(code),
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Write a plain-text response with no extra headers.
+pub fn respond(stream: &mut TcpStream, code: u16, body: &str) -> io::Result<()> {
+    respond_with(stream, code, &[], body)
+}
+
+/// One-shot client: open a connection to `addr`, send `method path` with
+/// `body`, return `(status, body)`. This is what the load client, the CI
+/// smoke job, and the integration tests use to talk to the service — the
+/// same minimal dialect the server speaks.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = String::new();
+    match content_length {
+        Some(n) => {
+            let mut bytes = vec![0u8; n];
+            reader.read_exact(&mut bytes)?;
+            body = String::from_utf8_lossy(&bytes).into_owned();
+        }
+        None => {
+            reader.read_to_string(&mut body)?;
+        }
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn echo_server() -> (String, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            if let Some(req) = read_request(&mut stream).unwrap() {
+                let body = format!("{} {}\n{}", req.method, req.path, req.body);
+                respond(&mut stream, 200, &body).unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn request_and_response_round_trip() {
+        let (addr, handle) = echo_server();
+        let (status, body) = request(&addr, "POST", "/jobs", "plus_scan n=64").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /jobs\nplus_scan n=64");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused() {
+        let (addr, handle) = echo_server();
+        let big = "x".repeat(MAX_BODY_BYTES + 1);
+        let (status, _) = request(&addr, "POST", "/jobs", &big).unwrap();
+        assert_eq!(status, 413);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_lines_get_400() {
+        let (addr, handle) = echo_server();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).unwrap();
+        assert!(reply.contains("400"), "{reply}");
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,394 @@
+//! The server proper: listener loop, connection handlers, worker pool,
+//! and the deadline supervisor — all over one [`ServeState`].
+//!
+//! Thread model: the accept loop polls a nonblocking listener so it can
+//! also watch the termination flag; each accepted connection gets a
+//! short-lived handler thread (one request per connection, so handlers
+//! are bounded by the socket timeout); `threads` long-lived workers drain
+//! the queue through [`execute_job`] with per-worker [`SessionPool`]s;
+//! one supervisor thread ticks the deadline registry. Graceful shutdown
+//! ([`Server::serve_until`] observing its predicate, or `POST /shutdown`)
+//! stops admissions, drains in-flight jobs to the journal, joins every
+//! worker, syncs, and returns `Ok(())` — exit code 0.
+
+use crate::http::{read_request, respond, respond_with, Request};
+use crate::spec::JobSpec;
+use crate::state::{QueuedJob, ServeOptions, ServeState, SubmitError};
+use rvv_batch::{execute_job, BackoffPolicy, JobOutcome, SessionPool};
+use rvv_fault::ArmedFaults;
+use scanvec::HEAP_BASE;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often the accept loop polls for termination/drain progress.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// How often the deadline supervisor ticks.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(5);
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    state: Arc<ServeState>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+/// A server running on background threads (in-process harness for tests
+/// and the load client; the binary calls [`Server::serve_until`] on its
+/// main thread instead).
+pub struct RunningServer {
+    /// The bound address.
+    pub addr: SocketAddr,
+    /// The shared state (tests inspect counters through it).
+    pub state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// Request shutdown and wait for the drain to finish.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and build
+    /// the service state — resuming the journal if the options say so.
+    pub fn bind(addr: &str, opts: ServeOptions) -> io::Result<Server> {
+        let state = ServeState::new(opts)?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            state,
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Bind and run on a background thread; returns once the listener is
+    /// accepting. The in-process form of the service.
+    pub fn spawn(addr: &str, opts: ServeOptions) -> io::Result<RunningServer> {
+        let server = Server::bind(addr, opts)?;
+        let addr = server.local_addr();
+        let state = server.state();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = thread::spawn(move || server.serve_until(move || flag.load(Ordering::SeqCst)));
+        Ok(RunningServer {
+            addr,
+            state,
+            shutdown,
+            handle,
+        })
+    }
+
+    /// Run until `should_term` returns true (polled between accepts) or a
+    /// client posts `/shutdown`, then drain gracefully: refuse new
+    /// submissions, let workers finish (and journal) everything queued,
+    /// join all threads, sync the journal, return `Ok(())`.
+    pub fn serve_until(self, should_term: impl Fn() -> bool) -> io::Result<()> {
+        let Server {
+            state, listener, ..
+        } = self;
+        listener.set_nonblocking(true)?;
+        let workers: Vec<JoinHandle<()>> = (0..state.opts.threads.max(1))
+            .map(|worker| {
+                let state = Arc::clone(&state);
+                thread::spawn(move || worker_loop(&state, worker))
+            })
+            .collect();
+        let supervisor = state.opts.deadline.map(|_| {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                while !(state.is_draining()) {
+                    state.cancel_overdue(Instant::now());
+                    thread::sleep(SUPERVISOR_POLL);
+                }
+                // One final tick so jobs still draining keep their
+                // deadlines during shutdown.
+                state.cancel_overdue(Instant::now());
+            })
+        });
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if should_term() && !state.is_draining() {
+                state.begin_drain();
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&state);
+                    handlers.push(thread::spawn(move || handle_connection(stream, &state)));
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if state.is_draining() {
+                        break;
+                    }
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: workers exit once the queue is empty (begin_drain already
+        // woke them); handlers are short-lived by construction.
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Some(s) = supervisor {
+            let _ = s.join();
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        state.sync_journal()?;
+        Ok(())
+    }
+}
+
+/// One worker: block on the queue, honor chaos latency, quarantine
+/// breaker-open configurations, run everything else through
+/// [`execute_job`] under the deadline token, journal the result.
+fn worker_loop(state: &Arc<ServeState>, worker: usize) {
+    let mut pool = SessionPool::new(&state.engine);
+    // Retry backoff keyed by the chaos seed (0 when quiet) and, per job,
+    // by its queue ordinal — deterministic like everything else derived
+    // from `(seed, ordinal)`.
+    let backoff = BackoffPolicy::new(state.opts.inject_seed.unwrap_or(0));
+    while let Some(job) = state.next_job() {
+        let chaos = state.chaos_for(job.id);
+        if chaos.latency_ms > 0 {
+            thread::sleep(Duration::from_millis(chaos.latency_ms));
+        }
+        if state.breaker_open(&job.spec.config()) {
+            let line = state.quarantine_line(&job);
+            finish_or_warn(state, &job, line, 0, false, false);
+            continue;
+        }
+        let mut batch_job = job
+            .spec
+            .to_job(format!("job-{}", job.id))
+            .retries(state.opts.retries);
+        let token = state.arm_deadline(job.id);
+        if let Some(t) = &token {
+            batch_job = batch_job.cancel_token(t.clone());
+        }
+        if !chaos.plan.faults.is_empty() {
+            let plan = chaos.plan.clone();
+            batch_job = batch_job.with_setup(move |env| {
+                for r in plan.guard_ranges(HEAP_BASE) {
+                    env.machine_mut().mem.add_guard(r);
+                }
+                env.attach_fault_hook(Box::new(ArmedFaults::new(&plan)));
+            });
+        }
+        let report = execute_job(&batch_job, job.id, &mut pool, worker, &backoff);
+        let cancelled = matches!(report.outcome, JobOutcome::Cancelled { .. });
+        finish_or_warn(
+            state,
+            &job,
+            report.stable_line(),
+            report.attempts,
+            report.poisoned > 0,
+            cancelled,
+        );
+    }
+}
+
+fn finish_or_warn(
+    state: &Arc<ServeState>,
+    job: &QueuedJob,
+    line: String,
+    attempts: u32,
+    poisoned: bool,
+    cancelled: bool,
+) {
+    // A failed done-append loses the *result*, not the job: the submit
+    // record survives, so a restart re-runs it. Degrade, don't die.
+    if let Err(e) = state.finish(job, line, attempts, poisoned, cancelled) {
+        eprintln!("rvv-serve: journaling job {} failed: {e}", job.id);
+    }
+}
+
+fn parse_specs(body: &str) -> Result<Vec<JobSpec>, String> {
+    body.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| l.parse().map_err(|e| format!("{l}: {e}")))
+        .collect()
+}
+
+fn submit_response(stream: &mut TcpStream, state: &ServeState, body: &str) -> io::Result<()> {
+    let specs = match parse_specs(body) {
+        Ok(s) => s,
+        Err(e) => return respond(stream, 400, &format!("{e}\n")),
+    };
+    match state.submit(&specs) {
+        Ok((sweep, ids)) => respond(
+            stream,
+            202,
+            &format!(
+                "sweep {sweep}\njobs {}..={}\n",
+                ids.first().unwrap(),
+                ids.last().unwrap()
+            ),
+        ),
+        Err(SubmitError::Overloaded) => respond_with(
+            stream,
+            429,
+            &["Retry-After: 1".to_string()],
+            "queue full, retry later\n",
+        ),
+        Err(SubmitError::Draining) => respond(stream, 503, "draining, not accepting work\n"),
+        Err(SubmitError::Invalid(e)) => respond(stream, 400, &format!("{e}\n")),
+        Err(SubmitError::Io(e)) => respond(stream, 500, &format!("journal append failed: {e}\n")),
+    }
+}
+
+fn id_from(path: &str, prefix: &str) -> Option<u64> {
+    path.strip_prefix(prefix)?.parse().ok()
+}
+
+/// Route one request. The surface is deliberately small and text-only;
+/// see the crate docs for the endpoint table.
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServeState>) {
+    let Ok(Some(Request { method, path, body })) = read_request(&mut stream) else {
+        return;
+    };
+    let result = match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => {
+            if state.is_draining() {
+                respond(&mut stream, 503, "draining\n")
+            } else {
+                respond(&mut stream, 200, "ok\n")
+            }
+        }
+        ("GET", "/stats") => respond(&mut stream, 200, &state.stats_text()),
+        ("POST", "/jobs") | ("POST", "/sweeps") => submit_response(&mut stream, state, &body),
+        ("POST", "/shutdown") => {
+            state.begin_drain();
+            respond(&mut stream, 202, "draining\n")
+        }
+        ("POST", "/breakers/reset") => {
+            let reopened = state.reset_breakers();
+            respond(
+                &mut stream,
+                200,
+                &format!("reset {reopened} open breakers\n"),
+            )
+        }
+        ("GET", p) if p.starts_with("/jobs/") => match id_from(p, "/jobs/") {
+            Some(id) => match state.job_text(id) {
+                Some(text) => respond(&mut stream, 200, &text),
+                None => respond(&mut stream, 404, "unknown job\n"),
+            },
+            None => respond(&mut stream, 400, "bad job id\n"),
+        },
+        ("GET", p) if p.starts_with("/sweeps/") => match id_from(p, "/sweeps/") {
+            Some(id) => match state.sweep_text(id) {
+                Some(text) => respond(&mut stream, 200, &text),
+                None => respond(&mut stream, 404, "unknown sweep\n"),
+            },
+            None => respond(&mut stream, 400, "bad sweep id\n"),
+        },
+        ("GET", _) => respond(&mut stream, 404, "no such endpoint\n"),
+        _ => respond(&mut stream, 405, "method not allowed\n"),
+    };
+    // A peer that vanished mid-response is its own problem.
+    let _ = result;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+
+    fn wait_for_sweep(addr: &str, sweep: u64) -> String {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, body) = request(addr, "GET", &format!("/sweeps/{sweep}"), "").unwrap();
+            assert_eq!(status, 200, "{body}");
+            if body.starts_with("complete") {
+                return body;
+            }
+            assert!(Instant::now() < deadline, "sweep {sweep} never completed");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn end_to_end_submit_poll_digest() {
+        let server = Server::spawn("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.addr.to_string();
+        let (status, body) = request(&addr, "GET", "/healthz", "").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body) = request(
+            &addr,
+            "POST",
+            "/sweeps",
+            "plus_scan n=100 vlen=256 lmul=m1 seed=1\np_add n=50 vlen=128 lmul=m2 seed=2\n",
+        )
+        .unwrap();
+        assert_eq!(status, 202, "{body}");
+        let sweep: u64 = body
+            .lines()
+            .next()
+            .unwrap()
+            .strip_prefix("sweep ")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let body = wait_for_sweep(&addr, sweep);
+        assert!(body.contains("digest=0x"), "{body}");
+        assert!(body.contains("job-1 "), "{body}");
+        let (status, stats) = request(&addr, "GET", "/stats", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(stats.contains("completed=2"), "{stats}");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_routes_and_ids_are_4xx() {
+        let server = Server::spawn("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.addr.to_string();
+        assert_eq!(request(&addr, "GET", "/nope", "").unwrap().0, 404);
+        assert_eq!(request(&addr, "GET", "/jobs/999", "").unwrap().0, 404);
+        assert_eq!(request(&addr, "GET", "/jobs/abc", "").unwrap().0, 400);
+        assert_eq!(request(&addr, "DELETE", "/jobs", "").unwrap().0, 405);
+        assert_eq!(request(&addr, "POST", "/jobs", "fizz n=1").unwrap().0, 400);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_and_refuses_new_work() {
+        let server = Server::spawn("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.addr.to_string();
+        let (status, _) = request(&addr, "POST", "/sweeps", "p_add n=64").unwrap();
+        assert_eq!(status, 202);
+        let (status, _) = request(&addr, "POST", "/shutdown", "").unwrap();
+        assert_eq!(status, 202);
+        // Draining refuses new submissions (503), and healthz degrades.
+        for _ in 0..100 {
+            match request(&addr, "POST", "/sweeps", "p_add n=64") {
+                Ok((503, _)) | Err(_) => break,
+                Ok((202, _)) => panic!("accepted work while draining"),
+                Ok(_) => thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        server.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,277 @@
+//! Child-process tests against the real `rvv-serve` binary: the
+//! journal-before-acknowledge contract under `abort()` (same on-disk
+//! state as `kill -9`), a real SIGKILL, and the SIGTERM graceful drain.
+//! In every case a restart with `--resume` must serve the interrupted
+//! sweep byte-identically to the uninterrupted serial reference.
+
+use rvv_batch::BatchRunner;
+use rvv_ckpt::fnv1a;
+use rvv_serve::http::request;
+use rvv_serve::JobSpec;
+use scanvec::Engine;
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SERVE: &str = env!("CARGO_BIN_EXE_rvv-serve");
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "rvv-serve-crash-{tag}-{}-{:p}",
+        std::process::id(),
+        &tag as *const _
+    ));
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A spawned server. Keeps the stdout pipe open for the child's lifetime:
+/// the binary prints a final line on graceful exit, and a closed pipe
+/// would turn that into a broken-pipe failure.
+struct ServeProc {
+    child: Child,
+    addr: String,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ServeProc {
+    fn spawn(dir: &Path, extra: &[&str]) -> ServeProc {
+        let mut child = Command::new(SERVE)
+            .current_dir(dir)
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn rvv-serve");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("rvv-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .to_string();
+        ServeProc {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn wait(mut self) -> std::process::ExitStatus {
+        let status = self.child.wait().expect("reap rvv-serve");
+        let mut rest = String::new();
+        use std::io::Read;
+        let _ = self.stdout.read_to_string(&mut rest);
+        status
+    }
+}
+
+/// Forty small mixed-workload specs — enough that a crash mid-drain
+/// leaves real work both done and pending.
+fn forty_specs() -> Vec<JobSpec> {
+    let workloads = ["p_add", "plus_scan", "seg_scan", "radix_sort"];
+    let vlens = [128u32, 256, 512];
+    let lmuls = ["m1", "m2", "m4"];
+    (0..40u64)
+        .map(|i| {
+            format!(
+                "{} n={} vlen={} lmul={} seed={i}",
+                workloads[(i % 4) as usize],
+                50 + i * 13,
+                vlens[(i % 3) as usize],
+                lmuls[(i % 3) as usize],
+            )
+            .parse()
+            .unwrap()
+        })
+        .collect()
+}
+
+/// The uninterrupted reference body for `GET /sweeps/1` over `specs`
+/// submitted as one sweep to a fresh server (ids 1..=N).
+fn serial_reference(specs: &[JobSpec]) -> String {
+    let engine = Arc::new(Engine::builder().default_fuel_budget(1_000_000_000).build());
+    let jobs = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.to_job(format!("job-{}", i + 1)))
+        .collect();
+    let result = BatchRunner::with_engine(1, engine).run(jobs);
+    let mut body = String::new();
+    for r in &result.reports {
+        body.push_str(&r.stable_line());
+        body.push('\n');
+    }
+    format!(
+        "complete jobs={}\ndigest={:#018x}\n{body}",
+        result.reports.len(),
+        fnv1a(body.as_bytes())
+    )
+}
+
+fn submit_sweep(addr: &str, specs: &[JobSpec]) -> u64 {
+    let body: String = specs.iter().map(|s| format!("{s}\n")).collect();
+    let (status, reply) = request(addr, "POST", "/sweeps", &body).unwrap();
+    assert_eq!(status, 202, "{reply}");
+    reply
+        .lines()
+        .next()
+        .unwrap()
+        .strip_prefix("sweep ")
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+fn wait_sweep(addr: &str, sweep: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/sweeps/{sweep}"), "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        if body.starts_with("complete") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "sweep {sweep} never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Graceful stop via the API, then assert exit code 0.
+fn shutdown_ok(proc_: ServeProc) {
+    let (status, _) = request(&proc_.addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(status, 202);
+    assert!(proc_.wait().success(), "graceful shutdown must exit 0");
+}
+
+#[test]
+fn crash_mid_drain_then_resume_is_byte_identical_at_every_thread_count() {
+    let specs = forty_specs();
+    let expected = serial_reference(&specs);
+    for threads in ["1", "2", "4"] {
+        let dir = tmpdir("abort");
+        // Crash (abort(), the deterministic kill -9) after the 5th
+        // journaled completion: real work done, real work pending.
+        let crashed = ServeProc::spawn(
+            &dir,
+            &[
+                "--journal",
+                "q.journal",
+                "--crash-after",
+                "5",
+                "--threads",
+                threads,
+            ],
+        );
+        let sweep = submit_sweep(&crashed.addr, &specs);
+        assert_eq!(sweep, 1);
+        let status = crashed.wait();
+        assert!(!status.success(), "crash run must die (threads={threads})");
+
+        // Restart, resume: completed results replay verbatim, pending
+        // jobs re-run — the digest must match the uninterrupted run.
+        let resumed = ServeProc::spawn(
+            &dir,
+            &["--journal", "q.journal", "--resume", "--threads", threads],
+        );
+        let body = wait_sweep(&resumed.addr, 1);
+        assert_eq!(
+            body, expected,
+            "post-crash digest diverged (threads={threads})"
+        );
+        shutdown_ok(resumed);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn sigterm_mid_sweep_drains_exits_zero_and_resumes_byte_identical() {
+    let specs = forty_specs();
+    let expected = serial_reference(&specs);
+    let dir = tmpdir("sigterm");
+    let proc_ = ServeProc::spawn(&dir, &["--journal", "q.journal", "--threads", "2"]);
+    let sweep = submit_sweep(&proc_.addr, &specs);
+    assert_eq!(sweep, 1);
+    // SIGTERM mid-sweep: the service must stop accepting, drain the
+    // queue to the journal, and exit 0 — Child::kill would be SIGKILL,
+    // so go through kill(1).
+    let term = Command::new("kill")
+        .args(["-TERM", &proc_.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    assert!(proc_.wait().success(), "SIGTERM drain must exit 0");
+
+    let resumed = ServeProc::spawn(
+        &dir,
+        &["--journal", "q.journal", "--resume", "--threads", "2"],
+    );
+    let body = wait_sweep(&resumed.addr, 1);
+    assert_eq!(body, expected, "post-SIGTERM digest diverged");
+    shutdown_ok(resumed);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sigkill_mid_drain_then_resume_is_byte_identical() {
+    let specs = forty_specs();
+    let expected = serial_reference(&specs);
+    let dir = tmpdir("sigkill");
+    let mut proc_ = ServeProc::spawn(&dir, &["--journal", "q.journal", "--threads", "2"]);
+    let sweep = submit_sweep(&proc_.addr, &specs);
+    assert_eq!(sweep, 1);
+    // Race a real SIGKILL against the drain: wait until at least one job
+    // has completed so the kill lands mid-sweep (the child may still win
+    // and finish everything — resume over a complete journal is also a
+    // supported path).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if proc_.child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        let progressed = request(&proc_.addr, "GET", "/stats", "")
+            .map(|(_, stats)| !stats.contains("completed=0\n"))
+            .unwrap_or(false);
+        if progressed {
+            proc_.child.kill().expect("SIGKILL");
+            break;
+        }
+        assert!(Instant::now() < deadline, "service never made progress");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    proc_.wait();
+
+    let resumed = ServeProc::spawn(
+        &dir,
+        &["--journal", "q.journal", "--resume", "--threads", "2"],
+    );
+    let body = wait_sweep(&resumed.addr, 1);
+    assert_eq!(body, expected, "post-SIGKILL digest diverged");
+    shutdown_ok(resumed);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_against_a_foreign_journal_is_refused() {
+    let dir = tmpdir("foreign");
+    fs::write(dir.join("q.journal"), b"not a journal at all").unwrap();
+    let status = Command::new(SERVE)
+        .current_dir(&dir)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--journal",
+            "q.journal",
+            "--resume",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn rvv-serve");
+    assert!(!status.success(), "foreign journal must be refused");
+    fs::remove_dir_all(&dir).unwrap();
+}

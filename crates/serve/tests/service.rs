@@ -1,0 +1,235 @@
+//! In-process service tests: the served digest contract (byte-identical
+//! to a serial batch-runner reference at every worker count), throughput,
+//! deadline cancellation, and chaos determinism.
+
+use rvv_batch::BatchRunner;
+use rvv_ckpt::fnv1a;
+use rvv_serve::http::request;
+use rvv_serve::{JobSpec, ServeOptions, Server};
+use scanvec::Engine;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SPECS: &[&str] = &[
+    "plus_scan n=1000 vlen=256 lmul=m1 seed=1",
+    "p_add n=500 vlen=128 lmul=m2 seed=2",
+    "seg_scan n=800 vlen=512 lmul=m1 seed=3",
+    "radix_sort n=300 vlen=256 lmul=m4 seed=4",
+    "plus_scan n=2000 vlen=1024 lmul=m8 seed=5",
+    "p_add n=50 vlen=64 lmul=m1 seed=6",
+    "seg_scan n=123 vlen=128 lmul=m1 seed=7",
+    "radix_sort n=77 vlen=512 lmul=m2 seed=8",
+    "plus_scan n=640 vlen=256 lmul=m2 seed=9",
+    "p_add n=4096 vlen=1024 lmul=m1 seed=10",
+    "seg_scan n=2048 vlen=256 lmul=m4 seed=11",
+    "radix_sort n=512 vlen=128 lmul=m1 seed=12",
+];
+
+fn specs() -> Vec<JobSpec> {
+    SPECS.iter().map(|s| s.parse().unwrap()).collect()
+}
+
+/// The uninterrupted serial reference: the same jobs (same `job-<id>`
+/// names a fresh server assigns), run through the plain batch runner on
+/// an engine configured like the service's, formatted exactly as
+/// `GET /sweeps/<id>` formats a completed sweep.
+fn serial_reference(specs: &[JobSpec]) -> String {
+    let engine = Arc::new(Engine::builder().default_fuel_budget(1_000_000_000).build());
+    let jobs = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.to_job(format!("job-{}", i + 1)))
+        .collect();
+    let result = BatchRunner::with_engine(1, engine).run(jobs);
+    let mut body = String::new();
+    for r in &result.reports {
+        body.push_str(&r.stable_line());
+        body.push('\n');
+    }
+    format!(
+        "complete jobs={}\ndigest={:#018x}\n{body}",
+        result.reports.len(),
+        fnv1a(body.as_bytes())
+    )
+}
+
+fn submit_sweep(addr: &str, specs: &[JobSpec]) -> u64 {
+    let body: String = specs.iter().map(|s| format!("{s}\n")).collect();
+    let (status, reply) = request(addr, "POST", "/sweeps", &body).unwrap();
+    assert_eq!(status, 202, "{reply}");
+    reply
+        .lines()
+        .next()
+        .unwrap()
+        .strip_prefix("sweep ")
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+fn wait_sweep(addr: &str, sweep: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/sweeps/{sweep}"), "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        if body.starts_with("complete") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "sweep {sweep} never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn served_digest_matches_serial_reference_at_every_thread_count() {
+    let specs = specs();
+    let expected = serial_reference(&specs);
+    for threads in [1usize, 2, 4] {
+        let server = Server::spawn(
+            "127.0.0.1:0",
+            ServeOptions {
+                threads,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr.to_string();
+        let sweep = submit_sweep(&addr, &specs);
+        let body = wait_sweep(&addr, sweep);
+        assert_eq!(
+            body, expected,
+            "served digest diverged at {threads} threads"
+        );
+        server.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn throughput_clears_a_thousand_jobs_per_minute() {
+    let specs: Vec<JobSpec> = (0..100)
+        .map(|i| {
+            format!("p_add n=8 vlen=128 lmul=m1 seed={i}")
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeOptions {
+            threads: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr.to_string();
+    let started = Instant::now();
+    let sweep = submit_sweep(&addr, &specs);
+    wait_sweep(&addr, sweep);
+    let elapsed = started.elapsed();
+    // The acceptance floor is 1000 jobs/min; 100 jobs must clear in 6 s.
+    assert!(
+        elapsed <= Duration::from_secs(6),
+        "100 jobs took {elapsed:?} ({:.0} jobs/min)",
+        100.0 * 60.0 / elapsed.as_secs_f64()
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn overdue_jobs_are_cancelled_and_reported() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeOptions {
+            threads: 1,
+            deadline: Some(Duration::from_millis(1)),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr.to_string();
+    let sweep = submit_sweep(&addr, &["radix_sort n=500000 vlen=256".parse().unwrap()]);
+    let body = wait_sweep(&addr, sweep);
+    assert!(body.contains("cancelled at="), "{body}");
+    let (_, stats) = request(&addr, "GET", "/stats", "").unwrap();
+    assert!(stats.contains("cancelled=1"), "{stats}");
+    server.shutdown().unwrap();
+}
+
+/// One full chaos run: submit `rounds` single-spec sweeps (recording the
+/// shed pattern), wait for everything accepted, return the shed pattern
+/// and the final stats body.
+fn chaos_run(seed: u64, rounds: usize) -> (Vec<bool>, String, Vec<String>) {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeOptions {
+            threads: 2,
+            inject_seed: Some(seed),
+            retries: 2,
+            queue_depth: 4096,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr.to_string();
+    let mut shed = Vec::with_capacity(rounds);
+    let mut accepted = Vec::new();
+    for i in 0..rounds {
+        let spec = format!("plus_scan n=200 vlen=256 lmul=m1 seed={i}");
+        let (status, reply) = request(&addr, "POST", "/sweeps", &spec).unwrap();
+        match status {
+            202 => {
+                shed.push(false);
+                accepted.push(
+                    reply
+                        .lines()
+                        .next()
+                        .unwrap()
+                        .strip_prefix("sweep ")
+                        .unwrap()
+                        .parse::<u64>()
+                        .unwrap(),
+                );
+            }
+            429 => shed.push(true),
+            other => panic!("unexpected status {other}: {reply}"),
+        }
+    }
+    let bodies: Vec<String> = accepted.iter().map(|&s| wait_sweep(&addr, s)).collect();
+    let (_, stats) = request(&addr, "GET", "/stats", "").unwrap();
+    server.shutdown().unwrap();
+    // Only the chaos-governed counters are deterministic; queue high-water
+    // and session-pool counts depend on which worker won which job.
+    let deterministic: Vec<&str> = [
+        "submitted=",
+        "completed=",
+        "cancelled=",
+        "quarantined=",
+        "retries=",
+        "shed=",
+        "injected_shed=",
+        "admitted=",
+    ]
+    .into_iter()
+    .flat_map(|prefix| stats.lines().filter(move |l| l.starts_with(prefix)))
+    .collect();
+    (shed, deterministic.join("\n"), bodies)
+}
+
+#[test]
+fn chaos_sheds_retries_and_results_are_deterministic_for_a_seed() {
+    let (shed_a, stats_a, bodies_a) = chaos_run(1234, 24);
+    let (shed_b, stats_b, bodies_b) = chaos_run(1234, 24);
+    assert_eq!(shed_a, shed_b, "shed pattern must be seed-deterministic");
+    assert!(shed_a.iter().any(|&s| s), "seed 1234 sheds at least once");
+    assert!(!shed_a.iter().all(|&s| s), "and accepts at least once");
+    assert_eq!(
+        bodies_a, bodies_b,
+        "chaos sweep results must be deterministic"
+    );
+    assert_eq!(
+        stats_a, stats_b,
+        "shed/retry counters must be deterministic"
+    );
+    let (shed_c, _, _) = chaos_run(99, 24);
+    assert_ne!(shed_a, shed_c, "different seeds draw different chaos");
+}

@@ -85,6 +85,18 @@ pub enum SimError {
         /// (for `"fuel"`, the injected instruction budget).
         seq: u64,
     },
+    /// A cooperative [`CancelToken`](crate::CancelToken) tripped at an
+    /// instruction boundary — the run was asked to stop (deadline expired,
+    /// client went away, shutdown in progress). Like `InjectedFault`, never
+    /// raised by ordinary execution. Because the token is consulted at the
+    /// same retirement-order boundary in every engine tier, the boundary
+    /// ordinal `seq` is identical across Plan, Legacy, and Fused for the
+    /// same deterministic trip point.
+    Cancelled {
+        /// The 1-based ordinal of the instruction boundary where the token
+        /// was observed cancelled.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -119,6 +131,9 @@ impl fmt::Display for SimError {
             }
             SimError::InjectedFault { what, seq } => {
                 write!(f, "injected {what} fault at access {seq}")
+            }
+            SimError::Cancelled { seq } => {
+                write!(f, "cancelled at instruction boundary {seq}")
             }
         }
     }
@@ -163,6 +178,7 @@ mod tests {
                 what: "read",
                 seq: 42,
             },
+            SimError::Cancelled { seq: 7 },
         ]
     }
 
@@ -202,6 +218,10 @@ mod tests {
                 }
                 SimError::InjectedFault { what, seq } => {
                     assert!(text.contains(what), "{text}");
+                    assert!(text.contains(&seq.to_string()), "{text}");
+                }
+                SimError::Cancelled { seq } => {
+                    assert!(text.contains("cancelled"), "{text}");
                     assert!(text.contains(&seq.to_string()), "{text}");
                 }
             }

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod counters;
 mod error;
 mod exec;
@@ -63,6 +64,7 @@ mod program;
 mod snapshot;
 mod trace;
 
+pub use cancel::CancelToken;
 pub use counters::Counters;
 pub use error::{SimError, SimResult};
 pub use exec::Control;
