@@ -288,6 +288,13 @@ where
     let mut replayed: HashMap<usize, Replayed<T>> = HashMap::new();
     let writer = if opts.resume {
         let journal = read_journal(path)?;
+        // Mid-stream corruption is quarantined, not fatal: a lost record
+        // held one completed job's report, and that job simply re-runs
+        // below (it never lands in `replayed`). Surface the damage so
+        // the operator knows the disk misbehaved.
+        for entry in &journal.salvage {
+            eprintln!("rvv-batch: {}: journal salvage: {entry}", path.display());
+        }
         let on_disk = open(HEADER_KIND, HEADER_VERSION, &journal.header)
             .map_err(|e| bad(format!("journal header: {e}")))?;
         let expected = open(HEADER_KIND, HEADER_VERSION, &header).expect("fresh header");
@@ -323,18 +330,31 @@ where
     // Execute the remainder, journaling each completion as it happens.
     // The observer runs on worker threads in completion order; the writer
     // is a single append stream behind a mutex (append order does not
-    // matter — records are keyed by job index).
-    let writer = Mutex::new(writer);
+    // matter — records are keyed by job index). A failed append degrades
+    // instead of dying: journaling stops (warned once), the sweep itself
+    // finishes and returns its full result — the only thing lost is
+    // resumability from this point on.
+    let writer = Mutex::new(Some(writer));
     let crash_after = opts.crash_after;
     let live = runner.run_subset(&jobs, &remaining, &|index, report| {
-        let mut w = writer.lock().expect("journal writer poisoned");
-        let appended = w
-            .append(&encode_record(index, report))
-            .expect("journal append failed");
-        if crash_after.is_some_and(|n| appended >= n) {
-            // The deterministic kill -9: no unwinding, no Drop, no flush
-            // beyond what append already wrote.
-            std::process::abort();
+        let mut guard = writer.lock().expect("journal writer poisoned");
+        let Some(w) = guard.as_mut() else { return };
+        match w.append(&encode_record(index, report)) {
+            Ok(appended) => {
+                if crash_after.is_some_and(|n| appended >= n) {
+                    // The deterministic kill -9: no unwinding, no Drop, no
+                    // flush beyond what append already wrote.
+                    std::process::abort();
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "rvv-batch: {}: journal append failed, journaling disabled \
+                     for the rest of this run: {e}",
+                    path.display()
+                );
+                *guard = None;
+            }
         }
     });
     drop(writer);

@@ -1,0 +1,252 @@
+//! Dual-generation snapshot slots.
+//!
+//! A single snapshot file has a fatal failure mode: corrupt the one copy
+//! (bit rot, a torn overwrite on a filesystem without atomic rename, a
+//! lying fsync) and there is nothing to fall back to. A [`GenStore`]
+//! keeps **two** generations at `<base>.g0` / `<base>.g1` and alternates
+//! between them: every save writes the slot *not* holding the current
+//! best generation (via [`crate::write_atomic_on`], so each slot write is
+//! itself atomic), and every load picks the valid generation with the
+//! highest sequence number — falling back to the older one when the
+//! newer fails to [`crate::open`]. One rotten generation therefore costs
+//! one save of history, never the state itself.
+
+use crate::{fnv1a, open, seal, write_atomic_on, ByteReader, ByteWriter, StorageBackend};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The health of one generation slot, as seen by a load (doctor surface).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenSlot {
+    /// The slot file does not exist.
+    Missing,
+    /// The slot holds a valid generation with this sequence number.
+    Valid {
+        /// The generation's sequence number.
+        seq: u64,
+        /// FNV-1a digest of the generation's payload.
+        digest: u64,
+    },
+    /// The slot exists but fails verification; the string says why.
+    Corrupt(String),
+}
+
+/// A two-slot alternating-generation store (see the module docs).
+#[derive(Debug)]
+pub struct GenStore {
+    backend: Arc<dyn StorageBackend>,
+    slots: [PathBuf; 2],
+    kind: String,
+    version: u16,
+}
+
+fn slot_paths(base: &Path) -> [PathBuf; 2] {
+    let mk = |i: u32| {
+        let mut name = base
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        name.push_str(&format!(".g{i}"));
+        base.with_file_name(name)
+    };
+    [mk(0), mk(1)]
+}
+
+impl GenStore {
+    /// A store over `<base>.g0` / `<base>.g1` through `backend`. `kind`
+    /// and `version` are the [`crate::seal`] frame parameters — a slot
+    /// written by a different owner or layout version reads as corrupt,
+    /// never as data.
+    pub fn new(
+        backend: Arc<dyn StorageBackend>,
+        base: impl AsRef<Path>,
+        kind: &str,
+        version: u16,
+    ) -> GenStore {
+        GenStore {
+            backend,
+            slots: slot_paths(base.as_ref()),
+            kind: kind.to_owned(),
+            version,
+        }
+    }
+
+    /// The two slot paths (doctor surface).
+    pub fn paths(&self) -> &[PathBuf; 2] {
+        &self.slots
+    }
+
+    /// Inspect both slots without choosing.
+    pub fn status(&self) -> [GenSlot; 2] {
+        [self.slot_status(0), self.slot_status(1)]
+    }
+
+    fn slot_status(&self, i: usize) -> GenSlot {
+        let path = &self.slots[i];
+        if !self.backend.exists(path) {
+            return GenSlot::Missing;
+        }
+        let bytes = match self.backend.read(path) {
+            Ok(b) => b,
+            Err(e) => return GenSlot::Corrupt(format!("read failed: {e}")),
+        };
+        match open(&self.kind, self.version, &bytes) {
+            Ok(payload) => {
+                let mut r = ByteReader::new(payload);
+                match r.get_u64().and_then(|seq| {
+                    let data = r.get_bytes()?;
+                    Ok((seq, fnv1a(data)))
+                }) {
+                    Ok((seq, digest)) => GenSlot::Valid { seq, digest },
+                    Err(e) => GenSlot::Corrupt(format!("payload: {e}")),
+                }
+            }
+            Err(e) => GenSlot::Corrupt(e.to_string()),
+        }
+    }
+
+    /// Which slot holds the best (valid, highest-seq) generation?
+    fn best(&self) -> Option<(usize, u64)> {
+        let mut best = None;
+        for (i, s) in self.status().into_iter().enumerate() {
+            if let GenSlot::Valid { seq, .. } = s {
+                if best.is_none_or(|(_, b)| seq > b) {
+                    best = Some((i, seq));
+                }
+            }
+        }
+        best
+    }
+
+    /// Load the newest valid generation: `Ok(Some((seq, data)))`, or
+    /// `Ok(None)` when neither slot exists yet, or `Err` when slots exist
+    /// but **none** verifies (both generations rotted — the one storage
+    /// state a dual-generation store cannot survive).
+    pub fn load(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        match self.best() {
+            Some((i, _)) => {
+                let bytes = self.backend.read(&self.slots[i])?;
+                let payload = open(&self.kind, self.version, &bytes)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let mut r = ByteReader::new(payload);
+                let seq = r.get_u64().map_err(io::Error::from)?;
+                let data = r.get_bytes().map_err(io::Error::from)?.to_vec();
+                Ok(Some((seq, data)))
+            }
+            None => {
+                let status = self.status();
+                if status.iter().all(|s| *s == GenSlot::Missing) {
+                    return Ok(None);
+                }
+                let detail: Vec<String> = self
+                    .slots
+                    .iter()
+                    .zip(&status)
+                    .map(|(p, s)| format!("{}: {s:?}", p.display()))
+                    .collect();
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("no valid snapshot generation ({})", detail.join("; ")),
+                ))
+            }
+        }
+    }
+
+    /// Write `data` as the next generation into the slot *not* holding
+    /// the current best one (so a failure mid-save can at worst lose the
+    /// save, never the previous generation). Returns the new sequence
+    /// number.
+    pub fn save(&self, data: &[u8]) -> io::Result<u64> {
+        let (target, seq) = match self.best() {
+            Some((best, seq)) => (1 - best, seq + 1),
+            None => (0, 1),
+        };
+        let mut w = ByteWriter::new();
+        w.put_u64(seq);
+        w.put_bytes(data);
+        let frame = seal(&self.kind, self.version, &w.into_bytes());
+        write_atomic_on(&self.backend, &self.slots[target], &frame)?;
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChaosBackend, ChaosPlan};
+
+    fn store(backend: &Arc<ChaosBackend>) -> GenStore {
+        let b: Arc<dyn StorageBackend> = Arc::clone(backend) as _;
+        GenStore::new(b, "/snaps/state", "test-snap", 1)
+    }
+
+    fn chaos() -> Arc<ChaosBackend> {
+        let b = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+        b.install(Path::new("/snaps/.keep"), b"");
+        b
+    }
+
+    #[test]
+    fn save_alternates_slots_and_load_prefers_newest() {
+        let backend = chaos();
+        let s = store(&backend);
+        assert_eq!(s.load().unwrap(), None);
+        assert_eq!(s.save(b"one").unwrap(), 1);
+        assert_eq!(s.load().unwrap(), Some((1, b"one".to_vec())));
+        assert_eq!(s.save(b"two").unwrap(), 2);
+        assert_eq!(s.load().unwrap(), Some((2, b"two".to_vec())));
+        // Both slots exist now, holding different generations.
+        assert!(backend.exists(&s.paths()[0]) && backend.exists(&s.paths()[1]));
+        assert_eq!(s.save(b"three").unwrap(), 3);
+        assert_eq!(s.load().unwrap(), Some((3, b"three".to_vec())));
+    }
+
+    #[test]
+    fn corrupt_newer_generation_falls_back_to_older() {
+        let backend = chaos();
+        let s = store(&backend);
+        s.save(b"old state").unwrap();
+        s.save(b"new state").unwrap();
+        // Rot a byte of the newer slot (whichever holds seq 2).
+        let newer = s
+            .status()
+            .iter()
+            .position(|st| matches!(st, GenSlot::Valid { seq: 2, .. }))
+            .unwrap();
+        let path = &s.paths()[newer];
+        let len = backend.contents(path).unwrap().len();
+        backend.flip_at_rest(path, (len - 1) as u64, 0x01);
+        assert_eq!(
+            s.load().unwrap(),
+            Some((1, b"old state".to_vec())),
+            "fell back to the older valid generation"
+        );
+        // The next save overwrites the corrupt slot and recovers.
+        assert_eq!(s.save(b"healed").unwrap(), 2);
+        assert_eq!(s.load().unwrap(), Some((2, b"healed".to_vec())));
+    }
+
+    #[test]
+    fn both_generations_corrupt_is_an_error_not_garbage() {
+        let backend = chaos();
+        let s = store(&backend);
+        s.save(b"a").unwrap();
+        s.save(b"b").unwrap();
+        for p in s.paths() {
+            backend.flip_at_rest(p, 6, 0xff);
+        }
+        assert!(s.load().is_err());
+    }
+
+    #[test]
+    fn wrong_kind_reads_as_corrupt() {
+        let backend = chaos();
+        let s = store(&backend);
+        s.save(b"payload").unwrap();
+        let other: Arc<dyn StorageBackend> = Arc::clone(&backend) as _;
+        let wrong = GenStore::new(other, "/snaps/state", "other-kind", 1);
+        assert!(wrong.load().is_err());
+        assert!(matches!(wrong.status()[0], GenSlot::Corrupt(_)));
+    }
+}

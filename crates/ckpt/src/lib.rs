@@ -6,21 +6,38 @@
 //! ([`seal`]/[`open`]) used by machine and environment snapshots, a
 //! length-prefixed FNV-checksummed write-ahead journal
 //! ([`JournalWriter`]/[`read_journal`]) whose reader tolerates a torn
-//! tail, and [`write_atomic`] (write-temp-then-rename) so a crash never
-//! leaves a truncated manifest.
+//! tail *and salvages around mid-stream corruption* (see
+//! [`SalvageEntry`]), [`write_atomic`] (write-temp-then-rename) so a
+//! crash never leaves a truncated manifest, and dual-generation snapshot
+//! slots ([`GenStore`]) that fall back to the older valid generation when
+//! the newer one rots.
 //!
-//! The design contract shared by all four pieces: **a reader either
+//! All of it runs over a pluggable [`StorageBackend`] — the real
+//! filesystem in production, a deterministic fault-injecting
+//! [`ChaosBackend`] under test — so the durability contracts are
+//! *exercised*, not assumed.
+//!
+//! The design contract shared by all the pieces: **a reader either
 //! reproduces exactly what the writer recorded or reports why it cannot**
-//! — never a silently corrupt value.
+//! — never a silently corrupt value. With salvage, "reports why" is
+//! per-record: a flipped byte quarantines one record (offset + reason in
+//! the salvage manifest), never the rest of the journal.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+pub mod doctor;
+mod gen;
 pub mod queue;
+mod storage;
+
+pub use gen::{GenSlot, GenStore};
+pub use storage::{fs_backend, ChaosBackend, ChaosPlan, FsBackend, StorageBackend, StorageFile};
 
 /// Directory-entry syncs performed (test observability for the
 /// rename-durability contract — see [`sync_dir`]).
@@ -374,54 +391,130 @@ pub fn open<'a>(kind: &str, version: u16, bytes: &'a [u8]) -> Result<&'a [u8], C
 /// all little-endian, digest = FNV-1a over the payload.
 const RECORD_HEADER: usize = 4 + 8;
 
+/// One quarantined byte range of a journal: a record (or what was left of
+/// one) that failed its checksum mid-stream and was skipped, not trusted.
+///
+/// A salvage entry is *evidence*: the reader keeps the corrupt bytes in
+/// place (resume does not truncate them — they sit before `valid_len`),
+/// records exactly where and why it skipped, and the layers above decide
+/// what the loss means (a lost `Done` record re-runs its job; a lost
+/// `Submit` is reconstructed from its surviving `Done`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageEntry {
+    /// Byte offset of the quarantined range in the file.
+    pub offset: u64,
+    /// Length of the quarantined range.
+    pub len: u64,
+    /// Why the range was quarantined (checksum mismatch, bad length…).
+    pub reason: String,
+}
+
+impl fmt::Display for SalvageEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quarantined {} bytes at offset {}: {}",
+            self.len, self.offset, self.reason
+        )
+    }
+}
+
 /// A write-ahead journal file read back from disk.
 ///
 /// The first record is the caller's header (typically a [`seal`]ed
 /// description of the job list); the rest are data records in append
-/// order. `valid_len` is the byte length of the well-formed prefix — a
-/// torn or corrupt tail (the expected result of killing a writer
-/// mid-append) is dropped, and a resuming writer truncates to
-/// `valid_len` before appending.
+/// order. `valid_len` is the byte length of the parsed prefix (valid
+/// records plus any quarantined ranges) — a torn tail (the expected
+/// result of killing a writer mid-append) is dropped, and a resuming
+/// writer truncates to `valid_len` before appending. Mid-stream
+/// corruption does **not** end the parse: the reader quarantines the bad
+/// range into `salvage` and resynchronizes on the next record whose
+/// checksum verifies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Journal {
     /// Payload of the header record.
     pub header: Vec<u8>,
     /// Data-record payloads, in append order.
     pub records: Vec<Vec<u8>>,
-    /// Byte length of the valid prefix of the file.
+    /// Byte length of the parsed prefix of the file.
     pub valid_len: u64,
+    /// Quarantined mid-stream ranges, in file order (empty = clean read).
+    pub salvage: Vec<SalvageEntry>,
 }
 
-/// Read a journal file, tolerating a torn tail.
+/// Is there a well-formed record at `bytes[pos..]`?
+fn record_at(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    let rest = &bytes[pos..];
+    if rest.len() < RECORD_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let stamped = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+    let payload = rest.get(RECORD_HEADER..RECORD_HEADER + len)?;
+    if fnv1a(payload) != stamped {
+        return None;
+    }
+    Some((payload, RECORD_HEADER + len))
+}
+
+/// Parse journal bytes, salvaging around corruption (see [`Journal`]).
 ///
-/// Errors only on I/O failure or when even the header record is absent
-/// or corrupt (the file is not a journal / was killed before the header
-/// fsync completed — nothing can be resumed from it).
-pub fn read_journal(path: &Path) -> io::Result<Journal> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+/// Errors only when even the header record is absent or corrupt — the
+/// bytes are not a journal, or the writer was killed before the header
+/// fsync completed; nothing can be resumed from them.
+pub fn parse_journal(bytes: &[u8], label: &str) -> io::Result<Journal> {
     let mut records = Vec::new();
+    let mut salvage = Vec::new();
     let mut pos = 0usize;
-    loop {
-        let rest = &bytes[pos..];
-        if rest.len() < RECORD_HEADER {
-            break;
+    while bytes.len() - pos >= RECORD_HEADER {
+        if let Some((payload, sz)) = record_at(bytes, pos) {
+            records.push(payload.to_vec());
+            pos += sz;
+            continue;
         }
-        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
-        let stamped = u64::from_le_bytes(rest[4..12].try_into().unwrap());
-        let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
-            break; // torn tail: length prefix outruns the file
+        // Bad record. Distinguish a torn tail (nothing valid follows —
+        // truncate and resume) from mid-stream corruption (a later record
+        // still verifies — quarantine this range and resynchronize). The
+        // 64-bit payload checksum makes a false resync vanishingly
+        // unlikely: a candidate must checksum-verify to be accepted.
+        let reason = {
+            let rest = &bytes[pos..];
+            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+            if rest.len() < RECORD_HEADER + len {
+                format!(
+                    "length prefix {len} outruns the file ({} bytes remain)",
+                    rest.len() - RECORD_HEADER
+                )
+            } else {
+                let stamped = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+                let computed = fnv1a(&rest[RECORD_HEADER..RECORD_HEADER + len]);
+                format!("payload checksum mismatch (stamped {stamped:#018x}, computed {computed:#018x})")
+            }
         };
-        if fnv1a(payload) != stamped {
-            break; // torn or corrupt tail
+        let resync = (pos + 1..=bytes.len().saturating_sub(RECORD_HEADER))
+            .find(|&cand| record_at(bytes, cand).is_some());
+        match resync {
+            Some(cand) => {
+                if records.is_empty() {
+                    // The *header* record is the corrupt one: the journal
+                    // cannot be bound to an owner, so nothing after it can
+                    // be trusted either.
+                    break;
+                }
+                salvage.push(SalvageEntry {
+                    offset: pos as u64,
+                    len: (cand - pos) as u64,
+                    reason,
+                });
+                pos = cand;
+            }
+            None => break, // torn tail: truncate here on resume
         }
-        records.push(payload.to_vec());
-        pos += RECORD_HEADER + len;
     }
     if records.is_empty() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("{}: no valid journal header record", path.display()),
+            format!("{label}: no valid journal header record"),
         ));
     }
     let header = records.remove(0);
@@ -429,7 +522,20 @@ pub fn read_journal(path: &Path) -> io::Result<Journal> {
         header,
         records,
         valid_len: pos as u64,
+        salvage,
     })
+}
+
+/// Read a journal file from the real filesystem (see [`read_journal_on`]).
+pub fn read_journal(path: &Path) -> io::Result<Journal> {
+    read_journal_on(&fs_backend(), path)
+}
+
+/// Read a journal file through `backend`, tolerating a torn tail and
+/// salvaging around mid-stream corruption (see [`parse_journal`]).
+pub fn read_journal_on(backend: &Arc<dyn StorageBackend>, path: &Path) -> io::Result<Journal> {
+    let bytes = backend.read(path)?;
+    parse_journal(&bytes, &path.display().to_string())
 }
 
 /// Appending side of the write-ahead journal.
@@ -441,21 +547,42 @@ pub fn read_journal(path: &Path) -> io::Result<Journal> {
 /// exists from the first instant.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     fsync_every: u32,
     unsynced: u32,
     appended: u64,
 }
 
+/// The parent directory of `path` for dir-sync purposes (`.` when the
+/// path has no parent component).
+fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
 impl JournalWriter {
-    /// Create (truncate) `path` and write + fsync the header record.
+    /// Create (truncate) `path` on the real filesystem — see
+    /// [`JournalWriter::create_on`].
     pub fn create(path: &Path, header: &[u8], fsync_every: u32) -> io::Result<Self> {
+        Self::create_on(&fs_backend(), path, header, fsync_every)
+    }
+
+    /// Create (truncate) `path` through `backend` and write + fsync the
+    /// header record.
+    pub fn create_on(
+        backend: &Arc<dyn StorageBackend>,
+        path: &Path,
+        header: &[u8],
+        fsync_every: u32,
+    ) -> io::Result<Self> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir)?;
+                backend.create_dir_all(dir)?;
             }
         }
-        let file = File::create(path)?;
+        let file = backend.create(path)?;
         let mut w = Self {
             file,
             fsync_every,
@@ -466,31 +593,38 @@ impl JournalWriter {
         w.file.sync_all()?;
         // The journal's directory entry must be durable too, or a crash
         // right after create could lose the whole (fsynced) file.
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                sync_dir(dir)?;
-            } else {
-                sync_dir(Path::new("."))?;
-            }
-        }
+        backend.sync_dir(&parent_dir(path))?;
         w.unsynced = 0;
         w.appended = 0; // the header is not a data record
         Ok(w)
     }
 
-    /// Reopen an existing journal for appending, truncating the torn
-    /// tail first: `valid_len` comes from [`read_journal`].
+    /// Reopen an existing journal on the real filesystem — see
+    /// [`JournalWriter::resume_on`].
     pub fn resume(path: &Path, valid_len: u64, fsync_every: u32) -> io::Result<Self> {
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut w = Self {
+        Self::resume_on(&fs_backend(), path, valid_len, fsync_every)
+    }
+
+    /// Reopen an existing journal for appending through `backend`,
+    /// truncating the torn tail first: `valid_len` comes from
+    /// [`read_journal`]. The truncation is fsynced before this returns —
+    /// without that, a crash immediately after resume could resurrect
+    /// the discarded tail and interleave it with freshly appended
+    /// records.
+    pub fn resume_on(
+        backend: &Arc<dyn StorageBackend>,
+        path: &Path,
+        valid_len: u64,
+        fsync_every: u32,
+    ) -> io::Result<Self> {
+        let mut file = backend.open_append(path, valid_len)?;
+        file.sync_all()?;
+        Ok(Self {
             file,
             fsync_every,
             unsynced: 0,
             appended: 0,
-        };
-        w.file.seek(SeekFrom::Start(valid_len))?;
-        Ok(w)
+        })
     }
 
     fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
@@ -534,11 +668,16 @@ impl JournalWriter {
 /// point leaves either the old file or the new one — never a truncated
 /// hybrid.
 pub fn write_atomic(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
-    let path = path.as_ref();
-    let dir = match path.parent() {
-        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
-        _ => PathBuf::from("."),
-    };
+    write_atomic_on(&fs_backend(), path.as_ref(), bytes.as_ref())
+}
+
+/// [`write_atomic`] through an explicit [`StorageBackend`].
+pub fn write_atomic_on(
+    backend: &Arc<dyn StorageBackend>,
+    path: &Path,
+    bytes: &[u8],
+) -> io::Result<()> {
+    let dir = parent_dir(path);
     let name = path
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
@@ -546,17 +685,18 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Resu
         .into_owned();
     let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
     let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes.as_ref())?;
+        let mut f = backend.create(&tmp)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
-        fs::rename(&tmp, path)?;
+        drop(f);
+        backend.rename(&tmp, path)?;
         // The rename is atomic but not durable until the directory entry
         // is synced — without this, power loss after `write_atomic`
         // returns could resurrect the old file.
-        sync_dir(&dir)
+        backend.sync_dir(&dir)
     })();
     if result.is_err() {
-        let _ = fs::remove_file(&tmp);
+        let _ = backend.remove_file(&tmp);
     }
     result
 }
@@ -564,6 +704,7 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Resu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!(

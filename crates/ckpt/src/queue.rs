@@ -13,11 +13,23 @@
 //! Payloads are opaque bytes: the queue does not interpret them. The
 //! serve layer stores a job-spec string in the submit record and the
 //! job's stable report line in the done record.
+//!
+//! Replay salvages around mid-stream corruption (see
+//! [`crate::SalvageEntry`]): a quarantined `Done` leaves its job pending
+//! (it re-runs deterministically), and a quarantined `Submit` whose
+//! `Done` survived is reconstructed from the completion — the orphan-done
+//! hard error only applies to journals with *no* quarantined ranges,
+//! where an orphan proves a writer protocol violation rather than lost
+//! bytes.
 
-use crate::{open, read_journal, seal, ByteReader, ByteWriter, JournalWriter};
+use crate::{
+    fs_backend, open, read_journal_on, seal, ByteReader, ByteWriter, JournalWriter, SalvageEntry,
+    StorageBackend,
+};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 const HEADER_KIND: &str = "rvv-queue-journal";
 const HEADER_VERSION: u16 = 1;
@@ -64,6 +76,11 @@ pub struct QueueRecovery {
     pub completed: Vec<QueueItem>,
     /// The highest job id seen; id assignment resumes above it.
     pub max_id: u64,
+    /// Quarantined byte ranges the reader skipped (empty = clean replay).
+    /// Non-empty salvage means some history was lost: the affected jobs
+    /// are accounted for (re-run or reconstructed), but callers should
+    /// surface the loss.
+    pub salvage: Vec<SalvageEntry>,
 }
 
 /// The appending side of the durable queue.
@@ -115,8 +132,18 @@ impl QueueJournal {
     /// journal to its owner (the serve layer stamps its engine
     /// configuration) so a resume against the wrong service is refused.
     pub fn create(path: &Path, tag: &str, fsync_every: u32) -> io::Result<QueueJournal> {
+        Self::create_on(&fs_backend(), path, tag, fsync_every)
+    }
+
+    /// [`QueueJournal::create`] through an explicit [`StorageBackend`].
+    pub fn create_on(
+        backend: &Arc<dyn StorageBackend>,
+        path: &Path,
+        tag: &str,
+        fsync_every: u32,
+    ) -> io::Result<QueueJournal> {
         Ok(QueueJournal {
-            writer: JournalWriter::create(path, &header(tag), fsync_every)?,
+            writer: JournalWriter::create_on(backend, path, &header(tag), fsync_every)?,
         })
     }
 
@@ -129,7 +156,17 @@ impl QueueJournal {
         tag: &str,
         fsync_every: u32,
     ) -> io::Result<(QueueJournal, QueueRecovery)> {
-        let journal = read_journal(path)?;
+        Self::resume_on(&fs_backend(), path, tag, fsync_every)
+    }
+
+    /// [`QueueJournal::resume`] through an explicit [`StorageBackend`].
+    pub fn resume_on(
+        backend: &Arc<dyn StorageBackend>,
+        path: &Path,
+        tag: &str,
+        fsync_every: u32,
+    ) -> io::Result<(QueueJournal, QueueRecovery)> {
+        let journal = read_journal_on(backend, path)?;
         let bad = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
         let payload = open(HEADER_KIND, HEADER_VERSION, &journal.header)
             .map_err(|e| bad(format!("{}: {e}", path.display())))?;
@@ -156,12 +193,20 @@ impl QueueJournal {
                     max_id = max_id.max(id);
                 }
                 QueueEntry::Done { id, payload } => {
-                    if !submitted.contains_key(&id) {
-                        return Err(bad(format!(
-                            "{}: done record for job {id} without a submit",
-                            path.display()
-                        )));
-                    }
+                    if !submitted.contains_key(&id)
+                        && journal.salvage.is_empty() {
+                            // A clean journal with an orphan done means the
+                            // writer protocol was violated; replay refuses
+                            // rather than inventing history.
+                            return Err(bad(format!(
+                                "{}: done record for job {id} without a submit",
+                                path.display()
+                            )));
+                        }
+                        // The submit record was evidently inside a
+                        // quarantined range: the completion is the proof
+                        // the job was accepted *and* finished, so recover
+                        // it as completed rather than discarding it.
                     // First completion wins: a crash can land between a
                     // re-run and its done append, so duplicates are legal
                     // — and byte-identical for deterministic jobs anyway.
@@ -184,8 +229,9 @@ impl QueueJournal {
                 .map(|(id, payload)| QueueItem { id, payload })
                 .collect(),
             max_id,
+            salvage: journal.salvage,
         };
-        let writer = JournalWriter::resume(path, journal.valid_len, fsync_every)?;
+        let writer = JournalWriter::resume_on(backend, path, journal.valid_len, fsync_every)?;
         Ok((QueueJournal { writer }, recovery))
     }
 

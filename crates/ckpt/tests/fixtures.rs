@@ -1,0 +1,137 @@
+//! Pin the committed corrupted-journal fixtures under `tests/fixtures/`
+//! to their deterministic generators, and the golden digests CI's
+//! `rvv-doctor verify` leg asserts against.
+//!
+//! Regenerate after an intentional format change with:
+//! `GOLDEN_REGEN=1 cargo test -p rvv-ckpt --test fixtures`.
+
+use rvv_ckpt::doctor::{self, Health};
+use rvv_ckpt::queue::QueueJournal;
+use rvv_ckpt::{ChaosBackend, ChaosPlan, StorageBackend};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const TAG: &str = "rvv-fixture";
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// The clean reference journal: header, S1, S2, S3, D2.
+fn clean_bytes() -> Vec<u8> {
+    let chaos = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+    let backend: Arc<dyn StorageBackend> = Arc::clone(&chaos) as _;
+    let p = Path::new("/fix/q.journal");
+    let mut q = QueueJournal::create_on(&backend, p, TAG, 1).unwrap();
+    q.submit(1, b"plus_scan n=256 seed=1").unwrap();
+    q.submit(2, b"p_add n=256 seed=2").unwrap();
+    q.submit(3, b"seg_scan n=256 seed=3").unwrap();
+    q.complete(2, b"job=2 status=ok digest=0xfeedbeef").unwrap();
+    drop(q);
+    chaos.contents(p).unwrap()
+}
+
+/// Byte spans of each record frame, header first.
+fn record_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut pos = 0;
+    while pos + 12 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        spans.push((pos, 12 + len));
+        pos += 12 + len;
+    }
+    spans
+}
+
+/// Fixture: one interior record (S2) corrupted by a single bitflip.
+fn interior_bitflip_bytes() -> Vec<u8> {
+    let mut bytes = clean_bytes();
+    let (start, _) = record_spans(&bytes)[2];
+    bytes[start + 15] ^= 0x20; // inside S2's payload
+    bytes
+}
+
+/// Fixture: the header record's payload destroyed — nothing trustworthy.
+fn no_header_bytes() -> Vec<u8> {
+    let mut bytes = clean_bytes();
+    bytes[16] ^= 0xff;
+    bytes
+}
+
+fn golden_text() -> String {
+    let chaos = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+    let backend: Arc<dyn StorageBackend> = Arc::clone(&chaos) as _;
+    let p = Path::new("/fix/interior-bitflip.queuejournal");
+    chaos.install(p, &interior_bitflip_bytes());
+    let report = doctor::inspect(&backend, p);
+    assert_eq!(report.health, Health::Salvageable);
+    format!(
+        "# golden digests for the committed journal fixtures\n\
+         # (regenerate with GOLDEN_REGEN=1 cargo test -p rvv-ckpt --test fixtures)\n\
+         interior-bitflip records={} records_digest={:#018x}\n",
+        report.records,
+        report.records_digest.unwrap()
+    )
+}
+
+fn pin(name: &str, expected: &[u8]) {
+    let path = fixture_dir().join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+        std::fs::write(&path, expected).unwrap();
+        return;
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with GOLDEN_REGEN=1 to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed,
+        expected,
+        "{}: committed fixture drifted from its generator",
+        path.display()
+    );
+}
+
+#[test]
+fn committed_fixtures_match_their_generators() {
+    pin("clean.queuejournal", &clean_bytes());
+    pin("interior-bitflip.queuejournal", &interior_bitflip_bytes());
+    pin("no-header.queuejournal", &no_header_bytes());
+    pin("golden.txt", golden_text().as_bytes());
+}
+
+#[test]
+fn fixtures_grade_as_documented() {
+    let chaos = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+    let backend: Arc<dyn StorageBackend> = Arc::clone(&chaos) as _;
+
+    let clean = Path::new("/g/clean.queuejournal");
+    chaos.install(clean, &clean_bytes());
+    assert_eq!(doctor::inspect(&backend, clean).health, Health::Clean);
+
+    let interior = Path::new("/g/interior-bitflip.queuejournal");
+    chaos.install(interior, &interior_bitflip_bytes());
+    let report = doctor::inspect(&backend, interior);
+    assert_eq!(report.health, Health::Salvageable);
+    assert_eq!(report.records, 3, "S1, S3, D2 survive; S2 is quarantined");
+    assert_eq!(report.salvage.len(), 1);
+
+    let no_header = Path::new("/g/no-header.queuejournal");
+    chaos.install(no_header, &no_header_bytes());
+    assert_eq!(doctor::inspect(&backend, no_header).health, Health::Fatal);
+
+    // Repairing the interior-bitflip fixture compacts it to a clean
+    // journal with the same records digest — the CI contract.
+    let repaired = doctor::repair(&backend, interior).unwrap();
+    assert_eq!(repaired.health, Health::Clean);
+    assert_eq!(repaired.records_digest, report.records_digest);
+    assert!(
+        golden_text().contains(&format!("{:#018x}", repaired.records_digest.unwrap())),
+        "golden.txt pins the post-salvage digest"
+    );
+}

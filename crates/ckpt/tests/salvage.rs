@@ -1,0 +1,174 @@
+//! Exhaustive mid-file corruption coverage: a bitflip at *every* byte
+//! offset of an interior journal record must quarantine exactly that
+//! record — never truncate the rest of the journal, never go unnoticed,
+//! and never change which jobs the queue replay recovers.
+
+use rvv_ckpt::queue::{QueueJournal, QueueRecovery};
+use rvv_ckpt::{parse_journal, ChaosBackend, ChaosPlan, StorageBackend};
+use std::path::Path;
+use std::sync::Arc;
+
+const TAG: &str = "salvage-test";
+const PATH: &str = "/q/q.journal";
+
+/// Build the reference journal: header, S1, S2, S3, D2, S4.
+fn build() -> Vec<u8> {
+    let chaos = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+    let backend: Arc<dyn StorageBackend> = Arc::clone(&chaos) as _;
+    let mut q = QueueJournal::create_on(&backend, Path::new(PATH), TAG, 1).unwrap();
+    q.submit(1, b"job-one").unwrap();
+    q.submit(2, b"job-two").unwrap();
+    q.submit(3, b"job-three").unwrap();
+    q.complete(2, b"result-two").unwrap();
+    q.submit(4, b"job-four").unwrap();
+    chaos.contents(Path::new(PATH)).unwrap()
+}
+
+/// `(offset, size)` of each record frame in the file, header first.
+fn record_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut pos = 0;
+    while pos + 12 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        spans.push((pos, 12 + len));
+        pos += 12 + len;
+    }
+    assert_eq!(pos, bytes.len(), "journal parses into whole records");
+    spans
+}
+
+fn resume_over(bytes: &[u8]) -> QueueRecovery {
+    let chaos = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+    chaos.install(Path::new(PATH), bytes);
+    let backend: Arc<dyn StorageBackend> = Arc::clone(&chaos) as _;
+    let (_q, rec) = QueueJournal::resume_on(&backend, Path::new(PATH), TAG, 1).unwrap();
+    rec
+}
+
+fn ids(items: &[rvv_ckpt::queue::QueueItem]) -> Vec<u64> {
+    items.iter().map(|i| i.id).collect()
+}
+
+#[test]
+fn bitflip_at_every_offset_of_an_interior_record_quarantines_exactly_it() {
+    let clean = build();
+    let spans = record_spans(&clean);
+    assert_eq!(spans.len(), 6, "header + 5 data records");
+
+    // Record index 4 in the file is D2 (done for job 2): interior, with a
+    // live record (S4) after it.
+    let (start, size) = spans[4];
+    for offset in start..start + size {
+        for mask in [0x01u8, 0x80] {
+            let mut bytes = clean.clone();
+            bytes[offset] ^= mask;
+            let j = parse_journal(&bytes, "test")
+                .unwrap_or_else(|e| panic!("offset {offset} mask {mask:#04x}: parse failed: {e}"));
+            assert_eq!(
+                j.salvage.len(),
+                1,
+                "offset {offset}: exactly one quarantined range"
+            );
+            let s = &j.salvage[0];
+            assert_eq!(s.offset, start as u64, "offset {offset}: quarantine start");
+            assert_eq!(s.len, size as u64, "offset {offset}: quarantine length");
+            assert!(
+                s.reason.contains("checksum mismatch") || s.reason.contains("length prefix"),
+                "offset {offset}: reason {:?}",
+                s.reason
+            );
+            // Every other record survives: S1 S2 S3 S4 (D2 lost).
+            assert_eq!(j.records.len(), 4, "offset {offset}");
+            assert_eq!(
+                j.valid_len,
+                clean.len() as u64,
+                "offset {offset}: quarantined bytes stay inside the valid prefix"
+            );
+            // The queue replay re-pends job 2 deterministically.
+            let rec = resume_over(&bytes);
+            assert_eq!(ids(&rec.pending), vec![1, 2, 3, 4], "offset {offset}");
+            assert!(rec.completed.is_empty(), "offset {offset}");
+            assert_eq!(rec.salvage, j.salvage, "offset {offset}");
+        }
+    }
+}
+
+#[test]
+fn corrupt_submit_is_reconstructed_from_its_surviving_done() {
+    let clean = build();
+    let spans = record_spans(&clean);
+    let (start, size) = spans[2]; // S2
+    for offset in start..start + size {
+        let mut bytes = clean.clone();
+        bytes[offset] ^= 0x10;
+        let rec = resume_over(&bytes);
+        assert_eq!(
+            ids(&rec.pending),
+            vec![1, 3, 4],
+            "offset {offset}: job 2's submit is gone but its done survives"
+        );
+        assert_eq!(ids(&rec.completed), vec![2], "offset {offset}");
+        assert_eq!(
+            rec.completed[0].payload, b"result-two",
+            "offset {offset}: the recorded result replays verbatim"
+        );
+        assert_eq!(rec.salvage.len(), 1, "offset {offset}");
+        assert_eq!(rec.max_id, 4, "offset {offset}");
+    }
+}
+
+#[test]
+fn orphan_done_without_salvage_is_still_refused() {
+    // The salvage-aware orphan rule must not weaken the clean-journal
+    // protocol check: an orphan done in an *undamaged* journal is a
+    // writer bug, not lost bytes.
+    let chaos = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+    let backend: Arc<dyn StorageBackend> = Arc::clone(&chaos) as _;
+    let mut q = QueueJournal::create_on(&backend, Path::new(PATH), TAG, 1).unwrap();
+    q.complete(99, b"ghost").unwrap();
+    drop(q);
+    assert!(QueueJournal::resume_on(&backend, Path::new(PATH), TAG, 1).is_err());
+}
+
+#[test]
+fn salvage_and_resume_are_deterministic() {
+    let clean = build();
+    let spans = record_spans(&clean);
+    let (start, _) = spans[4];
+    let mut bytes = clean.clone();
+    bytes[start + 13] ^= 0x04;
+    let a = resume_over(&bytes);
+    let b = resume_over(&bytes);
+    assert_eq!(a.pending, b.pending);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.salvage, b.salvage);
+    assert_eq!(a.max_id, b.max_id);
+}
+
+#[test]
+fn resume_preserves_quarantined_bytes_and_appends_cleanly() {
+    let clean = build();
+    let spans = record_spans(&clean);
+    let (start, size) = spans[4]; // D2
+    let mut bytes = clean.clone();
+    bytes[start + 14] ^= 0x01;
+
+    let chaos = Arc::new(ChaosBackend::new(ChaosPlan::quiet()));
+    chaos.install(Path::new(PATH), &bytes);
+    let backend: Arc<dyn StorageBackend> = Arc::clone(&chaos) as _;
+    let (mut q, rec) = QueueJournal::resume_on(&backend, Path::new(PATH), TAG, 1).unwrap();
+    assert_eq!(ids(&rec.pending), vec![1, 2, 3, 4]);
+
+    // Job 2 re-runs and completes again after resume.
+    q.complete(2, b"result-two").unwrap();
+    drop(q);
+
+    // The quarantined range is still in the file (evidence, not erased)…
+    let after = chaos.contents(Path::new(PATH)).unwrap();
+    assert_eq!(&after[start..start + size], &bytes[start..start + size]);
+    // …and a fresh replay sees the journal healed: job 2 completed.
+    let (_q, rec) = QueueJournal::resume_on(&backend, Path::new(PATH), TAG, 1).unwrap();
+    assert_eq!(ids(&rec.pending), vec![1, 3, 4]);
+    assert_eq!(ids(&rec.completed), vec![2]);
+    assert_eq!(rec.salvage.len(), 1, "the old quarantine is still reported");
+}

@@ -485,6 +485,131 @@ impl ServeFault {
     }
 }
 
+// -------------------------------------------------------- storage chaos --
+
+/// What a storage-chaos case does to a journal (or its backend).
+///
+/// The first three are *file surgery* — applied to journal bytes between
+/// a kill and a resume, standing in for bit rot and torn writes at rest.
+/// [`StorageFaultKind::LyingFsync`] is a *backend* behaviour (fsyncs that
+/// report success without persisting), driven through the chaos storage
+/// backend rather than byte editing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// Flip one bit of an interior record's payload.
+    BitflipRecord,
+    /// Flip one bit of an interior record's length prefix.
+    BitflipLength,
+    /// Truncate the journal mid-record (a torn tail).
+    TornTail,
+    /// Run the writer over a backend whose fsyncs sometimes lie, then
+    /// crash it.
+    LyingFsync,
+}
+
+impl StorageFaultKind {
+    /// All kinds, in matrix order — the ablation iterates this.
+    pub const ALL: [StorageFaultKind; 4] = [
+        StorageFaultKind::BitflipRecord,
+        StorageFaultKind::BitflipLength,
+        StorageFaultKind::TornTail,
+        StorageFaultKind::LyingFsync,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            StorageFaultKind::BitflipRecord => "bitflip-record",
+            StorageFaultKind::BitflipLength => "bitflip-length",
+            StorageFaultKind::TornTail => "torn-tail",
+            StorageFaultKind::LyingFsync => "lying-fsync",
+        }
+    }
+}
+
+impl fmt::Display for StorageFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for StorageFaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StorageFaultKind, String> {
+        StorageFaultKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("storage fault kind `{s}`: unknown"))
+    }
+}
+
+/// One storage-chaos case: a fault kind plus seeded skews that pick the
+/// exact victim. `record_skew` selects which interior record (the harness
+/// takes it modulo the count of eligible records); `byte_skew` selects
+/// the byte/bit within it (modulo the record's size). Pure function of
+/// `(seed, case)` via [`StorageFault::derive`], keyed like
+/// [`FaultPlan::derive`] — the same seed corrupts the same byte of the
+/// same record on every run, which is what makes post-salvage digests
+/// comparable across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFault {
+    /// What to do.
+    pub kind: StorageFaultKind,
+    /// Selects the victim record (harness maps it into range).
+    pub record_skew: u64,
+    /// Selects the victim byte and bit (harness maps it into range).
+    pub byte_skew: u64,
+}
+
+impl StorageFault {
+    /// The storage fault for matrix cell `case` under `seed`.
+    pub fn derive(seed: u64, case: u64) -> StorageFault {
+        let mut rng = XorShift64::from_pair(seed ^ 0x5c7b_fa11, case);
+        let kind = StorageFaultKind::ALL[rng.below(StorageFaultKind::ALL.len() as u64) as usize];
+        StorageFault {
+            kind,
+            record_skew: rng.next_u64(),
+            byte_skew: rng.next_u64(),
+        }
+    }
+}
+
+impl fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@r{:#x}.b{:#x}",
+            self.kind, self.record_skew, self.byte_skew
+        )
+    }
+}
+
+impl FromStr for StorageFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StorageFault, String> {
+        let (kind, rest) = s
+            .split_once('@')
+            .ok_or_else(|| format!("storage fault `{s}`: expected kind@rN.bN"))?;
+        let kind: StorageFaultKind = kind.parse()?;
+        let (r, b) = rest
+            .split_once('.')
+            .ok_or_else(|| format!("storage fault `{s}`: expected kind@rN.bN"))?;
+        let num = |t: &str, tag: char| -> Result<u64, String> {
+            let t = t
+                .strip_prefix(tag)
+                .ok_or_else(|| format!("storage fault `{s}`: expected {tag}<number>"))?;
+            let t = t.strip_prefix("0x").unwrap_or(t);
+            u64::from_str_radix(t, 16).map_err(|e| format!("storage fault `{s}`: {e}"))
+        };
+        Ok(StorageFault {
+            kind,
+            record_skew: num(r, 'r')?,
+            byte_skew: num(b, 'b')?,
+        })
+    }
+}
+
 // ---------------------------------------------------------------- hook --
 
 /// A [`FaultHook`] firing the faults of one [`FaultPlan`].
@@ -708,6 +833,27 @@ mod tests {
         let other: Vec<ServeFault> = (0..256).map(|o| ServeFault::derive(4, o)).collect();
         assert_ne!(draws, other, "seed must matter");
         assert_eq!(ServeFault::none(), ServeFault::none());
+    }
+
+    #[test]
+    fn storage_faults_derive_deterministically_and_roundtrip() {
+        for seed in [0u64, 7, 42] {
+            for case in 0..24 {
+                let f = StorageFault::derive(seed, case);
+                assert_eq!(f, StorageFault::derive(seed, case), "pure function");
+                let text = f.to_string();
+                let back: StorageFault = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+                assert_eq!(f, back, "round-trip of `{text}`");
+            }
+        }
+        // All four kinds appear across a modest matrix.
+        let kinds: std::collections::HashSet<String> = (0..32)
+            .map(|c| StorageFault::derive(5, c).kind.to_string())
+            .collect();
+        assert_eq!(kinds.len(), 4, "kinds drawn: {kinds:?}");
+        assert!("bitflip-record".parse::<StorageFaultKind>().is_ok());
+        assert!("sparks".parse::<StorageFaultKind>().is_err());
+        assert!("torn-tail@r1".parse::<StorageFault>().is_err());
     }
 
     #[test]

@@ -21,7 +21,15 @@
 //!   backoff ([`rvv_batch::BackoffPolicy`]).
 //! * **Graceful degradation** — per-configuration circuit breakers
 //!   quarantine configurations that repeatedly poison their sessions;
-//!   one tenant's pathological config cannot take the service down.
+//!   one tenant's pathological config cannot take the service down. A
+//!   *storage* breaker does the same for the disk: a failed journal
+//!   append flips `/healthz` to `503 storage=degraded` and sheds new
+//!   submissions with 503 while in-flight jobs drain — never a panic,
+//!   never an acknowledgment without durability.
+//! * **Salvage on resume** — a resume over a journal with mid-stream
+//!   corruption quarantines the damaged records (surfaced in `/stats`
+//!   and a `<journal>.salvage.txt` manifest) and keeps everything after
+//!   them; jobs whose records were lost re-run deterministically.
 //! * **Graceful shutdown** — SIGTERM (or `POST /shutdown`) stops
 //!   admissions, drains in-flight work to the journal, and exits 0.
 //!
@@ -29,7 +37,7 @@
 //!
 //! | Method & path          | Meaning                                          |
 //! |------------------------|--------------------------------------------------|
-//! | `GET /healthz`         | `200 ok` (or `503 draining`)                     |
+//! | `GET /healthz`         | `200 ok` (`503 draining` / `503 storage=degraded`) |
 //! | `GET /stats`           | service counters, queue state, engine health     |
 //! | `POST /sweeps`         | submit one spec per body line; `202` + ids       |
 //! | `POST /jobs`           | alias of `/sweeps`                               |

@@ -13,7 +13,7 @@
 
 use crate::http::{read_request, respond, respond_with, Request};
 use crate::spec::JobSpec;
-use crate::state::{QueuedJob, ServeOptions, ServeState, SubmitError};
+use crate::state::{ServeOptions, ServeState, SubmitError};
 use rvv_batch::{execute_job, BackoffPolicy, JobOutcome, SessionPool};
 use rvv_fault::ArmedFaults;
 use scanvec::HEAP_BASE;
@@ -176,7 +176,7 @@ fn worker_loop(state: &Arc<ServeState>, worker: usize) {
         }
         if state.breaker_open(&job.spec.config()) {
             let line = state.quarantine_line(&job);
-            finish_or_warn(state, &job, line, 0, false, false);
+            state.finish(&job, line, 0, false, false);
             continue;
         }
         let mut batch_job = job
@@ -198,29 +198,15 @@ fn worker_loop(state: &Arc<ServeState>, worker: usize) {
         }
         let report = execute_job(&batch_job, job.id, &mut pool, worker, &backoff);
         let cancelled = matches!(report.outcome, JobOutcome::Cancelled { .. });
-        finish_or_warn(
-            state,
+        // `finish` is infallible by design: a failed done-append trips
+        // the storage breaker but the in-flight result still drains.
+        state.finish(
             &job,
             report.stable_line(),
             report.attempts,
             report.poisoned > 0,
             cancelled,
         );
-    }
-}
-
-fn finish_or_warn(
-    state: &Arc<ServeState>,
-    job: &QueuedJob,
-    line: String,
-    attempts: u32,
-    poisoned: bool,
-    cancelled: bool,
-) {
-    // A failed done-append loses the *result*, not the job: the submit
-    // record survives, so a restart re-runs it. Degrade, don't die.
-    if let Err(e) = state.finish(job, line, attempts, poisoned, cancelled) {
-        eprintln!("rvv-serve: journaling job {} failed: {e}", job.id);
     }
 }
 
@@ -255,7 +241,10 @@ fn submit_response(stream: &mut TcpStream, state: &ServeState, body: &str) -> io
         ),
         Err(SubmitError::Draining) => respond(stream, 503, "draining, not accepting work\n"),
         Err(SubmitError::Invalid(e)) => respond(stream, 400, &format!("{e}\n")),
-        Err(SubmitError::Io(e)) => respond(stream, 500, &format!("journal append failed: {e}\n")),
+        // Storage degraded: the job was NOT acknowledged (durability
+        // before acknowledgment); clients retry later while in-flight
+        // work drains.
+        Err(SubmitError::Storage(e)) => respond(stream, 503, &format!("storage degraded: {e}\n")),
     }
 }
 
@@ -273,6 +262,8 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServeState>) {
         ("GET", "/healthz") => {
             if state.is_draining() {
                 respond(&mut stream, 503, "draining\n")
+            } else if state.storage_is_degraded() {
+                respond(&mut stream, 503, "storage=degraded\n")
             } else {
                 respond(&mut stream, 200, "ok\n")
             }

@@ -4,15 +4,15 @@
 
 use crate::spec::JobSpec;
 use rvv_batch::AdmissionGate;
-use rvv_ckpt::fnv1a;
 use rvv_ckpt::queue::{QueueJournal, QueueRecovery};
+use rvv_ckpt::{fnv1a, fs_backend, write_atomic_on, StorageBackend};
 use rvv_fault::ServeFault;
 use scanvec::{CancelToken, Engine, EnvConfig, ExecEngine};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// The journal tag binding a queue file to this service (see
@@ -55,6 +55,10 @@ pub struct ServeOptions {
     pub breaker_threshold: u32,
     /// Engine-default instruction watchdog per attempt.
     pub watchdog: Option<u64>,
+    /// Storage backend the journal runs on. `None` = the real filesystem;
+    /// tests hand in a chaos backend to drive the degradation ladder
+    /// deterministically.
+    pub storage: Option<Arc<dyn StorageBackend>>,
 }
 
 impl Default for ServeOptions {
@@ -71,6 +75,7 @@ impl Default for ServeOptions {
             exec: ExecEngine::Plan,
             breaker_threshold: 3,
             watchdog: Some(1_000_000_000),
+            storage: None,
         }
     }
 }
@@ -108,9 +113,12 @@ pub enum SubmitError {
     Overloaded,
     /// The spec failed validation; the message names the field.
     Invalid(String),
-    /// The journal append failed — the job is NOT accepted (the
-    /// durability contract is journal-before-acknowledge).
-    Io(String),
+    /// Storage is degraded (a journal append failed now or earlier): the
+    /// job is NOT accepted — the durability contract is
+    /// journal-before-acknowledge, and acknowledging without a journal
+    /// would be a silent lie. Clients see 503 and should retry elsewhere
+    /// or later; in-flight jobs keep draining.
+    Storage(String),
 }
 
 #[derive(Debug, Default)]
@@ -138,6 +146,14 @@ pub struct ServeCounters {
     pub retries: AtomicU64,
     /// Done records journaled (the crash harness counts these).
     pub done_records: AtomicU64,
+    /// Journal appends that failed (each one trips or re-confirms the
+    /// storage breaker).
+    pub journal_errors: AtomicU64,
+    /// Times a poisoned lock was recovered instead of propagating the
+    /// panic to the next caller.
+    pub lock_poisoned: AtomicU64,
+    /// Journal records quarantined by salvage during the last resume.
+    pub salvaged: AtomicU64,
 }
 
 /// The shared state behind one service instance.
@@ -161,6 +177,8 @@ pub struct ServeState {
     next_sweep_id: AtomicU64,
     submissions: AtomicU64,
     draining: AtomicBool,
+    storage: Arc<dyn StorageBackend>,
+    storage_degraded: AtomicBool,
 }
 
 fn encode_payload(sweep: u64, text: &str) -> Vec<u8> {
@@ -190,15 +208,21 @@ impl ServeState {
             builder = builder.default_fuel_budget(fuel);
         }
         let engine = Arc::new(builder.build());
+        let storage = opts.storage.clone().unwrap_or_else(fs_backend);
         let mut journal = None;
         let mut recovery = QueueRecovery::default();
         if let Some(path) = &opts.journal {
-            if opts.resume && path.exists() {
-                let (j, r) = QueueJournal::resume(path, JOURNAL_TAG, 1)?;
+            if opts.resume && storage.exists(path) {
+                let (j, r) = QueueJournal::resume_on(&storage, path, JOURNAL_TAG, 1)?;
                 journal = Some(Mutex::new(j));
                 recovery = r;
             } else {
-                journal = Some(Mutex::new(QueueJournal::create(path, JOURNAL_TAG, 1)?));
+                journal = Some(Mutex::new(QueueJournal::create_on(
+                    &storage,
+                    path,
+                    JOURNAL_TAG,
+                    1,
+                )?));
             }
         }
         let state = ServeState {
@@ -217,21 +241,67 @@ impl ServeState {
             next_sweep_id: AtomicU64::new(1),
             submissions: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            storage,
+            storage_degraded: AtomicBool::new(false),
         };
         state.restore(recovery)?;
         Ok(Arc::new(state))
     }
 
+    /// Lock one of the state's mutexes, recovering from poison instead of
+    /// propagating it: one panicking handler thread must not brick every
+    /// subsequent request. The tables a panicked holder may have left
+    /// half-updated describe *job bookkeeping*, not results — recovered
+    /// state is at worst missing one status transition, which the
+    /// counters surface via `lock_poisoned` in `/stats`.
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| {
+            self.counters.lock_poisoned.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
     /// Fold a journal replay back into live state: completed jobs keep
     /// their recorded lines verbatim (this is what makes post-crash
     /// digests byte-identical), pending jobs re-enter the queue.
+    /// Quarantined (salvaged) ranges are surfaced — counted in `/stats`,
+    /// logged, and written to a `<journal>.salvage.txt` manifest — and
+    /// their lost work is already accounted for by the queue replay: a
+    /// lost done re-pends its job for deterministic re-execution, a lost
+    /// submit is reconstructed from its surviving done.
     fn restore(&self, recovery: QueueRecovery) -> io::Result<()> {
+        if !recovery.salvage.is_empty() {
+            self.counters
+                .salvaged
+                .fetch_add(recovery.salvage.len() as u64, Ordering::Relaxed);
+            let mut manifest = String::new();
+            for entry in &recovery.salvage {
+                eprintln!("serve: journal salvage: {entry}");
+                manifest.push_str(&entry.to_string());
+                manifest.push('\n');
+            }
+            if let Some(path) = &self.opts.journal {
+                let mut name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                name.push_str(".salvage.txt");
+                let manifest_path = path.with_file_name(name);
+                if let Err(e) = write_atomic_on(&self.storage, &manifest_path, manifest.as_bytes())
+                {
+                    eprintln!(
+                        "serve: could not write salvage manifest {}: {e}",
+                        manifest_path.display()
+                    );
+                }
+            }
+        }
         if recovery.max_id == 0 {
             return Ok(());
         }
-        let mut jobs = self.jobs.lock().unwrap();
-        let mut sweeps = self.sweeps.lock().unwrap();
-        let mut queue = self.queue.lock().unwrap();
+        let mut jobs = self.lock(&self.jobs);
+        let mut sweeps = self.lock(&self.sweeps);
+        let mut queue = self.lock(&self.queue);
         let mut max_sweep = 0u64;
         for item in &recovery.completed {
             let (sid, line) = decode_payload(&item.payload)?;
@@ -292,6 +362,14 @@ impl ServeState {
         if self.draining.load(Ordering::SeqCst) {
             return Err(SubmitError::Draining);
         }
+        if self.storage_degraded.load(Ordering::SeqCst) {
+            // The storage breaker is open: new work cannot be made
+            // durable, so it is shed *before* admission — no slot, no
+            // journal attempt, no false acknowledgment.
+            return Err(SubmitError::Storage(
+                "storage degraded: journal unavailable".to_string(),
+            ));
+        }
         for spec in specs {
             self.engine
                 .validate(&spec.config())
@@ -315,26 +393,28 @@ impl ServeState {
             .fetch_add(specs.len() as u64, Ordering::SeqCst);
         let ids: Vec<u64> = (first..first + specs.len() as u64).collect();
         // Journal-before-acknowledge: all submit records are on disk
-        // before the client hears "accepted". A failed append un-admits.
+        // before the client hears "accepted". A failed append un-admits
+        // the whole sweep and trips the storage breaker.
         if let Some(journal) = &self.journal {
-            let mut j = journal.lock().unwrap();
+            let mut j = self.lock(journal);
             for (id, spec) in ids.iter().zip(specs) {
                 let payload = encode_payload(sweep, &spec.to_string());
                 if let Err(e) = j.submit(*id, &payload) {
                     self.gate.release(specs.len());
-                    return Err(SubmitError::Io(e.to_string()));
+                    self.trip_storage(&e);
+                    return Err(SubmitError::Storage(e.to_string()));
                 }
             }
         }
         {
-            let mut jobs = self.jobs.lock().unwrap();
+            let mut jobs = self.lock(&self.jobs);
             for id in &ids {
                 jobs.insert(*id, JobStatus::Queued);
             }
         }
-        self.sweeps.lock().unwrap().insert(sweep, ids.clone());
+        self.lock(&self.sweeps).insert(sweep, ids.clone());
         {
-            let mut queue = self.queue.lock().unwrap();
+            let mut queue = self.lock(&self.queue);
             for (id, spec) in ids.iter().zip(specs) {
                 queue.push_back(QueuedJob {
                     id: *id,
@@ -353,21 +433,41 @@ impl ServeState {
     /// Block until a job is available or the service is draining with an
     /// empty queue (then `None`: the worker exits).
     pub fn next_job(&self) -> Option<QueuedJob> {
-        let mut queue = self.queue.lock().unwrap();
+        let mut queue = self.lock(&self.queue);
         loop {
             if let Some(job) = queue.pop_front() {
-                self.jobs.lock().unwrap().insert(job.id, JobStatus::Running);
+                self.lock(&self.jobs).insert(job.id, JobStatus::Running);
                 return Some(job);
             }
             if self.draining.load(Ordering::SeqCst) {
                 return None;
             }
-            let (q, _) = self
+            queue = match self
                 .available
                 .wait_timeout(queue, Duration::from_millis(50))
-                .unwrap();
-            queue = q;
+            {
+                Ok((q, _)) => q,
+                Err(poisoned) => {
+                    self.counters.lock_poisoned.fetch_add(1, Ordering::Relaxed);
+                    poisoned.into_inner().0
+                }
+            };
         }
+    }
+
+    /// Open the storage circuit breaker: note the failure, flip
+    /// `/healthz` to degraded, and start shedding new submissions while
+    /// in-flight jobs drain.
+    fn trip_storage(&self, err: &io::Error) {
+        self.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+        if !self.storage_degraded.swap(true, Ordering::SeqCst) {
+            eprintln!("serve: storage degraded (journal append failed): {err}");
+        }
+    }
+
+    /// Is the storage breaker open?
+    pub fn storage_is_degraded(&self) -> bool {
+        self.storage_degraded.load(Ordering::SeqCst)
     }
 
     /// The per-job chaos decisions (latency, machine faults), or quiet.
@@ -383,9 +483,7 @@ impl ServeState {
     pub fn arm_deadline(&self, job_id: u64) -> Option<CancelToken> {
         let deadline = self.opts.deadline?;
         let token = CancelToken::new();
-        self.deadlines
-            .lock()
-            .unwrap()
+        self.lock(&self.deadlines)
             .push((Instant::now() + deadline, job_id, token.clone()));
         Some(token)
     }
@@ -394,7 +492,7 @@ impl ServeState {
     /// passed. Cancellation is cooperative — the worker observes the token
     /// at the next instruction boundary and reports `Cancelled`.
     pub fn cancel_overdue(&self, now: Instant) -> usize {
-        let mut deadlines = self.deadlines.lock().unwrap();
+        let mut deadlines = self.lock(&self.deadlines);
         let mut fired = 0;
         deadlines.retain(|(at, _, token)| {
             if *at <= now {
@@ -409,9 +507,7 @@ impl ServeState {
     }
 
     fn disarm_deadline(&self, job_id: u64) {
-        self.deadlines
-            .lock()
-            .unwrap()
+        self.lock(&self.deadlines)
             .retain(|(_, id, _)| *id != job_id);
     }
 
@@ -419,6 +515,13 @@ impl ServeState {
     /// the tables and counters, release its admission slot — and, when the
     /// crash harness is armed, abort the process once the configured done
     /// record is on disk.
+    ///
+    /// Infallible by design: a failed done-record append trips the
+    /// storage breaker (new submissions shed with 503) but the in-memory
+    /// completion still lands, so in-flight work drains to clients
+    /// instead of wedging. The un-journaled completion is the safe loss:
+    /// after a crash the job replays as pending and re-runs
+    /// deterministically.
     pub fn finish(
         &self,
         job: &QueuedJob,
@@ -426,25 +529,26 @@ impl ServeState {
         attempts: u32,
         poisoned: bool,
         cancelled: bool,
-    ) -> io::Result<()> {
+    ) {
         self.disarm_deadline(job.id);
         if let Some(journal) = &self.journal {
-            let mut j = journal.lock().unwrap();
-            j.complete(job.id, &encode_payload(job.sweep, &line))?;
-            let done = self.counters.done_records.fetch_add(1, Ordering::SeqCst) + 1;
-            if self.opts.crash_after == Some(done) {
-                // The crash harness: die as unceremoniously as `kill -9`
-                // (no unwinding, no drop glue, no drain) the instant the
-                // configured done record is durable.
-                std::process::abort();
+            let mut j = self.lock(journal);
+            match j.complete(job.id, &encode_payload(job.sweep, &line)) {
+                Ok(()) => {
+                    let done = self.counters.done_records.fetch_add(1, Ordering::SeqCst) + 1;
+                    if self.opts.crash_after == Some(done) {
+                        // The crash harness: die as unceremoniously as
+                        // `kill -9` (no unwinding, no drop glue, no drain)
+                        // the instant the configured done record is durable.
+                        std::process::abort();
+                    }
+                }
+                Err(e) => self.trip_storage(&e),
             }
         } else {
             self.counters.done_records.fetch_add(1, Ordering::SeqCst);
         }
-        self.jobs
-            .lock()
-            .unwrap()
-            .insert(job.id, JobStatus::Done(line));
+        self.lock(&self.jobs).insert(job.id, JobStatus::Done(line));
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         self.counters
             .retries
@@ -454,20 +558,15 @@ impl ServeState {
         }
         self.note_breaker(&job.spec.config(), poisoned);
         self.gate.release(1);
-        Ok(())
     }
 
     /// Is the breaker for `cfg` open (jobs on it quarantined)?
     pub fn breaker_open(&self, cfg: &EnvConfig) -> bool {
-        self.breakers
-            .lock()
-            .unwrap()
-            .get(cfg)
-            .is_some_and(|b| b.open)
+        self.lock(&self.breakers).get(cfg).is_some_and(|b| b.open)
     }
 
     fn note_breaker(&self, cfg: &EnvConfig, poisoned: bool) {
-        let mut breakers = self.breakers.lock().unwrap();
+        let mut breakers = self.lock(&self.breakers);
         let b = breakers.entry(*cfg).or_default();
         if poisoned {
             b.consecutive_poisoned += 1;
@@ -492,11 +591,16 @@ impl ServeState {
     }
 
     /// Close every breaker and zero its failure count (the operator's
-    /// `POST /breakers/reset`). Returns how many were open.
+    /// `POST /breakers/reset`). The storage breaker resets too — if the
+    /// journal is still broken, the next append re-trips it. Returns how
+    /// many were open (counting storage).
     pub fn reset_breakers(&self) -> usize {
-        let mut breakers = self.breakers.lock().unwrap();
-        let open = breakers.values().filter(|b| b.open).count();
+        let mut breakers = self.lock(&self.breakers);
+        let mut open = breakers.values().filter(|b| b.open).count();
         breakers.clear();
+        if self.storage_degraded.swap(false, Ordering::SeqCst) {
+            open += 1;
+        }
         open
     }
 
@@ -514,14 +618,17 @@ impl ServeState {
     /// Force the journal to disk (graceful-shutdown path).
     pub fn sync_journal(&self) -> io::Result<()> {
         if let Some(journal) = &self.journal {
-            journal.lock().unwrap().sync()?;
+            if let Err(e) = self.lock(journal).sync() {
+                self.trip_storage(&e);
+                return Err(e);
+            }
         }
         Ok(())
     }
 
     /// One job's status line, or `None` for an unknown id.
     pub fn job_text(&self, id: u64) -> Option<String> {
-        let jobs = self.jobs.lock().unwrap();
+        let jobs = self.lock(&self.jobs);
         Some(match jobs.get(&id)? {
             JobStatus::Queued => format!("job {id} queued\n"),
             JobStatus::Running => format!("job {id} running\n"),
@@ -533,8 +640,8 @@ impl ServeState {
     /// stable lines in job-id order plus their FNV-1a digest — the bytes
     /// the crash-recovery contract compares.
     pub fn sweep_text(&self, id: u64) -> Option<String> {
-        let ids = self.sweeps.lock().unwrap().get(&id)?.clone();
-        let jobs = self.jobs.lock().unwrap();
+        let ids = self.lock(&self.sweeps).get(&id)?.clone();
+        let jobs = self.lock(&self.jobs);
         let mut lines = Vec::with_capacity(ids.len());
         for job_id in &ids {
             match jobs.get(job_id) {
@@ -559,9 +666,7 @@ impl ServeState {
     /// The `/stats` body: service counters, queue state, engine health.
     pub fn stats_text(&self) -> String {
         let breakers_open = self
-            .breakers
-            .lock()
-            .unwrap()
+            .lock(&self.breakers)
             .values()
             .filter(|b| b.open)
             .count();
@@ -570,7 +675,8 @@ impl ServeState {
             "submitted={}\ncompleted={}\ncancelled={}\nquarantined={}\nretries={}\n\
              queue_depth={}\nqueue_capacity={}\nqueue_high_water={}\n\
              shed={}\ninjected_shed={}\nadmitted={}\n\
-             sessions_created={}\nsessions_poisoned={}\nbreakers_open={}\ndraining={}\n",
+             sessions_created={}\nsessions_poisoned={}\nbreakers_open={}\ndraining={}\n\
+             storage_degraded={}\njournal_errors={}\nsalvaged_records={}\nlock_poisoned={}\n",
             self.counters.submitted.load(Ordering::Relaxed),
             self.counters.completed.load(Ordering::Relaxed),
             self.counters.cancelled.load(Ordering::Relaxed),
@@ -586,6 +692,10 @@ impl ServeState {
             health.sessions_poisoned(),
             breakers_open,
             self.is_draining(),
+            self.storage_is_degraded(),
+            self.counters.journal_errors.load(Ordering::Relaxed),
+            self.counters.salvaged.load(Ordering::Relaxed),
+            self.counters.lock_poisoned.load(Ordering::Relaxed),
         )
     }
 }
@@ -689,6 +799,79 @@ mod tests {
             state.cancel_overdue(Instant::now() + Duration::from_secs(7200)),
             0
         );
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_bricking_the_service() {
+        let state = ServeState::new(ServeOptions::default()).unwrap();
+        state.submit(&specs(&["p_add n=8"])).unwrap();
+        // Poison the jobs mutex: a handler thread panics while holding it.
+        let s = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let _guard = s.jobs.lock().unwrap();
+            panic!("injected handler panic");
+        })
+        .join()
+        .unwrap_err();
+        assert!(state.jobs.is_poisoned());
+        // Every subsequent request still works, and the recovery is
+        // surfaced in the counters + /stats.
+        assert!(state.job_text(1).unwrap().contains("queued"));
+        assert!(state.sweep_text(1).is_some());
+        assert!(state.submit(&specs(&["p_add n=8"])).is_ok());
+        assert!(state.counters.lock_poisoned.load(Ordering::Relaxed) >= 1);
+        let stats = state.stats_text();
+        assert!(stats.contains("lock_poisoned="), "{stats}");
+        assert!(!stats.contains("lock_poisoned=0"), "{stats}");
+    }
+
+    #[test]
+    fn journal_failure_trips_the_storage_breaker_and_sheds() {
+        use rvv_ckpt::{ChaosBackend, ChaosPlan};
+        // Write op 0 is the journal header; op 1 is the first submit
+        // record; everything after fails hard (the disk went away).
+        let chaos = Arc::new(ChaosBackend::new(ChaosPlan {
+            fail_writes_after: Some(2),
+            ..ChaosPlan::quiet()
+        }));
+        let state = ServeState::new(ServeOptions {
+            journal: Some(PathBuf::from("/j/q.journal")),
+            storage: Some(chaos as Arc<dyn StorageBackend>),
+            queue_depth: 16,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let (_sweep, ids) = state.submit(&specs(&["p_add n=8"])).unwrap();
+        assert!(!state.storage_is_degraded());
+        // The second submit's journal append fails: un-admitted, breaker
+        // trips, the client hears Storage (503), never a false "accepted".
+        assert!(matches!(
+            state.submit(&specs(&["p_add n=8"])),
+            Err(SubmitError::Storage(_))
+        ));
+        assert!(state.storage_is_degraded());
+        assert_eq!(state.gate.depth(), 1, "failed sweep released its slot");
+        // While degraded, submissions are shed before admission…
+        assert!(matches!(
+            state.submit(&specs(&["p_add n=8"])),
+            Err(SubmitError::Storage(_))
+        ));
+        // …but the accepted in-flight job still drains: its done-record
+        // append fails too, yet the completion lands in memory.
+        let job = QueuedJob {
+            id: ids[0],
+            sweep: 1,
+            spec: "p_add n=8".parse().unwrap(),
+        };
+        state.finish(&job, "job-1 ok".to_string(), 1, false, false);
+        assert!(state.job_text(ids[0]).unwrap().contains("done"));
+        assert_eq!(state.gate.depth(), 0, "drained");
+        let stats = state.stats_text();
+        assert!(stats.contains("storage_degraded=true"), "{stats}");
+        assert!(state.counters.journal_errors.load(Ordering::Relaxed) >= 2);
+        // The operator reset closes the storage breaker too.
+        assert!(state.reset_breakers() >= 1);
+        assert!(!state.storage_is_degraded());
     }
 
     #[test]
